@@ -1,0 +1,346 @@
+// Benchmarks regenerating the performance dimension of every figure in the
+// paper's §5 (see DESIGN.md §3 for the figure-to-bench index):
+//
+//	Fig. 3     BenchmarkFig03ToyPipeline
+//	Fig. 8     BenchmarkFig08CartelDistribution
+//	Fig. 9     BenchmarkFig09ScanDepth
+//	Fig. 10    BenchmarkFig10Main / Fig10StateExpansion / Fig10KCombo
+//	Fig. 11    BenchmarkFig11MEPortion
+//	Fig. 12    BenchmarkFig12MaxLines
+//	Fig. 13    BenchmarkFig13Correlation
+//	Fig. 14    BenchmarkFig14WideScores
+//	Fig. 15    BenchmarkFig15WideGaps
+//	Fig. 16    BenchmarkFig16BigGroups
+//
+// plus ablation benches for the c-Typical solvers (naive O(cn²) vs
+// divide-and-conquer) and the line-coalescing strategy.
+package probtopk_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"probtopk"
+	"probtopk/internal/baselines"
+	"probtopk/internal/cartel"
+	"probtopk/internal/core"
+	"probtopk/internal/fixtures"
+	"probtopk/internal/pmf"
+	"probtopk/internal/synth"
+	"probtopk/internal/typical"
+	"probtopk/internal/uncertain"
+)
+
+// cartelPrep lazily builds the shared §5.3 performance table (300 road
+// segments, two quantile delay bins each — the same table the figure harness
+// in internal/bench uses).
+var cartelPrep = sync.OnceValues(func() (*uncertain.Prepared, error) {
+	area := cartel.GenerateArea(cartel.Config{Segments: 300, Seed: 7})
+	tab, err := area.CongestionTable(2, 0)
+	if err != nil {
+		return nil, err
+	}
+	return uncertain.Prepare(tab)
+})
+
+func mustCartel(b *testing.B) *uncertain.Prepared {
+	b.Helper()
+	p, err := cartelPrep()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func benchParams(k int) core.Params {
+	return core.Params{K: k, Threshold: 0.001, MaxLines: 100, TrackVectors: true}
+}
+
+// BenchmarkFig03ToyPipeline runs the complete Example-1 pipeline: prepare,
+// exact distribution, U-Topk, 3-Typical.
+func BenchmarkFig03ToyPipeline(b *testing.B) {
+	tab := fixtures.Soldier()
+	for i := 0; i < b.N; i++ {
+		dist, err := probtopk.TopKDistribution(tab, 2, probtopk.Exact())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := dist.UTopK(); !ok {
+			b.Fatal("no U-Topk")
+		}
+		if _, _, err := dist.Typical(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig08CartelDistribution measures the Figure-8 per-area workload:
+// distribution + markers at k = 5 and 10.
+func BenchmarkFig08CartelDistribution(b *testing.B) {
+	p := mustCartel(b)
+	for _, k := range []int{5, 10} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Distribution(p, benchParams(k))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := typical.Select(res.Dist, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig09ScanDepth measures the Theorem-2 stopping-condition scan.
+func BenchmarkFig09ScanDepth(b *testing.B) {
+	p := mustCartel(b)
+	for _, k := range []int{10, 30, 60} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if core.ScanDepth(p, k, 0.001) == 0 {
+					b.Fatal("zero depth")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Main sweeps k for the main algorithm (the flat curve of
+// Figure 10).
+func BenchmarkFig10Main(b *testing.B) {
+	p := mustCartel(b)
+	for _, k := range []int{10, 20, 30, 40, 50, 60} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Distribution(p, benchParams(k)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// naivePrefix truncates the table to the Theorem-2 prefix for k, the same
+// input the naive baselines receive in the Figure-10 harness (exact mode —
+// threshold pruning on near-0.5 probabilities would otherwise hide their
+// exponential cost).
+func naivePrefix(b *testing.B, k int) *uncertain.Prepared {
+	b.Helper()
+	p := mustCartel(b)
+	sub, err := uncertain.Prepare(p.TruncateTable(core.ScanDepth(p, k, 0.001)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sub
+}
+
+// BenchmarkFig10StateExpansion sweeps k for the exponential baseline; ks are
+// small because the state space explodes (the paper's cut-off curve).
+func BenchmarkFig10StateExpansion(b *testing.B) {
+	for _, k := range []int{2, 3, 4} {
+		sub := naivePrefix(b, k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				params := core.Params{K: k, MaxLines: 100, TrackVectors: true}
+				if _, err := core.StateExpansion(sub, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10KCombo sweeps k for the combination-enumeration baseline.
+func BenchmarkFig10KCombo(b *testing.B) {
+	for _, k := range []int{2, 3, 4} {
+		sub := naivePrefix(b, k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				params := core.Params{K: k, MaxLines: 100, TrackVectors: true}
+				if _, err := core.KCombo(sub, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11MEPortion varies the fraction of mutually exclusive tuples
+// via single-bin (point-estimate) segments.
+func BenchmarkFig11MEPortion(b *testing.B) {
+	area := cartel.GenerateArea(cartel.Config{Segments: 300, Seed: 7})
+	for _, single := range []float64{0.9, 0.6, 0.3} {
+		tab, err := area.CongestionTable(2, single)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := uncertain.Prepare(tab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := core.ScanDepth(p, 20, 0.001)
+		portion := float64(p.MExclusiveCount(n)) / float64(n)
+		b.Run(fmt.Sprintf("portion=%.2f", portion), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Distribution(p, benchParams(20)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12MaxLines varies the line-coalescing budget at k = 30.
+func BenchmarkFig12MaxLines(b *testing.B) {
+	p := mustCartel(b)
+	for _, lines := range []int{50, 100, 200, 300, 400, 500} {
+		b.Run(fmt.Sprintf("lines=%d", lines), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				params := benchParams(30)
+				params.MaxLines = lines
+				if _, err := core.Distribution(p, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func synthPrep(b *testing.B, cfg synth.Config) *uncertain.Prepared {
+	b.Helper()
+	tab, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := uncertain.Prepare(tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkFig13Correlation runs the top-10 synthetic workload per ρ.
+func BenchmarkFig13Correlation(b *testing.B) {
+	for _, rho := range []float64{0, 0.8, -0.8} {
+		p := synthPrep(b, synth.Config{N: 300, Rho: rho, Seed: 1309})
+		b.Run(fmt.Sprintf("rho=%v", rho), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Distribution(p, benchParams(10)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig14WideScores is the σ = 100 variant.
+func BenchmarkFig14WideScores(b *testing.B) {
+	p := synthPrep(b, synth.Config{N: 300, ScoreStd: 100, Seed: 1309})
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Distribution(p, benchParams(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig15WideGaps is the d ∈ [1, 40] ME-gap variant.
+func BenchmarkFig15WideGaps(b *testing.B) {
+	p := synthPrep(b, synth.Config{N: 300, GapMin: 1, GapMax: 40, Seed: 1309})
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Distribution(p, benchParams(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig16BigGroups is the group-size ∈ [2, 10] variant.
+func BenchmarkFig16BigGroups(b *testing.B) {
+	p := synthPrep(b, synth.Config{N: 300, SizeMin: 2, SizeMax: 10, MEPortion: 0.6, Seed: 1309})
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Distribution(p, benchParams(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// randomPMF builds an n-line distribution for the typical-selection and
+// coalescing ablations.
+func randomPMF(n int, seed int64) *pmf.Dist {
+	r := rand.New(rand.NewSource(seed))
+	lines := make([]pmf.Line, n)
+	for i := range lines {
+		lines[i] = pmf.Line{Score: r.Float64() * 1000, Prob: r.Float64()}
+	}
+	return pmf.FromLines(lines)
+}
+
+// BenchmarkTypicalSelect ablates the divide-and-conquer c-Typical solver
+// against the paper's Figure-7 O(cn²) pseudocode on a 500-line distribution.
+func BenchmarkTypicalSelect(b *testing.B) {
+	d := randomPMF(500, 2)
+	for _, c := range []int{1, 3, 10} {
+		b.Run(fmt.Sprintf("dc/c=%d", c), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := typical.Select(d, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("naive/c=%d", c), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := typical.SelectNaive(d, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoalesce ablates the closest-pair line coalescing (§3.2.1).
+func BenchmarkCoalesce(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			src := randomPMF(n, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := src.Clone()
+				d.Coalesce(200, pmf.CoalescePlainAverage)
+			}
+		})
+	}
+}
+
+// BenchmarkUKRanks measures the category-2 baseline machinery (the
+// Poisson-binomial rank convolution) on the road table.
+func BenchmarkUKRanks(b *testing.B) {
+	p := mustCartel(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := baselines.UKRanks(p, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorstCaseExact measures the exact (uncapped) DP where every
+// combination has a distinct score — the O(n^k) line blow-up §3.2.1 warns
+// about, here bounded by a small n.
+func BenchmarkWorstCaseExact(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	tab := uncertain.NewTable()
+	for i := 0; i < 24; i++ {
+		tab.AddIndependent(fmt.Sprintf("t%d", i), 100+r.Float64()*100, 0.3+0.4*r.Float64())
+	}
+	p, err := uncertain.Prepare(tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Distribution(p, core.Params{K: 6, TrackVectors: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

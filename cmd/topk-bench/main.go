@@ -1,0 +1,94 @@
+// Command topk-bench regenerates the figures of the paper's empirical study
+// (§5). Each figure is printed as an ASCII chart or table with the U-Topk
+// and 3-Typical positions marked; -csv emits machine-readable rows instead.
+//
+// Usage:
+//
+//	topk-bench -fig all
+//	topk-bench -fig 3,9,13
+//	topk-bench -fig 8 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"probtopk/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "comma-separated figure numbers (3, 8, 9, 10, 11, 12, 13, 14, 15, 16) or 'all'")
+	csv := flag.Bool("csv", false, "emit CSV rows instead of ASCII charts")
+	flag.Parse()
+
+	figs, err := collect(*fig)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topk-bench:", err)
+		os.Exit(1)
+	}
+	for _, f := range figs {
+		if *csv {
+			err = bench.WriteCSV(os.Stdout, f)
+		} else {
+			err = bench.Render(os.Stdout, f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topk-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func collect(spec string) ([]*bench.Figure, error) {
+	if spec == "all" {
+		return bench.All()
+	}
+	var figs []*bench.Figure
+	one := func(f *bench.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		figs = append(figs, f)
+		return nil
+	}
+	many := func(fs []*bench.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		figs = append(figs, fs...)
+		return nil
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		var err error
+		switch strings.TrimSpace(tok) {
+		case "3":
+			err = one(bench.Fig3())
+		case "8":
+			err = many(bench.Fig8())
+		case "9":
+			err = one(bench.Fig9())
+		case "10":
+			err = one(bench.Fig10())
+		case "11":
+			err = one(bench.Fig11())
+		case "12":
+			err = one(bench.Fig12())
+		case "13":
+			err = many(bench.Fig13())
+		case "14":
+			err = one(bench.Fig14())
+		case "15":
+			err = one(bench.Fig15())
+		case "16":
+			err = one(bench.Fig16())
+		default:
+			err = fmt.Errorf("unknown figure %q", tok)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return figs, nil
+}

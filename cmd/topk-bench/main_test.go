@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"probtopk/internal/bench"
+)
+
+func TestCollectSingleFigures(t *testing.T) {
+	figs, err := collect("3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 || figs[0].ID != "fig3" {
+		t.Fatalf("figs = %+v", figs)
+	}
+	figs, err = collect("3, 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 || figs[1].ID != "fig9" {
+		t.Fatalf("figs = %v, %v", figs[0].ID, figs[1].ID)
+	}
+	figs, err = collect("13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 { // three subplots
+		t.Fatalf("fig13 subplots = %d", len(figs))
+	}
+}
+
+func TestCollectUnknown(t *testing.T) {
+	if _, err := collect("99"); err == nil || !strings.Contains(err.Error(), "unknown figure") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRenderedFigure3(t *testing.T) {
+	figs, err := collect("3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := bench.Render(&sb, figs[0]); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig3", "U-Topk", "164.1", "0.76"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Command topk runs a probabilistic top-k query over an uncertain table in
+// CSV form and reports the score distribution, the U-Topk answer, and the
+// c-Typical-Topk answers.
+//
+// Without -score, the CSV must have the header id,score,prob,group. With
+// -score EXPR, the CSV is an uncertain relation — header columns id and prob
+// (group optional) plus numeric attribute columns — and EXPR is the scoring
+// expression over those attributes, as in the paper's §5.2 query:
+//
+//	topk -k 5 -c 3 table.csv
+//	topk -k 10 -ptau 0.0001 -lines 500 -hist 25 < table.csv
+//	topk -k 5 -score 'speed_limit / (length / delay)' area.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"probtopk"
+	"probtopk/internal/query"
+)
+
+func main() {
+	k := flag.Int("k", 5, "number of tuples in a top-k vector")
+	c := flag.Int("c", 3, "number of typical answers to report")
+	ptau := flag.Float64("ptau", 0.001, "probability threshold pτ (0 = exact)")
+	lines := flag.Int("lines", probtopk.DefaultMaxLines, "max distribution lines (0 = library default, negative = unlimited)")
+	hist := flag.Float64("hist", 0, "histogram bucket width (0 = print raw lines)")
+	alg := flag.String("algorithm", "main", "algorithm: main, state-expansion, k-combo")
+	score := flag.String("score", "", "scoring expression over relation attributes ('' = CSV has a score column)")
+	where := flag.String("where", "", "row filter predicate over relation attributes (requires -score)")
+	flag.Parse()
+
+	if err := run(*k, *c, *ptau, *lines, *hist, *alg, *score, *where, flag.Arg(0), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topk:", err)
+		os.Exit(1)
+	}
+}
+
+func run(k, c int, ptau float64, lines int, hist float64, alg, score, where, path string, w io.Writer) error {
+	var in io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	table, err := loadTable(in, score, where)
+	if err != nil {
+		return err
+	}
+	opts := &probtopk.Options{Threshold: ptau, MaxLines: lines}
+	if ptau == 0 {
+		opts.Threshold = -1 // exact
+	}
+	switch alg {
+	case "main":
+		opts.Algorithm = probtopk.AlgorithmMain
+	case "state-expansion":
+		opts.Algorithm = probtopk.AlgorithmStateExpansion
+	case "k-combo":
+		opts.Algorithm = probtopk.AlgorithmKCombo
+	default:
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+
+	dist, err := probtopk.TopKDistribution(table, k, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "table: %d tuples, scan depth %d\n", table.Len(), dist.ScanDepth)
+	fmt.Fprintf(w, "top-%d score: mass %.4f, mean %.3f, median %.3f, span [%.3f, %.3f]\n\n",
+		k, dist.TotalMass(), dist.Mean(), dist.Median(), dist.Min(), dist.Max())
+
+	if hist > 0 {
+		fmt.Fprintf(w, "histogram (bucket width %g):\n", hist)
+		for _, b := range dist.Histogram(hist) {
+			fmt.Fprintf(w, "  [%10.3f, %10.3f)  %s %.4f\n", b.Lo, b.Hi, bar(b.Prob), b.Prob)
+		}
+	} else {
+		fmt.Fprintf(w, "distribution (%d lines):\n", dist.Len())
+		for _, l := range dist.Lines() {
+			fmt.Fprintf(w, "  score %10.3f  prob %.4f  vector %s (p=%.4f)\n",
+				l.Score, l.Prob, strings.Join(l.Vector, ","), l.VectorProb)
+		}
+	}
+
+	if u, ok := dist.UTopK(); ok {
+		fmt.Fprintf(w, "\nU-Top%d:  score %.3f  vector %s  probability %.4f\n",
+			k, u.Score, strings.Join(u.Vector, ","), u.VectorProb)
+	}
+	typ, cost, err := dist.Typical(c)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d-Typical-Top%d (expected distance %.3f):\n", c, k, cost)
+	for _, l := range typ {
+		fmt.Fprintf(w, "  score %10.3f  vector %s  probability %.4f\n",
+			l.Score, strings.Join(l.Vector, ","), l.VectorProb)
+	}
+	return nil
+}
+
+// loadTable reads either a plain uncertain table (empty scoreExpr) or a
+// relation whose score is computed from the expression, optionally filtered
+// by a WHERE predicate first.
+func loadTable(in io.Reader, scoreExpr, where string) (*probtopk.Table, error) {
+	if scoreExpr == "" {
+		if where != "" {
+			return nil, fmt.Errorf("topk: -where requires -score (a relation input)")
+		}
+		return probtopk.ReadTableCSV(in)
+	}
+	rel, err := query.ReadCSV(in)
+	if err != nil {
+		return nil, err
+	}
+	if where != "" {
+		if rel, err = rel.Filter(where); err != nil {
+			return nil, err
+		}
+		if rel.Len() == 0 {
+			return nil, fmt.Errorf("topk: no rows satisfy the filter %q", where)
+		}
+	}
+	return rel.Table(scoreExpr)
+}
+
+func bar(p float64) string {
+	n := int(p * 200)
+	if n > 40 {
+		n = 40
+	}
+	return strings.Repeat("█", n)
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const soldierCSV = `id,score,prob,group
+T1,49,0.4,
+T2,60,0.4,soldier2
+T3,110,0.4,soldier3
+T4,80,0.3,soldier2
+T5,56,1,
+T6,58,0.5,soldier3
+T7,125,0.3,soldier2
+`
+
+const areaCSV = `id,prob,group,speed_limit,length,delay
+seg1/b1,0.6,seg1,50,200,80
+seg1/b2,0.4,seg1,50,200,240
+seg2,1.0,,30,100,90
+seg3/b1,0.5,seg3,60,500,100
+seg3/b2,0.5,seg3,60,500,400
+`
+
+func writeFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "table.csv")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSoldier(t *testing.T) {
+	path := writeFile(t, soldierCSV)
+	var sb strings.Builder
+	if err := run(2, 3, 0, -1, 0, "main", "", "", path, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"mean 164.100",
+		"U-Top2:  score 118.000  vector T2,T6  probability 0.2000",
+		"3-Typical-Top2 (expected distance 6.600):",
+		"score    235.000  vector T7,T3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunHistogram(t *testing.T) {
+	path := writeFile(t, soldierCSV)
+	var sb strings.Builder
+	if err := run(2, 1, 0.001, 100, 50, "main", "", "", path, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "histogram (bucket width 50)") {
+		t.Fatalf("missing histogram:\n%s", sb.String())
+	}
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	for _, alg := range []string{"main", "state-expansion", "k-combo"} {
+		path := writeFile(t, soldierCSV)
+		var sb strings.Builder
+		if err := run(2, 1, 0, -1, 0, alg, "", "", path, &sb); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if !strings.Contains(sb.String(), "mean 164.100") {
+			t.Fatalf("%s: wrong mean:\n%s", alg, sb.String())
+		}
+	}
+	path := writeFile(t, soldierCSV)
+	var sb strings.Builder
+	if err := run(2, 1, 0, -1, 0, "nonsense", "", "", path, &sb); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestRunScoreExpression(t *testing.T) {
+	path := writeFile(t, areaCSV)
+	var sb strings.Builder
+	if err := run(2, 2, 0, -1, 0, "main", "speed_limit / (length / delay)", "", path, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// seg1/b2 score = 50/(200/240) = 60; seg3/b2 = 60/(500/400) = 48.
+	if !strings.Contains(out, "table: 5 tuples") {
+		t.Fatalf("missing table summary:\n%s", out)
+	}
+	if !strings.Contains(out, "U-Top2") {
+		t.Fatalf("missing U-Topk:\n%s", out)
+	}
+}
+
+func TestRunWhereFilter(t *testing.T) {
+	path := writeFile(t, areaCSV)
+	var sb strings.Builder
+	// Only seg3 rows (speed_limit 60) survive; k=1 over two exclusive bins.
+	err := run(1, 1, 0, -1, 0, "main", "speed_limit / (length / delay)", "speed_limit >= 60", path, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "table: 2 tuples") {
+		t.Fatalf("filter not applied:\n%s", sb.String())
+	}
+	// -where without -score is rejected.
+	if err := run(1, 1, 0, -1, 0, "main", "", "a > 1", path, &sb); err == nil {
+		t.Fatal("-where without -score should error")
+	}
+	// A filter matching nothing is rejected.
+	if err := run(1, 1, 0, -1, 0, "main", "delay", "speed_limit > 999", path, &sb); err == nil {
+		t.Fatal("empty filter result should error")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(2, 1, 0, -1, 0, "main", "", "", "/nonexistent/file.csv", &sb); err == nil {
+		t.Fatal("missing file should error")
+	}
+	bad := writeFile(t, "id,score\nx,1\n")
+	if err := run(2, 1, 0, -1, 0, "main", "", "", bad, &sb); err == nil {
+		t.Fatal("bad csv should error")
+	}
+	area := writeFile(t, areaCSV)
+	if err := run(2, 1, 0, -1, 0, "main", "no_such_col + 1", "", area, &sb); err == nil {
+		t.Fatal("bad expression should error")
+	}
+}

@@ -1,0 +1,74 @@
+// Command worlds enumerates the possible worlds of a small uncertain table
+// (CSV with header id,score,prob,group) and the top-k vector(s) of each
+// world — reproducing the paper's Figure 2 for the battlefield example.
+//
+// Usage:
+//
+//	worlds -k 2 soldiers.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"probtopk/internal/uncertain"
+	"probtopk/internal/worlds"
+)
+
+func main() {
+	k := flag.Int("k", 2, "top-k size reported per world")
+	limit := flag.Int("limit", 10000, "maximum number of worlds to enumerate")
+	flag.Parse()
+
+	if err := run(*k, *limit, flag.Arg(0), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "worlds:", err)
+		os.Exit(1)
+	}
+}
+
+func run(k, limit int, path string, w io.Writer) error {
+	var in io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	table, err := uncertain.ReadCSV(in)
+	if err != nil {
+		return err
+	}
+	p, err := uncertain.Prepare(table)
+	if err != nil {
+		return err
+	}
+	all, err := worlds.All(p, limit)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d possible worlds\n", len(all))
+	fmt.Fprintf(w, "%-4s  %-30s  %-10s  %s\n", "#", "world", "prob", fmt.Sprintf("top-%d", k))
+	var mass float64
+	for i, world := range all {
+		mass += world.Prob
+		var topk string
+		if vs := worlds.TopKVectors(p, world, k); len(vs) > 0 {
+			var parts []string
+			for _, v := range vs {
+				parts = append(parts, "("+strings.Join(p.IDs(v), ",")+")")
+			}
+			topk = strings.Join(parts, " ")
+		} else {
+			topk = "—"
+		}
+		fmt.Fprintf(w, "W%-3d  {%-28s}  %-10.6g  %s\n",
+			i+1, strings.Join(p.IDs(world.Present), ","), world.Prob, topk)
+	}
+	fmt.Fprintf(w, "total probability: %.6f\n", mass)
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const soldierCSV = `id,score,prob,group
+T1,49,0.4,
+T2,60,0.4,soldier2
+T3,110,0.4,soldier3
+T4,80,0.3,soldier2
+T5,56,1,
+T6,58,0.5,soldier3
+T7,125,0.3,soldier2
+`
+
+func TestRunFigure2(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "soldiers.csv")
+	if err := os.WriteFile(path, []byte(soldierCSV), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(2, 100, path, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "18 possible worlds") {
+		t.Fatalf("expected 18 worlds:\n%s", out)
+	}
+	if !strings.Contains(out, "total probability: 1.000000") {
+		t.Fatalf("world probabilities should sum to 1:\n%s", out)
+	}
+	// The most probable top-2 appears: world {T2,T5,T6} has top-2 (T2,T6).
+	if !strings.Contains(out, "(T2,T6)") {
+		t.Fatalf("missing (T2,T6) top-2:\n%s", out)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "soldiers.csv")
+	if err := os.WriteFile(path, []byte(soldierCSV), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(2, 5, path, &sb); err == nil {
+		t.Fatal("limit 5 should fail on 18 worlds")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run(2, 10, "/nonexistent.csv", &sb); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

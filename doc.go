@@ -1,0 +1,47 @@
+// Package probtopk implements top-k queries on uncertain (probabilistic)
+// relations with score-distribution semantics, reproducing
+//
+//	Tingjian Ge, Stan Zdonik, Samuel Madden.
+//	"Top-k Queries on Uncertain Data: On Score Distribution and Typical
+//	Answers." SIGMOD 2009.
+//
+// # Data model
+//
+// An uncertain table holds tuples with a ranking score and a membership
+// probability; tuples sharing a mutual-exclusion (ME) group key are
+// alternatives of which at most one can exist (§2.1 of the paper). Under
+// possible-worlds semantics, every world has one or more top-k tuple vectors
+// (several only under score ties, §2.3), and the total score of the top-k is
+// a random variable.
+//
+// # What the library computes
+//
+// TopKDistribution returns that random variable's full probability mass
+// function — the paper's central object — computed with a dynamic program
+// that is linear in the scan depth, handles ME groups via rule-tuple
+// compression and per-unit exit points, handles non-injective (tied) scoring
+// functions, and bounds its output size with the paper's line-coalescing
+// strategy. Each distribution line also carries the most probable top-k
+// vector achieving that score.
+//
+// Typical selects the c-Typical-Topk answers (Definitions 1 and 2): the c
+// vectors whose scores minimize the expected distance from a random top-k
+// score. UTopK, UKRanks, PTk and GlobalTopK provide the pre-existing
+// semantics the paper compares against.
+//
+// # Quick start
+//
+//	table := probtopk.NewTable()
+//	table.AddIndependent("T1", 49, 0.4)
+//	table.AddExclusive("T2", "soldier2", 60, 0.4)
+//	// ... more tuples ...
+//	dist, err := probtopk.TopKDistribution(table, 2, nil)
+//	if err != nil { ... }
+//	fmt.Println(dist.Mean(), dist.Median())
+//	typ, _, err := dist.Typical(3)      // 3-Typical-Top2 answers
+//	u, ok := dist.UTopK()               // the U-Topk baseline answer
+//
+// See the examples directory for complete programs, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the reproduction of every figure in the
+// paper's evaluation.
+package probtopk

@@ -1,0 +1,80 @@
+package probtopk_test
+
+import (
+	"fmt"
+
+	"probtopk"
+)
+
+// battlefield builds the paper's Example 1 table: sensor estimates of
+// soldiers' need for medical attention, with mutually exclusive readings per
+// soldier.
+func battlefield() *probtopk.Table {
+	t := probtopk.NewTable()
+	t.AddIndependent("T1", 49, 0.4)
+	t.AddExclusive("T2", "soldier2", 60, 0.4)
+	t.AddExclusive("T3", "soldier3", 110, 0.4)
+	t.AddExclusive("T4", "soldier2", 80, 0.3)
+	t.AddIndependent("T5", 56, 1.0)
+	t.AddExclusive("T6", "soldier3", 58, 0.5)
+	t.AddExclusive("T7", "soldier2", 125, 0.3)
+	return t
+}
+
+func ExampleTopKDistribution() {
+	dist, err := probtopk.TopKDistribution(battlefield(), 2, probtopk.Exact())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("expected top-2 score: %.1f\n", dist.Mean())
+	fmt.Printf("lines: %d, mass: %.2f\n", dist.Len(), dist.TotalMass())
+	fmt.Printf("Pr(score > 118) = %.2f\n", dist.TailProb(118))
+	// Output:
+	// expected top-2 score: 164.1
+	// lines: 9, mass: 1.00
+	// Pr(score > 118) = 0.76
+}
+
+func ExampleDistribution_UTopK() {
+	dist, err := probtopk.TopKDistribution(battlefield(), 2, probtopk.Exact())
+	if err != nil {
+		panic(err)
+	}
+	u, _ := dist.UTopK()
+	fmt.Printf("U-Top2 vector %v, score %.0f, probability %.2f\n", u.Vector, u.Score, u.VectorProb)
+	// Output:
+	// U-Top2 vector [T2 T6], score 118, probability 0.20
+}
+
+func ExampleDistribution_Typical() {
+	dist, err := probtopk.TopKDistribution(battlefield(), 2, probtopk.Exact())
+	if err != nil {
+		panic(err)
+	}
+	lines, cost, err := dist.Typical(3)
+	if err != nil {
+		panic(err)
+	}
+	for _, l := range lines {
+		fmt.Printf("score %.0f vector %v (probability %.2f)\n", l.Score, l.Vector, l.VectorProb)
+	}
+	fmt.Printf("expected distance: %.1f\n", cost)
+	// Output:
+	// score 118 vector [T2 T6] (probability 0.20)
+	// score 183 vector [T7 T6] (probability 0.15)
+	// score 235 vector [T7 T3] (probability 0.12)
+	// expected distance: 6.6
+}
+
+func ExampleUKRanks() {
+	ranks, err := probtopk.UKRanks(battlefield(), 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range ranks {
+		fmt.Printf("rank %d: %s (probability %.2f)\n", r.Rank, r.ID, r.Prob)
+	}
+	// Output:
+	// rank 1: T7 (probability 0.30)
+	// rank 2: T6 (probability 0.50)
+}

@@ -1,0 +1,77 @@
+// Traffic reproduces the paper's §5.2 scenario: city planners query the k
+// most congested road segments of an area measured by a vehicular testbed.
+//
+// Each road segment carries multiple delay measurements, binned into a
+// discrete distribution: the bins are mutually exclusive uncertain tuples
+// and the congestion score is speed_limit / (length / delay). The planners
+// read the top-k total congestion score distribution — "when the total
+// exceeds some threshold, spend funding to fix the traffic problem" — and
+// the typical answers, instead of trusting the single U-Topk vector.
+//
+// Run with: go run ./examples/traffic
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"probtopk"
+	"probtopk/internal/cartel"
+)
+
+func main() {
+	// Synthesize an area of 120 road segments (the CarTel substitute; see
+	// DESIGN.md §4), then bin each segment's delays into ≤4 bins.
+	area := cartel.GenerateArea(cartel.Config{Segments: 120, Seed: 101})
+	table, err := area.CongestionTable(4, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("area: %d segments → %d uncertain tuples\n\n", len(area.Segments), table.Len())
+
+	const k = 5
+	dist, err := probtopk.TopKDistribution(table, k, nil) // defaults: pτ=0.001, 200 lines
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("top-%d total congestion score: mean %.1f, median %.1f, span [%.1f, %.1f]\n",
+		k, dist.Mean(), dist.Median(), dist.Min(), dist.Max())
+	fmt.Printf("scanned %d of %d tuples (Theorem 2)\n\n", dist.ScanDepth, table.Len())
+
+	fmt.Println("distribution at bucket width 25 (the paper's 'any granularity' access):")
+	for _, b := range dist.Histogram(25) {
+		if b.Prob < 0.005 {
+			continue
+		}
+		fmt.Printf("  [%6.1f, %6.1f)  %s %.3f\n", b.Lo, b.Hi,
+			strings.Repeat("█", int(b.Prob*120)), b.Prob)
+	}
+
+	u, _ := dist.UTopK()
+	fmt.Printf("\nU-Top%d: score %.1f, probability %.3g\n", k, u.Score, u.VectorProb)
+	fmt.Printf("  segments: %s\n", strings.Join(u.Vector, " "))
+	fmt.Printf("  Pr(actual top-%d total differs from it by > 10%%) = %.2f\n",
+		k, 1-massNear(dist, u.Score, 0.10))
+
+	lines, cost, err := dist.Typical(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n3-Typical-Top%d (expected distance %.1f):\n", k, cost)
+	for _, l := range lines {
+		fmt.Printf("  score %7.1f  prob %.3g  segments %s\n",
+			l.Score, l.VectorProb, strings.Join(l.Vector, " "))
+	}
+
+	// A funding decision: how likely is the congestion bad enough to act on?
+	threshold := dist.Mean() * 1.25
+	fmt.Printf("\nPr(total top-%d congestion > %.0f) = %.3f\n", k, threshold, dist.TailProb(threshold))
+}
+
+// massNear returns the probability mass within ±rel of score.
+func massNear(d *probtopk.Distribution, score, rel float64) float64 {
+	lo, hi := score*(1-rel), score*(1+rel)
+	return d.CDF(hi) - d.CDF(lo)
+}

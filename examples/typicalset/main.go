@@ -1,0 +1,68 @@
+// Typicalset illustrates the paper's Example 2 — the information-theoretic
+// motivation for typical answers: for 20 tosses of a biased coin
+// (Pr(heads) = 0.6) scored by the number of heads, the single most probable
+// outcome (all heads) is wildly atypical, while the typical score sits at
+// 0.6·n.
+//
+// The same machinery that picks c-Typical-Topk vectors applies to any
+// discrete distribution via probtopk.NewDistribution.
+//
+// Run with: go run ./examples/typicalset
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"probtopk"
+)
+
+func main() {
+	const n = 20
+	const p = 0.6
+
+	scores := make([]float64, n+1)
+	probs := make([]float64, n+1)
+	for h := 0; h <= n; h++ {
+		scores[h] = float64(h)
+		probs[h] = binom(n, h) * math.Pow(p, float64(h)) * math.Pow(1-p, float64(n-h))
+	}
+	dist, err := probtopk.NewDistribution(scores, probs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("number of heads in %d tosses of a %.1f-biased coin:\n", n, p)
+	for _, l := range dist.Lines() {
+		fmt.Printf("  %2.0f  %s %.4f\n", l.Score, strings.Repeat("█", int(l.Prob*200)), l.Prob)
+	}
+
+	// The "U-Topk analogue": each single outcome (sequence) has probability
+	// p^h (1-p)^(n-h); the most probable single sequence is all heads.
+	allHeads := math.Pow(p, n)
+	fmt.Printf("\nmost probable single sequence: all %d heads, probability %.3g — atypical!\n", n, allHeads)
+	fmt.Printf("Pr(score < %d) = %.7f\n", n, dist.CDF(float64(n-1)))
+
+	for _, c := range []int{1, 3} {
+		lines, cost, err := dist.Typical(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ss []string
+		for _, l := range lines {
+			ss = append(ss, fmt.Sprintf("%.0f (p=%.3f)", l.Score, l.Prob))
+		}
+		fmt.Printf("%d-typical score(s): %s — expected distance %.2f\n", c, strings.Join(ss, ", "), cost)
+	}
+	fmt.Printf("\nthe 1-typical score ≈ %v = 0.6·n, exactly the typical-set prediction\n", 12)
+}
+
+func binom(n, k int) float64 {
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}

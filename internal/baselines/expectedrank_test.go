@@ -1,0 +1,94 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probtopk/internal/fixtures"
+	"probtopk/internal/uncertain"
+	"probtopk/internal/worlds"
+)
+
+// oracleExpectedRanks computes expected ranks by world enumeration.
+func oracleExpectedRanks(p *uncertain.Prepared) []float64 {
+	out := make([]float64, p.Len())
+	worlds.Enumerate(p, func(w worlds.World) bool {
+		present := make(map[int]int, len(w.Present))
+		for r, pos := range w.Present {
+			present[pos] = r
+		}
+		for i := 0; i < p.Len(); i++ {
+			if r, ok := present[i]; ok {
+				out[i] += w.Prob * float64(r)
+			} else {
+				out[i] += w.Prob * float64(len(w.Present))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func TestExpectedRanksAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		tab := uncertain.NewTable()
+		n := 2 + r.Intn(9)
+		for i := 0; i < n; i++ {
+			g := ""
+			if r.Intn(3) == 0 {
+				g = string(rune('a' + r.Intn(2)))
+			}
+			tab.Add(uncertain.Tuple{ID: "t", Score: float64(r.Intn(8)),
+				Prob: 0.05 + 0.4*r.Float64(), Group: g})
+		}
+		if tab.Validate() != nil {
+			continue
+		}
+		p := prep(t, tab)
+		want := oracleExpectedRanks(p)
+		got := ExpectedRanks(p)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d pos %d: %v, oracle %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExpectedRanksSoldier(t *testing.T) {
+	p := prep(t, fixtures.Soldier())
+	ranks := ExpectedRanks(p)
+	// T7 (position 0, prob 0.3) ranks 0 when present; absent worlds average
+	// the world size of the others: mates 0.4+0.3, others (1-0.3)*(0.4+1+0.5+0.4).
+	want := 0.7 + 0.7*2.3
+	if math.Abs(ranks[0]-want) > 1e-12 {
+		t.Fatalf("E[rank T7] = %v, want %v", ranks[0], want)
+	}
+	top, err := ExpectedRankTopk(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T5 is certain (prob 1) with mid score: its expected rank is the
+	// expected count of higher-ranked tuples = 0.3+0.4+0.3+0.4+0.5 = 1.9.
+	if math.Abs(ranks[5]-1.9) > 1e-12 {
+		t.Fatalf("E[rank T5] = %v, want 1.9", ranks[5])
+	}
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if ranks[top[0]] > ranks[top[1]] {
+		t.Fatal("not sorted by expected rank")
+	}
+}
+
+func TestExpectedRankTopkErrors(t *testing.T) {
+	p := prep(t, fixtures.Soldier())
+	if _, err := ExpectedRankTopk(p, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := ExpectedRankTopk(p, 100); err == nil {
+		t.Fatal("k>n should error")
+	}
+}

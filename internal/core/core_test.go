@@ -1,0 +1,526 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probtopk/internal/fixtures"
+	"probtopk/internal/pmf"
+	"probtopk/internal/uncertain"
+	"probtopk/internal/worlds"
+)
+
+// exactParams run any algorithm in exact mode: full scan, no pruning, no
+// line coalescing, vectors tracked.
+func exactParams(k int) Params {
+	return Params{K: k, Threshold: 0, MaxLines: 0, TrackVectors: true}
+}
+
+func prep(t testing.TB, tab *uncertain.Table) *uncertain.Prepared {
+	t.Helper()
+	p, err := uncertain.Prepare(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+type algo struct {
+	name string
+	run  func(*uncertain.Prepared, Params) (*Result, error)
+}
+
+func algorithms() []algo {
+	return []algo{
+		{"MainDP", Distribution},
+		{"StateExpansion", StateExpansion},
+		{"KCombo", KCombo},
+	}
+}
+
+// sameDist asserts two distributions agree line by line within tolerance.
+func sameDist(t *testing.T, name string, got, want *pmf.Dist) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d lines, want %d\n got: %v\nwant: %v", name, got.Len(), want.Len(), got.Lines(), want.Lines())
+	}
+	for i := 0; i < want.Len(); i++ {
+		g, w := got.Line(i), want.Line(i)
+		if math.Abs(g.Score-w.Score) > 1e-9*math.Max(1, math.Abs(w.Score)) {
+			t.Fatalf("%s: line %d score %v, want %v", name, i, g.Score, w.Score)
+		}
+		if math.Abs(g.Prob-w.Prob) > 1e-9 {
+			t.Fatalf("%s: line %d (score %v) prob %v, want %v", name, i, w.Score, g.Prob, w.Prob)
+		}
+	}
+}
+
+// TestSoldierAllAlgorithms reproduces Figure 3 with every algorithm and
+// checks each in-text number of §1 and §2.2.
+func TestSoldierAllAlgorithms(t *testing.T) {
+	p := prep(t, fixtures.Soldier())
+	exact, err := worlds.ExactDistribution(p, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range algorithms() {
+		t.Run(a.name, func(t *testing.T) {
+			res, err := a.run(p, exactParams(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameDist(t, a.name, res.Dist, exact)
+			if math.Abs(res.Dist.Mean()-fixtures.SoldierExpectedScore) > 1e-9 {
+				t.Fatalf("mean = %v, want %v", res.Dist.Mean(), fixtures.SoldierExpectedScore)
+			}
+			// U-Top2 = <T2, T6> with probability 0.2, score 118.
+			l, ok := res.Dist.MaxVecProbLine()
+			if !ok {
+				t.Fatal("no max-vec-prob line")
+			}
+			ids := p.IDs(l.Vec.Slice())
+			if len(ids) != 2 || ids[0] != "T2" || ids[1] != "T6" {
+				t.Fatalf("U-Top2 vector = %v, want [T2 T6]", ids)
+			}
+			if math.Abs(l.VecProb-fixtures.SoldierUTopkProb) > 1e-12 {
+				t.Fatalf("U-Top2 prob = %v, want %v", l.VecProb, fixtures.SoldierUTopkProb)
+			}
+			if l.Score != fixtures.SoldierUTopkScore {
+				t.Fatalf("U-Top2 score = %v, want %v", l.Score, fixtures.SoldierUTopkScore)
+			}
+			// The (T3, T2) vector at score 170 has probability 0.16.
+			for _, line := range res.Dist.Lines() {
+				if line.Score == 170 && math.Abs(line.VecProb-fixtures.SoldierTypical1Prob) > 1e-12 {
+					t.Fatalf("Pr(T3,T2) = %v, want %v", line.VecProb, fixtures.SoldierTypical1Prob)
+				}
+			}
+		})
+	}
+}
+
+// TestExample4Ties verifies the tie semantics of §3.4 on the paper's
+// Example 4 numbers: for the table {T5 (7, 0.5), T6 (7, 0.4), T7 (7, 0.2)}
+// and k = 2, the total mass is Pr(≥ 2 of the tie group appear) = 0.3, and
+// the recorded vector is (T5, T6) with path probability 0.5·0.4 = 0.2.
+func TestExample4Ties(t *testing.T) {
+	tab := uncertain.NewTable()
+	tab.AddIndependent("T5", 7, 0.5)
+	tab.AddIndependent("T6", 7, 0.4)
+	tab.AddIndependent("T7", 7, 0.2)
+	p := prep(t, tab)
+	for _, a := range algorithms() {
+		t.Run(a.name, func(t *testing.T) {
+			res, err := a.run(p, exactParams(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Dist.Len() != 1 {
+				t.Fatalf("lines = %d, want 1", res.Dist.Len())
+			}
+			l := res.Dist.Line(0)
+			if l.Score != 14 {
+				t.Fatalf("score = %v, want 14", l.Score)
+			}
+			if math.Abs(l.Prob-fixtures.TieExample4AtLeast2of3) > 1e-12 {
+				t.Fatalf("Pr = %v, want %v", l.Prob, fixtures.TieExample4AtLeast2of3)
+			}
+			ids := p.IDs(l.Vec.Slice())
+			if ids[0] != "T5" || ids[1] != "T6" {
+				t.Fatalf("vector = %v, want [T5 T6]", ids)
+			}
+			if math.Abs(l.VecProb-0.2) > 1e-12 {
+				t.Fatalf("vector prob = %v, want 0.2", l.VecProb)
+			}
+		})
+	}
+}
+
+// TestExample4FullTable runs the complete 7-tuple Example 4 table at k = 5
+// against the oracle.
+func TestExample4FullTable(t *testing.T) {
+	p := prep(t, fixtures.TieExample4())
+	exact, err := worlds.ExactDistribution(p, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range algorithms() {
+		res, err := a.run(p, exactParams(5))
+		if err != nil {
+			t.Fatalf("%s: %v", a.name, err)
+		}
+		sameDist(t, a.name, res.Dist, exact)
+	}
+}
+
+// randomTable builds a small random uncertain table with optional ME groups
+// and score ties, suitable for exhaustive world enumeration.
+func randomTable(r *rand.Rand, maxN int, tieProb, groupProb float64) *uncertain.Table {
+	n := 1 + r.Intn(maxN)
+	tab := uncertain.NewTable()
+	scorePool := []float64{1, 2, 3, 5, 8, 13, 21, 34}
+	for i := 0; i < n; i++ {
+		var score float64
+		if r.Float64() < tieProb {
+			score = scorePool[r.Intn(4)] // few distinct values: many ties
+		} else {
+			score = scorePool[r.Intn(len(scorePool))] + r.Float64()
+		}
+		group := ""
+		if r.Float64() < groupProb {
+			group = string(rune('a' + r.Intn(3)))
+		}
+		prob := 0.05 + 0.28*r.Float64() // keeps group sums ≤ 1 for ≤ 3 members
+		tab.Add(uncertain.Tuple{ID: "t", Score: score, Prob: prob, Group: group})
+	}
+	return tab
+}
+
+// TestRandomizedCrossCheck is the central correctness test: on hundreds of
+// random tables spanning independent/ME/tied regimes, all three algorithms
+// in exact mode must agree with the possible-worlds oracle line by line, and
+// the recorded vector per line must achieve the maximum exact probability
+// among vectors with that score.
+func TestRandomizedCrossCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(20090629)) // SIGMOD'09 opening day
+	regimes := []struct {
+		name               string
+		tieProb, groupProb float64
+	}{
+		{"independent", 0, 0},
+		{"groups", 0, 0.6},
+		{"ties", 0.7, 0},
+		{"ties+groups", 0.6, 0.6},
+	}
+	for _, reg := range regimes {
+		t.Run(reg.name, func(t *testing.T) {
+			for trial := 0; trial < 60; trial++ {
+				tab := randomTable(r, 11, reg.tieProb, reg.groupProb)
+				if tab.Validate() != nil {
+					continue
+				}
+				p := prep(t, tab)
+				k := 1 + r.Intn(4)
+				exact, err := worlds.ExactDistribution(p, k, 500_000)
+				if err != nil {
+					continue
+				}
+				vecProbs, err := worlds.ExactVectorProbs(p, k, 500_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, a := range algorithms() {
+					res, err := a.run(p, exactParams(k))
+					if err != nil {
+						t.Fatalf("trial %d %s: %v", trial, a.name, err)
+					}
+					sameDist(t, a.name, res.Dist, exact)
+					checkVectors(t, a.name, p, k, res.Dist, vecProbs)
+				}
+			}
+		})
+	}
+}
+
+// checkVectors asserts that each line's recorded vector is a real top-k
+// vector whose exact probability matches the maximum among vectors with the
+// line's score.
+func checkVectors(t *testing.T, name string, p *uncertain.Prepared, k int, d *pmf.Dist, vecProbs map[string]float64) {
+	t.Helper()
+	for _, l := range d.Lines() {
+		vec := l.Vec.Slice()
+		if len(vec) != k {
+			t.Fatalf("%s: recorded vector %v has %d tuples, want %d", name, vec, len(vec), k)
+		}
+		exactProb, ok := vecProbs[worlds.VecKey(vec)]
+		if !ok {
+			t.Fatalf("%s: recorded vector %v is never a top-%d vector", name, p.IDs(vec), k)
+		}
+		if math.Abs(p.TotalScore(vec)-l.Score) > 1e-9 {
+			t.Fatalf("%s: vector score %v != line score %v", name, p.TotalScore(vec), l.Score)
+		}
+		best := 0.0
+		for key, pr := range vecProbs {
+			if vecScore(p, key) == l.Score || math.Abs(vecScore(p, key)-l.Score) <= 1e-9 {
+				if pr > best {
+					best = pr
+				}
+			}
+		}
+		if math.Abs(exactProb-best) > 1e-9 {
+			t.Fatalf("%s: line %v recorded vector %v has exact prob %v, best is %v",
+				name, l.Score, p.IDs(vec), exactProb, best)
+		}
+		if l.VecProb > exactProb+1e-9 {
+			t.Fatalf("%s: recorded VecProb %v exceeds exact prob %v", name, l.VecProb, exactProb)
+		}
+	}
+}
+
+func vecScore(p *uncertain.Prepared, key string) float64 {
+	var s float64
+	start := 0
+	for i := 0; i <= len(key); i++ {
+		if i == len(key) || key[i] == ',' {
+			if i > start {
+				pos := 0
+				for _, c := range key[start:i] {
+					pos = pos*10 + int(c-'0')
+				}
+				s += p.Tuples[pos].Score
+			}
+			start = i + 1
+		}
+	}
+	return s
+}
+
+// TestBound checks the Theorem-2 bound formula.
+func TestBound(t *testing.T) {
+	if !math.IsInf(Bound(5, 0), 1) {
+		t.Fatal("Bound with ptau=0 should be +Inf")
+	}
+	l := math.Log(1 / 0.001)
+	want := 10 + 1 + l + math.Sqrt(l*l+2*10*l)
+	if got := Bound(10, 0.001); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Bound = %v, want %v", got, want)
+	}
+	// Monotone in k.
+	if Bound(20, 0.001) <= Bound(10, 0.001) {
+		t.Fatal("Bound should grow with k")
+	}
+	// Monotone in 1/ptau.
+	if Bound(10, 0.0001) <= Bound(10, 0.001) {
+		t.Fatal("Bound should grow as ptau shrinks")
+	}
+}
+
+func TestScanDepth(t *testing.T) {
+	// Build a long table of independent tuples with probability 0.5.
+	tab := uncertain.NewTable()
+	for i := 0; i < 400; i++ {
+		tab.AddIndependent("t", float64(1000-i), 0.5)
+	}
+	p := prep(t, tab)
+	if d := ScanDepth(p, 5, 0); d != 400 {
+		t.Fatalf("full scan depth = %d", d)
+	}
+	d5 := ScanDepth(p, 5, 0.001)
+	if d5 >= 400 || d5 < 5 {
+		t.Fatalf("depth(k=5) = %d", d5)
+	}
+	// μ(i) ≈ 0.5·i, so depth ≈ 2·Bound.
+	want := int(2 * Bound(5, 0.001))
+	if d5 < want-2 || d5 > want+2 {
+		t.Fatalf("depth(k=5) = %d, want ≈ %d", d5, want)
+	}
+	// Roughly linear growth in k (Figure 9 shape).
+	d10, d20, d40 := ScanDepth(p, 10, 0.001), ScanDepth(p, 20, 0.001), ScanDepth(p, 40, 0.001)
+	if !(d5 < d10 && d10 < d20 && d20 < d40) {
+		t.Fatalf("depths not increasing: %d %d %d %d", d5, d10, d20, d40)
+	}
+	ratio := float64(d40-d20) / float64(d20-d10)
+	if ratio < 1.2 || ratio > 3.5 {
+		t.Fatalf("depth growth not roughly linear: %d %d %d (ratio %v)", d10, d20, d40, ratio)
+	}
+}
+
+func TestScanDepthTieGroupExtension(t *testing.T) {
+	// High-probability head, then a large tie group straddling the cut.
+	tab := uncertain.NewTable()
+	for i := 0; i < 40; i++ {
+		tab.AddIndependent("head", float64(100-i), 1.0)
+	}
+	for i := 0; i < 20; i++ {
+		tab.AddIndependent("tie", 10, 0.5)
+	}
+	p := prep(t, tab)
+	d := ScanDepth(p, 2, 0.01)
+	if d <= 40 {
+		t.Skipf("cut fell before the tie group (depth %d); extension not exercised", d)
+	}
+	if d != 60 {
+		t.Fatalf("depth = %d, want 60 (cut extended to the end of the tie group)", d)
+	}
+}
+
+// TestScanDepthSafety: with a small positive threshold the truncated
+// distribution stays close to the exact one.
+func TestScanDepthSafety(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		tab := randomTable(r, 12, 0.3, 0.4)
+		if tab.Validate() != nil {
+			continue
+		}
+		p := prep(t, tab)
+		k := 1 + r.Intn(3)
+		exact, err := worlds.ExactDistribution(p, k, 500_000)
+		if err != nil || exact.IsEmpty() {
+			continue
+		}
+		res, err := Distribution(p, Params{K: k, Threshold: 1e-6, MaxLines: 0, TrackVectors: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Dist.TotalMass()-exact.TotalMass()) > 1e-3 {
+			t.Fatalf("trial %d: mass %v vs exact %v", trial, res.Dist.TotalMass(), exact.TotalMass())
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	p := prep(t, fixtures.Soldier())
+	cases := []Params{
+		{K: 0},
+		{K: 2, Threshold: -0.1},
+		{K: 2, Threshold: 1},
+		{K: 2, MaxLines: -1},
+	}
+	for _, a := range algorithms() {
+		for i, bad := range cases {
+			if _, err := a.run(p, bad); err == nil {
+				t.Fatalf("%s case %d: expected error", a.name, i)
+			}
+		}
+		if _, err := a.run(nil, Params{K: 1}); err == nil {
+			t.Fatalf("%s: nil table should error", a.name)
+		}
+	}
+}
+
+func TestKGreaterThanN(t *testing.T) {
+	p := prep(t, fixtures.Soldier())
+	for _, a := range algorithms() {
+		res, err := a.run(p, exactParams(20))
+		if err != nil {
+			t.Fatalf("%s: %v", a.name, err)
+		}
+		if !res.Dist.IsEmpty() {
+			t.Fatalf("%s: k > n should give an empty distribution", a.name)
+		}
+	}
+}
+
+func TestKEqualsOne(t *testing.T) {
+	p := prep(t, fixtures.Soldier())
+	exact, err := worlds.ExactDistribution(p, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range algorithms() {
+		res, err := a.run(p, exactParams(1))
+		if err != nil {
+			t.Fatalf("%s: %v", a.name, err)
+		}
+		sameDist(t, a.name, res.Dist, exact)
+	}
+	// Top-1 score is 125 (T7 present) with probability 0.3.
+	if pr := exact.TailProb(124); math.Abs(pr-0.3) > 1e-12 {
+		t.Fatalf("Pr(top-1 = 125) = %v", pr)
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	tab := uncertain.NewTable()
+	for i := 0; i < 24; i++ {
+		tab.AddIndependent("t", float64(100-i), 0.5)
+	}
+	p := prep(t, tab)
+	params := exactParams(6)
+	params.MaxStates = 50
+	if _, err := StateExpansion(p, params); err != ErrBudgetExceeded {
+		t.Fatalf("StateExpansion err = %v, want ErrBudgetExceeded", err)
+	}
+	if _, err := KCombo(p, params); err != ErrBudgetExceeded {
+		t.Fatalf("KCombo err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestCoalescedDPAccuracy: with a line cap the DP result stays close to the
+// exact distribution in Wasserstein distance and preserves total mass.
+func TestCoalescedDPAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tab := uncertain.NewTable()
+	for i := 0; i < 40; i++ {
+		tab.AddIndependent("t", 50+50*r.Float64(), 0.1+0.8*r.Float64())
+	}
+	p := prep(t, tab)
+	exactRes, err := Distribution(p, exactParams(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxLines := range []int{25, 50, 100} {
+		res, err := Distribution(p, Params{K: 5, MaxLines: maxLines, TrackVectors: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Dist.Len() > maxLines {
+			t.Fatalf("maxLines=%d: %d lines", maxLines, res.Dist.Len())
+		}
+		if math.Abs(res.Dist.TotalMass()-exactRes.Dist.TotalMass()) > 1e-9 {
+			t.Fatalf("maxLines=%d: mass %v vs %v", maxLines, res.Dist.TotalMass(), exactRes.Dist.TotalMass())
+		}
+		w := exactRes.Dist.Wasserstein1(res.Dist)
+		if delta := exactRes.Dist.Span() / float64(maxLines); w > 8*delta {
+			t.Fatalf("maxLines=%d: W1 = %v > 8δ = %v", maxLines, w, 8*delta)
+		}
+		// U-Topk must survive coalescing (merges keep the better vector).
+		le, _ := exactRes.Dist.MaxVecProbLine()
+		lc, _ := res.Dist.MaxVecProbLine()
+		if math.Abs(le.VecProb-lc.VecProb) > 1e-9 {
+			t.Fatalf("maxLines=%d: U-Topk prob %v vs exact %v", maxLines, lc.VecProb, le.VecProb)
+		}
+	}
+}
+
+// TestUnitsCounter checks the §3.3.3 decomposition count on the soldier
+// table: lead region {T7,T3}, non-leads T4, T2, T6, lead region {T5,T1}.
+func TestUnitsCounter(t *testing.T) {
+	p := prep(t, fixtures.Soldier())
+	res, err := Distribution(p, exactParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Units != 5 {
+		t.Fatalf("units = %d, want 5", res.Units)
+	}
+	if res.ScanDepth != 7 {
+		t.Fatalf("scan depth = %d, want 7", res.ScanDepth)
+	}
+	if res.Cells <= 0 {
+		t.Fatal("cells counter not incremented")
+	}
+}
+
+// TestLargerCrossCheck exercises a mid-size table (beyond toy size but still
+// enumerable) with mixed groups and ties at a larger k.
+func TestLargerCrossCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	tab := uncertain.NewTable()
+	for i := 0; i < 18; i++ {
+		group := ""
+		if i%3 == 0 {
+			group = string(rune('a' + i/6))
+		}
+		score := float64(5 * (1 + r.Intn(8)))
+		tab.Add(uncertain.Tuple{ID: "t", Score: score, Prob: 0.05 + 0.25*r.Float64(), Group: group})
+	}
+	p := prep(t, tab)
+	for _, k := range []int{3, 6} {
+		exact, err := worlds.ExactDistribution(p, k, 5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Distribution(p, exactParams(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameDist(t, "MainDP", res.Dist, exact)
+		se, err := StateExpansion(p, exactParams(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameDist(t, "StateExpansion", se.Dist, exact)
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"probtopk/internal/pmf"
+	"probtopk/internal/uncertain"
+)
+
+// row is one row of a unit's dynamic-programming table: either a plain
+// uncertain tuple (one take branch) or a compressed rule tuple (§3.3.1, one
+// take branch per constituent tuple). exit marks rows at which a top-k
+// vector may end (the enabled exit points of §3.3.2/§3.3.3).
+type row struct {
+	skipFactor float64
+	branches   []pmf.TakeBranch
+	exit       bool
+}
+
+// skipTrue returns the boundary-aware skip factor for vector-probability
+// tracking: the probability that this row contributes no tuple ranked
+// strictly above the given boundary score. Members tied with the boundary
+// are free to appear — the recorded vector stays a top-k vector regardless
+// (Theorem 1) — which is what makes the tracked VecProb the exact vector
+// probability even when ties and ME groups interact.
+func (r row) skipTrue(bound float64) float64 {
+	s := 1.0
+	for _, b := range r.branches {
+		if b.Shift > bound {
+			s -= b.Factor
+		}
+	}
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Distribution computes the score distribution of top-k vectors with the
+// paper's main dynamic-programming algorithm (§3.2–§3.4).
+//
+// The table is scanned to the Theorem-2 depth n, decomposed into units —
+// maximal lead-tuple regions and individual non-lead tuples — and one DP is
+// run per unit, conditioning on the unit containing the vector's k-th (last)
+// tuple. ME groups above the unit are compressed into rule tuples; exit
+// points are enabled only at the unit's rows. The per-unit distributions are
+// merged and coalesced to Params.MaxLines.
+func Distribution(p *uncertain.Prepared, params Params) (*Result, error) {
+	if err := params.validate(p); err != nil {
+		return nil, err
+	}
+	n := ScanDepth(p, params.K, params.Threshold)
+	res := &Result{ScanDepth: n}
+	units := p.Units(n)
+	res.Units = len(units)
+	var perUnit []*pmf.Dist
+	if params.Parallelism > 1 && len(units) > 1 {
+		perUnit = runUnitsParallel(p, units, params, &res.Cells)
+	} else {
+		perUnit = make([]*pmf.Dist, len(units))
+		var grid pmf.GridCombiner
+		for i, u := range units {
+			perUnit[i] = runUnitDP(buildUnitRows(p, u), params, &grid, &res.Cells)
+		}
+	}
+	dists := perUnit[:0]
+	for _, d := range perUnit {
+		if !d.IsEmpty() {
+			dists = append(dists, d)
+		}
+	}
+	res.Dist = pmf.MergeAll(dists)
+	var scratch pmf.Coalescer
+	scratch.Coalesce(res.Dist, params.MaxLines, params.CoalesceMode)
+	if params.TrackVectors {
+		res.Dist.NormalizeVectors()
+	}
+	return res, nil
+}
+
+// runUnitsParallel fans the independent unit DPs out over a bounded worker
+// pool. Results are collected by unit index, so the merged distribution is
+// identical to the serial one; cell counts are accumulated atomically.
+func runUnitsParallel(p *uncertain.Prepared, units []uncertain.Unit, params Params, cells *int) []*pmf.Dist {
+	workers := params.Parallelism
+	if workers > len(units) {
+		workers = len(units)
+	}
+	perUnit := make([]*pmf.Dist, len(units))
+	var counted int64
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var grid pmf.GridCombiner
+			local := 0
+			for i := range next {
+				perUnit[i] = runUnitDP(buildUnitRows(p, units[i]), params, &grid, &local)
+			}
+			atomic.AddInt64(&counted, int64(local))
+		}()
+	}
+	for i := range units {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	*cells += int(counted)
+	return perUnit
+}
+
+// buildUnitRows constructs the DP rows for one unit.
+//
+// For a lead-tuple region [a, b): the rows are the compressed groups of
+// positions [0, a) followed by the region's tuples, each an enabled exit
+// point. Region tuples are lead tuples, so every ME constraint that could
+// affect a vector ending inside the region is confined to positions < a.
+//
+// For a non-lead tuple q: the rows are the compressed groups of positions
+// [0, q) with q's own group removed (its higher-ranked mates must simply not
+// appear, which conditioning on q's presence already implies), followed by
+// the single row q, the only enabled exit point.
+func buildUnitRows(p *uncertain.Prepared, u uncertain.Unit) []row {
+	var rows []row
+	var skipGroup = -1
+	if u.Kind == uncertain.UnitNonLead {
+		skipGroup = p.Tuples[u.Start].Group
+	}
+	seen := make(map[int]bool)
+	for pos := 0; pos < u.Start; pos++ {
+		g := p.Tuples[pos].Group
+		if g == skipGroup || seen[g] {
+			continue
+		}
+		seen[g] = true
+		var r row
+		mass := 0.0
+		for _, m := range p.GroupMembers(g) {
+			if m >= u.Start {
+				break
+			}
+			tp := p.Tuples[m]
+			r.branches = append(r.branches, pmf.TakeBranch{Shift: tp.Score, Factor: tp.Prob, Tuple: m})
+			mass += tp.Prob
+		}
+		if r.skipFactor = 1 - mass; r.skipFactor < 0 {
+			r.skipFactor = 0
+		}
+		rows = append(rows, r)
+	}
+	for pos := u.Start; pos < u.End; pos++ {
+		tp := p.Tuples[pos]
+		rows = append(rows, row{
+			skipFactor: 1 - tp.Prob,
+			branches:   []pmf.TakeBranch{{Shift: tp.Score, Factor: tp.Prob, Tuple: pos}},
+			exit:       true,
+		})
+	}
+	return rows
+}
+
+// runUnitDP executes one bottom-up dynamic program over rows.
+//
+// After processing rows[i..], dists[j] is the score distribution of choosing
+// j tuples from those rows such that the deepest chosen row is an exit row;
+// the probability of a line is the product of the chosen tuples'
+// probabilities and the skip factors of all unchosen rows above the deepest
+// chosen one — exactly the configuration sub-event semantics of Theorem 3.
+// The answer is dists[k] after the top row.
+func runUnitDP(rows []row, params Params, grid *pmf.GridCombiner, cells *int) *pmf.Dist {
+	k := params.K
+	dists := make([]*pmf.Dist, k+1)
+	next := make([]*pmf.Dist, k+1)
+	exitPoint := pmf.PointVec(0, 1, nil, 1)
+	// pool recycles the previous generation's distributions: after a row is
+	// processed, the old column entries are unreachable and their line
+	// storage can back the next row's outputs.
+	var pool []*pmf.Dist
+	fromPool := func() *pmf.Dist {
+		if n := len(pool); n > 0 {
+			d := pool[n-1]
+			pool = pool[:n-1]
+			return d
+		}
+		return nil
+	}
+	for i := len(rows) - 1; i >= 0; i-- {
+		r := rows[i]
+		var adjust func(float64) float64
+		if params.TrackVectors {
+			adjust = r.skipTrue
+		}
+		for j := k; j >= 1; j-- {
+			var take *pmf.Dist
+			if j == 1 {
+				if r.exit {
+					take = exitPoint
+				}
+			} else {
+				take = dists[j-1]
+			}
+			d := grid.Combine(fromPool(), dists[j], r.skipFactor, take, r.branches,
+				params.MaxLines, params.CoalesceMode, params.TrackVectors, adjust)
+			next[j] = d
+			*cells++
+		}
+		for j := 1; j <= k; j++ {
+			if dists[j] != nil {
+				pool = append(pool, dists[j])
+			}
+			dists[j], next[j] = next[j], nil
+		}
+	}
+	if dists[k] == nil {
+		return pmf.New()
+	}
+	return dists[k]
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"probtopk/internal/cartel"
+	"probtopk/internal/uncertain"
+)
+
+// TestParallelMatchesSerial: the worker-pool execution must produce a
+// line-identical distribution and the same counters as serial execution.
+func TestParallelMatchesSerial(t *testing.T) {
+	area := cartel.GenerateArea(cartel.Config{Segments: 120, Seed: 11})
+	tab, err := area.CongestionTable(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := uncertain.Prepare(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{5, 20} {
+		params := Params{K: k, Threshold: 0.001, MaxLines: 100, TrackVectors: true}
+		serial, err := Distribution(p, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 16} {
+			params.Parallelism = workers
+			par, err := Distribution(p, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Cells != serial.Cells || par.Units != serial.Units || par.ScanDepth != serial.ScanDepth {
+				t.Fatalf("k=%d workers=%d: counters differ: %+v vs %+v", k, workers, par, serial)
+			}
+			sameDist(t, "parallel", par.Dist, serial.Dist)
+			ls, _ := serial.Dist.MaxVecProbLine()
+			lp, _ := par.Dist.MaxVecProbLine()
+			if ls.VecProb != lp.VecProb || ls.Score != lp.Score {
+				t.Fatalf("k=%d workers=%d: U-Topk differs", k, workers)
+			}
+		}
+	}
+}
+
+// TestParallelSmallTables: degenerate worker counts and tiny tables.
+func TestParallelSmallTables(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		tab := randomTable(r, 9, 0.5, 0.5)
+		if tab.Validate() != nil {
+			continue
+		}
+		p, err := uncertain.Prepare(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := exactParams(1 + r.Intn(3))
+		serial, err := Distribution(p, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params.Parallelism = 8
+		par, err := Distribution(p, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameDist(t, "parallel-small", par.Dist, serial.Dist)
+	}
+}

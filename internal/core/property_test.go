@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"probtopk/internal/pmf"
+	"probtopk/internal/uncertain"
+)
+
+// TestDistributionInvariants: on arbitrary random tables, the main DP's
+// output is sorted with positive probabilities, total mass is at most 1 and
+// equals Pr(≥ k tuples co-exist), and recorded vectors are ME-consistent
+// with exactly k members in rank order.
+func TestDistributionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tab := randomTable(r, 14, 0.4, 0.5)
+		if tab.Validate() != nil {
+			return true
+		}
+		p, err := uncertain.Prepare(tab)
+		if err != nil {
+			return false
+		}
+		k := 1 + r.Intn(5)
+		res, err := Distribution(p, exactParams(k))
+		if err != nil {
+			return false
+		}
+		lines := res.Dist.Lines()
+		if !sort.SliceIsSorted(lines, func(i, j int) bool { return lines[i].Score < lines[j].Score }) {
+			return false
+		}
+		mass := res.Dist.TotalMass()
+		if mass < -1e-12 || mass > 1+1e-9 {
+			return false
+		}
+		for _, l := range lines {
+			if l.Prob <= 0 || l.VecProb <= 0 {
+				return false
+			}
+			if l.VecProb > l.Prob+1e-9 && l.Prob > 0 {
+				// A single vector's probability can exceed its own score
+				// line's mass only via tie-sharing across worlds; it can
+				// never exceed 1.
+				if l.VecProb > 1+1e-12 {
+					return false
+				}
+			}
+			vec := l.Vec.Slice()
+			if len(vec) != k {
+				return false
+			}
+			groups := map[int]bool{}
+			for idx, pos := range vec {
+				if idx > 0 && pos <= vec[idx-1] {
+					return false // not in strict rank order
+				}
+				g := p.Tuples[pos].Group
+				if groups[g] {
+					return false // violates an ME rule
+				}
+				groups[g] = true
+			}
+			// The recorded vector's exact probability matches the closed
+			// form used for tracking.
+			if math.Abs(VectorProb(p, vec)-l.VecProb) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanDepthProperties: depth is monotone non-decreasing in k, monotone
+// non-increasing in pτ, and never exceeds the table size.
+func TestScanDepthProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tab := randomTable(r, 60, 0.3, 0.4)
+		if tab.Validate() != nil {
+			return true
+		}
+		p, err := uncertain.Prepare(tab)
+		if err != nil {
+			return false
+		}
+		prev := 0
+		for k := 1; k <= 20; k += 3 {
+			d := ScanDepth(p, k, 0.01)
+			if d < prev || d > p.Len() {
+				return false
+			}
+			prev = d
+		}
+		loose := ScanDepth(p, 5, 0.1)
+		tight := ScanDepth(p, 5, 0.0001)
+		return loose <= tight && tight <= p.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThresholdMonotonicity: raising pτ can only drop mass, never add it,
+// and the surviving distribution stays within the exact support range.
+func TestThresholdMonotonicity(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 40; trial++ {
+		tab := randomTable(r, 12, 0.3, 0.4)
+		if tab.Validate() != nil {
+			continue
+		}
+		p, err := uncertain.Prepare(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + r.Intn(3)
+		exact, err := Distribution(p, exactParams(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevMass := exact.Dist.TotalMass()
+		for _, ptau := range []float64{1e-6, 1e-3, 1e-1} {
+			res, err := Distribution(p, Params{K: k, Threshold: ptau, TrackVectors: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := res.Dist.TotalMass()
+			if m > prevMass+1e-9 {
+				t.Fatalf("trial %d: mass grew from %v to %v at ptau=%v", trial, prevMass, m, ptau)
+			}
+			prevMass = m
+			if res.Dist.IsEmpty() {
+				continue
+			}
+			if res.Dist.Min() < exact.Dist.Min()-1e-9 || res.Dist.Max() > exact.Dist.Max()+1e-9 {
+				t.Fatalf("trial %d: truncated support [%v, %v] escapes exact [%v, %v]",
+					trial, res.Dist.Min(), res.Dist.Max(), exact.Dist.Min(), exact.Dist.Max())
+			}
+		}
+	}
+}
+
+// TestWeightedCoalescePreservesMean: with the weighted-average mode the DP's
+// coalesced distribution keeps the exact mean; the paper's plain average may
+// drift slightly.
+func TestWeightedCoalescePreservesMean(t *testing.T) {
+	r := rand.New(rand.NewSource(777))
+	tab := uncertain.NewTable()
+	for i := 0; i < 30; i++ {
+		tab.AddIndependent("t", 100*r.Float64(), 0.2+0.6*r.Float64())
+	}
+	p, err := uncertain.Prepare(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Distribution(p, exactParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Distribution(p, Params{K: 4, MaxLines: 20, TrackVectors: true,
+		CoalesceMode: pmf.CoalesceWeightedAverage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted averaging preserves the mean through shifts and scales.
+	if diff := math.Abs(weighted.Dist.Mean() - exact.Dist.Mean()); diff > 1e-6*exact.Dist.Mean() {
+		t.Fatalf("weighted coalescing moved the mean by %v", diff)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"probtopk/internal/pmf"
+	"probtopk/internal/uncertain"
+)
+
+// groupSet is a persistent (structurally shared) set of ME group ids,
+// recording which groups have contributed a tuple to a state's vector. A
+// state can hold at most k−1 entries before it exits, so linear lookups are
+// acceptable for the naive baseline.
+type groupSet struct {
+	group int
+	next  *groupSet
+}
+
+func (s *groupSet) contains(g int) bool {
+	for ; s != nil; s = s.next {
+		if s.group == g {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *groupSet) add(g int) *groupSet { return &groupSet{group: g, next: s} }
+
+// seState is one state of the StateExpansion algorithm: a partial vector of
+// taken tuples over the processed prefix.
+type seState struct {
+	score float64
+	prob  float64
+	count int
+	vec   *pmf.Vector // taken positions, most recent at the head
+	taken *groupSet   // multi-member groups with a taken tuple
+}
+
+// StateExpansion implements Figure 4 of the paper: breadth-first expansion of
+// take/skip states over the tuples in rank order, dropping states whose
+// probability is at or below the threshold and emitting a distribution line
+// whenever a state reaches k tuples.
+//
+// Mutual exclusion is handled exactly by conditional factors: skipping tuple
+// t of group g multiplies by Pr(t absent | g's earlier members absent) =
+// (1 − C − p_t)/(1 − C), and taking t multiplies by p_t/(1 − C), where C is
+// g's probability mass before t. Along any complete path these factors
+// telescope to the configuration probabilities of Lemma 1, so with
+// Threshold 0 the result is exact.
+func StateExpansion(p *uncertain.Prepared, params Params) (*Result, error) {
+	if err := params.validate(p); err != nil {
+		return nil, err
+	}
+	n := ScanDepth(p, params.K, params.Threshold)
+	res := &Result{ScanDepth: n}
+	budget := params.maxStates()
+	var lines []pmf.Line
+	emit := func(s seState) {
+		l := pmf.Line{Score: s.score, Prob: s.prob}
+		if params.TrackVectors {
+			// Reverse the take-order list into rank order. The head of
+			// s.vec is the most recent take, i.e. the vector's boundary.
+			taken := s.vec.Slice()
+			var v *pmf.Vector
+			for _, pos := range taken {
+				v = v.Prepend(pos)
+			}
+			l.Vec = v
+			l.VecProb = VectorProb(p, taken)
+			l.VecBound = p.Tuples[taken[0]].Score
+		}
+		lines = append(lines, l)
+	}
+	states := []seState{{prob: 1}}
+	for i := 0; i < n && len(states) > 0; i++ {
+		tp := p.Tuples[i]
+		g := tp.Group
+		multi := p.GroupSize(i) > 1
+		var consumed float64
+		if multi {
+			consumed = p.PrefixMass(g, i)
+		}
+		next := states[:0:0]
+		for _, s := range states {
+			res.Cells++
+			if res.Cells > budget {
+				return nil, ErrBudgetExceeded
+			}
+			if multi && s.taken.contains(g) {
+				// A mate was taken: t cannot appear; carry the state over
+				// with factor 1.
+				next = append(next, s)
+				continue
+			}
+			denom := 1 - consumed
+			if denom <= 0 {
+				// The group is exhausted above this point on this path;
+				// unreachable for valid tables, but guard against FP noise.
+				next = append(next, s)
+				continue
+			}
+			takeProb := s.prob * tp.Prob / denom
+			skipProb := s.prob * (denom - tp.Prob) / denom
+			take := seState{
+				score: s.score + tp.Score,
+				prob:  takeProb,
+				count: s.count + 1,
+				taken: s.taken,
+			}
+			if params.TrackVectors {
+				take.vec = s.vec.Prepend(i)
+			}
+			if multi {
+				take.taken = s.taken.add(g)
+			}
+			if take.count == params.K {
+				emit(take)
+			} else if take.prob > params.Threshold {
+				next = append(next, take)
+			}
+			if skipProb > params.Threshold {
+				s.prob = skipProb
+				next = append(next, s)
+			}
+		}
+		states = next
+	}
+	res.Dist = pmf.FromLines(lines)
+	res.Dist.Coalesce(params.MaxLines, params.CoalesceMode)
+	return res, nil
+}

@@ -1,0 +1,83 @@
+// Package fixtures provides the paper's worked examples as shared test
+// fixtures, together with every exact number the paper states about them, so
+// multiple packages can assert against the same ground truth.
+package fixtures
+
+import "probtopk/internal/uncertain"
+
+// Soldier returns the table of the paper's Example 1 (Figure 1): sensor
+// estimates of soldiers' need for medical attention. ME rules: T2⊕T4⊕T7
+// (soldier 2) and T3⊕T6 (soldier 3); T1 and T5 are independent.
+func Soldier() *uncertain.Table {
+	t := uncertain.NewTable()
+	t.AddIndependent("T1", 49, 0.4)
+	t.AddExclusive("T2", "soldier2", 60, 0.4)
+	t.AddExclusive("T3", "soldier3", 110, 0.4)
+	t.AddExclusive("T4", "soldier2", 80, 0.3)
+	t.AddIndependent("T5", 56, 1.0)
+	t.AddExclusive("T6", "soldier3", 58, 0.5)
+	t.AddExclusive("T7", "soldier2", 125, 0.3)
+	return t
+}
+
+// Exact values the paper states for Example 1 with k = 2 (Figures 2 and 3
+// and the surrounding text).
+const (
+	// SoldierWorlds is the number of possible worlds (Figure 2).
+	SoldierWorlds = 18
+	// SoldierUTopkProb is the probability of the U-Top2 vector <T2, T6>.
+	SoldierUTopkProb = 0.2
+	// SoldierUTopkScore is the total score of <T2, T6>.
+	SoldierUTopkScore = 118
+	// SoldierExpectedScore is the expected top-2 total score.
+	SoldierExpectedScore = 164.1
+	// SoldierTailAboveUTopk is Pr(top-2 total score > 118).
+	SoldierTailAboveUTopk = 0.76
+	// SoldierProb235 is Pr(top-2 total score = 235), vector <T7, T3>.
+	SoldierProb235 = 0.12
+	// SoldierTypical1Score is the 1-Typical-Top2 score, vector (T3, T2).
+	SoldierTypical1Score = 170
+	// SoldierTypical1Prob is the probability of the (T3, T2) vector.
+	SoldierTypical1Prob = 0.16
+	// SoldierTypical3Dist is the expected distance achieved by the
+	// 3-Typical-Top2 scores {118, 183, 235}.
+	SoldierTypical3Dist = 6.6
+)
+
+// SoldierTypical3Scores lists the 3-Typical-Top2 scores from the paper.
+func SoldierTypical3Scores() []float64 { return []float64{118, 183, 235} }
+
+// SoldierDistribution returns the exact top-2 total-score PMF of the soldier
+// table, computed by hand from the 18 possible worlds of Figure 2.
+func SoldierDistribution() map[float64]float64 {
+	return map[float64]float64{
+		116: 0.04, // (T2, T5)
+		118: 0.20, // (T2, T6) — the U-Top2 vector
+		136: 0.03, // (T4, T5)
+		138: 0.15, // (T4, T6)
+		170: 0.16, // (T3, T2) — the 1-Typical vector
+		181: 0.03, // (T7, T5)
+		183: 0.15, // (T7, T6)
+		190: 0.12, // (T3, T4)
+		235: 0.12, // (T7, T3)
+	}
+}
+
+// TieExample4 returns the seven leading tuples of the paper's Example 4:
+// one tuple with score 10, a tie group of three at score 8, and a tie group
+// of three at score 7. All tuples are independent.
+func TieExample4() *uncertain.Table {
+	t := uncertain.NewTable()
+	t.AddIndependent("T1", 10, 0.5)
+	t.AddIndependent("T2", 8, 0.3)
+	t.AddIndependent("T3", 8, 0.2)
+	t.AddIndependent("T4", 8, 0.1)
+	t.AddIndependent("T5", 7, 0.5)
+	t.AddIndependent("T6", 7, 0.4)
+	t.AddIndependent("T7", 7, 0.2)
+	return t
+}
+
+// TieExample4AtLeast2of3 is Pr(at least 2 tuples of the score-7 tie group
+// appear) = 0.3, as computed in Example 4.
+const TieExample4AtLeast2of3 = 0.3

@@ -1,0 +1,180 @@
+package pmf
+
+import "container/heap"
+
+// CoalesceMode selects how the score of a merged line pair is chosen.
+type CoalesceMode int
+
+const (
+	// CoalescePlainAverage uses the unweighted average of the two scores,
+	// exactly as §3.2.1 of the paper prescribes ("the score value is their
+	// average and the probability is their sum").
+	CoalescePlainAverage CoalesceMode = iota
+	// CoalesceWeightedAverage uses the probability-weighted average, which
+	// preserves the distribution mean. Offered as an option; not the paper's
+	// default.
+	CoalesceWeightedAverage
+)
+
+// Coalesce reduces d to at most maxLines lines in place by repeatedly merging
+// the two closest lines (by score): the merged score is chosen per mode, the
+// probability is the sum, and the representative vector with the higher
+// vector probability is kept. maxLines ≤ 0 means "no limit" (no-op).
+// It returns the number of merges performed.
+//
+// Callers that coalesce in a loop (the dynamic program does so at every
+// cell) should allocate one Coalescer and reuse it.
+func (d *Dist) Coalesce(maxLines int, mode CoalesceMode) int {
+	var c Coalescer
+	return c.Coalesce(d, maxLines, mode)
+}
+
+// Coalescer runs closest-pair line coalescing with reusable scratch buffers,
+// avoiding per-call allocation. The zero value is ready to use; a Coalescer
+// must not be used concurrently.
+type Coalescer struct {
+	prev, next, ver []int
+	h               gapHeap
+}
+
+// Coalesce applies the closest-pair strategy to d in place; see
+// Dist.Coalesce for semantics.
+func (c *Coalescer) Coalesce(d *Dist, maxLines int, mode CoalesceMode) int {
+	if maxLines <= 0 || len(d.lines) <= maxLines {
+		return 0
+	}
+	merges := len(d.lines) - maxLines
+	if maxLines == 1 && mode == CoalesceWeightedAverage {
+		d.coalesceToOne()
+		return merges
+	}
+	c.run(d, maxLines, mode)
+	return merges
+}
+
+// coalesceToOne collapses everything into a single mass-weighted line.
+func (d *Dist) coalesceToOne() {
+	var mass, wsum KahanSum
+	best := d.lines[0]
+	for _, l := range d.lines {
+		mass.Add(l.Prob)
+		wsum.Add(l.Score * l.Prob)
+		if l.VecProb > best.VecProb {
+			best = l
+		}
+	}
+	m := mass.Sum()
+	score := 0.0
+	if m > 0 {
+		score = wsum.Sum() / m
+	}
+	d.lines = d.lines[:1]
+	d.lines[0] = Line{Score: score, Prob: m, Vec: best.Vec, VecProb: best.VecProb, VecBound: best.VecBound}
+}
+
+// gapEntry is a candidate pair of adjacent live lines in the coalescing
+// doubly-linked list.
+type gapEntry struct {
+	left, right int     // indices into the node arrays
+	gap         float64 // score distance at push time
+	lv, rv      int     // node versions at push time (for lazy invalidation)
+}
+
+type gapHeap []gapEntry
+
+func (h gapHeap) Len() int            { return len(h) }
+func (h gapHeap) Less(i, j int) bool  { return h[i].gap < h[j].gap }
+func (h gapHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gapHeap) Push(x interface{}) { *h = append(*h, x.(gapEntry)) }
+func (h *gapHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// grow resizes the scratch buffers to hold n nodes without reallocating on
+// subsequent calls of the same or smaller size.
+func (c *Coalescer) grow(n int) {
+	if cap(c.prev) < n {
+		c.prev = make([]int, n)
+		c.next = make([]int, n)
+		c.ver = make([]int, n)
+		c.h = make(gapHeap, 0, 2*n)
+	}
+	c.prev = c.prev[:n]
+	c.next = c.next[:n]
+	c.ver = c.ver[:n]
+	c.h = c.h[:0]
+	for i := 0; i < n; i++ {
+		c.prev[i] = i - 1
+		c.next[i] = i + 1
+		c.ver[i] = 0
+	}
+	c.next[n-1] = -1
+}
+
+// run implements the closest-pair strategy with a min-heap of adjacent gaps
+// over a doubly-linked list, with lazy invalidation by node version.
+// O((n + merges) log n).
+func (c *Coalescer) run(d *Dist, maxLines int, mode CoalesceMode) {
+	n := len(d.lines)
+	lines := d.lines
+	c.grow(n)
+	prev, next, ver := c.prev, c.next, c.ver
+	alive := n
+	for i := 0; i+1 < n; i++ {
+		c.h = append(c.h, gapEntry{left: i, right: i + 1, gap: lines[i+1].Score - lines[i].Score})
+	}
+	heap.Init(&c.h)
+	for alive > maxLines {
+		e := heap.Pop(&c.h).(gapEntry)
+		if ver[e.left] != e.lv || ver[e.right] != e.rv {
+			continue // stale entry
+		}
+		l, r := &lines[e.left], &lines[e.right]
+		var score float64
+		switch mode {
+		case CoalesceWeightedAverage:
+			if m := l.Prob + r.Prob; m > 0 {
+				score = (l.Score*l.Prob + r.Score*r.Prob) / m
+			} else {
+				score = (l.Score + r.Score) / 2
+			}
+		default:
+			score = (l.Score + r.Score) / 2
+		}
+		l.Prob += r.Prob
+		if r.VecProb > l.VecProb {
+			l.Vec, l.VecProb, l.VecBound = r.Vec, r.VecProb, r.VecBound
+		}
+		l.Score = score
+		ver[e.left]++
+		ver[e.right]++ // tombstone
+		// Unlink right.
+		nr := next[e.right]
+		next[e.left] = nr
+		if nr >= 0 {
+			prev[nr] = e.left
+		}
+		alive--
+		// Push refreshed gaps around the merged node.
+		if p := prev[e.left]; p >= 0 {
+			heap.Push(&c.h, gapEntry{left: p, right: e.left,
+				gap: lines[e.left].Score - lines[p].Score, lv: ver[p], rv: ver[e.left]})
+		}
+		if nx := next[e.left]; nx >= 0 {
+			heap.Push(&c.h, gapEntry{left: e.left, right: nx,
+				gap: lines[nx].Score - lines[e.left].Score, lv: ver[e.left], rv: ver[nx]})
+		}
+	}
+	out := d.lines[:0]
+	for i := 0; i != -1; i = next[i] {
+		out = append(out, lines[i])
+	}
+	// Plain averaging can reorder scores only in pathological equal-score
+	// cases; restore the sorted invariant defensively.
+	d.lines = out
+	d.sortByScore()
+}

@@ -1,0 +1,219 @@
+package pmf
+
+import "sort"
+
+// TakeBranch describes one "take" alternative of the paper's distribution
+// merging step (2): shift a source distribution by Shift (the tuple's score),
+// scale by Factor (the tuple's probability), and prepend Tuple to every
+// recorded vector. Rule tuples contribute one branch per constituent tuple
+// (§3.3.1, second attempt, kept for the working algorithm of §3.3.2).
+type TakeBranch struct {
+	Shift  float64
+	Factor float64
+	Tuple  int
+}
+
+// Combine implements the distribution merging process of §3.2 in one pass:
+//
+//	(1) every line (v, p) of skip becomes (v, p·skipFactor);
+//	(2) for every branch b, every line (v, p) of take becomes
+//	    (v + b.Shift, p·b.Factor) with b.Tuple prepended to its vector;
+//	(3) the results are unioned, lines with equal scores combined by adding
+//	    probabilities and keeping the higher-probability vector.
+//
+// skip or take may be nil/empty (treated as no-mass distributions, i.e. the
+// blocked "(0,0)" exit points of §3.3.2). trackVectors controls whether
+// representative vectors are maintained. The inputs are not modified.
+//
+// skipTrue, when non-nil, supplies the boundary-aware skip factor used for
+// VecProb: given a line's VecBound (the score of its vector's last member),
+// it returns the probability that the skipped row contributes no tuple
+// *ranked strictly above that score*. Tuples tied with the boundary need not
+// be absent for the vector to remain a top-k vector, so this keeps VecProb
+// equal to the exact vector probability under ties (with or without ME
+// groups). When skipTrue is nil, VecProb scales by skipFactor, which yields
+// the paper's path-probability semantics instead.
+//
+// The output is built by an (#branches+1)-way merge of already-sorted
+// sources, so the cost is O(L·(B+1)) for L lines and B branches.
+func Combine(skip *Dist, skipFactor float64, take *Dist, branches []TakeBranch, trackVectors bool, skipTrue func(bound float64) float64) *Dist {
+	return CombineInto(nil, skip, skipFactor, take, branches, trackVectors, skipTrue)
+}
+
+// CombineInto is Combine reusing dst's line storage when dst is non-nil.
+// dst must not be one of the inputs. The dynamic program calls this once per
+// cell, so recycling the previous generation's distributions removes the
+// dominant allocation cost.
+func CombineInto(dst *Dist, skip *Dist, skipFactor float64, take *Dist, branches []TakeBranch, trackVectors bool, skipTrue func(bound float64) float64) *Dist {
+	type source struct {
+		lines  []Line
+		pos    int
+		shift  float64
+		factor float64
+		tuple  int // -1 for the skip source
+	}
+	var srcs []source
+	if skip != nil && len(skip.lines) > 0 && skipFactor > 0 {
+		srcs = append(srcs, source{lines: skip.lines, factor: skipFactor, tuple: -1})
+	}
+	if take != nil && len(take.lines) > 0 {
+		for _, b := range branches {
+			if b.Factor > 0 {
+				srcs = append(srcs, source{lines: take.lines, shift: b.Shift, factor: b.Factor, tuple: b.Tuple})
+			}
+		}
+	}
+	if len(srcs) == 0 {
+		if dst != nil {
+			dst.lines = dst.lines[:0]
+			return dst
+		}
+		return New()
+	}
+	total := 0
+	for i := range srcs {
+		total += len(srcs[i].lines)
+	}
+	out := dst
+	if out == nil {
+		out = &Dist{lines: make([]Line, 0, total)}
+	} else if cap(out.lines) < total {
+		out.lines = make([]Line, 0, total)
+	} else {
+		out.lines = out.lines[:0]
+	}
+	// Shifting by a constant preserves score order, so each source is sorted;
+	// repeatedly pull the source with the smallest current score. The number
+	// of sources is small (1 + group size), so a linear min scan is fine.
+	for {
+		best := -1
+		var bestScore float64
+		for i := range srcs {
+			s := &srcs[i]
+			if s.pos >= len(s.lines) {
+				continue
+			}
+			sc := s.lines[s.pos].Score + s.shift
+			if best == -1 || sc < bestScore {
+				best, bestScore = i, sc
+			}
+		}
+		if best == -1 {
+			break
+		}
+		s := &srcs[best]
+		in := s.lines[s.pos]
+		s.pos++
+		l := Line{Score: in.Score + s.shift, Prob: in.Prob * s.factor}
+		if trackVectors {
+			if s.tuple >= 0 {
+				// Take: the tuple's own probability is the exact factor for
+				// the vector probability too. A take onto an empty vector is
+				// the vector's last (deepest) member and fixes the boundary.
+				l.Vec = in.Vec.Prepend(s.tuple)
+				l.VecProb = in.VecProb * s.factor
+				if in.Vec == nil {
+					l.VecBound = s.shift
+				} else {
+					l.VecBound = in.VecBound
+				}
+			} else {
+				l.Vec = in.Vec
+				l.VecBound = in.VecBound
+				if skipTrue != nil {
+					l.VecProb = in.VecProb * skipTrue(in.VecBound)
+				} else {
+					l.VecProb = in.VecProb * s.factor
+				}
+			}
+		}
+		out.appendCombine(l)
+	}
+	return out
+}
+
+// Merge unions two distributions (both scaled by 1), combining equal scores.
+// Used to merge per-unit final distributions in the ME-handling algorithm.
+func Merge(a, b *Dist) *Dist {
+	if a == nil || len(a.lines) == 0 {
+		if b == nil {
+			return New()
+		}
+		return b.Clone()
+	}
+	if b == nil || len(b.lines) == 0 {
+		return a.Clone()
+	}
+	out := &Dist{lines: make([]Line, 0, len(a.lines)+len(b.lines))}
+	i, j := 0, 0
+	for i < len(a.lines) || j < len(b.lines) {
+		switch {
+		case i >= len(a.lines):
+			out.appendCombine(b.lines[j])
+			j++
+		case j >= len(b.lines):
+			out.appendCombine(a.lines[i])
+			i++
+		case a.lines[i].Score <= b.lines[j].Score:
+			out.appendCombine(a.lines[i])
+			i++
+		default:
+			out.appendCombine(b.lines[j])
+			j++
+		}
+	}
+	return out
+}
+
+// MergeAll merges a set of distributions pairwise (tournament order, to keep
+// intermediate sizes balanced).
+func MergeAll(ds []*Dist) *Dist {
+	switch len(ds) {
+	case 0:
+		return New()
+	case 1:
+		return ds[0].Clone()
+	}
+	work := append([]*Dist(nil), ds...)
+	for len(work) > 1 {
+		next := work[:0:len(work)]
+		var merged []*Dist
+		for i := 0; i < len(work); i += 2 {
+			if i+1 < len(work) {
+				merged = append(merged, Merge(work[i], work[i+1]))
+			} else {
+				merged = append(merged, work[i])
+			}
+		}
+		_ = next
+		work = merged
+	}
+	return work[0]
+}
+
+// Shift returns a copy of d with every score moved by delta.
+func (d *Dist) Shift(delta float64) *Dist {
+	c := d.Clone()
+	for i := range c.lines {
+		c.lines[i].Score += delta
+	}
+	return c
+}
+
+// Scale returns a copy of d with every probability multiplied by f.
+func (d *Dist) Scale(f float64) *Dist {
+	if f == 0 {
+		return New()
+	}
+	c := d.Clone()
+	for i := range c.lines {
+		c.lines[i].Prob *= f
+		c.lines[i].VecProb *= f
+	}
+	return c
+}
+
+// sortByScore re-sorts lines after an operation that may break order.
+func (d *Dist) sortByScore() {
+	sort.Slice(d.lines, func(i, j int) bool { return d.lines[i].Score < d.lines[j].Score })
+}

@@ -1,0 +1,203 @@
+package pmf
+
+// CombineCoalesce fuses the distribution-merging step (Combine) with line
+// coalescing on a δ-grid, for the dynamic program's inner loop.
+//
+// §3.2.1 of the paper bounds the accuracy loss of coalescing by the bucket
+// width δ = (smax − smin)/c': lines closer than δ may merge. The closest-pair
+// strategy (Coalescer) realises that bound exactly but costs O(L log L) with
+// a large constant per DP cell. This fused pass instead merges lines falling
+// into the same δ-wide grid cell of the output's score range: the same ±δ
+// guarantee, one linear pass, and — because a merged line materialises only
+// one representative vector — at most maxLines vector-node allocations per
+// cell instead of one per input line.
+//
+// Semantics match Combine followed by grid coalescing to at most maxLines
+// lines: probabilities of merged lines add; the merged score is the plain or
+// probability-weighted mean of its members per mode; the representative
+// vector is the member with the highest (boundary-adjusted, see Combine)
+// vector probability. maxLines ≤ 0 falls back to exact CombineInto.
+func CombineCoalesce(dst *Dist, skip *Dist, skipFactor float64, take *Dist, branches []TakeBranch,
+	maxLines int, mode CoalesceMode, trackVectors bool, skipTrue func(bound float64) float64) *Dist {
+	var g GridCombiner
+	return g.Combine(dst, skip, skipFactor, take, branches, maxLines, mode, trackVectors, skipTrue)
+}
+
+// gridCell accumulates the lines landing in one δ-wide interval.
+type gridCell struct {
+	prob      float64
+	scoreSum  float64 // Σ s (plain mode)
+	wScoreSum float64 // Σ s·p (weighted mode)
+	count     int
+	// Lazy representative vector: materialised only for surviving cells.
+	vecProb  float64
+	vecBound float64
+	vecBase  *Vector
+	vecTuple int
+	hasVec   bool
+}
+
+// GridCombiner runs CombineCoalesce with a reusable cell buffer; the dynamic
+// program calls it once per cell, so per-call allocation would dominate. The
+// zero value is ready to use; not safe for concurrent use.
+type GridCombiner struct {
+	cells []gridCell
+}
+
+// Combine is CombineCoalesce against the reusable buffer; see its
+// documentation.
+func (g *GridCombiner) Combine(dst *Dist, skip *Dist, skipFactor float64, take *Dist, branches []TakeBranch,
+	maxLines int, mode CoalesceMode, trackVectors bool, skipTrue func(bound float64) float64) *Dist {
+	if maxLines <= 0 || len(branches) >= 16 {
+		// Unlimited mode, or more rule-tuple branches than the fixed source
+		// array holds: use the exact path (the latter is possible only for
+		// ME groups with 15+ members and stays correct, just slower).
+		out := CombineInto(dst, skip, skipFactor, take, branches, trackVectors, skipTrue)
+		if maxLines > 0 && out.Len() > maxLines {
+			out.Coalesce(maxLines, mode)
+		}
+		return out
+	}
+	type source struct {
+		lines  []Line
+		shift  float64
+		factor float64
+		tuple  int // -1 for the skip source
+	}
+	var srcs [16]source
+	n := 0
+	if skip != nil && len(skip.lines) > 0 && skipFactor > 0 {
+		srcs[n] = source{lines: skip.lines, factor: skipFactor, tuple: -1}
+		n++
+	}
+	if take != nil && len(take.lines) > 0 {
+		for _, b := range branches {
+			if b.Factor > 0 && n < len(srcs) {
+				srcs[n] = source{lines: take.lines, shift: b.Shift, factor: b.Factor, tuple: b.Tuple}
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		if dst != nil {
+			dst.lines = dst.lines[:0]
+			return dst
+		}
+		return New()
+	}
+	total := 0
+	lo, hi := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		s := &srcs[i]
+		total += len(s.lines)
+		slo := s.lines[0].Score + s.shift
+		shi := s.lines[len(s.lines)-1].Score + s.shift
+		if i == 0 || slo < lo {
+			lo = slo
+		}
+		if i == 0 || shi > hi {
+			hi = shi
+		}
+	}
+	if total <= maxLines || hi <= lo {
+		// Small enough (or zero span): the exact merge already fits.
+		out := CombineInto(dst, skip, skipFactor, take, branches, trackVectors, skipTrue)
+		if out.Len() > maxLines {
+			// Zero span cannot reach here (all scores equal combine to one
+			// line); small inputs may still exceed after ties split — coalesce
+			// the remainder exactly.
+			out.Coalesce(maxLines, mode)
+		}
+		return out
+	}
+
+	// Grid accumulation. idx = floor((s − lo)/δ) with δ chosen so at most
+	// maxLines cells exist.
+	delta := (hi - lo) / float64(maxLines-1)
+	if cap(g.cells) < maxLines {
+		g.cells = make([]gridCell, maxLines)
+	}
+	cells := g.cells[:maxLines]
+	for i := range cells {
+		cells[i] = gridCell{}
+	}
+	for i := 0; i < n; i++ {
+		s := &srcs[i]
+		isSkip := s.tuple < 0
+		for li := range s.lines {
+			in := &s.lines[li]
+			score := in.Score + s.shift
+			idx := int((score - lo) / delta)
+			if idx >= maxLines {
+				idx = maxLines - 1
+			}
+			c := &cells[idx]
+			p := in.Prob * s.factor
+			c.prob += p
+			c.scoreSum += score
+			c.wScoreSum += score * p
+			c.count++
+			if trackVectors {
+				var vp, vb float64
+				if isSkip {
+					vb = in.VecBound
+					if skipTrue != nil {
+						vp = in.VecProb * skipTrue(in.VecBound)
+					} else {
+						vp = in.VecProb * s.factor
+					}
+				} else {
+					vp = in.VecProb * s.factor
+					if in.Vec == nil {
+						vb = s.shift
+					} else {
+						vb = in.VecBound
+					}
+				}
+				if !c.hasVec || vp > c.vecProb {
+					c.hasVec = true
+					c.vecProb = vp
+					c.vecBound = vb
+					c.vecBase = in.Vec
+					if isSkip {
+						c.vecTuple = -1
+					} else {
+						c.vecTuple = s.tuple
+					}
+				}
+			}
+		}
+	}
+	out := dst
+	if out == nil {
+		out = &Dist{lines: make([]Line, 0, maxLines)}
+	} else if cap(out.lines) < maxLines {
+		out.lines = make([]Line, 0, maxLines)
+	} else {
+		out.lines = out.lines[:0]
+	}
+	for i := range cells {
+		c := &cells[i]
+		if c.count == 0 || c.prob <= 0 {
+			continue
+		}
+		var score float64
+		if mode == CoalesceWeightedAverage {
+			score = c.wScoreSum / c.prob
+		} else {
+			score = c.scoreSum / float64(c.count)
+		}
+		l := Line{Score: score, Prob: c.prob}
+		if trackVectors && c.hasVec {
+			l.VecProb = c.vecProb
+			l.VecBound = c.vecBound
+			if c.vecTuple >= 0 {
+				l.Vec = c.vecBase.Prepend(c.vecTuple)
+			} else {
+				l.Vec = c.vecBase
+			}
+		}
+		out.appendCombine(l)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package pmf
+
+import "math"
+
+// Skewness returns the standardised third central moment of the score under
+// d (conditional on the covered event when unnormalized): positive values
+// mean a long right tail. The §5.4 experiments read distribution shape
+// changes off this directly (e.g. Figure 16's drift toward lower scores).
+// Returns NaN for empty or zero-variance distributions.
+func (d *Dist) Skewness() float64 {
+	if len(d.lines) == 0 {
+		return math.NaN()
+	}
+	mu := d.Mean()
+	sigma := d.StdDev()
+	if sigma == 0 || math.IsNaN(sigma) {
+		return math.NaN()
+	}
+	var num, den KahanSum
+	for _, l := range d.lines {
+		z := (l.Score - mu) / sigma
+		num.Add(z * z * z * l.Prob)
+		den.Add(l.Prob)
+	}
+	if den.Sum() == 0 {
+		return math.NaN()
+	}
+	return num.Sum() / den.Sum()
+}
+
+// ExcessKurtosis returns the standardised fourth central moment minus 3
+// (zero for a normal distribution): positive values mean heavier tails.
+// Returns NaN for empty or zero-variance distributions.
+func (d *Dist) ExcessKurtosis() float64 {
+	if len(d.lines) == 0 {
+		return math.NaN()
+	}
+	mu := d.Mean()
+	sigma := d.StdDev()
+	if sigma == 0 || math.IsNaN(sigma) {
+		return math.NaN()
+	}
+	var num, den KahanSum
+	for _, l := range d.lines {
+		z := (l.Score - mu) / sigma
+		num.Add(z * z * z * z * l.Prob)
+		den.Add(l.Prob)
+	}
+	if den.Sum() == 0 {
+		return math.NaN()
+	}
+	return num.Sum()/den.Sum() - 3
+}
+
+// Entropy returns the Shannon entropy (in bits) of the score distribution,
+// treating it as conditional on the covered event. This is the quantity
+// behind the paper's Example-2 analogy: the typical set of an n-fold source
+// has about 2^(n·H) members, which is why the single most probable outcome
+// is atypical. Returns NaN for empty distributions.
+func (d *Dist) Entropy() float64 {
+	if len(d.lines) == 0 {
+		return math.NaN()
+	}
+	mass := d.TotalMass()
+	if mass <= 0 {
+		return math.NaN()
+	}
+	var h KahanSum
+	for _, l := range d.lines {
+		p := l.Prob / mass
+		if p > 0 {
+			h.Add(-p * math.Log2(p))
+		}
+	}
+	return h.Sum()
+}

@@ -1,0 +1,88 @@
+package pmf
+
+import (
+	"math"
+	"testing"
+)
+
+func binomial(n int, p float64) *Dist {
+	lines := make([]Line, n+1)
+	for h := 0; h <= n; h++ {
+		c := 1.0
+		for i := 0; i < h; i++ {
+			c = c * float64(n-i) / float64(i+1)
+		}
+		lines[h] = Line{Score: float64(h), Prob: c * math.Pow(p, float64(h)) * math.Pow(1-p, float64(n-h))}
+	}
+	return FromLines(lines)
+}
+
+func TestSkewness(t *testing.T) {
+	// Binomial(n, p) skewness = (1−2p)/sqrt(np(1−p)).
+	for _, p := range []float64{0.2, 0.5, 0.8} {
+		d := binomial(30, p)
+		want := (1 - 2*p) / math.Sqrt(30*p*(1-p))
+		if got := d.Skewness(); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("p=%v: skewness = %v, want %v", p, got, want)
+		}
+	}
+	// Symmetric two-point distribution: zero skew.
+	d := FromLines([]Line{{Score: -1, Prob: 0.5}, {Score: 1, Prob: 0.5}})
+	if got := d.Skewness(); math.Abs(got) > 1e-12 {
+		t.Fatalf("symmetric skewness = %v", got)
+	}
+	if !math.IsNaN(New().Skewness()) {
+		t.Fatal("empty skewness should be NaN")
+	}
+	if !math.IsNaN(Point(5, 1).Skewness()) {
+		t.Fatal("zero-variance skewness should be NaN")
+	}
+}
+
+func TestExcessKurtosis(t *testing.T) {
+	// Binomial(n, p) excess kurtosis = (1−6p(1−p))/(np(1−p)).
+	for _, p := range []float64{0.3, 0.5} {
+		d := binomial(40, p)
+		want := (1 - 6*p*(1-p)) / (40 * p * (1 - p))
+		if got := d.ExcessKurtosis(); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("p=%v: kurtosis = %v, want %v", p, got, want)
+		}
+	}
+	// Two equal point masses: z = ±1 always, kurtosis = 1−3 = −2.
+	d := FromLines([]Line{{Score: 0, Prob: 0.5}, {Score: 2, Prob: 0.5}})
+	if got := d.ExcessKurtosis(); math.Abs(got+2) > 1e-12 {
+		t.Fatalf("two-point kurtosis = %v, want -2", got)
+	}
+	if !math.IsNaN(New().ExcessKurtosis()) {
+		t.Fatal("empty kurtosis should be NaN")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// Uniform over 8 points: 3 bits.
+	lines := make([]Line, 8)
+	for i := range lines {
+		lines[i] = Line{Score: float64(i), Prob: 0.125}
+	}
+	d := FromLines(lines)
+	if got := d.Entropy(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("uniform entropy = %v, want 3", got)
+	}
+	// Point mass: zero entropy.
+	if got := Point(1, 1).Entropy(); got != 0 {
+		t.Fatalf("point entropy = %v", got)
+	}
+	// Unnormalized mass is treated conditionally.
+	half := FromLines([]Line{{Score: 0, Prob: 0.25}, {Score: 1, Prob: 0.25}})
+	if got := half.Entropy(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("conditional entropy = %v, want 1", got)
+	}
+	// Fair coin, 20 tosses: H = 20 bits per sequence but the COUNT
+	// distribution is far narrower; sanity: between 2 and 4 bits.
+	if got := binomial(20, 0.5).Entropy(); got < 2 || got > 4 {
+		t.Fatalf("binomial entropy = %v", got)
+	}
+	if !math.IsNaN(New().Entropy()) {
+		t.Fatal("empty entropy should be NaN")
+	}
+}

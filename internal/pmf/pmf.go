@@ -1,0 +1,505 @@
+// Package pmf implements the discrete probability-mass-function substrate
+// used throughout probtopk.
+//
+// A distribution is a sorted sequence of "lines" (the paper's term for the
+// vertical lines of a PMF plot): (score, probability) pairs, optionally
+// annotated with a representative top-k tuple vector and that vector's own
+// probability. The package provides the merge/shift/scale operations the
+// paper's dynamic program is built from (§3.2), the closest-pair line
+// coalescing strategy (§3.2.1), histogram views at arbitrary bucket widths,
+// and the summary statistics (mean, variance, quantiles, expected minimum
+// distance) needed for c-Typical-Topk and for the empirical study.
+package pmf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Eps is the relative tolerance under which two scores are considered equal
+// and their lines combined by summing probabilities.
+const Eps = 1e-9
+
+// sameScore reports whether a and b are equal within Eps (relative to their
+// magnitude, with an absolute floor of Eps).
+func sameScore(a, b float64) bool {
+	d := math.Abs(a - b)
+	if d <= Eps {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= Eps*m
+}
+
+// Vector is a persistent (immutable, structurally shared) list of tuple
+// positions forming a top-k vector. The dynamic program prepends tuples as it
+// walks up the table, so the head is always the highest-ranked tuple.
+// A nil *Vector is the empty vector.
+type Vector struct {
+	// Tuple is a position in the prepared (sorted) table, not an original
+	// table index; callers translate via uncertain.Prepared.
+	Tuple int
+	Next  *Vector
+}
+
+// Prepend returns a new vector with t in front of v. v is not modified.
+func (v *Vector) Prepend(t int) *Vector { return &Vector{Tuple: t, Next: v} }
+
+// Len returns the number of tuples in the vector.
+func (v *Vector) Len() int {
+	n := 0
+	for ; v != nil; v = v.Next {
+		n++
+	}
+	return n
+}
+
+// Slice materializes the vector as a slice of tuple positions, highest rank
+// first. A nil vector yields nil.
+func (v *Vector) Slice() []int {
+	if v == nil {
+		return nil
+	}
+	s := make([]int, 0, 4)
+	for ; v != nil; v = v.Next {
+		s = append(s, v.Tuple)
+	}
+	return s
+}
+
+// Line is one atom of a discrete score distribution.
+type Line struct {
+	// Score is the total score of the top-k vectors aggregated in this line.
+	Score float64
+	// Prob is the total probability mass at Score.
+	Prob float64
+	// Vec is a representative top-k vector with this score: among all vectors
+	// whose total score coalesced into this line, one with the highest
+	// probability of being a top-k vector. Nil when vectors are not tracked.
+	Vec *Vector
+	// VecProb is the probability that Vec is a top-k vector. When the
+	// producer supplies a boundary-aware skip adjustment (see Combine), this
+	// is the exact vector probability even under score ties combined with
+	// mutual exclusion — strictly stronger than the paper's Theorem 3, whose
+	// max-probability claim fails when a tie group contains a tuple mutually
+	// exclusive with a higher-ranked one.
+	VecProb float64
+	// VecBound is the score of Vec's k-th (lowest-ranked) member — the
+	// boundary score that decides which higher-ranked absences Vec's
+	// probability must pay for. Maintained by Combine.
+	VecBound float64
+}
+
+// Dist is a discrete distribution over total scores: lines sorted by
+// ascending score with no two lines closer than Eps. The zero value is an
+// empty (all-mass-zero) distribution, which is the identity for Merge and the
+// annihilator produced by blocked exit points (the paper's "(0, 0)" cells).
+type Dist struct {
+	lines []Line
+}
+
+// New returns an empty distribution.
+func New() *Dist { return &Dist{} }
+
+// Point returns the single-line distribution {(score, prob)}.
+func Point(score, prob float64) *Dist {
+	return &Dist{lines: []Line{{Score: score, Prob: prob}}}
+}
+
+// PointVec returns a single-line distribution carrying a representative
+// vector.
+func PointVec(score, prob float64, vec *Vector, vecProb float64) *Dist {
+	return &Dist{lines: []Line{{Score: score, Prob: prob, Vec: vec, VecProb: vecProb}}}
+}
+
+// FromLines builds a distribution from arbitrary lines: they are sorted,
+// lines with equal scores (within Eps) are combined, and lines with zero
+// probability are dropped.
+func FromLines(lines []Line) *Dist {
+	ls := make([]Line, 0, len(lines))
+	for _, l := range lines {
+		if l.Prob != 0 {
+			ls = append(ls, l)
+		}
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Score < ls[j].Score })
+	d := &Dist{lines: make([]Line, 0, len(ls))}
+	for _, l := range ls {
+		d.appendCombine(l)
+	}
+	return d
+}
+
+// appendCombine appends l to the (already sorted) line slice, combining it
+// with the last line when their scores match within Eps.
+func (d *Dist) appendCombine(l Line) {
+	n := len(d.lines)
+	if n > 0 && sameScore(d.lines[n-1].Score, l.Score) {
+		last := &d.lines[n-1]
+		last.Prob += l.Prob
+		if l.VecProb > last.VecProb {
+			last.Vec = l.Vec
+			last.VecProb = l.VecProb
+			last.VecBound = l.VecBound
+		}
+		return
+	}
+	d.lines = append(d.lines, l)
+}
+
+// Len returns the number of lines.
+func (d *Dist) Len() int { return len(d.lines) }
+
+// Lines returns a copy of the underlying lines, sorted by ascending score.
+func (d *Dist) Lines() []Line {
+	out := make([]Line, len(d.lines))
+	copy(out, d.lines)
+	return out
+}
+
+// Line returns the i-th line (ascending score order).
+func (d *Dist) Line(i int) Line { return d.lines[i] }
+
+// Clone returns a deep copy of the line slice (vectors are shared, they are
+// immutable).
+func (d *Dist) Clone() *Dist {
+	c := &Dist{lines: make([]Line, len(d.lines))}
+	copy(c.lines, d.lines)
+	return c
+}
+
+// IsEmpty reports whether the distribution has no mass.
+func (d *Dist) IsEmpty() bool { return len(d.lines) == 0 }
+
+// TotalMass returns the sum of all line probabilities using compensated
+// (Kahan) summation.
+func (d *Dist) TotalMass() float64 {
+	var s KahanSum
+	for _, l := range d.lines {
+		s.Add(l.Prob)
+	}
+	return s.Sum()
+}
+
+// Normalize scales the line probabilities so the total mass is 1 (a proper
+// conditional PMF). Vector probabilities are left untouched: they are
+// marginal probabilities of concrete events and do not change because the
+// caller conditions the score view. No-op on an empty or zero-mass
+// distribution.
+func (d *Dist) Normalize() {
+	m := d.TotalMass()
+	if m <= 0 {
+		return
+	}
+	inv := 1 / m
+	for i := range d.lines {
+		d.lines[i].Prob *= inv
+	}
+}
+
+// Mean returns the expectation of the score under d. If the distribution is
+// unnormalized the conditional mean (given the event the distribution covers)
+// is returned. Returns NaN for an empty distribution.
+func (d *Dist) Mean() float64 {
+	if len(d.lines) == 0 {
+		return math.NaN()
+	}
+	var num, den KahanSum
+	for _, l := range d.lines {
+		num.Add(l.Score * l.Prob)
+		den.Add(l.Prob)
+	}
+	if den.Sum() == 0 {
+		return math.NaN()
+	}
+	return num.Sum() / den.Sum()
+}
+
+// Variance returns the variance of the score under d (conditional on the
+// covered event if unnormalized). Returns NaN for an empty distribution.
+func (d *Dist) Variance() float64 {
+	if len(d.lines) == 0 {
+		return math.NaN()
+	}
+	mu := d.Mean()
+	var num, den KahanSum
+	for _, l := range d.lines {
+		dd := l.Score - mu
+		num.Add(dd * dd * l.Prob)
+		den.Add(l.Prob)
+	}
+	if den.Sum() == 0 {
+		return math.NaN()
+	}
+	return num.Sum() / den.Sum()
+}
+
+// StdDev returns the standard deviation of the score under d.
+func (d *Dist) StdDev() float64 { return math.Sqrt(d.Variance()) }
+
+// Min returns the smallest score with positive mass (NaN when empty).
+func (d *Dist) Min() float64 {
+	if len(d.lines) == 0 {
+		return math.NaN()
+	}
+	return d.lines[0].Score
+}
+
+// Max returns the largest score with positive mass (NaN when empty).
+func (d *Dist) Max() float64 {
+	if len(d.lines) == 0 {
+		return math.NaN()
+	}
+	return d.lines[len(d.lines)-1].Score
+}
+
+// Span returns Max − Min (0 when empty or single-line).
+func (d *Dist) Span() float64 {
+	if len(d.lines) < 2 {
+		return 0
+	}
+	return d.Max() - d.Min()
+}
+
+// CDF returns Pr(S ≤ x) (relative to total mass 1; divide by TotalMass for
+// unnormalized distributions if conditional semantics are wanted).
+func (d *Dist) CDF(x float64) float64 {
+	var s KahanSum
+	for _, l := range d.lines {
+		if l.Score > x && !sameScore(l.Score, x) {
+			break
+		}
+		s.Add(l.Prob)
+	}
+	return s.Sum()
+}
+
+// TailProb returns Pr(S > x).
+func (d *Dist) TailProb(x float64) float64 {
+	var s KahanSum
+	for i := len(d.lines) - 1; i >= 0; i-- {
+		l := d.lines[i]
+		if l.Score < x || sameScore(l.Score, x) {
+			break
+		}
+		s.Add(l.Prob)
+	}
+	return s.Sum()
+}
+
+// Quantile returns the smallest score s with CDF(s) ≥ q·TotalMass. It treats
+// the distribution as conditional (quantiles of the covered event). Returns
+// NaN when empty or q outside [0,1].
+func (d *Dist) Quantile(q float64) float64 {
+	if len(d.lines) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	target := q * d.TotalMass()
+	var s KahanSum
+	for _, l := range d.lines {
+		s.Add(l.Prob)
+		if s.Sum() >= target {
+			return l.Score
+		}
+	}
+	return d.lines[len(d.lines)-1].Score
+}
+
+// Median returns Quantile(0.5) — the weighted median, which minimizes the
+// expected absolute distance E|S − s| over all s (the c = 1 typical score
+// when restricted to support points).
+func (d *Dist) Median() float64 { return d.Quantile(0.5) }
+
+// MaxProbLine returns the line with the largest probability mass (the mode).
+// ok is false when the distribution is empty.
+func (d *Dist) MaxProbLine() (Line, bool) {
+	if len(d.lines) == 0 {
+		return Line{}, false
+	}
+	best := d.lines[0]
+	for _, l := range d.lines[1:] {
+		if l.Prob > best.Prob {
+			best = l
+		}
+	}
+	return best, true
+}
+
+// MaxVecProbLine returns the line whose representative vector has the largest
+// vector probability; this is the U-Topk answer when vectors are tracked
+// exactly (coalescing preserves the max since merges keep the better vector).
+func (d *Dist) MaxVecProbLine() (Line, bool) {
+	if len(d.lines) == 0 {
+		return Line{}, false
+	}
+	best := d.lines[0]
+	for _, l := range d.lines[1:] {
+		if l.VecProb > best.VecProb {
+			best = l
+		}
+	}
+	return best, true
+}
+
+// ExpectedMinDistance returns E[min_i |S − points[i]|] under d, the
+// c-Typical-Topk objective of Definition 1 (conditional on the covered event
+// when unnormalized). points need not be sorted. Returns NaN when d is empty
+// or points is empty.
+func (d *Dist) ExpectedMinDistance(points []float64) float64 {
+	if len(d.lines) == 0 || len(points) == 0 {
+		return math.NaN()
+	}
+	ps := append([]float64(nil), points...)
+	sort.Float64s(ps)
+	var num, den KahanSum
+	j := 0
+	for _, l := range d.lines {
+		for j+1 < len(ps) && ps[j+1] <= l.Score {
+			j++
+		}
+		best := math.Abs(l.Score - ps[j])
+		if j+1 < len(ps) {
+			if alt := math.Abs(ps[j+1] - l.Score); alt < best {
+				best = alt
+			}
+		}
+		num.Add(best * l.Prob)
+		den.Add(l.Prob)
+	}
+	if den.Sum() == 0 {
+		return math.NaN()
+	}
+	return num.Sum() / den.Sum()
+}
+
+// Wasserstein1 returns the 1-Wasserstein (earth mover's) distance between d
+// and o, treating both as distributions conditioned on their covered events
+// (each is normalized first). It is the test metric for the accuracy loss of
+// line coalescing. Returns NaN if either is empty.
+func (d *Dist) Wasserstein1(o *Dist) float64 {
+	if len(d.lines) == 0 || len(o.lines) == 0 {
+		return math.NaN()
+	}
+	md, mo := d.TotalMass(), o.TotalMass()
+	if md <= 0 || mo <= 0 {
+		return math.NaN()
+	}
+	// W1 = ∫ |F_d(x) − F_o(x)| dx over the merged support.
+	var w KahanSum
+	var cd, co float64
+	i, j := 0, 0
+	prev := math.Min(d.lines[0].Score, o.lines[0].Score)
+	for i < len(d.lines) || j < len(o.lines) {
+		var x float64
+		switch {
+		case i >= len(d.lines):
+			x = o.lines[j].Score
+		case j >= len(o.lines):
+			x = d.lines[i].Score
+		default:
+			x = math.Min(d.lines[i].Score, o.lines[j].Score)
+		}
+		w.Add(math.Abs(cd/md-co/mo) * (x - prev))
+		for i < len(d.lines) && d.lines[i].Score <= x {
+			cd += d.lines[i].Prob
+			i++
+		}
+		for j < len(o.lines) && o.lines[j].Score <= x {
+			co += o.lines[j].Prob
+			j++
+		}
+		prev = x
+	}
+	return w.Sum()
+}
+
+// Bucket is one bar of a histogram view.
+type Bucket struct {
+	Lo, Hi float64 // [Lo, Hi)
+	Prob   float64
+}
+
+// Histogram returns the distribution aggregated into buckets of the given
+// width, aligned at multiples of width. This implements the paper's "access
+// the distribution at any granularity of precision". Panics if width ≤ 0.
+func (d *Dist) Histogram(width float64) []Bucket {
+	if width <= 0 {
+		panic("pmf: histogram width must be positive")
+	}
+	if len(d.lines) == 0 {
+		return nil
+	}
+	var out []Bucket
+	for _, l := range d.lines {
+		lo := math.Floor(l.Score/width) * width
+		if n := len(out); n > 0 && out[n-1].Lo == lo {
+			out[n-1].Prob += l.Prob
+			continue
+		}
+		out = append(out, Bucket{Lo: lo, Hi: lo + width, Prob: l.Prob})
+	}
+	return out
+}
+
+// NormalizeVectors rewrites every line's representative vector into
+// ascending-position (i.e. rank) order. The ME-handling dynamic program
+// builds vectors in row order, and rule-tuple rows may sit out of position
+// relative to plain rows; one pass over the final lines restores the
+// presentation invariant. Probabilities are untouched.
+func (d *Dist) NormalizeVectors() {
+	for i := range d.lines {
+		v := d.lines[i].Vec
+		if v == nil || v.Next == nil {
+			continue
+		}
+		s := v.Slice()
+		if sort.IntsAreSorted(s) {
+			continue
+		}
+		sort.Ints(s)
+		var nv *Vector
+		for j := len(s) - 1; j >= 0; j-- {
+			nv = nv.Prepend(s[j])
+		}
+		d.lines[i].Vec = nv
+	}
+}
+
+// String renders a short human-readable summary.
+func (d *Dist) String() string {
+	if len(d.lines) == 0 {
+		return "pmf{empty}"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pmf{n=%d mass=%.6g span=[%.6g,%.6g] mean=%.6g}",
+		len(d.lines), d.TotalMass(), d.Min(), d.Max(), d.Mean())
+	return b.String()
+}
+
+// KahanSum is a compensated floating-point accumulator. The zero value is an
+// empty sum ready to use.
+type KahanSum struct {
+	sum, c float64
+}
+
+// Add accumulates x.
+func (k *KahanSum) Add(x float64) {
+	y := x - k.c
+	t := k.sum + y
+	k.c = (t - k.sum) - y
+	k.sum = t
+}
+
+// Sum returns the accumulated total.
+func (k *KahanSum) Sum() float64 { return k.sum }
+
+// Sum returns the compensated sum of xs.
+func Sum(xs []float64) float64 {
+	var k KahanSum
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Sum()
+}

@@ -1,0 +1,323 @@
+// Package query provides a small relational layer over uncertain tables so
+// the paper's experiment queries are expressible as they appear in §5.2:
+//
+//	SELECT segment_id, speed_limit / (length / delay) AS congestion_score
+//	FROM area
+//	ORDER BY congestion_score DESC
+//	LIMIT k
+//
+// A Relation holds named numeric attributes per uncertain row (plus the id,
+// probability and ME-group metadata); a scoring expression over those
+// attributes is parsed and evaluated to produce the uncertain table the
+// top-k algorithms consume.
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Expr is a parsed scoring expression. Eval resolves attribute names through
+// lookup.
+type Expr interface {
+	Eval(lookup func(name string) (float64, error)) (float64, error)
+	String() string
+}
+
+type numberExpr float64
+
+func (n numberExpr) Eval(func(string) (float64, error)) (float64, error) { return float64(n), nil }
+func (n numberExpr) String() string                                      { return strconv.FormatFloat(float64(n), 'g', -1, 64) }
+
+type columnExpr string
+
+func (c columnExpr) Eval(lookup func(string) (float64, error)) (float64, error) {
+	return lookup(string(c))
+}
+func (c columnExpr) String() string { return string(c) }
+
+type unaryExpr struct {
+	op rune
+	x  Expr
+}
+
+func (u unaryExpr) Eval(lookup func(string) (float64, error)) (float64, error) {
+	v, err := u.x.Eval(lookup)
+	if err != nil {
+		return 0, err
+	}
+	return -v, nil
+}
+func (u unaryExpr) String() string { return fmt.Sprintf("(-%s)", u.x) }
+
+type binaryExpr struct {
+	op   rune
+	l, r Expr
+}
+
+func (b binaryExpr) Eval(lookup func(string) (float64, error)) (float64, error) {
+	l, err := b.l.Eval(lookup)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.r.Eval(lookup)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("query: division by zero in %q", b.String())
+		}
+		return l / r, nil
+	}
+	return 0, fmt.Errorf("query: unknown operator %q", b.op)
+}
+func (b binaryExpr) String() string { return fmt.Sprintf("(%s %c %s)", b.l, b.op, b.r) }
+
+type callExpr struct {
+	name string
+	args []Expr
+}
+
+// functions maps the supported scoring functions to implementations.
+var functions = map[string]struct {
+	arity int
+	apply func(args []float64) (float64, error)
+}{
+	"abs": {1, func(a []float64) (float64, error) { return math.Abs(a[0]), nil }},
+	"sqrt": {1, func(a []float64) (float64, error) {
+		if a[0] < 0 {
+			return 0, fmt.Errorf("query: sqrt of negative value %v", a[0])
+		}
+		return math.Sqrt(a[0]), nil
+	}},
+	"log": {1, func(a []float64) (float64, error) {
+		if a[0] <= 0 {
+			return 0, fmt.Errorf("query: log of non-positive value %v", a[0])
+		}
+		return math.Log(a[0]), nil
+	}},
+	"min": {2, func(a []float64) (float64, error) { return math.Min(a[0], a[1]), nil }},
+	"max": {2, func(a []float64) (float64, error) { return math.Max(a[0], a[1]), nil }},
+}
+
+func (c callExpr) Eval(lookup func(string) (float64, error)) (float64, error) {
+	fn := functions[c.name]
+	vals := make([]float64, len(c.args))
+	for i, a := range c.args {
+		v, err := a.Eval(lookup)
+		if err != nil {
+			return 0, err
+		}
+		vals[i] = v
+	}
+	return fn.apply(vals)
+}
+func (c callExpr) String() string {
+	parts := make([]string, len(c.args))
+	for i, a := range c.args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.name, strings.Join(parts, ", "))
+}
+
+// tokenizer
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokIdent
+	tokOp // + - * / ( ) ,
+)
+
+type token struct {
+	kind tokenKind
+	op   rune
+	num  float64
+	id   string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		ch := rune(l.src[l.pos])
+		switch {
+		case unicode.IsSpace(ch):
+			l.pos++
+		case ch == '+' || ch == '-' || ch == '*' || ch == '/' || ch == '(' || ch == ')' || ch == ',' ||
+			ch == '<' || ch == '>' || ch == '=' || ch == '!':
+			// Comparison runes are consumed pairwise by the predicate parser
+			// (<=, >=, ==, !=); arithmetic parsing rejects them.
+			l.toks = append(l.toks, token{kind: tokOp, op: ch, pos: l.pos})
+			l.pos++
+		case unicode.IsDigit(ch) || ch == '.':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.' ||
+				l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+				((l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.pos > start && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+				l.pos++
+			}
+			num, err := strconv.ParseFloat(l.src[start:l.pos], 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: bad number %q at position %d", l.src[start:l.pos], start)
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, num: num, pos: start})
+		case unicode.IsLetter(ch) || ch == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, id: l.src[start:l.pos], pos: start})
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at position %d", ch, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: len(src)})
+	return l.toks, nil
+}
+
+// parser: precedence climbing over + - (10) and * / (20) with unary minus.
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+// Parse compiles a scoring expression over named attributes.
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("query: unexpected trailing input at position %d", t.pos)
+	}
+	return e, nil
+}
+
+func precedence(op rune) int {
+	switch op {
+	case '+', '-':
+		return 10
+	case '*', '/':
+		return 20
+	}
+	return -1
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp {
+			return left, nil
+		}
+		prec := precedence(t.op)
+		if prec < minPrec {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = binaryExpr{op: t.op, l: left, r: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokOp && t.op == '-' {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: '-', x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokNumber:
+		return numberExpr(t.num), nil
+	case t.kind == tokIdent:
+		if p.peek().kind == tokOp && p.peek().op == '(' {
+			return p.parseCall(t)
+		}
+		return columnExpr(t.id), nil
+	case t.kind == tokOp && t.op == '(':
+		e, err := p.parseBinary(0)
+		if err != nil {
+			return nil, err
+		}
+		if c := p.next(); c.kind != tokOp || c.op != ')' {
+			return nil, fmt.Errorf("query: missing ')' at position %d", c.pos)
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("query: unexpected token at position %d", t.pos)
+}
+
+func (p *parser) parseCall(name token) (Expr, error) {
+	fn, ok := functions[name.id]
+	if !ok {
+		return nil, fmt.Errorf("query: unknown function %q at position %d", name.id, name.pos)
+	}
+	p.next() // consume '('
+	var args []Expr
+	if !(p.peek().kind == tokOp && p.peek().op == ')') {
+		for {
+			a, err := p.parseBinary(0)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			t := p.peek()
+			if t.kind == tokOp && t.op == ',' {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if c := p.next(); c.kind != tokOp || c.op != ')' {
+		return nil, fmt.Errorf("query: missing ')' in call to %s at position %d", name.id, c.pos)
+	}
+	if len(args) != fn.arity {
+		return nil, fmt.Errorf("query: %s takes %d argument(s), got %d", name.id, fn.arity, len(args))
+	}
+	return callExpr{name: name.id, args: args}, nil
+}

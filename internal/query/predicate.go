@@ -1,0 +1,250 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Predicate is a parsed boolean row filter: comparisons over scoring
+// expressions combined with AND/OR/NOT, so the paper's queries can carry a
+// WHERE clause, e.g. "speed_limit >= 50 and delay / length > 0.4".
+type Predicate interface {
+	Test(lookup func(name string) (float64, error)) (bool, error)
+	String() string
+}
+
+type cmpPredicate struct {
+	op   string // one of < <= > >= == !=
+	l, r Expr
+}
+
+func (c cmpPredicate) Test(lookup func(string) (float64, error)) (bool, error) {
+	l, err := c.l.Eval(lookup)
+	if err != nil {
+		return false, err
+	}
+	r, err := c.r.Eval(lookup)
+	if err != nil {
+		return false, err
+	}
+	switch c.op {
+	case "<":
+		return l < r, nil
+	case "<=":
+		return l <= r, nil
+	case ">":
+		return l > r, nil
+	case ">=":
+		return l >= r, nil
+	case "==":
+		return l == r, nil
+	case "!=":
+		return l != r, nil
+	}
+	return false, fmt.Errorf("query: unknown comparison %q", c.op)
+}
+func (c cmpPredicate) String() string { return fmt.Sprintf("(%s %s %s)", c.l, c.op, c.r) }
+
+type boolPredicate struct {
+	op   string // "and" | "or"
+	l, r Predicate
+}
+
+func (b boolPredicate) Test(lookup func(string) (float64, error)) (bool, error) {
+	l, err := b.l.Test(lookup)
+	if err != nil {
+		return false, err
+	}
+	// No short-circuit: surface evaluation errors deterministically.
+	r, err := b.r.Test(lookup)
+	if err != nil {
+		return false, err
+	}
+	if b.op == "and" {
+		return l && r, nil
+	}
+	return l || r, nil
+}
+func (b boolPredicate) String() string { return fmt.Sprintf("(%s %s %s)", b.l, b.op, b.r) }
+
+type notPredicate struct{ x Predicate }
+
+func (n notPredicate) Test(lookup func(string) (float64, error)) (bool, error) {
+	v, err := n.x.Test(lookup)
+	return !v, err
+}
+func (n notPredicate) String() string { return fmt.Sprintf("(not %s)", n.x) }
+
+// ParsePredicate compiles a WHERE-style boolean expression. Grammar
+// (lowest to highest precedence): OR, AND, NOT, comparison of two arithmetic
+// expressions, parenthesised predicate.
+func ParsePredicate(src string) (Predicate, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &predParser{parser: parser{toks: toks}}
+	pred, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("query: unexpected trailing input at position %d", t.pos)
+	}
+	return pred, nil
+}
+
+type predParser struct {
+	parser
+}
+
+func (p *predParser) keyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.id, kw)
+}
+
+func (p *predParser) parseOr() (Predicate, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = boolPredicate{op: "or", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *predParser) parseAnd() (Predicate, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = boolPredicate{op: "and", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *predParser) parseNot() (Predicate, error) {
+	if p.keyword("not") {
+		p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return notPredicate{x: x}, nil
+	}
+	return p.parseComparison()
+}
+
+// parseComparison parses either "( predicate )" or "expr OP expr". The
+// parenthesis case is ambiguous with a parenthesised arithmetic expression,
+// so it backtracks when the inner parse is not a predicate.
+func (p *predParser) parseComparison() (Predicate, error) {
+	if t := p.peek(); t.kind == tokOp && t.op == '(' {
+		save := p.pos
+		p.next()
+		if inner, err := p.parseOr(); err == nil {
+			if c := p.peek(); c.kind == tokOp && c.op == ')' {
+				p.next()
+				// Only accept if a comparison does not follow (otherwise it
+				// was an arithmetic group like "(a + b) > c").
+				if !p.comparisonAhead() {
+					return inner, nil
+				}
+			}
+		}
+		p.pos = save
+	}
+	left, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.comparisonOp()
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	return cmpPredicate{op: op, l: left, r: right}, nil
+}
+
+// comparisonAhead reports whether the next tokens look like a comparison
+// operator (lexed as ident-free op runes '<', '>', '=', '!').
+func (p *predParser) comparisonAhead() bool {
+	t := p.peek()
+	return t.kind == tokOp && (t.op == '<' || t.op == '>' || t.op == '=' || t.op == '!')
+}
+
+func (p *predParser) comparisonOp() (string, error) {
+	t := p.next()
+	if t.kind != tokOp {
+		return "", fmt.Errorf("query: expected comparison operator at position %d", t.pos)
+	}
+	switch t.op {
+	case '<', '>':
+		op := string(t.op)
+		if n := p.peek(); n.kind == tokOp && n.op == '=' {
+			p.next()
+			op += "="
+		}
+		return op, nil
+	case '=':
+		if n := p.peek(); n.kind == tokOp && n.op == '=' {
+			p.next()
+			return "==", nil
+		}
+		return "", fmt.Errorf("query: use '==' for equality (position %d)", t.pos)
+	case '!':
+		if n := p.peek(); n.kind == tokOp && n.op == '=' {
+			p.next()
+			return "!=", nil
+		}
+		return "", fmt.Errorf("query: use '!=' for inequality (position %d)", t.pos)
+	}
+	return "", fmt.Errorf("query: expected comparison operator at position %d", t.pos)
+}
+
+// Filter returns a new relation containing only the rows satisfying the
+// predicate.
+func (r *Relation) Filter(wherExpr string) (*Relation, error) {
+	pred, err := ParsePredicate(wherExpr)
+	if err != nil {
+		return nil, err
+	}
+	out, err := NewRelation(r.columns...)
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range r.rows {
+		row := row
+		keep, err := pred.Test(func(name string) (float64, error) {
+			idx, ok := r.index[name]
+			if !ok {
+				return 0, fmt.Errorf("query: unknown column %q", name)
+			}
+			return row[idx], nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("query: row %d (%s): %w", i, r.ids[i], err)
+		}
+		if keep {
+			if err := out.Append(r.ids[i], r.groups[i], r.probs[i], row...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package query
+
+import (
+	"testing"
+)
+
+func testPred(t *testing.T, src string, vars map[string]float64) bool {
+	t.Helper()
+	p, err := ParsePredicate(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := p.Test(func(name string) (float64, error) {
+		return vars[name], nil
+	})
+	if err != nil {
+		t.Fatalf("test %q: %v", src, err)
+	}
+	return v
+}
+
+func TestPredicates(t *testing.T) {
+	vars := map[string]float64{"a": 1, "b": 2, "speed_limit": 50, "delay": 80, "length": 200}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"a < b", true},
+		{"a > b", false},
+		{"a <= 1", true},
+		{"a >= 1.5", false},
+		{"a == 1", true},
+		{"a != 1", false},
+		{"a + 1 == b", true},
+		{"a < b and b < 3", true},
+		{"a < b and b > 3", false},
+		{"a > b or b == 2", true},
+		{"not a > b", true},
+		{"not (a < b and b < 3)", false},
+		{"(a + b) > 2", true},
+		{"(a < b) or (b < a)", true},
+		{"speed_limit / (length / delay) >= 20", true},
+		{"speed_limit >= 50 and delay / length > 0.4", false},
+		{"min(a, b) == 1 and max(a, b) == 2", true},
+	}
+	for _, c := range cases {
+		if got := testPred(t, c.src, vars); got != c.want {
+			t.Fatalf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPredicateParseErrors(t *testing.T) {
+	bad := []string{
+		"", "a <", "< a", "a = b", "a ! b", "a == b ==", "a && b",
+		"(a < b", "a < b)", "not", "a or", "a # b",
+	}
+	for _, src := range bad {
+		if _, err := ParsePredicate(src); err == nil {
+			t.Fatalf("%q should fail to parse", src)
+		}
+	}
+}
+
+func TestPredicateStrings(t *testing.T) {
+	p, err := ParsePredicate("not (a < 1 and b >= 2) or c != 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, want := range []string{"not", "and", "or", "<", ">=", "!="} {
+		if !contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFilter(t *testing.T) {
+	rel, err := NewRelation("speed_limit", "length", "delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		id           string
+		group        string
+		prob         float64
+		sl, len, del float64
+	}{
+		{"s1/b1", "s1", 0.6, 50, 200, 80},
+		{"s1/b2", "s1", 0.4, 50, 200, 300},
+		{"s2", "", 1.0, 30, 100, 90},
+		{"s3", "", 0.9, 80, 800, 100},
+	}
+	for _, r := range rows {
+		if err := rel.Append(r.id, r.group, r.prob, r.sl, r.len, r.del); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep only fast roads (limit ≥ 50).
+	fast, err := rel.Filter("speed_limit >= 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Len() != 3 {
+		t.Fatalf("filtered len = %d, want 3", fast.Len())
+	}
+	// Group metadata survives filtering and the table still builds.
+	tab, err := fast.Table("speed_limit / (length / delay)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 3 || tab.Tuple(0).Group != "s1" {
+		t.Fatalf("table = %+v", tab.Tuples())
+	}
+	none, err := rel.Filter("speed_limit > 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Len() != 0 {
+		t.Fatal("expected empty relation")
+	}
+	if _, err := rel.Filter("no_such > 1"); err == nil {
+		t.Fatal("unknown column should error")
+	}
+	if _, err := rel.Filter("((("); err == nil {
+		t.Fatal("bad predicate should error")
+	}
+}

@@ -1,0 +1,189 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func eval(t *testing.T, src string, vars map[string]float64) float64 {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := e.Eval(func(name string) (float64, error) {
+		if x, ok := vars[name]; ok {
+			return x, nil
+		}
+		t.Fatalf("unknown var %q", name)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestParseEval(t *testing.T) {
+	vars := map[string]float64{"speed_limit": 50, "length": 200, "delay": 80, "x": -3}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"2 * 3 - 4 / 2", 4},
+		{"-x", 3},
+		{"--x", -3},
+		{"abs(x)", 3},
+		{"sqrt(16)", 4},
+		{"min(2, 3) + max(2, 3)", 5},
+		{"log(1)", 0},
+		{"1.5e2", 150},
+		{"speed_limit / (length / delay)", 20}, // the paper's congestion score
+		{"speed_limit/(length/delay) + 0", 20},
+	}
+	for _, c := range cases {
+		if got := eval(t, c.src, vars); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "1 +", "(1", "1)", "foo(1)", "min(1)", "min(1,2,3)", "1 @ 2",
+		"abs()", "1..2",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("%q should fail to parse", src)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	cases := []string{"1/0", "sqrt(-1)", "log(0)"}
+	for _, src := range cases {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Eval(nil); err == nil {
+			t.Fatalf("%q should fail to evaluate", src)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e, err := Parse("-min(a, 1) * (b + 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.String()
+	for _, want := range []string{"min", "a", "b", "*"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRelationTable(t *testing.T) {
+	rel, err := NewRelation("speed_limit", "length", "delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Append("seg1/b1", "seg1", 0.6, 50, 200, 80); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Append("seg1/b2", "seg1", 0.4, 50, 200, 160); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Append("seg2", "", 1.0, 30, 100, 90); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("len = %d", rel.Len())
+	}
+	tab, err := rel.Table("speed_limit / (length / delay)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := tab.Tuple(0)
+	if math.Abs(tp.Score-20) > 1e-12 || tp.Prob != 0.6 || tp.Group != "seg1" {
+		t.Fatalf("tuple = %+v", tp)
+	}
+	if got := tab.Tuple(2).Score; math.Abs(got-27) > 1e-12 {
+		t.Fatalf("seg2 score = %v", got)
+	}
+	if _, err := rel.Table("no_such_column + 1"); err == nil {
+		t.Fatal("unknown column should error")
+	}
+	if _, err := rel.Table("(("); err == nil {
+		t.Fatal("bad expression should error")
+	}
+}
+
+func TestRelationValidation(t *testing.T) {
+	if _, err := NewRelation("id"); err == nil {
+		t.Fatal("reserved column should error")
+	}
+	if _, err := NewRelation("a", "a"); err == nil {
+		t.Fatal("duplicate column should error")
+	}
+	rel, err := NewRelation("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Append("x", "", 0.5, 1, 2); err == nil {
+		t.Fatal("arity mismatch should error")
+	}
+	if err := rel.Append("x", "", 7, 1); err != nil {
+		t.Fatal(err) // bad prob surfaces at Table() time via Validate
+	}
+	if _, err := rel.Table("a"); err == nil {
+		t.Fatal("invalid probability should surface on Table()")
+	}
+}
+
+func TestReadCSV(t *testing.T) {
+	src := `id,prob,group,speed_limit,length,delay
+seg1/b1,0.6,seg1,50,200,80
+seg1/b2,0.4,seg1,50,200,160
+seg2,1.0,,30,100,90
+`
+	rel, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("len = %d", rel.Len())
+	}
+	cols := rel.Columns()
+	if len(cols) != 3 || cols[0] != "speed_limit" {
+		t.Fatalf("columns = %v", cols)
+	}
+	tab, err := rel.Table("speed_limit / (length / delay)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("table len = %d", tab.Len())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"a,b\n1,2\n",                // no id/prob
+		"id,prob,a\nx,notnum,1\n",   // bad prob
+		"id,prob,a\nx,0.5,notnum\n", // bad attribute
+		"id,prob,a\nx,0.5\n",        // short record
+	}
+	for i, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Fatalf("case %d should error", i)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package query
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"probtopk/internal/uncertain"
+)
+
+// Relation is an uncertain relation: rows of named numeric attributes, each
+// with an identifier, a membership probability and an optional ME group.
+type Relation struct {
+	columns []string
+	index   map[string]int
+	ids     []string
+	groups  []string
+	probs   []float64
+	rows    [][]float64
+}
+
+// NewRelation creates a relation with the given attribute columns. The
+// metadata names "id", "prob" and "group" are reserved.
+func NewRelation(columns ...string) (*Relation, error) {
+	r := &Relation{columns: append([]string(nil), columns...), index: map[string]int{}}
+	for i, c := range columns {
+		if c == "id" || c == "prob" || c == "group" {
+			return nil, fmt.Errorf("query: column name %q is reserved", c)
+		}
+		if _, dup := r.index[c]; dup {
+			return nil, fmt.Errorf("query: duplicate column %q", c)
+		}
+		r.index[c] = i
+	}
+	return r, nil
+}
+
+// Append adds one uncertain row. values must match the column count.
+func (r *Relation) Append(id, group string, prob float64, values ...float64) error {
+	if len(values) != len(r.columns) {
+		return fmt.Errorf("query: row has %d values, relation has %d columns", len(values), len(r.columns))
+	}
+	r.ids = append(r.ids, id)
+	r.groups = append(r.groups, group)
+	r.probs = append(r.probs, prob)
+	r.rows = append(r.rows, append([]float64(nil), values...))
+	return nil
+}
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Columns returns the attribute names.
+func (r *Relation) Columns() []string { return append([]string(nil), r.columns...) }
+
+// Table evaluates the scoring expression on every row and returns the
+// uncertain table for `SELECT id, <scoreExpr> AS score FROM r ORDER BY score
+// DESC LIMIT k` style queries.
+func (r *Relation) Table(scoreExpr string) (*uncertain.Table, error) {
+	expr, err := Parse(scoreExpr)
+	if err != nil {
+		return nil, err
+	}
+	tab := uncertain.NewTable()
+	for i, row := range r.rows {
+		row := row
+		score, err := expr.Eval(func(name string) (float64, error) {
+			idx, ok := r.index[name]
+			if !ok {
+				return 0, fmt.Errorf("query: unknown column %q", name)
+			}
+			return row[idx], nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("query: row %d (%s): %w", i, r.ids[i], err)
+		}
+		tab.Add(uncertain.Tuple{ID: r.ids[i], Score: score, Prob: r.probs[i], Group: r.groups[i]})
+	}
+	if err := tab.Validate(); err != nil {
+		return nil, err
+	}
+	return tab, nil
+}
+
+// ReadCSV parses a relation. The header must contain id and prob, may
+// contain group, and every other column is a numeric attribute.
+func ReadCSV(in io.Reader) (*Relation, error) {
+	cr := csv.NewReader(in)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("query: reading csv header: %w", err)
+	}
+	idCol, probCol, groupCol := -1, -1, -1
+	var attrs []string
+	var attrIdx []int
+	for i, h := range header {
+		switch h {
+		case "id":
+			idCol = i
+		case "prob":
+			probCol = i
+		case "group":
+			groupCol = i
+		default:
+			attrs = append(attrs, h)
+			attrIdx = append(attrIdx, i)
+		}
+	}
+	if idCol < 0 || probCol < 0 {
+		return nil, fmt.Errorf("query: csv header must contain id and prob columns, got %v", header)
+	}
+	rel, err := NewRelation(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("query: reading csv: %w", err)
+		}
+		prob, err := strconv.ParseFloat(rec[probCol], 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: csv line %d: bad prob %q: %w", line, rec[probCol], err)
+		}
+		group := ""
+		if groupCol >= 0 {
+			group = rec[groupCol]
+		}
+		values := make([]float64, len(attrIdx))
+		for j, idx := range attrIdx {
+			v, err := strconv.ParseFloat(rec[idx], 64)
+			if err != nil {
+				return nil, fmt.Errorf("query: csv line %d: bad %s %q: %w", line, attrs[j], rec[idx], err)
+			}
+			values[j] = v
+		}
+		if err := rel.Append(rec[idCol], group, prob, values...); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}

@@ -1,0 +1,113 @@
+// Package stats provides the small numeric/statistics substrate the
+// empirical study needs: a seeded RNG with correlated bivariate-normal
+// sampling (replacing the paper's use of the R statistical package),
+// descriptive statistics, and Pearson correlation.
+package stats
+
+import (
+	"math"
+	"math/rand"
+
+	"probtopk/internal/pmf"
+)
+
+// RNG is a deterministic random source for dataset generation.
+type RNG struct {
+	*rand.Rand
+}
+
+// New returns an RNG seeded with seed.
+func New(seed int64) *RNG { return &RNG{rand.New(rand.NewSource(seed))} }
+
+// BivariateNormal draws one (x, y) pair from a bivariate normal distribution
+// with the given means, standard deviations, and correlation coefficient
+// rho ∈ [−1, 1], via the Cholesky construction
+// y = μy + σy·(ρ·z1 + sqrt(1−ρ²)·z2).
+func (r *RNG) BivariateNormal(muX, sigmaX, muY, sigmaY, rho float64) (x, y float64) {
+	z1 := r.NormFloat64()
+	z2 := r.NormFloat64()
+	x = muX + sigmaX*z1
+	y = muY + sigmaY*(rho*z1+math.Sqrt(1-rho*rho)*z2)
+	return x, y
+}
+
+// IntBetween returns a uniform integer in [lo, hi] (inclusive). lo > hi
+// panics; lo == hi returns lo.
+func (r *RNG) IntBetween(lo, hi int) int {
+	if lo > hi {
+		panic("stats: IntBetween with lo > hi")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Mean returns the arithmetic mean of xs (NaN when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return pmf.Sum(xs) / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs (NaN when empty).
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	mu := Mean(xs)
+	var k pmf.KahanSum
+	for _, x := range xs {
+		d := x - mu
+		k.Add(d * d)
+	}
+	return math.Sqrt(k.Sum() / float64(len(xs)))
+}
+
+// MinMax returns the extrema of xs (NaNs when empty).
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Pearson returns the sample Pearson correlation coefficient of (xs, ys).
+// Returns NaN when the lengths differ, fewer than two points are given, or
+// either series is constant.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy pmf.KahanSum
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy.Add(dx * dy)
+		sxx.Add(dx * dx)
+		syy.Add(dy * dy)
+	}
+	den := math.Sqrt(sxx.Sum() * syy.Sum())
+	if den == 0 {
+		return math.NaN()
+	}
+	return sxy.Sum() / den
+}

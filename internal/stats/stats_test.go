@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBivariateNormalMoments(t *testing.T) {
+	cases := []struct{ rho float64 }{{0}, {0.8}, {-0.8}}
+	for _, c := range cases {
+		r := New(1)
+		n := 200_000
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i], ys[i] = r.BivariateNormal(100, 60, 0.5, 0.2, c.rho)
+		}
+		if m := Mean(xs); math.Abs(m-100) > 1 {
+			t.Fatalf("rho=%v: mean x = %v", c.rho, m)
+		}
+		if m := Mean(ys); math.Abs(m-0.5) > 0.01 {
+			t.Fatalf("rho=%v: mean y = %v", c.rho, m)
+		}
+		if s := StdDev(xs); math.Abs(s-60) > 1 {
+			t.Fatalf("rho=%v: std x = %v", c.rho, s)
+		}
+		if s := StdDev(ys); math.Abs(s-0.2) > 0.01 {
+			t.Fatalf("rho=%v: std y = %v", c.rho, s)
+		}
+		if got := Pearson(xs, ys); math.Abs(got-c.rho) > 0.02 {
+			t.Fatalf("rho=%v: measured correlation %v", c.rho, got)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		x1, y1 := a.BivariateNormal(0, 1, 0, 1, 0.5)
+		x2, y2 := b.BivariateNormal(0, 1, 0, 1, 0.5)
+		if x1 != x2 || y1 != y2 {
+			t.Fatal("same seed should reproduce the same stream")
+		}
+	}
+}
+
+func TestIntBetween(t *testing.T) {
+	r := New(2)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.IntBetween(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("IntBetween out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("IntBetween never produced all values: %v", seen)
+	}
+	if r.IntBetween(4, 4) != 4 {
+		t.Fatal("degenerate range")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lo > hi should panic")
+		}
+	}()
+	r.IntBetween(5, 3)
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(-1, 0, 1) != 0 || Clamp(2, 0, 1) != 1 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("clamp wrong")
+	}
+}
+
+func TestDescriptive(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("std = %v", got)
+	}
+	min, max := MinMax(xs)
+	if min != 1 || max != 4 {
+		t.Fatalf("minmax = %v %v", min, max)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev(nil)) {
+		t.Fatal("empty stats should be NaN")
+	}
+	if mn, mx := MinMax(nil); !math.IsNaN(mn) || !math.IsNaN(mx) {
+		t.Fatal("empty minmax should be NaN")
+	}
+}
+
+func TestPearsonEdgeCases(t *testing.T) {
+	if !math.IsNaN(Pearson([]float64{1}, []float64{2})) {
+		t.Fatal("short series should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 2}, []float64{1})) {
+		t.Fatal("mismatched lengths should be NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1, 1}, []float64{2, 3})) {
+		t.Fatal("constant series should be NaN")
+	}
+	if got := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	if got := Pearson([]float64{1, 2, 3}, []float64{6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", got)
+	}
+}

@@ -1,0 +1,163 @@
+// Package stream extends the paper's semantics to the uncertain data-stream
+// setting its related work points at (Jin et al., "Sliding-Window Top-k
+// Queries on Uncertain Streams", VLDB 2008): a window of the most recent W
+// uncertain tuples is maintained, and the top-k score distribution (and
+// c-Typical-Topk answers) of the window contents can be queried at any time.
+//
+// The window keeps its tuples in a rank-ordered index so a query costs one
+// run of the paper's main dynamic program over the window — insertion and
+// eviction are O(log W + W) (slice insert), far cheaper than the DP itself.
+// ME groups are supported with the window-native semantics that a group's
+// constraint binds among the members currently inside the window; evicted
+// members simply drop out (their probability mass leaves the group).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"probtopk/internal/core"
+	"probtopk/internal/pmf"
+	"probtopk/internal/uncertain"
+)
+
+// Window is a sliding window over an uncertain tuple stream. It is not safe
+// for concurrent use.
+type Window struct {
+	capacity int
+	seq      int64
+	// tuples in arrival order (oldest first).
+	arrival []entry
+}
+
+type entry struct {
+	seq   int64
+	tuple uncertain.Tuple
+}
+
+// NewWindow creates a sliding window holding the most recent capacity
+// tuples.
+func NewWindow(capacity int) (*Window, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("stream: window capacity must be ≥ 1, got %d", capacity)
+	}
+	return &Window{capacity: capacity}, nil
+}
+
+// Len returns the number of tuples currently in the window.
+func (w *Window) Len() int { return len(w.arrival) }
+
+// Capacity returns the window size.
+func (w *Window) Capacity() int { return w.capacity }
+
+// Push appends a tuple to the stream, evicting the oldest tuple when the
+// window is full. It returns the evicted tuple, if any. The tuple is
+// validated on entry (probability in (0, 1], finite score); group-mass
+// validation happens against the *current window contents* at query time,
+// since a group's in-window mass changes as members are evicted.
+func (w *Window) Push(t uncertain.Tuple) (evicted *uncertain.Tuple, err error) {
+	probe := uncertain.NewTable().Add(uncertain.Tuple{ID: t.ID, Score: t.Score, Prob: t.Prob})
+	if err := probe.Validate(); err != nil {
+		return nil, err
+	}
+	w.seq++
+	w.arrival = append(w.arrival, entry{seq: w.seq, tuple: t})
+	if len(w.arrival) > w.capacity {
+		old := w.arrival[0].tuple
+		copy(w.arrival, w.arrival[1:])
+		w.arrival = w.arrival[:len(w.arrival)-1]
+		return &old, nil
+	}
+	return nil, nil
+}
+
+// ErrEmptyWindow is returned when a query runs against an empty window.
+var ErrEmptyWindow = errors.New("stream: empty window")
+
+// Table materialises the current window contents as an uncertain table in
+// arrival order.
+func (w *Window) Table() (*uncertain.Table, error) {
+	if len(w.arrival) == 0 {
+		return nil, ErrEmptyWindow
+	}
+	t := uncertain.NewTable()
+	for _, e := range w.arrival {
+		t.Add(e.tuple)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: window contents invalid: %w", err)
+	}
+	return t, nil
+}
+
+// Result is one windowed query answer.
+type Result struct {
+	// Dist is the top-k score distribution of the window contents.
+	Dist *pmf.Dist
+	// Prepared gives access to the rank-ordered window for translating the
+	// distribution's vector positions into tuple IDs.
+	Prepared *uncertain.Prepared
+	// WindowLen is the number of tuples that were in the window.
+	WindowLen int
+}
+
+// TopK computes the top-k score distribution of the current window with the
+// main algorithm under params (K is taken from the argument, overriding
+// params.K).
+func (w *Window) TopK(k int, params core.Params) (*Result, error) {
+	tab, err := w.Table()
+	if err != nil {
+		return nil, err
+	}
+	prep, err := uncertain.Prepare(tab)
+	if err != nil {
+		return nil, err
+	}
+	params.K = k
+	res, err := core.Distribution(prep, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Dist: res.Dist, Prepared: prep, WindowLen: tab.Len()}, nil
+}
+
+// Series runs a query after every arrival of stream and collects a chosen
+// statistic of the window's top-k distribution — e.g. its mean or median —
+// producing the time series a monitoring application would chart. Windows
+// with fewer than k tuples yield NaN-free skips (the statistic is omitted
+// and marked by ok=false in the callback).
+func Series(window *Window, streamTuples []uncertain.Tuple, k int, params core.Params,
+	stat func(*pmf.Dist) float64, observe func(step int, value float64, ok bool)) error {
+	for i, t := range streamTuples {
+		if _, err := window.Push(t); err != nil {
+			return err
+		}
+		res, err := window.TopK(k, params)
+		if err != nil {
+			return err
+		}
+		if res.Dist.IsEmpty() {
+			observe(i, 0, false)
+			continue
+		}
+		observe(i, stat(res.Dist), true)
+	}
+	return nil
+}
+
+// Snapshot lists the window contents in rank (score, probability) order,
+// useful for debugging and display.
+func (w *Window) Snapshot() []uncertain.Tuple {
+	out := make([]uncertain.Tuple, len(w.arrival))
+	for i, e := range w.arrival {
+		out[i] = e.tuple
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Prob > out[j].Prob
+	})
+	return out
+}

@@ -1,0 +1,203 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probtopk/internal/core"
+	"probtopk/internal/fixtures"
+	"probtopk/internal/pmf"
+	"probtopk/internal/uncertain"
+	"probtopk/internal/worlds"
+)
+
+func exactParams() core.Params {
+	return core.Params{K: 1, TrackVectors: true} // K overridden by TopK
+}
+
+func TestWindowBasics(t *testing.T) {
+	if _, err := NewWindow(0); err == nil {
+		t.Fatal("capacity 0 should error")
+	}
+	w, err := NewWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Capacity() != 3 || w.Len() != 0 {
+		t.Fatal("fresh window wrong")
+	}
+	if _, err := w.Table(); err != ErrEmptyWindow {
+		t.Fatalf("err = %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		ev, err := w.Push(uncertain.Tuple{ID: "a", Score: float64(i), Prob: 0.5})
+		if err != nil || ev != nil {
+			t.Fatalf("push %d: %v %v", i, ev, err)
+		}
+	}
+	ev, err := w.Push(uncertain.Tuple{ID: "new", Score: 9, Prob: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev == nil || ev.Score != 0 {
+		t.Fatalf("evicted = %+v, want the oldest (score 0)", ev)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	snap := w.Snapshot()
+	if snap[0].Score != 9 || snap[2].Score != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestPushValidation(t *testing.T) {
+	w, _ := NewWindow(2)
+	if _, err := w.Push(uncertain.Tuple{ID: "bad", Score: 1, Prob: 0}); err == nil {
+		t.Fatal("invalid probability should error")
+	}
+	if _, err := w.Push(uncertain.Tuple{ID: "bad", Score: math.NaN(), Prob: 0.5}); err == nil {
+		t.Fatal("NaN score should error")
+	}
+}
+
+// TestWindowMatchesBatch: a windowed query equals the batch computation over
+// the same tuples, verified against the possible-worlds oracle.
+func TestWindowMatchesBatch(t *testing.T) {
+	w, _ := NewWindow(7)
+	for _, tp := range fixtures.Soldier().Tuples() {
+		if _, err := w.Push(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := w.TopK(2, exactParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := worlds.ExactDistribution(res.Prepared, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist.Len() != exact.Len() {
+		t.Fatalf("lines = %d vs %d", res.Dist.Len(), exact.Len())
+	}
+	if math.Abs(res.Dist.Mean()-fixtures.SoldierExpectedScore) > 1e-9 {
+		t.Fatalf("mean = %v", res.Dist.Mean())
+	}
+	if res.WindowLen != 7 {
+		t.Fatalf("window len = %d", res.WindowLen)
+	}
+}
+
+// TestEvictionChangesDistribution: after the top tuple slides out, the
+// distribution must reflect only the remaining window.
+func TestEvictionChangesDistribution(t *testing.T) {
+	w, _ := NewWindow(2)
+	w.Push(uncertain.Tuple{ID: "big", Score: 100, Prob: 1})
+	w.Push(uncertain.Tuple{ID: "mid", Score: 50, Prob: 1})
+	res, err := w.TopK(1, exactParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist.Mean() != 100 {
+		t.Fatalf("mean = %v", res.Dist.Mean())
+	}
+	w.Push(uncertain.Tuple{ID: "small", Score: 10, Prob: 1}) // evicts "big"
+	res, err = w.TopK(1, exactParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist.Mean() != 50 {
+		t.Fatalf("after eviction mean = %v", res.Dist.Mean())
+	}
+}
+
+// TestGroupMassReleasedOnEviction: an ME group overfull for the window
+// becomes valid again once a member is evicted; while both members plus an
+// overflow are in the window the query reports the invalid table.
+func TestGroupMassReleasedOnEviction(t *testing.T) {
+	w, _ := NewWindow(3)
+	w.Push(uncertain.Tuple{ID: "g1", Group: "g", Score: 10, Prob: 0.7})
+	w.Push(uncertain.Tuple{ID: "g2", Group: "g", Score: 20, Prob: 0.6})
+	if _, err := w.TopK(1, exactParams()); err == nil {
+		t.Fatal("overfull group should fail the windowed query")
+	}
+	w.Push(uncertain.Tuple{ID: "x", Score: 5, Prob: 0.5})
+	w.Push(uncertain.Tuple{ID: "y", Score: 6, Prob: 0.5}) // evicts g1
+	res, err := w.TopK(1, exactParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window: g2 (0.6), x, y — top-1 = 20 with prob 0.6.
+	if math.Abs(res.Dist.TailProb(19)-0.6) > 1e-12 {
+		t.Fatalf("Pr(top-1 = 20) = %v", res.Dist.TailProb(19))
+	}
+}
+
+// TestSlidingCrossCheck: at every step of a random stream, the windowed
+// distribution equals the oracle over the current window contents.
+func TestSlidingCrossCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	w, _ := NewWindow(6)
+	for step := 0; step < 60; step++ {
+		tp := uncertain.Tuple{
+			ID:    "t",
+			Score: float64(r.Intn(30)),
+			Prob:  0.1 + 0.8*r.Float64(),
+		}
+		if _, err := w.Push(tp); err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + r.Intn(3)
+		res, err := w.TopK(k, exactParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := worlds.ExactDistribution(res.Prepared, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Dist.Len() != exact.Len() {
+			t.Fatalf("step %d: %d lines vs %d", step, res.Dist.Len(), exact.Len())
+		}
+		for i := 0; i < exact.Len(); i++ {
+			if math.Abs(res.Dist.Line(i).Prob-exact.Line(i).Prob) > 1e-9 {
+				t.Fatalf("step %d line %d: %v vs %v", step, i, res.Dist.Line(i), exact.Line(i))
+			}
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	w, _ := NewWindow(4)
+	var stream []uncertain.Tuple
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 20; i++ {
+		stream = append(stream, uncertain.Tuple{
+			ID: "t", Score: 10 + r.Float64()*10, Prob: 0.3 + 0.6*r.Float64(),
+		})
+	}
+	var values []float64
+	var skipped int
+	err := Series(w, stream, 2, exactParams(),
+		func(d *pmf.Dist) float64 { return d.Mean() },
+		func(step int, v float64, ok bool) {
+			if !ok {
+				skipped++
+				return
+			}
+			values = append(values, v)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values)+skipped != 20 {
+		t.Fatalf("observed %d + %d skipped", len(values), skipped)
+	}
+	for _, v := range values {
+		if v < 20 || v > 40 {
+			t.Fatalf("windowed top-2 mean %v outside plausible range", v)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package synth generates the synthetic datasets of the paper's §5.4:
+// tuples whose (score, probability) pairs are drawn from a bivariate normal
+// distribution with configurable correlation ρ and score spread σ, with
+// mutual-exclusion groups assigned over the score-sorted sequence by group
+// size and member-gap ranges, and optional score quantization to induce
+// ties.
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"probtopk/internal/stats"
+	"probtopk/internal/uncertain"
+)
+
+// Config describes one synthetic dataset. Zero fields take the defaults of
+// the paper's baseline experiment (Figure 13a): 200 tuples, score mean 100
+// and deviation 60, probability mean 0.5 and deviation 0.2, independent
+// scores/probabilities, 30% of tuples in ME groups of 2–3 with gaps of 1–8.
+type Config struct {
+	// N is the number of tuples.
+	N int
+	// ScoreMean and ScoreStd parameterize the score marginal.
+	ScoreMean, ScoreStd float64
+	// ProbMean and ProbStd parameterize the probability marginal before
+	// clamping into [ProbFloor, 1].
+	ProbMean, ProbStd float64
+	// Rho is the score–probability correlation coefficient in [−1, 1].
+	Rho float64
+	// MEPortion is the fraction of tuples assigned to multi-tuple ME groups.
+	MEPortion float64
+	// SizeMin and SizeMax bound ME group sizes (≥ 2).
+	SizeMin, SizeMax int
+	// GapMin and GapMax bound the distance, in score-sorted positions,
+	// between neighbouring members of a group (the paper's d).
+	GapMin, GapMax int
+	// TieQuantum, when positive, rounds scores to multiples of the quantum,
+	// producing score ties.
+	TieQuantum float64
+	// ProbFloor is the lowest probability a tuple may have (default 0.02).
+	ProbFloor float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// WithDefaults returns cfg with zero fields replaced by the Figure-13a
+// baseline values.
+func (c Config) WithDefaults() Config {
+	if c.N == 0 {
+		c.N = 200
+	}
+	if c.ScoreMean == 0 {
+		c.ScoreMean = 100
+	}
+	if c.ScoreStd == 0 {
+		c.ScoreStd = 60
+	}
+	if c.ProbMean == 0 {
+		c.ProbMean = 0.5
+	}
+	if c.ProbStd == 0 {
+		c.ProbStd = 0.2
+	}
+	if c.MEPortion == 0 {
+		c.MEPortion = 0.3
+	}
+	if c.SizeMin == 0 {
+		c.SizeMin = 2
+	}
+	if c.SizeMax == 0 {
+		c.SizeMax = 3
+	}
+	if c.GapMin == 0 {
+		c.GapMin = 1
+	}
+	if c.GapMax == 0 {
+		c.GapMax = 8
+	}
+	if c.ProbFloor == 0 {
+		c.ProbFloor = 0.02
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.N < 1:
+		return fmt.Errorf("synth: N must be ≥ 1, got %d", c.N)
+	case c.Rho < -1 || c.Rho > 1:
+		return fmt.Errorf("synth: rho must be in [-1, 1], got %v", c.Rho)
+	case c.MEPortion < 0 || c.MEPortion > 1:
+		return fmt.Errorf("synth: ME portion must be in [0, 1], got %v", c.MEPortion)
+	case c.SizeMin < 2 || c.SizeMax < c.SizeMin:
+		return fmt.Errorf("synth: group size range [%d, %d] invalid", c.SizeMin, c.SizeMax)
+	case c.GapMin < 1 || c.GapMax < c.GapMin:
+		return fmt.Errorf("synth: gap range [%d, %d] invalid", c.GapMin, c.GapMax)
+	}
+	return nil
+}
+
+// Generate builds the synthetic uncertain table described by cfg.
+//
+// Scores and probabilities are drawn jointly; probabilities are clamped to
+// [ProbFloor, 1]. ME groups are then laid over the score-sorted sequence:
+// group after group, each starting at the lowest unassigned position, with
+// random size s ∈ [SizeMin, SizeMax] and random per-neighbour gaps
+// d ∈ [GapMin, GapMax], until MEPortion of the tuples are grouped. Whenever a
+// group's probabilities sum above 1, they are rescaled to total 0.999,
+// preserving their ratios (the sum constraint of §2.1).
+func Generate(cfg Config) (*uncertain.Table, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.New(cfg.Seed)
+
+	type tup struct {
+		score, prob float64
+	}
+	tuples := make([]tup, cfg.N)
+	for i := range tuples {
+		s, p := rng.BivariateNormal(cfg.ScoreMean, cfg.ScoreStd, cfg.ProbMean, cfg.ProbStd, cfg.Rho)
+		if cfg.TieQuantum > 0 {
+			s = quantize(s, cfg.TieQuantum)
+		}
+		tuples[i] = tup{score: s, prob: stats.Clamp(p, cfg.ProbFloor, 1)}
+	}
+	// Sort by score descending so group gaps are measured in rank positions,
+	// as in the paper's Figures 15/16.
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i].score > tuples[j].score })
+
+	groupOf := make([]int, cfg.N) // 0 = independent
+	next := 1
+	target := int(cfg.MEPortion * float64(cfg.N))
+	grouped := 0
+	cursor := 0
+	for grouped < target {
+		for cursor < cfg.N && groupOf[cursor] != 0 {
+			cursor++
+		}
+		if cursor >= cfg.N {
+			break
+		}
+		size := rng.IntBetween(cfg.SizeMin, cfg.SizeMax)
+		members := []int{cursor}
+		pos := cursor
+		for len(members) < size {
+			pos += rng.IntBetween(cfg.GapMin, cfg.GapMax)
+			for pos < cfg.N && groupOf[pos] != 0 {
+				pos++
+			}
+			if pos >= cfg.N {
+				break
+			}
+			members = append(members, pos)
+		}
+		if len(members) < 2 {
+			break // cannot place any further group
+		}
+		for _, m := range members {
+			groupOf[m] = next
+		}
+		grouped += len(members)
+		next++
+		cursor++
+	}
+
+	// Rescale group probabilities that exceed the unit-mass constraint.
+	sums := make(map[int]float64)
+	for i, g := range groupOf {
+		if g != 0 {
+			sums[g] += tuples[i].prob
+		}
+	}
+	for i, g := range groupOf {
+		if g != 0 && sums[g] > 1 {
+			tuples[i].prob *= 0.999 / sums[g]
+		}
+	}
+
+	tab := uncertain.NewTable()
+	for i, tp := range tuples {
+		group := ""
+		if groupOf[i] != 0 {
+			group = fmt.Sprintf("g%d", groupOf[i])
+		}
+		tab.Add(uncertain.Tuple{
+			ID:    fmt.Sprintf("s%d", i+1),
+			Score: tp.score,
+			Prob:  tp.prob,
+			Group: group,
+		})
+	}
+	if err := tab.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated table invalid: %w", err)
+	}
+	return tab, nil
+}
+
+// quantize rounds x to the nearest multiple of q.
+func quantize(x, q float64) float64 {
+	n := x / q
+	if n >= 0 {
+		return q * float64(int64(n+0.5))
+	}
+	return q * float64(int64(n-0.5))
+}

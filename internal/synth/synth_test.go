@@ -1,0 +1,151 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"probtopk/internal/stats"
+	"probtopk/internal/uncertain"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	tab, err := Generate(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 200 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var scores, probs []float64
+	for _, tp := range tab.Tuples() {
+		scores = append(scores, tp.Score)
+		probs = append(probs, tp.Prob)
+	}
+	if m := stats.Mean(scores); math.Abs(m-100) > 15 {
+		t.Fatalf("score mean = %v", m)
+	}
+	if s := stats.StdDev(scores); math.Abs(s-60) > 12 {
+		t.Fatalf("score std = %v", s)
+	}
+	if m := stats.Mean(probs); math.Abs(m-0.5) > 0.1 {
+		t.Fatalf("prob mean = %v", m)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Tuple(i) != b.Tuple(i) {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	c, err := Generate(Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < a.Len(); i++ {
+		if a.Tuple(i) != c.Tuple(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical tables")
+	}
+}
+
+func TestCorrelationSign(t *testing.T) {
+	for _, rho := range []float64{0, 0.8, -0.8} {
+		tab, err := Generate(Config{N: 3000, Rho: rho, MEPortion: 0.0001, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var scores, probs []float64
+		for _, tp := range tab.Tuples() {
+			// Exclude clamped probabilities, which bias the correlation.
+			if tp.Prob > 0.03 && tp.Prob < 0.99 {
+				scores = append(scores, tp.Score)
+				probs = append(probs, tp.Prob)
+			}
+		}
+		got := stats.Pearson(scores, probs)
+		if math.Abs(got-rho) > 0.08 {
+			t.Fatalf("rho=%v: measured %v", rho, got)
+		}
+	}
+}
+
+func TestMEPortionAndGroupShape(t *testing.T) {
+	cfg := Config{N: 400, MEPortion: 0.4, SizeMin: 2, SizeMax: 5, GapMin: 1, GapMax: 10, Seed: 3}
+	tab, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := uncertain.Prepare(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped := p.MExclusiveCount(p.Len())
+	if frac := float64(grouped) / 400; math.Abs(frac-0.4) > 0.05 {
+		t.Fatalf("grouped fraction = %v, want ≈ 0.4", frac)
+	}
+	for g := 0; g < p.NumGroups(); g++ {
+		ms := p.GroupMembers(g)
+		if len(ms) == 1 {
+			continue
+		}
+		if len(ms) < 2 || len(ms) > 5 {
+			t.Fatalf("group size %d outside [2, 5]", len(ms))
+		}
+		var sum float64
+		for _, m := range ms {
+			sum += p.Tuples[m].Prob
+		}
+		if sum > 1+1e-9 {
+			t.Fatalf("group mass %v > 1", sum)
+		}
+	}
+}
+
+func TestTieQuantum(t *testing.T) {
+	tab, err := Generate(Config{N: 300, TieQuantum: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[float64]bool{}
+	for _, tp := range tab.Tuples() {
+		if r := math.Mod(math.Abs(tp.Score), 10); r > 1e-9 && r < 10-1e-9 {
+			t.Fatalf("score %v not a multiple of the quantum", tp.Score)
+		}
+		distinct[tp.Score] = true
+	}
+	if len(distinct) >= 300 {
+		t.Fatal("quantization produced no ties")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{N: -1},
+		{Rho: 1.5},
+		{MEPortion: -0.2},
+		{SizeMin: 1, SizeMax: 1},
+		{GapMin: 3, GapMax: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Fatalf("case %d should error", i)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package typical
+
+// The paper's §4 closes by noting that "a user could examine the edit
+// distances between the vectors and potentially try different values of c.
+// ... The magnitude of the distances indicates the span of the k-dimensional
+// vector space. Smaller distances indicate that the result is less uncertain
+// while bigger distances indicate larger uncertainty." This file provides
+// that analysis.
+
+// EditDistance returns the set edit distance between two top-k tuple
+// vectors: the minimum number of single-tuple replacements turning one into
+// the other, i.e. k − |a ∩ b| for equal-length vectors (order inside a
+// vector carries no information — a top-k vector is a set of co-existing
+// tuples). For unequal lengths the length difference adds
+// insertions/deletions.
+func EditDistance(a, b []int) int {
+	inA := make(map[int]int, len(a))
+	for _, t := range a {
+		inA[t]++
+	}
+	common := 0
+	for _, t := range b {
+		if inA[t] > 0 {
+			inA[t]--
+			common++
+		}
+	}
+	la, lb := len(a), len(b)
+	max := la
+	if lb > max {
+		max = lb
+	}
+	return max - common
+}
+
+// Spread summarises the pairwise edit distances of a c-Typical-Topk answer:
+// the mean and maximum distance between the chosen vectors. Per §4, a small
+// spread means the typical answers largely agree on membership (the result
+// is not very uncertain); a large spread means the probable top-k sets are
+// genuinely different. Returns zeros when fewer than two vectors carry
+// tuples.
+func (a *Answer) Spread() (mean float64, max int) {
+	var vecs [][]int
+	for _, l := range a.Lines {
+		if l.Vec != nil {
+			vecs = append(vecs, l.Vec.Slice())
+		}
+	}
+	if len(vecs) < 2 {
+		return 0, 0
+	}
+	var sum, pairs int
+	for i := 0; i < len(vecs); i++ {
+		for j := i + 1; j < len(vecs); j++ {
+			d := EditDistance(vecs[i], vecs[j])
+			sum += d
+			pairs++
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return float64(sum) / float64(pairs), max
+}

@@ -1,0 +1,93 @@
+package typical
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"probtopk/internal/core"
+	"probtopk/internal/fixtures"
+	"probtopk/internal/uncertain"
+)
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{[]int{1, 2}, []int{1, 2}, 0},
+		{[]int{1, 2}, []int{2, 1}, 0}, // order-insensitive
+		{[]int{1, 2}, []int{1, 3}, 1},
+		{[]int{1, 2}, []int{3, 4}, 2},
+		{[]int{1, 2, 3}, []int{1}, 2},
+		{nil, nil, 0},
+		{[]int{5}, nil, 1},
+		{[]int{1, 1, 2}, []int{1, 2, 2}, 1}, // multiset semantics
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Fatalf("EditDistance(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Properties: symmetry, identity, triangle inequality, bounds.
+func TestEditDistanceProperties(t *testing.T) {
+	gen := func(r *rand.Rand) []int {
+		n := r.Intn(6)
+		v := make([]int, n)
+		for i := range v {
+			v[i] = r.Intn(8)
+		}
+		return v
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := gen(r), gen(r), gen(r)
+		dab, dba := EditDistance(a, b), EditDistance(b, a)
+		if dab != dba {
+			return false
+		}
+		if EditDistance(a, a) != 0 {
+			return false
+		}
+		if dab > len(a)+len(b) {
+			return false
+		}
+		return EditDistance(a, c) <= dab+EditDistance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpreadSoldier: the 3-Typical-Top2 vectors of Example 1 are
+// (T2,T6), (T7,T6), (T7,T3) — pairwise distances 1, 2, 1.
+func TestSpreadSoldier(t *testing.T) {
+	p, err := uncertain.Prepare(fixtures.Soldier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Distribution(p, core.Params{K: 2, TrackVectors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := Select(res.Dist, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, max := ans.Spread()
+	if max != 2 {
+		t.Fatalf("max spread = %d, want 2", max)
+	}
+	if mean < 1.3 || mean > 1.4 { // (1+2+1)/3
+		t.Fatalf("mean spread = %v, want 4/3", mean)
+	}
+}
+
+func TestSpreadDegenerate(t *testing.T) {
+	ans := &Answer{}
+	if mean, max := ans.Spread(); mean != 0 || max != 0 {
+		t.Fatal("empty answer should have zero spread")
+	}
+}

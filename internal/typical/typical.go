@@ -1,0 +1,284 @@
+// Package typical implements §4 of the paper: selecting the c-Typical-Topk
+// answers from a top-k score distribution.
+//
+// Given the distribution {(s_i, p_i, v_i)} produced by internal/core, the
+// c-Typical-Topk scores minimize E[min_i |S − s_i|] for S drawn from the
+// distribution (Definition 1), and the c-Typical-Topk tuples are the
+// highest-probability vectors carrying those scores (Definition 2).
+//
+// Three solvers are provided:
+//
+//   - SelectNaive — the two-function dynamic program of Figure 7, verbatim:
+//     recursions (5)/(6) over prefix sums P/PS with traceback arrays f/g.
+//     The paper states O(cn) but its pseudocode performs the inner
+//     minimisations explicitly, costing O(cn²); this solver is the faithful
+//     transcription.
+//   - Select — the same recurrences solved with divide-and-conquer
+//     optimisation, valid because both interval cost functions satisfy the
+//     convex quadrangle (Monge) inequality; O(cn log n). This realises the
+//     near-linear complexity the paper attributes to Hassin & Tamir's
+//     technique.
+//   - BruteForce — exhaustive search over all C(n, c) score subsets, the
+//     test oracle.
+package typical
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"probtopk/internal/pmf"
+)
+
+// Answer is a c-Typical-Topk result.
+type Answer struct {
+	// Scores are the chosen typical scores in ascending order.
+	Scores []float64
+	// Lines are the distribution lines carrying those scores; each Line's
+	// Vec/VecProb identify the most probable top-k vector with that score
+	// (Definition 2).
+	Lines []pmf.Line
+	// Cost is the achieved objective Σ_b p_b · min_i |s_b − s_i| — the
+	// expected distance between a random top-k score and its nearest typical
+	// score, weighted by the distribution's (possibly unnormalized) mass.
+	Cost float64
+}
+
+// ErrEmptyDistribution is returned when the distribution has no lines.
+var ErrEmptyDistribution = errors.New("typical: empty distribution")
+
+func checkArgs(d *pmf.Dist, c int) error {
+	if d == nil || d.Len() == 0 {
+		return ErrEmptyDistribution
+	}
+	if c < 1 {
+		return fmt.Errorf("typical: c must be ≥ 1, got %d", c)
+	}
+	return nil
+}
+
+// Cost evaluates the Definition-1 objective for an arbitrary set of points:
+// Σ_b p_b · min_i |s_b − points_i| over the lines of d.
+func Cost(d *pmf.Dist, points []float64) float64 {
+	if d.Len() == 0 || len(points) == 0 {
+		return math.NaN()
+	}
+	return d.ExpectedMinDistance(points) * d.TotalMass()
+}
+
+// allLines returns the trivial answer when c ≥ n: every support point is
+// typical and the cost is zero.
+func allLines(d *pmf.Dist) *Answer {
+	lines := d.Lines()
+	a := &Answer{Lines: lines, Scores: make([]float64, len(lines))}
+	for i, l := range lines {
+		a.Scores[i] = l.Score
+	}
+	return a
+}
+
+// tables holds the shared state of both DP solvers: 1-based prefix sums over
+// the ascending score order, following the paper's notation.
+type tables struct {
+	s, p  []float64 // s[1..n], p[1..n]
+	P, PS []float64 // P[0..n], PS[0..n]
+	n     int
+	F, G  [][]float64 // [a][j]
+	f, g  [][]int
+	lines []pmf.Line
+}
+
+func newTables(d *pmf.Dist, c int) *tables {
+	lines := d.Lines()
+	n := len(lines)
+	t := &tables{n: n, lines: lines}
+	t.s = make([]float64, n+1)
+	t.p = make([]float64, n+1)
+	t.P = make([]float64, n+1)
+	t.PS = make([]float64, n+1)
+	for j := 1; j <= n; j++ {
+		t.s[j] = lines[j-1].Score
+		t.p[j] = lines[j-1].Prob
+		t.P[j] = t.P[j-1] + t.p[j]
+		t.PS[j] = t.PS[j-1] + t.p[j]*t.s[j]
+	}
+	t.F = make([][]float64, c+1)
+	t.G = make([][]float64, c+1)
+	t.f = make([][]int, c+1)
+	t.g = make([][]int, c+1)
+	for a := 1; a <= c; a++ {
+		t.F[a] = make([]float64, n+2)
+		t.G[a] = make([]float64, n+2)
+		t.f[a] = make([]int, n+2)
+		t.g[a] = make([]int, n+2)
+	}
+	return t
+}
+
+// fCost is the bracketed expression of recursion (5): the cost of assigning
+// points j..k to the typical score s_k, plus the subproblem where s_k is
+// typical with a typicals remaining.
+func (t *tables) fCost(a, j, k int) float64 {
+	return (t.P[k]-t.P[j-1])*t.s[k] - t.PS[k] + t.PS[j-1] + t.G[a][k]
+}
+
+// gCost is the bracketed expression of recursion (6): the cost of assigning
+// points j..k−1 leftward to the typical score s_j, plus the subproblem
+// starting at k with a−1 typicals.
+func (t *tables) gCost(a, j, k int) float64 {
+	return t.PS[k-1] - t.PS[j-1] - (t.P[k-1]-t.P[j-1])*t.s[j] + t.F[a-1][k]
+}
+
+// boundaryG fills G[1][j] = Σ_{b=j..n} p_b (s_b − s_j), equation (3).
+func (t *tables) boundaryG() {
+	for j := 1; j <= t.n; j++ {
+		t.G[1][j] = t.PS[t.n] - t.PS[j-1] - (t.P[t.n]-t.P[j-1])*t.s[j]
+		t.g[1][j] = t.n + 1
+	}
+}
+
+// traceback reconstructs the chosen positions from f/g, per Figure 7
+// lines 36–41.
+func (t *tables) traceback(c int) *Answer {
+	ans := &Answer{}
+	k := 1
+	for a := c; a >= 1; a-- {
+		i := t.f[a][k]
+		ans.Scores = append(ans.Scores, t.s[i])
+		ans.Lines = append(ans.Lines, t.lines[i-1])
+		k = t.g[a][i]
+	}
+	ans.Cost = t.F[c][1]
+	return ans
+}
+
+// SelectNaive computes the c-Typical-Topk answer with the Figure-7 dynamic
+// program exactly as published: O(cn²) time, O(cn) space.
+func SelectNaive(d *pmf.Dist, c int) (*Answer, error) {
+	if err := checkArgs(d, c); err != nil {
+		return nil, err
+	}
+	if c >= d.Len() {
+		return allLines(d), nil
+	}
+	t := newTables(d, c)
+	n := t.n
+	t.boundaryG()
+	fillF := func(a int) {
+		for j := 1; j <= n; j++ {
+			t.F[a][j] = math.MaxFloat64
+			for k := j; k <= n; k++ {
+				if v := t.fCost(a, j, k); v < t.F[a][j] {
+					t.F[a][j] = v
+					t.f[a][j] = k
+				}
+			}
+		}
+	}
+	fillF(1)
+	for a := 2; a <= c; a++ {
+		t.F[a-1][n+1] = 0
+		for j := 1; j <= n; j++ {
+			t.G[a][j] = math.MaxFloat64
+			for k := j + 1; k <= n+1; k++ {
+				if v := t.gCost(a, j, k); v < t.G[a][j] {
+					t.G[a][j] = v
+					t.g[a][j] = k
+				}
+			}
+		}
+		fillF(a)
+	}
+	return t.traceback(c), nil
+}
+
+// Select computes the c-Typical-Topk answer using divide-and-conquer
+// optimisation of the same recurrences: both interval costs satisfy the
+// convex quadrangle inequality, so the optimal k is monotone in j and each
+// layer fills in O(n log n).
+func Select(d *pmf.Dist, c int) (*Answer, error) {
+	if err := checkArgs(d, c); err != nil {
+		return nil, err
+	}
+	if c >= d.Len() {
+		return allLines(d), nil
+	}
+	t := newTables(d, c)
+	n := t.n
+	t.boundaryG()
+
+	// solve fills row[j] = min over k in [max(j, kLo) .. kHi] of cost(j, k)
+	// for j in [jLo, jHi], exploiting argmin monotonicity.
+	var solve func(cost func(j, k int) float64, row []float64, arg []int, jLo, jHi, kLo, kHi int, kMin func(j int) int)
+	solve = func(cost func(j, k int) float64, row []float64, arg []int, jLo, jHi, kLo, kHi int, kMin func(j int) int) {
+		if jLo > jHi {
+			return
+		}
+		j := (jLo + jHi) / 2
+		lo := kLo
+		if m := kMin(j); m > lo {
+			lo = m
+		}
+		best, bestK := math.MaxFloat64, lo
+		for k := lo; k <= kHi; k++ {
+			if v := cost(j, k); v < best {
+				best, bestK = v, k
+			}
+		}
+		row[j], arg[j] = best, bestK
+		solve(cost, row, arg, jLo, j-1, kLo, bestK, kMin)
+		solve(cost, row, arg, j+1, jHi, bestK, kHi, kMin)
+	}
+
+	fillF := func(a int) {
+		solve(func(j, k int) float64 { return t.fCost(a, j, k) },
+			t.F[a], t.f[a], 1, n, 1, n, func(j int) int { return j })
+	}
+	fillF(1)
+	for a := 2; a <= c; a++ {
+		t.F[a-1][n+1] = 0
+		solve(func(j, k int) float64 { return t.gCost(a, j, k) },
+			t.G[a], t.g[a], 1, n, 2, n+1, func(j int) int { return j + 1 })
+		fillF(a)
+	}
+	return t.traceback(c), nil
+}
+
+// BruteForce enumerates every c-subset of support points and returns one
+// with minimal cost. Exponential; only for validation on small inputs.
+func BruteForce(d *pmf.Dist, c int) (*Answer, error) {
+	if err := checkArgs(d, c); err != nil {
+		return nil, err
+	}
+	lines := d.Lines()
+	n := len(lines)
+	if c >= n {
+		return allLines(d), nil
+	}
+	combo := make([]int, c)
+	points := make([]float64, c)
+	best := &Answer{Cost: math.MaxFloat64}
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == c {
+			for i, idx := range combo {
+				points[i] = lines[idx].Score
+			}
+			if cost := Cost(d, points); cost < best.Cost {
+				best.Cost = cost
+				best.Scores = append(best.Scores[:0], points...)
+				best.Lines = best.Lines[:0]
+				for _, idx := range combo {
+					best.Lines = append(best.Lines, lines[idx])
+				}
+			}
+			return
+		}
+		for i := start; i <= n-(c-depth); i++ {
+			combo[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return best, nil
+}

@@ -1,0 +1,281 @@
+package typical
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"probtopk/internal/core"
+	"probtopk/internal/fixtures"
+	"probtopk/internal/pmf"
+	"probtopk/internal/uncertain"
+)
+
+func soldierDist(t *testing.T) *pmf.Dist {
+	t.Helper()
+	p, err := uncertain.Prepare(fixtures.Soldier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Distribution(p, core.Params{K: 2, TrackVectors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Dist
+}
+
+type solver struct {
+	name string
+	run  func(*pmf.Dist, int) (*Answer, error)
+}
+
+func solvers() []solver {
+	return []solver{{"Select", Select}, {"SelectNaive", SelectNaive}, {"BruteForce", BruteForce}}
+}
+
+// TestSoldier3Typical reproduces §2.2: the 3-Typical-Top2 scores of Example 1
+// are {118, 183, 235} with expected distance 6.6, and the vectors are
+// {(T2,T6), (T7,T6), (T7,T3)}.
+func TestSoldier3Typical(t *testing.T) {
+	d := soldierDist(t)
+	p, _ := uncertain.Prepare(fixtures.Soldier())
+	wantVecs := [][]string{{"T2", "T6"}, {"T7", "T6"}, {"T7", "T3"}}
+	for _, s := range solvers() {
+		t.Run(s.name, func(t *testing.T) {
+			ans, err := s.run(d, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fixtures.SoldierTypical3Scores()
+			if len(ans.Scores) != 3 {
+				t.Fatalf("scores = %v", ans.Scores)
+			}
+			for i := range want {
+				if math.Abs(ans.Scores[i]-want[i]) > 1e-9 {
+					t.Fatalf("scores = %v, want %v", ans.Scores, want)
+				}
+			}
+			if math.Abs(ans.Cost-fixtures.SoldierTypical3Dist) > 1e-9 {
+				t.Fatalf("cost = %v, want %v", ans.Cost, fixtures.SoldierTypical3Dist)
+			}
+			for i, l := range ans.Lines {
+				ids := p.IDs(l.Vec.Slice())
+				if len(ids) != 2 || ids[0] != wantVecs[i][0] || ids[1] != wantVecs[i][1] {
+					t.Fatalf("vector %d = %v, want %v", i, ids, wantVecs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSoldier1Typical reproduces §2.2: the 1-Typical-Top2 vector is (T3, T2)
+// with score 170 and probability 0.16.
+func TestSoldier1Typical(t *testing.T) {
+	d := soldierDist(t)
+	p, _ := uncertain.Prepare(fixtures.Soldier())
+	for _, s := range solvers() {
+		ans, err := s.run(d, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if len(ans.Scores) != 1 || ans.Scores[0] != fixtures.SoldierTypical1Score {
+			t.Fatalf("%s: scores = %v, want [170]", s.name, ans.Scores)
+		}
+		ids := p.IDs(ans.Lines[0].Vec.Slice())
+		if ids[0] != "T3" || ids[1] != "T2" {
+			t.Fatalf("%s: vector = %v, want [T3 T2]", s.name, ids)
+		}
+		if math.Abs(ans.Lines[0].VecProb-fixtures.SoldierTypical1Prob) > 1e-12 {
+			t.Fatalf("%s: prob = %v, want %v", s.name, ans.Lines[0].VecProb, fixtures.SoldierTypical1Prob)
+		}
+	}
+}
+
+// The 1-typical score restricted to support points minimizes E|S − s|, i.e.
+// it is a weighted median.
+func TestOneTypicalIsWeightedMedian(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		d := randomDist(r, 2+r.Intn(40))
+		ans, err := Select(d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		med := d.Median()
+		if diff := math.Abs(Cost(d, []float64{med}) - ans.Cost); diff > 1e-9 {
+			t.Fatalf("trial %d: median cost %v vs typical cost %v", trial,
+				Cost(d, []float64{med}), ans.Cost)
+		}
+	}
+}
+
+func randomDist(r *rand.Rand, n int) *pmf.Dist {
+	lines := make([]pmf.Line, n)
+	for i := range lines {
+		lines[i] = pmf.Line{Score: math.Floor(r.Float64()*1000) / 2, Prob: 0.01 + r.Float64()}
+	}
+	return pmf.FromLines(lines)
+}
+
+// TestSolversAgree: the faithful O(cn²) DP, the divide-and-conquer DP, and
+// brute force achieve the same optimal cost on random inputs.
+func TestSolversAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + r.Intn(14)
+		d := randomDist(r, n)
+		c := 1 + r.Intn(5)
+		naive, err := SelectNaive(d, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc, err := Select(d, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := BruteForce(d, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(naive.Cost-bf.Cost) > 1e-9 {
+			t.Fatalf("trial %d (n=%d c=%d): naive %v vs brute %v\nscores %v vs %v",
+				trial, d.Len(), c, naive.Cost, bf.Cost, naive.Scores, bf.Scores)
+		}
+		if math.Abs(dc.Cost-bf.Cost) > 1e-9 {
+			t.Fatalf("trial %d (n=%d c=%d): dc %v vs brute %v\nscores %v vs %v",
+				trial, d.Len(), c, dc.Cost, bf.Cost, dc.Scores, bf.Scores)
+		}
+		// Achieved cost must equal the independent evaluation of the chosen
+		// scores.
+		if math.Abs(Cost(d, naive.Scores)-naive.Cost) > 1e-9 {
+			t.Fatalf("trial %d: reported cost %v, evaluated %v", trial, naive.Cost, Cost(d, naive.Scores))
+		}
+	}
+}
+
+// TestSolversAgreeLarger: naive vs DC on larger inputs (brute force skipped).
+func TestSolversAgreeLarger(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 15; trial++ {
+		d := randomDist(r, 50+r.Intn(150))
+		for _, c := range []int{1, 2, 3, 7, 15} {
+			naive, err := SelectNaive(d, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dc, err := Select(d, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(naive.Cost-dc.Cost) > 1e-6*math.Max(1, naive.Cost) {
+				t.Fatalf("trial %d c=%d: naive %v vs dc %v", trial, c, naive.Cost, dc.Cost)
+			}
+		}
+	}
+}
+
+func TestScoresAscendingAndValid(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		d := randomDist(r, 2+r.Intn(30))
+		c := 1 + r.Intn(6)
+		ans, err := Select(d, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLen := c
+		if c > d.Len() {
+			wantLen = d.Len()
+		}
+		if len(ans.Scores) != wantLen {
+			t.Fatalf("got %d scores, want %d", len(ans.Scores), wantLen)
+		}
+		if !sort.Float64sAreSorted(ans.Scores) {
+			t.Fatalf("scores not ascending: %v", ans.Scores)
+		}
+		support := map[float64]bool{}
+		for _, l := range d.Lines() {
+			support[l.Score] = true
+		}
+		for i, s := range ans.Scores {
+			if !support[s] {
+				t.Fatalf("score %v not a support point", s)
+			}
+			if i > 0 && ans.Scores[i] == ans.Scores[i-1] {
+				t.Fatalf("duplicate typical score %v", s)
+			}
+		}
+	}
+}
+
+func TestCEqualsOrExceedsN(t *testing.T) {
+	d := pmf.FromLines([]pmf.Line{{Score: 1, Prob: 0.5}, {Score: 2, Prob: 0.5}})
+	for _, s := range solvers() {
+		ans, err := s.run(d, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if len(ans.Scores) != 2 || ans.Cost != 0 {
+			t.Fatalf("%s: answer = %+v", s.name, ans)
+		}
+	}
+}
+
+func TestArgErrors(t *testing.T) {
+	d := pmf.FromLines([]pmf.Line{{Score: 1, Prob: 1}})
+	for _, s := range solvers() {
+		if _, err := s.run(pmf.New(), 1); err != ErrEmptyDistribution {
+			t.Fatalf("%s: err = %v", s.name, err)
+		}
+		if _, err := s.run(nil, 1); err != ErrEmptyDistribution {
+			t.Fatalf("%s: nil dist err = %v", s.name, err)
+		}
+		if _, err := s.run(d, 0); err == nil {
+			t.Fatalf("%s: c=0 should error", s.name)
+		}
+	}
+}
+
+// Property: cost is non-increasing in c (more typical vectors can only help).
+func TestCostMonotoneInC(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		d := randomDist(r, 5+r.Intn(40))
+		prev := math.MaxFloat64
+		for c := 1; c <= 8; c++ {
+			ans, err := Select(d, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ans.Cost > prev+1e-9 {
+				t.Fatalf("trial %d: cost increased from %v to %v at c=%d", trial, prev, ans.Cost, c)
+			}
+			prev = ans.Cost
+		}
+	}
+}
+
+// The i-th typical score sits near quantile i/(c+1), per the paper's
+// intuition ("the ith vector has a score that is approximately i/(c+1)
+// through the probability distribution"). We verify loosely on a smooth
+// distribution.
+func TestQuantileIntuition(t *testing.T) {
+	lines := make([]pmf.Line, 401)
+	for i := range lines {
+		x := float64(i-200) / 60
+		lines[i] = pmf.Line{Score: float64(i), Prob: math.Exp(-x * x / 2)}
+	}
+	d := pmf.FromLines(lines)
+	d.Normalize()
+	ans, err := Select(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range ans.Scores {
+		q := d.Quantile(float64(i+1) / 4)
+		if math.Abs(s-q) > 40 { // loose: typical ≠ quantile, but nearby
+			t.Fatalf("typical[%d] = %v, far from quantile %v", i, s, q)
+		}
+	}
+}

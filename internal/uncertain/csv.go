@@ -1,0 +1,72 @@
+package uncertain
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the canonical column layout for table CSV files.
+var csvHeader = []string{"id", "score", "prob", "group"}
+
+// WriteCSV writes the table in insertion order with a header row:
+// id,score,prob,group (group empty for independent tuples).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("uncertain: writing csv header: %w", err)
+	}
+	for _, tp := range t.tuples {
+		rec := []string{
+			tp.ID,
+			strconv.FormatFloat(tp.Score, 'g', -1, 64),
+			strconv.FormatFloat(tp.Prob, 'g', -1, 64),
+			tp.Group,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("uncertain: writing csv record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table written by WriteCSV (or any CSV with the same
+// header). The header row is required so column order is unambiguous.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("uncertain: reading csv header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("uncertain: csv header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	t := NewTable()
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("uncertain: reading csv: %w", err)
+		}
+		score, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("uncertain: csv line %d: bad score %q: %w", line, rec[1], err)
+		}
+		prob, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("uncertain: csv line %d: bad prob %q: %w", line, rec[2], err)
+		}
+		t.Add(Tuple{ID: rec[0], Score: score, Prob: prob, Group: rec[3]})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

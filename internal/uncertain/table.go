@@ -1,0 +1,351 @@
+// Package uncertain implements the tuple-level uncertain data model of the
+// probabilistic database literature, as used by the paper (§2.1): an
+// uncertain table is a set of tuples, each with a membership probability, and
+// a set of mutual-exclusion (ME) rules. Each rule names an ME group, at most
+// one tuple of which may appear in a possible world; the probabilities within
+// a group sum to at most 1, and groups are independent of each other.
+//
+// The package also provides the derived structure the paper's algorithms
+// need: the (score, probability)-descending sort order of §3.4, tie groups
+// (§2.3), lead tuples and lead-tuple regions (§3.3.3), and the per-group
+// prefix probability masses used by the exact StateExpansion baseline.
+package uncertain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// probSumTolerance is the slack allowed when validating that an ME group's
+// probabilities sum to at most 1, to absorb floating-point noise in
+// generated datasets.
+const probSumTolerance = 1e-9
+
+// Tuple is one uncertain tuple: an identifier, a ranking score, a membership
+// probability, and an optional ME group key ("" means the tuple is alone in
+// its own group, i.e. independent).
+type Tuple struct {
+	ID    string
+	Score float64
+	Prob  float64
+	Group string
+}
+
+// Table is an uncertain table: an ordered collection of tuples plus the ME
+// rules implied by their Group keys. The zero value is an empty table.
+type Table struct {
+	tuples []Tuple
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table { return &Table{} }
+
+// Add appends a tuple. Returns the table for chaining.
+func (t *Table) Add(tp Tuple) *Table {
+	t.tuples = append(t.tuples, tp)
+	return t
+}
+
+// AddIndependent appends an independent tuple (its own ME group).
+func (t *Table) AddIndependent(id string, score, prob float64) *Table {
+	return t.Add(Tuple{ID: id, Score: score, Prob: prob})
+}
+
+// AddExclusive appends a tuple belonging to the named ME group.
+func (t *Table) AddExclusive(id, group string, score, prob float64) *Table {
+	return t.Add(Tuple{ID: id, Score: score, Prob: prob, Group: group})
+}
+
+// Len returns the number of tuples.
+func (t *Table) Len() int { return len(t.tuples) }
+
+// Tuples returns a copy of the tuple slice in insertion order.
+func (t *Table) Tuples() []Tuple {
+	out := make([]Tuple, len(t.tuples))
+	copy(out, t.tuples)
+	return out
+}
+
+// Tuple returns the i-th tuple in insertion order.
+func (t *Table) Tuple(i int) Tuple { return t.tuples[i] }
+
+// Clone returns a deep copy.
+func (t *Table) Clone() *Table {
+	c := &Table{tuples: make([]Tuple, len(t.tuples))}
+	copy(c.tuples, t.tuples)
+	return c
+}
+
+// Validate checks the data-model invariants: every probability is in (0, 1],
+// scores are finite, and each ME group's probabilities sum to at most 1.
+func (t *Table) Validate() error {
+	sums := make(map[string]float64)
+	for i, tp := range t.tuples {
+		if math.IsNaN(tp.Score) || math.IsInf(tp.Score, 0) {
+			return fmt.Errorf("uncertain: tuple %d (%q) has non-finite score %v", i, tp.ID, tp.Score)
+		}
+		if !(tp.Prob > 0 && tp.Prob <= 1) {
+			return fmt.Errorf("uncertain: tuple %d (%q) has probability %v outside (0, 1]", i, tp.ID, tp.Prob)
+		}
+		if tp.Group != "" {
+			sums[tp.Group] += tp.Prob
+		}
+	}
+	for g, s := range sums {
+		if s > 1+probSumTolerance {
+			return fmt.Errorf("uncertain: ME group %q has total probability %v > 1", g, s)
+		}
+	}
+	return nil
+}
+
+// ErrEmptyTable is returned when an operation requires a non-empty table.
+var ErrEmptyTable = errors.New("uncertain: empty table")
+
+// PTuple is a tuple in a Prepared table: the original tuple plus its dense
+// group identifier and lead flag.
+type PTuple struct {
+	// Orig is the tuple's index in the source table's insertion order.
+	Orig  int
+	ID    string
+	Score float64
+	Prob  float64
+	// Group is a dense group identifier. Independent tuples get their own
+	// singleton group.
+	Group int
+	// Lead reports whether this tuple is the first (highest-ranked) member
+	// of its ME group in the prepared order. Singleton-group tuples are
+	// always leads (§3.3.3).
+	Lead bool
+}
+
+// Prepared is a validated table sorted in the canonical order of §3.4:
+// descending by (score, probability), remaining ties broken by insertion
+// order so the sort is total and deterministic. It caches the group
+// structure, tie groups, and lead regions the algorithms need.
+type Prepared struct {
+	Tuples []PTuple
+
+	// groupMembers[g] lists the prepared positions of group g's members in
+	// rank order.
+	groupMembers [][]int
+	// tieStart[i] / tieEnd[i] give the half-open range of the tie group
+	// containing position i.
+	tieStart, tieEnd []int
+}
+
+// Prepare validates and sorts the table, returning the derived structure.
+func Prepare(t *Table) (*Prepared, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Len() == 0 {
+		return nil, ErrEmptyTable
+	}
+	idx := make([]int, t.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ta, tb := t.tuples[idx[a]], t.tuples[idx[b]]
+		if ta.Score != tb.Score {
+			return ta.Score > tb.Score
+		}
+		if ta.Prob != tb.Prob {
+			return ta.Prob > tb.Prob
+		}
+		return idx[a] < idx[b]
+	})
+	p := &Prepared{Tuples: make([]PTuple, t.Len())}
+	groupIDs := make(map[string]int)
+	for pos, oi := range idx {
+		tp := t.tuples[oi]
+		var g int
+		if tp.Group == "" {
+			g = len(p.groupMembers)
+			p.groupMembers = append(p.groupMembers, nil)
+		} else if known, ok := groupIDs[tp.Group]; ok {
+			g = known
+		} else {
+			g = len(p.groupMembers)
+			groupIDs[tp.Group] = g
+			p.groupMembers = append(p.groupMembers, nil)
+		}
+		p.Tuples[pos] = PTuple{
+			Orig: oi, ID: tp.ID, Score: tp.Score, Prob: tp.Prob,
+			Group: g, Lead: len(p.groupMembers[g]) == 0,
+		}
+		p.groupMembers[g] = append(p.groupMembers[g], pos)
+	}
+	p.buildTieGroups()
+	return p, nil
+}
+
+func (p *Prepared) buildTieGroups() {
+	n := len(p.Tuples)
+	p.tieStart = make([]int, n)
+	p.tieEnd = make([]int, n)
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && p.Tuples[j].Score == p.Tuples[i].Score {
+			j++
+		}
+		for q := i; q < j; q++ {
+			p.tieStart[q], p.tieEnd[q] = i, j
+		}
+		i = j
+	}
+}
+
+// Len returns the number of tuples.
+func (p *Prepared) Len() int { return len(p.Tuples) }
+
+// NumGroups returns the number of distinct ME groups (singletons included).
+func (p *Prepared) NumGroups() int { return len(p.groupMembers) }
+
+// GroupMembers returns the prepared positions of group g's members in rank
+// order. The returned slice must not be modified.
+func (p *Prepared) GroupMembers(g int) []int { return p.groupMembers[g] }
+
+// GroupSize returns the number of members of tuple position i's group.
+func (p *Prepared) GroupSize(i int) int { return len(p.groupMembers[p.Tuples[i].Group]) }
+
+// TieGroup returns the half-open position range [start, end) of the tie
+// group containing position i (§2.3). A tuple with a unique score is in a
+// tie group of size one.
+func (p *Prepared) TieGroup(i int) (start, end int) { return p.tieStart[i], p.tieEnd[i] }
+
+// HasTies reports whether any tie group has more than one tuple.
+func (p *Prepared) HasTies() bool {
+	for i := range p.Tuples {
+		if p.tieEnd[i]-p.tieStart[i] > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// MExclusiveCount returns the number of tuples among the first n positions
+// that are mutually exclusive with at least one other tuple anywhere in the
+// table (the paper's m in the O(kmn) bound).
+func (p *Prepared) MExclusiveCount(n int) int {
+	if n > len(p.Tuples) {
+		n = len(p.Tuples)
+	}
+	m := 0
+	for i := 0; i < n; i++ {
+		if p.GroupSize(i) > 1 {
+			m++
+		}
+	}
+	return m
+}
+
+// PrefixMass returns the total probability of group g's members at prepared
+// positions strictly less than pos. This is the "consumed" group mass seen
+// by a scan that has processed positions [0, pos).
+func (p *Prepared) PrefixMass(g, pos int) float64 {
+	var s float64
+	for _, m := range p.groupMembers[g] {
+		if m >= pos {
+			break
+		}
+		s += p.Tuples[m].Prob
+	}
+	return s
+}
+
+// GroupMassBefore returns, for group g, the total probability of members at
+// positions strictly below limit. Identical to PrefixMass; kept as the
+// reader-facing name used by rule-tuple compression.
+func (p *Prepared) GroupMassBefore(g, limit int) float64 { return p.PrefixMass(g, limit) }
+
+// UnitKind distinguishes the two kinds of dynamic-programming units of
+// §3.3.3.
+type UnitKind int
+
+const (
+	// UnitLeadRegion is a maximal contiguous run of lead tuples; one DP run
+	// covers all exit points in the region.
+	UnitLeadRegion UnitKind = iota
+	// UnitNonLead is a single tuple that is not the first of its ME group;
+	// it needs its own DP run with the group's higher-ranked members removed.
+	UnitNonLead
+)
+
+// Unit is one dynamic-programming run: either a lead-tuple region or a
+// single non-lead tuple, identified by the half-open position range
+// [Start, End).
+type Unit struct {
+	Kind       UnitKind
+	Start, End int
+}
+
+// Units decomposes positions [0, n) into the DP units of §3.3.3, in rank
+// order: maximal lead-tuple regions interleaved with individual non-lead
+// tuples.
+func (p *Prepared) Units(n int) []Unit {
+	if n > len(p.Tuples) {
+		n = len(p.Tuples)
+	}
+	var units []Unit
+	for i := 0; i < n; {
+		if p.Tuples[i].Lead {
+			j := i + 1
+			for j < n && p.Tuples[j].Lead {
+				j++
+			}
+			units = append(units, Unit{Kind: UnitLeadRegion, Start: i, End: j})
+			i = j
+		} else {
+			units = append(units, Unit{Kind: UnitNonLead, Start: i, End: i + 1})
+			i++
+		}
+	}
+	return units
+}
+
+// TruncateTable materialises the first n prepared (rank-ordered) tuples as a
+// fresh table, preserving ME group membership restricted to that prefix —
+// the "truncated table" the paper's §3.3.2 extension reasons about. n beyond
+// the table length is clamped.
+func (p *Prepared) TruncateTable(n int) *Table {
+	if n > len(p.Tuples) {
+		n = len(p.Tuples)
+	}
+	t := NewTable()
+	for i := 0; i < n; i++ {
+		tp := p.Tuples[i]
+		group := ""
+		if p.GroupSize(i) > 1 {
+			group = fmt.Sprintf("g%d", tp.Group)
+		}
+		t.Add(Tuple{ID: tp.ID, Score: tp.Score, Prob: tp.Prob, Group: group})
+	}
+	return t
+}
+
+// IDs translates prepared positions into tuple IDs.
+func (p *Prepared) IDs(positions []int) []string {
+	out := make([]string, len(positions))
+	for i, pos := range positions {
+		out[i] = p.Tuples[pos].ID
+	}
+	return out
+}
+
+// TotalScore sums the scores of the tuples at the given prepared positions.
+func (p *Prepared) TotalScore(positions []int) float64 {
+	var s float64
+	for _, pos := range positions {
+		s += p.Tuples[pos].Score
+	}
+	return s
+}
+
+// String renders a compact description, useful in test failure messages.
+func (p *Prepared) String() string {
+	return fmt.Sprintf("prepared{n=%d groups=%d}", len(p.Tuples), len(p.groupMembers))
+}

@@ -1,0 +1,310 @@
+// Package worlds implements the possible-worlds semantics of probabilistic
+// tables (§1, Figure 2 of the paper): exact enumeration of all worlds of an
+// uncertain table, top-k extraction inside a world under score ties
+// (Theorem 1), the exact top-k score distribution, and exact per-vector
+// top-k probabilities.
+//
+// Enumeration is exponential in the number of ME groups and exists as the
+// ground-truth oracle for the efficient algorithms in internal/core, for
+// Figure 2-style displays, and for Monte-Carlo validation on larger tables.
+package worlds
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"probtopk/internal/pmf"
+	"probtopk/internal/uncertain"
+)
+
+// zeroProb is the tolerance under which a group outcome is treated as
+// impossible and skipped during enumeration, matching the paper's Figure 2,
+// which lists only worlds of positive probability.
+const zeroProb = 1e-15
+
+// World is one possible world: the prepared positions of the tuples that
+// appear, in rank order, together with the world's probability.
+type World struct {
+	Present []int
+	Prob    float64
+}
+
+// ErrTooManyWorlds is returned by enumeration when the world count exceeds
+// the caller's limit.
+type ErrTooManyWorlds struct{ Limit int }
+
+func (e ErrTooManyWorlds) Error() string {
+	return fmt.Sprintf("worlds: table has more than %d possible worlds", e.Limit)
+}
+
+// Count returns the number of positive-probability possible worlds of p
+// (product over groups of the number of positive-probability outcomes).
+func Count(p *uncertain.Prepared) float64 {
+	total := 1.0
+	for g := 0; g < p.NumGroups(); g++ {
+		members := p.GroupMembers(g)
+		if len(members) == 0 {
+			continue
+		}
+		outcomes := len(members)
+		var mass float64
+		for _, m := range members {
+			mass += p.Tuples[m].Prob
+		}
+		if 1-mass > zeroProb {
+			outcomes++
+		}
+		total *= float64(outcomes)
+	}
+	return total
+}
+
+// Enumerate yields every positive-probability possible world of p. The
+// Present slice passed to yield is reused between calls; the callback must
+// copy it if it retains it. Enumeration stops early if yield returns false.
+func Enumerate(p *uncertain.Prepared, yield func(World) bool) {
+	type groupChoice struct {
+		members []int
+		none    float64 // probability that no member appears (< 0 if impossible)
+	}
+	var groups []groupChoice
+	for g := 0; g < p.NumGroups(); g++ {
+		members := p.GroupMembers(g)
+		if len(members) == 0 {
+			continue
+		}
+		var mass float64
+		for _, m := range members {
+			mass += p.Tuples[m].Prob
+		}
+		gc := groupChoice{members: members, none: 1 - mass}
+		groups = append(groups, gc)
+	}
+	present := make([]int, 0, p.Len())
+	var rec func(gi int, prob float64) bool
+	rec = func(gi int, prob float64) bool {
+		if gi == len(groups) {
+			sorted := append([]int(nil), present...)
+			sort.Ints(sorted)
+			return yield(World{Present: sorted, Prob: prob})
+		}
+		g := groups[gi]
+		if g.none > zeroProb {
+			if !rec(gi+1, prob*g.none) {
+				return false
+			}
+		}
+		for _, m := range g.members {
+			pm := p.Tuples[m].Prob
+			if pm <= zeroProb {
+				continue
+			}
+			present = append(present, m)
+			ok := rec(gi+1, prob*pm)
+			present = present[:len(present)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 1)
+}
+
+// All collects every possible world, failing with ErrTooManyWorlds if more
+// than limit worlds exist (limit ≤ 0 means no limit).
+func All(p *uncertain.Prepared, limit int) ([]World, error) {
+	if limit > 0 && Count(p) > float64(limit) {
+		return nil, ErrTooManyWorlds{Limit: limit}
+	}
+	var out []World
+	Enumerate(p, func(w World) bool {
+		out = append(out, World{Present: append([]int(nil), w.Present...), Prob: w.Prob})
+		return true
+	})
+	return out, nil
+}
+
+// TopKScore returns the total score of the top-k tuples of world w. When
+// score ties straddle the k-th position, all top-k vectors of the world have
+// the same total score (Theorem 1), so the result is still well defined.
+// ok is false when the world has fewer than k tuples.
+func TopKScore(p *uncertain.Prepared, w World, k int) (score float64, ok bool) {
+	if len(w.Present) < k {
+		return 0, false
+	}
+	// Present is in ascending position order = descending rank order is the
+	// same ordering, since prepared positions are rank-sorted.
+	var s float64
+	for _, pos := range w.Present[:k] {
+		s += p.Tuples[pos].Score
+	}
+	return s, true
+}
+
+// TopKVectors returns every top-k tuple vector of world w under Theorem 1:
+// if the k-th position falls inside a tie group of the world that contributes
+// m of its |g| tuples, there are C(|g|, m) vectors. Each vector lists
+// prepared positions in rank order. Returns nil when the world has fewer
+// than k tuples.
+func TopKVectors(p *uncertain.Prepared, w World, k int) [][]int {
+	if len(w.Present) < k {
+		return nil
+	}
+	boundaryScore := p.Tuples[w.Present[k-1]].Score
+	// head: tuples strictly above the boundary tie group.
+	var head []int
+	var group []int // members of the boundary tie group present in w
+	for _, pos := range w.Present {
+		sc := p.Tuples[pos].Score
+		switch {
+		case sc > boundaryScore && len(group) == 0:
+			head = append(head, pos)
+		case sc == boundaryScore:
+			group = append(group, pos)
+		case sc < boundaryScore:
+			// done: positions are rank sorted
+		}
+		if sc < boundaryScore {
+			break
+		}
+	}
+	m := k - len(head) // tuples the tie group contributes
+	var out [][]int
+	comb := make([]int, m)
+	var rec func(start, idx int)
+	rec = func(start, idx int) {
+		if idx == m {
+			v := make([]int, 0, k)
+			v = append(v, head...)
+			v = append(v, comb...)
+			out = append(out, v)
+			return
+		}
+		for i := start; i <= len(group)-(m-idx); i++ {
+			comb[idx] = group[i]
+			rec(i+1, idx+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// ExactDistribution computes the exact top-k total-score distribution of p by
+// full enumeration: the probability of a score is the sum of the
+// probabilities of all worlds whose top-k vectors have that score (§2.3).
+// Worlds with fewer than k tuples contribute no mass, so the total mass is
+// Pr(at least k tuples appear). limit guards the enumeration size as in All.
+func ExactDistribution(p *uncertain.Prepared, k, limit int) (*pmf.Dist, error) {
+	if limit > 0 && Count(p) > float64(limit) {
+		return nil, ErrTooManyWorlds{Limit: limit}
+	}
+	var lines []pmf.Line
+	Enumerate(p, func(w World) bool {
+		if s, ok := TopKScore(p, w, k); ok {
+			lines = append(lines, pmf.Line{Score: s, Prob: w.Prob})
+		}
+		return true
+	})
+	return pmf.FromLines(lines), nil
+}
+
+// VecKey canonically encodes a vector of prepared positions (as a set) for
+// map keys.
+func VecKey(positions []int) string {
+	s := append([]int(nil), positions...)
+	sort.Ints(s)
+	var b strings.Builder
+	for i, v := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// ExactVectorProbs returns, for every k-tuple vector that is a top-k vector
+// of some world, the probability that it is a top-k vector (the sum of the
+// probabilities of the worlds in which it is among the top-k vectors),
+// keyed by VecKey. Under ties a world contributes to several vectors.
+func ExactVectorProbs(p *uncertain.Prepared, k, limit int) (map[string]float64, error) {
+	if limit > 0 && Count(p) > float64(limit) {
+		return nil, ErrTooManyWorlds{Limit: limit}
+	}
+	probs := make(map[string]float64)
+	Enumerate(p, func(w World) bool {
+		for _, v := range TopKVectors(p, w, k) {
+			probs[VecKey(v)] += w.Prob
+		}
+		return true
+	})
+	return probs, nil
+}
+
+// UTopkOracle returns the vector (prepared positions, rank order) with the
+// maximum probability of being a top-k vector, and that probability —
+// the U-Topk answer computed by brute force. Deterministic tie-break: the
+// lexicographically smallest key wins.
+func UTopkOracle(p *uncertain.Prepared, k, limit int) ([]int, float64, error) {
+	probs, err := ExactVectorProbs(p, k, limit)
+	if err != nil {
+		return nil, 0, err
+	}
+	bestKey, bestProb := "", -1.0
+	for key, pr := range probs {
+		if pr > bestProb+1e-15 || (pr > bestProb-1e-15 && (bestKey == "" || key < bestKey)) {
+			bestKey, bestProb = key, pr
+		}
+	}
+	if bestKey == "" {
+		return nil, 0, nil
+	}
+	parts := strings.Split(bestKey, ",")
+	vec := make([]int, len(parts))
+	for i, s := range parts {
+		vec[i], _ = strconv.Atoi(s)
+	}
+	return vec, bestProb, nil
+}
+
+// Sample draws a random world from p's distribution using rng.
+func Sample(p *uncertain.Prepared, rng *rand.Rand) World {
+	var present []int
+	for g := 0; g < p.NumGroups(); g++ {
+		members := p.GroupMembers(g)
+		if len(members) == 0 {
+			continue
+		}
+		u := rng.Float64()
+		acc := 0.0
+		for _, m := range members {
+			acc += p.Tuples[m].Prob
+			if u < acc {
+				present = append(present, m)
+				break
+			}
+		}
+	}
+	sort.Ints(present)
+	return World{Present: present, Prob: 1}
+}
+
+// MonteCarloDistribution estimates the top-k score distribution by sampling
+// n worlds; used to validate the efficient algorithms on tables too large to
+// enumerate. The result is normalized over successful draws (worlds with at
+// least k tuples).
+func MonteCarloDistribution(p *uncertain.Prepared, k, n int, rng *rand.Rand) *pmf.Dist {
+	var lines []pmf.Line
+	inv := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		w := Sample(p, rng)
+		if s, ok := TopKScore(p, w, k); ok {
+			lines = append(lines, pmf.Line{Score: s, Prob: inv})
+		}
+	}
+	return pmf.FromLines(lines)
+}

@@ -1,0 +1,225 @@
+package worlds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probtopk/internal/fixtures"
+	"probtopk/internal/uncertain"
+)
+
+func prep(t *testing.T, tab *uncertain.Table) *uncertain.Prepared {
+	t.Helper()
+	p, err := uncertain.Prepare(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSoldierWorldCount(t *testing.T) {
+	p := prep(t, fixtures.Soldier())
+	if c := Count(p); c != fixtures.SoldierWorlds {
+		t.Fatalf("Count = %v, want %d", c, fixtures.SoldierWorlds)
+	}
+	ws, err := All(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != fixtures.SoldierWorlds {
+		t.Fatalf("len(All) = %d, want %d", len(ws), fixtures.SoldierWorlds)
+	}
+	var mass float64
+	for _, w := range ws {
+		mass += w.Prob
+	}
+	if math.Abs(mass-1) > 1e-12 {
+		t.Fatalf("world probabilities sum to %v", mass)
+	}
+}
+
+func TestAllLimit(t *testing.T) {
+	p := prep(t, fixtures.Soldier())
+	if _, err := All(p, 5); err == nil {
+		t.Fatal("expected ErrTooManyWorlds")
+	} else if _, ok := err.(ErrTooManyWorlds); !ok {
+		t.Fatalf("err = %T", err)
+	}
+	if _, err := ExactDistribution(p, 2, 5); err == nil {
+		t.Fatal("ExactDistribution should respect limit")
+	}
+	if _, err := ExactVectorProbs(p, 2, 5); err == nil {
+		t.Fatal("ExactVectorProbs should respect limit")
+	}
+}
+
+// TestSoldierDistribution reproduces Figure 3: the exact PMF of top-2 total
+// scores of Example 1.
+func TestSoldierDistribution(t *testing.T) {
+	p := prep(t, fixtures.Soldier())
+	d, err := ExactDistribution(p, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fixtures.SoldierDistribution()
+	if d.Len() != len(want) {
+		t.Fatalf("lines = %d, want %d", d.Len(), len(want))
+	}
+	for _, l := range d.Lines() {
+		w, ok := want[l.Score]
+		if !ok {
+			t.Fatalf("unexpected score %v", l.Score)
+		}
+		if math.Abs(l.Prob-w) > 1e-12 {
+			t.Fatalf("Pr(%v) = %v, want %v", l.Score, l.Prob, w)
+		}
+	}
+	if math.Abs(d.Mean()-fixtures.SoldierExpectedScore) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", d.Mean(), fixtures.SoldierExpectedScore)
+	}
+	if math.Abs(d.TailProb(118)-fixtures.SoldierTailAboveUTopk) > 1e-12 {
+		t.Fatalf("Pr(>118) = %v", d.TailProb(118))
+	}
+}
+
+// TestSoldierUTopk verifies the headline observation of §1: U-Top2 is
+// <T2, T6> with probability 0.2 and the atypical score 118.
+func TestSoldierUTopk(t *testing.T) {
+	p := prep(t, fixtures.Soldier())
+	vec, prob, err := UTopkOracle(p, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := p.IDs(vec)
+	if len(ids) != 2 || ids[0] != "T2" || ids[1] != "T6" {
+		t.Fatalf("U-Top2 = %v, want [T2 T6]", ids)
+	}
+	if math.Abs(prob-fixtures.SoldierUTopkProb) > 1e-12 {
+		t.Fatalf("prob = %v, want %v", prob, fixtures.SoldierUTopkProb)
+	}
+	if s := p.TotalScore(vec); s != fixtures.SoldierUTopkScore {
+		t.Fatalf("score = %v, want %v", s, fixtures.SoldierUTopkScore)
+	}
+}
+
+// TestSoldierVectorProbs checks the in-text vector probabilities: (T3, T2)
+// has probability 0.16 and (T7, T3) 0.12.
+func TestSoldierVectorProbs(t *testing.T) {
+	p := prep(t, fixtures.Soldier())
+	probs, err := ExactVectorProbs(p, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(a, b string) float64 {
+		var pos []int
+		for i, tp := range p.Tuples {
+			if tp.ID == a || tp.ID == b {
+				pos = append(pos, i)
+			}
+		}
+		return probs[VecKey(pos)]
+	}
+	if got := find("T3", "T2"); math.Abs(got-fixtures.SoldierTypical1Prob) > 1e-12 {
+		t.Fatalf("Pr(T3,T2) = %v, want %v", got, fixtures.SoldierTypical1Prob)
+	}
+	if got := find("T7", "T3"); math.Abs(got-fixtures.SoldierProb235) > 1e-12 {
+		t.Fatalf("Pr(T7,T3) = %v, want %v", got, fixtures.SoldierProb235)
+	}
+	// Probabilities of all vectors sum to 1 here (every world has ≥2 tuples
+	// and no ties, so each world has exactly one top-2 vector).
+	var mass float64
+	for _, pr := range probs {
+		mass += pr
+	}
+	if math.Abs(mass-1) > 1e-12 {
+		t.Fatalf("vector probs sum to %v", mass)
+	}
+}
+
+// TestTopKVectorsTies mirrors the paper's Example 3: with tie groups
+// g1={a,b} (score 9), g2={c,d,e} (score 8), g3={f,g,h} (score 7) all present,
+// the top-7 has C(3,2)=3 vectors, all containing g1 and g2.
+func TestTopKVectorsTies(t *testing.T) {
+	tab := uncertain.NewTable()
+	for _, tp := range []struct {
+		id    string
+		score float64
+	}{{"a", 9}, {"b", 9}, {"c", 8}, {"d", 8}, {"e", 8}, {"f", 7}, {"g", 7}, {"h", 7}} {
+		tab.AddIndependent(tp.id, tp.score, 0.9)
+	}
+	p := prep(t, tab)
+	w := World{Present: []int{0, 1, 2, 3, 4, 5, 6, 7}, Prob: 1}
+	vs := TopKVectors(p, w, 7)
+	if len(vs) != 3 {
+		t.Fatalf("vectors = %d, want 3", len(vs))
+	}
+	for _, v := range vs {
+		if len(v) != 7 {
+			t.Fatalf("vector size = %d", len(v))
+		}
+		s, ok := TopKScore(p, w, 7)
+		if !ok {
+			t.Fatal("TopKScore not ok")
+		}
+		if got := p.TotalScore(v); got != s {
+			t.Fatalf("tie vectors disagree on score: %v vs %v", got, s)
+		}
+	}
+}
+
+func TestTopKScoreShortWorld(t *testing.T) {
+	p := prep(t, fixtures.Soldier())
+	if _, ok := TopKScore(p, World{Present: []int{0}}, 2); ok {
+		t.Fatal("short world should not have a top-2")
+	}
+	if vs := TopKVectors(p, World{Present: []int{0}}, 2); vs != nil {
+		t.Fatal("short world should have no top-2 vectors")
+	}
+}
+
+func TestVecKey(t *testing.T) {
+	if VecKey([]int{3, 1, 2}) != "1,2,3" {
+		t.Fatalf("VecKey = %q", VecKey([]int{3, 1, 2}))
+	}
+	if VecKey(nil) != "" {
+		t.Fatal("empty key")
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	p := prep(t, fixtures.Soldier())
+	n := 0
+	Enumerate(p, func(World) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d worlds", n)
+	}
+}
+
+func TestSampleAndMonteCarlo(t *testing.T) {
+	p := prep(t, fixtures.Soldier())
+	rng := rand.New(rand.NewSource(1))
+	// Monte-Carlo mean should approach the exact mean 164.1.
+	d := MonteCarloDistribution(p, 2, 200_000, rng)
+	if math.Abs(d.Mean()-fixtures.SoldierExpectedScore) > 0.5 {
+		t.Fatalf("MC mean = %v, want ≈ %v", d.Mean(), fixtures.SoldierExpectedScore)
+	}
+	if math.Abs(d.TotalMass()-1) > 1e-9 {
+		t.Fatalf("MC mass = %v (every soldier world has ≥ 2 tuples)", d.TotalMass())
+	}
+	// Sampled worlds respect ME rules.
+	for i := 0; i < 1000; i++ {
+		w := Sample(p, rng)
+		seen := map[int]bool{}
+		for _, pos := range w.Present {
+			g := p.Tuples[pos].Group
+			if seen[g] {
+				t.Fatal("sampled world violates ME rule")
+			}
+			seen[g] = true
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package probtopk_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"probtopk"
+	"probtopk/internal/fixtures"
+)
+
+func soldier() *probtopk.Table { return fixtures.Soldier() }
+
+func mustDist(t *testing.T, tab *probtopk.Table, k int, opts *probtopk.Options) *probtopk.Distribution {
+	t.Helper()
+	d, err := probtopk.TopKDistribution(tab, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestSoldierEndToEnd walks the whole §1/§2 narrative through the public API.
+func TestSoldierEndToEnd(t *testing.T) {
+	d := mustDist(t, soldier(), 2, probtopk.Exact())
+	if d.Len() != 9 {
+		t.Fatalf("lines = %d, want 9", d.Len())
+	}
+	if math.Abs(d.TotalMass()-1) > 1e-12 {
+		t.Fatalf("mass = %v", d.TotalMass())
+	}
+	if math.Abs(d.Mean()-fixtures.SoldierExpectedScore) > 1e-9 {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	if math.Abs(d.TailProb(118)-fixtures.SoldierTailAboveUTopk) > 1e-12 {
+		t.Fatalf("tail = %v", d.TailProb(118))
+	}
+	u, ok := d.UTopK()
+	if !ok {
+		t.Fatal("no U-Topk")
+	}
+	if u.Score != 118 || math.Abs(u.VectorProb-0.2) > 1e-12 {
+		t.Fatalf("U-Topk = %+v", u)
+	}
+	if len(u.Vector) != 2 || u.Vector[0] != "T2" || u.Vector[1] != "T6" {
+		t.Fatalf("U-Topk vector = %v", u.Vector)
+	}
+	typ, cost, err := d.Typical(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-fixtures.SoldierTypical3Dist) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", cost, fixtures.SoldierTypical3Dist)
+	}
+	wantScores := fixtures.SoldierTypical3Scores()
+	for i, l := range typ {
+		if math.Abs(l.Score-wantScores[i]) > 1e-9 {
+			t.Fatalf("typical scores = %+v", typ)
+		}
+	}
+	one, _, err := d.Typical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one[0].Score != 170 || one[0].Vector[0] != "T3" || one[0].Vector[1] != "T2" {
+		t.Fatalf("1-typical = %+v", one[0])
+	}
+	scores, err := d.TypicalScores(3)
+	if err != nil || len(scores) != 3 || scores[0] != 118 {
+		t.Fatalf("TypicalScores = %v, %v", scores, err)
+	}
+}
+
+func TestAlgorithmsViaPublicAPI(t *testing.T) {
+	for _, alg := range []probtopk.Algorithm{
+		probtopk.AlgorithmMain, probtopk.AlgorithmStateExpansion, probtopk.AlgorithmKCombo,
+	} {
+		opts := &probtopk.Options{Algorithm: alg, Threshold: -1, MaxLines: -1}
+		d := mustDist(t, soldier(), 2, opts)
+		if d.Len() != 9 || math.Abs(d.Mean()-164.1) > 1e-9 {
+			t.Fatalf("%v: wrong distribution (%d lines, mean %v)", alg, d.Len(), d.Mean())
+		}
+		if !strings.Contains(alg.String(), "") {
+			t.Fatal("unreachable")
+		}
+	}
+	if probtopk.Algorithm(99).String() == "" {
+		t.Fatal("unknown algorithm should still stringify")
+	}
+	if _, err := probtopk.TopKDistribution(soldier(), 2, &probtopk.Options{Algorithm: probtopk.Algorithm(99)}); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	// nil options: threshold 0.001, 200 lines.
+	d := mustDist(t, soldier(), 2, nil)
+	if d.Len() != 9 {
+		t.Fatalf("default opts changed the toy result: %d lines", d.Len())
+	}
+	if d.ScanDepth != 7 {
+		t.Fatalf("scan depth = %d", d.ScanDepth)
+	}
+}
+
+func TestNormalizeOption(t *testing.T) {
+	tab := probtopk.NewTable()
+	tab.AddIndependent("a", 10, 0.5)
+	tab.AddIndependent("b", 5, 0.5)
+	d := mustDist(t, tab, 2, &probtopk.Options{Threshold: -1, MaxLines: -1})
+	if math.Abs(d.TotalMass()-0.25) > 1e-12 {
+		t.Fatalf("mass = %v, want 0.25 (both tuples must appear)", d.TotalMass())
+	}
+	n := mustDist(t, tab, 2, &probtopk.Options{Threshold: -1, MaxLines: -1, Normalize: true})
+	if math.Abs(n.TotalMass()-1) > 1e-12 {
+		t.Fatalf("normalized mass = %v", n.TotalMass())
+	}
+}
+
+func TestHistogramAndStats(t *testing.T) {
+	d := mustDist(t, soldier(), 2, probtopk.Exact())
+	h := d.Histogram(50)
+	var mass float64
+	for _, b := range h {
+		if b.Hi-b.Lo != 50 {
+			t.Fatalf("bucket width %v", b.Hi-b.Lo)
+		}
+		mass += b.Prob
+	}
+	if math.Abs(mass-1) > 1e-12 {
+		t.Fatalf("histogram mass = %v", mass)
+	}
+	if d.Min() != 116 || d.Max() != 235 || d.Span() != 119 {
+		t.Fatalf("range = [%v, %v]", d.Min(), d.Max())
+	}
+	if d.Median() != 170 {
+		t.Fatalf("median = %v", d.Median())
+	}
+	if q := d.Quantile(0.9); q != 190 && q != 235 {
+		t.Fatalf("q90 = %v", q)
+	}
+	if d.Variance() <= 0 || d.StdDev() <= 0 {
+		t.Fatal("variance should be positive")
+	}
+	if cdf := d.CDF(118); math.Abs(cdf-0.24) > 1e-12 {
+		t.Fatalf("CDF(118) = %v", cdf)
+	}
+	emd := d.ExpectedMinDistance([]float64{118, 183, 235})
+	if math.Abs(emd-6.6) > 1e-9 {
+		t.Fatalf("EMD = %v", emd)
+	}
+}
+
+func TestCTypicalTopKConvenience(t *testing.T) {
+	lines, err := probtopk.CTypicalTopK(soldier(), 2, 3, probtopk.Exact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 || lines[0].Score != 118 || lines[2].Score != 235 {
+		t.Fatalf("lines = %+v", lines)
+	}
+}
+
+func TestUTopKConvenience(t *testing.T) {
+	l, err := probtopk.UTopK(soldier(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Score != 118 || l.Vector[0] != "T2" {
+		t.Fatalf("UTopK = %+v", l)
+	}
+	if _, err := probtopk.UTopK(soldier(), 10); err == nil {
+		t.Fatal("k > co-existing tuples should error")
+	}
+}
+
+func TestCategory2Baselines(t *testing.T) {
+	ranks, err := probtopk.UKRanks(soldier(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 2 || ranks[0].ID != "T7" || math.Abs(ranks[0].Prob-0.3) > 1e-12 {
+		t.Fatalf("UKRanks = %+v", ranks)
+	}
+	pt, err := probtopk.PTk(soldier(), 2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range pt {
+		if tp.InTopK < 0.25 {
+			t.Fatalf("PTk returned %+v below threshold", tp)
+		}
+	}
+	gt, err := probtopk.GlobalTopK(soldier(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gt) != 2 {
+		t.Fatalf("GlobalTopK = %+v", gt)
+	}
+	if gt[0].InTopK < gt[1].InTopK {
+		t.Fatal("GlobalTopK not sorted")
+	}
+	all, err := probtopk.InTopKProbs(soldier(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 7 {
+		t.Fatalf("InTopKProbs = %d rows", len(all))
+	}
+	var ids []string
+	for _, tp := range all {
+		ids = append(ids, tp.ID)
+	}
+	if strings.Join(ids, ",") != "T7,T3,T4,T2,T6,T5,T1" {
+		t.Fatalf("rank order = %v", ids)
+	}
+}
+
+func TestScanDepthPublic(t *testing.T) {
+	n, err := probtopk.ScanDepth(soldier(), 2, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 || n > 7 {
+		t.Fatalf("scan depth = %d", n)
+	}
+	full, err := probtopk.ScanDepth(soldier(), 2, 0)
+	if err != nil || full != 7 {
+		t.Fatalf("full depth = %d, %v", full, err)
+	}
+}
+
+func TestNewDistribution(t *testing.T) {
+	d, err := probtopk.NewDistribution([]float64{1, 2, 2, 3}, []float64{0.2, 0.1, 0.1, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 { // duplicate score combined
+		t.Fatalf("len = %d", d.Len())
+	}
+	typ, _, err := d.Typical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Costs: at 1 → 1.4, at 2 → 0.8, at 3 → 0.6; the unique optimum is 3.
+	if typ[0].Score != 3 {
+		t.Fatalf("typical = %+v", typ)
+	}
+	if len(typ[0].Vector) != 0 {
+		t.Fatal("table-free distribution should have no vectors")
+	}
+	cases := []struct {
+		s, p []float64
+	}{
+		{[]float64{1}, []float64{1, 2}},
+		{nil, nil},
+		{[]float64{1}, []float64{0}},
+		{[]float64{1}, []float64{-1}},
+	}
+	for i, c := range cases {
+		if _, err := probtopk.NewDistribution(c.s, c.p); err == nil {
+			t.Fatalf("case %d should error", i)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	if _, err := probtopk.TopKDistribution(nil, 2, nil); err != probtopk.ErrNilTable {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := probtopk.TopKDistribution(probtopk.NewTable(), 2, nil); err == nil {
+		t.Fatal("empty table should error")
+	}
+	bad := probtopk.NewTable().AddIndependent("x", 1, 2)
+	if _, err := probtopk.TopKDistribution(bad, 1, nil); err == nil {
+		t.Fatal("invalid probability should error")
+	}
+	if _, err := probtopk.TopKDistribution(soldier(), 0, nil); err == nil {
+		t.Fatal("k = 0 should error")
+	}
+	if _, err := probtopk.UKRanks(nil, 2); err != probtopk.ErrNilTable {
+		t.Fatal("nil table should error")
+	}
+	if _, err := probtopk.ScanDepth(nil, 2, 0.1); err != probtopk.ErrNilTable {
+		t.Fatal("nil table should error")
+	}
+	if probtopk.ErrNoVector.Error() == "" {
+		t.Fatal("error string empty")
+	}
+}
+
+func TestCSVRoundTripPublic(t *testing.T) {
+	var sb strings.Builder
+	if err := soldier().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := probtopk.ReadTableCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 7 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+	d := mustDist(t, tab, 2, probtopk.Exact())
+	if math.Abs(d.Mean()-164.1) > 1e-9 {
+		t.Fatalf("mean after round trip = %v", d.Mean())
+	}
+}
+
+// TestExample2Coin reproduces the paper's Example 2: for 20 tosses of a 0.6
+// coin scored by the number of heads, the maximum-probability outcome (all
+// heads, ≈ 3.66e-5) is atypical, while the 1-typical score is 12 with
+// probability ≈ 0.18.
+func TestExample2Coin(t *testing.T) {
+	n := 20
+	p := 0.6
+	scores := make([]float64, n+1)
+	probs := make([]float64, n+1)
+	for h := 0; h <= n; h++ {
+		scores[h] = float64(h)
+		// C(n, h) p^h (1-p)^(n-h)
+		c := 1.0
+		for i := 0; i < h; i++ {
+			c = c * float64(n-i) / float64(i+1)
+		}
+		probs[h] = c * math.Pow(p, float64(h)) * math.Pow(1-p, float64(n-h))
+	}
+	d, err := probtopk.NewDistribution(scores, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allHeads := probs[n]; math.Abs(allHeads-3.66e-5) > 1e-7 {
+		t.Fatalf("Pr(all heads) = %v, want ≈ 3.66e-5", allHeads)
+	}
+	typ, _, err := d.Typical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ[0].Score != 12 {
+		t.Fatalf("1-typical score = %v, want 12", typ[0].Score)
+	}
+	if math.Abs(typ[0].Prob-0.18) > 0.005 {
+		t.Fatalf("Pr(12 heads) = %v, want ≈ 0.18", typ[0].Prob)
+	}
+	if math.Abs(d.TailProb(19.5)-3.66e-5) > 1e-7 {
+		t.Fatalf("tail above 19.5 = %v", d.TailProb(19.5))
+	}
+}

@@ -1,0 +1,56 @@
+package probtopk
+
+import (
+	"probtopk/internal/stream"
+)
+
+// Stream is a sliding window over an uncertain tuple stream, extending the
+// paper's semantics to the continuous setting its related work points at
+// (sliding-window top-k on uncertain streams). The window holds the most
+// recent tuples; TopKDistribution answers the paper's query over the current
+// contents. Not safe for concurrent use.
+type Stream struct {
+	w *stream.Window
+}
+
+// NewStream creates a sliding window holding the most recent capacity
+// tuples.
+func NewStream(capacity int) (*Stream, error) {
+	w, err := stream.NewWindow(capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{w: w}, nil
+}
+
+// Push appends a tuple, evicting and returning the oldest one when the
+// window is full. ME group constraints bind among the members currently in
+// the window; a group whose in-window probabilities exceed 1 surfaces as an
+// error on the next query, and heals as members slide out.
+func (s *Stream) Push(t Tuple) (evicted *Tuple, err error) {
+	return s.w.Push(t)
+}
+
+// Len returns the number of tuples currently in the window.
+func (s *Stream) Len() int { return s.w.Len() }
+
+// Capacity returns the window size.
+func (s *Stream) Capacity() int { return s.w.Capacity() }
+
+// Tuples returns the window contents in rank order.
+func (s *Stream) Tuples() []Tuple { return s.w.Snapshot() }
+
+// TopKDistribution computes the top-k score distribution of the current
+// window contents; options as in the package-level TopKDistribution. The
+// result supports the same statistics, Typical and UTopK accessors.
+func (s *Stream) TopKDistribution(k int, opts *Options) (*Distribution, error) {
+	params, _ := opts.resolve()
+	res, err := s.w.TopK(k, params)
+	if err != nil {
+		return nil, err
+	}
+	if opts != nil && opts.Normalize {
+		res.Dist.Normalize()
+	}
+	return &Distribution{dist: res.Dist, prepared: res.Prepared, ScanDepth: res.WindowLen, K: k}, nil
+}

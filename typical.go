@@ -1,0 +1,100 @@
+package probtopk
+
+import (
+	"probtopk/internal/typical"
+)
+
+// Typical returns the c-Typical-Topk answers of the distribution
+// (Definitions 1 and 2 of the paper): c lines whose scores minimize the
+// expected distance between a random top-k score and its nearest chosen
+// score; each line's Vector is the most probable top-k vector with that
+// score. The achieved expected distance is returned alongside.
+//
+// If c is at least the number of distinct scores, every line is returned and
+// the cost is 0. Changing c is cheap relative to computing the distribution,
+// as §4 notes — callers may re-invoke Typical with several c values.
+func (d *Distribution) Typical(c int) ([]Line, float64, error) {
+	ans, err := typical.Select(d.dist, c)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]Line, len(ans.Lines))
+	for i, l := range ans.Lines {
+		out[i] = d.line(l)
+	}
+	return out, ans.Cost, nil
+}
+
+// TypicalScores returns only the c-Typical-Topk scores, ascending.
+func (d *Distribution) TypicalScores(c int) ([]float64, error) {
+	ans, err := typical.Select(d.dist, c)
+	if err != nil {
+		return nil, err
+	}
+	return ans.Scores, nil
+}
+
+// CTypicalTopK is the one-call form of the paper's proposed semantics: it
+// computes the top-k score distribution of t and returns the c typical
+// vectors. opts as in TopKDistribution.
+func CTypicalTopK(t *Table, k, c int, opts *Options) ([]Line, error) {
+	dist, err := TopKDistribution(t, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	lines, _, err := dist.Typical(c)
+	return lines, err
+}
+
+// VectorEditDistance returns the set edit distance between two top-k
+// vectors: the minimum number of single-tuple replacements (plus
+// insertions/deletions for unequal lengths) turning one into the other.
+// §4 of the paper suggests examining these distances across the c typical
+// vectors: small distances mean the probable top-k sets largely agree.
+func VectorEditDistance(a, b []string) int {
+	inA := make(map[string]int, len(a))
+	for _, t := range a {
+		inA[t]++
+	}
+	common := 0
+	for _, t := range b {
+		if inA[t] > 0 {
+			inA[t]--
+			common++
+		}
+	}
+	max := len(a)
+	if len(b) > max {
+		max = len(b)
+	}
+	return max - common
+}
+
+// TypicalSpread summarises the pairwise edit distances among the vectors of
+// a c-Typical-Topk answer: mean and maximum. Per §4, the magnitude indicates
+// how spread out the probable top-k vectors are in the k-dimensional vector
+// space — small values mean a less uncertain result. Lines without vectors
+// are ignored; fewer than two vectors yield zeros.
+func TypicalSpread(lines []Line) (mean float64, max int) {
+	var vecs [][]string
+	for _, l := range lines {
+		if len(l.Vector) > 0 {
+			vecs = append(vecs, l.Vector)
+		}
+	}
+	if len(vecs) < 2 {
+		return 0, 0
+	}
+	var sum, pairs int
+	for i := 0; i < len(vecs); i++ {
+		for j := i + 1; j < len(vecs); j++ {
+			d := VectorEditDistance(vecs[i], vecs[j])
+			sum += d
+			pairs++
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return float64(sum) / float64(pairs), max
+}
