@@ -6,6 +6,10 @@ import (
 	"probtopk/internal/uncertain"
 )
 
+// The baseline semantics below share the default engine's prepared-table
+// cache (see prepare in engine.go): computing several of them over the same
+// table — the typical comparison workload — prepares it once.
+
 // UTopK computes the U-Topk answer [Soliman, Ilyas, Chang]: the top-k tuple
 // vector with the highest probability of being a top-k vector. Equivalent to
 // TopKDistribution(t, k, Exact()) followed by Distribution.UTopK, which
@@ -172,13 +176,6 @@ func ScanDepth(t *Table, k int, ptau float64) (int, error) {
 		return 0, err
 	}
 	return core.ScanDepth(prep, k, ptau), nil
-}
-
-func prepare(t *Table) (*uncertain.Prepared, error) {
-	if t == nil {
-		return nil, ErrNilTable
-	}
-	return uncertain.Prepare(t)
 }
 
 func tupleProbs(prep *uncertain.Prepared, positions []int, probs []float64) []TupleProb {

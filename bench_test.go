@@ -344,3 +344,89 @@ func BenchmarkWorstCaseExact(b *testing.B) {
 		}
 	}
 }
+
+// servingTable builds the repeated-query serving workload: a large table
+// whose preparation (validate + sort + index) dominates a single
+// default-threshold query, which is exactly the cost the engine's
+// prepared-table cache amortizes away.
+func servingTable(n int) *probtopk.Table {
+	r := rand.New(rand.NewSource(11))
+	tab := probtopk.NewTable()
+	for i := 0; i < n; i++ {
+		tab.AddIndependent(fmt.Sprintf("t%d", i), 1000*r.Float64(), 0.5+0.5*r.Float64())
+	}
+	return tab
+}
+
+// BenchmarkEngineRepeatedQuery measures repeated same-table queries through
+// the caching engine against the uncached path (a cache-disabled engine,
+// i.e. calling TopKDistribution in a loop with preparation from scratch
+// each time). Results are bit-identical (TestEngineCachedMatchesUncached);
+// the cached path amortizes preparation across the steady state.
+func BenchmarkEngineRepeatedQuery(b *testing.B) {
+	tab := servingTable(20000)
+	for _, bench := range []struct {
+		name   string
+		engine *probtopk.Engine
+	}{
+		{"cached", probtopk.NewEngine()},
+		{"uncached-loop", probtopk.NewEngineWithCache(0)},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dist, err := bench.engine.TopKDistribution(tab, 5, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if dist.Len() == 0 {
+					b.Fatal("empty distribution")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineBatch measures a mixed (k, threshold) batch against one
+// prepared table, serial vs fanned out over the bounded worker pool.
+func BenchmarkEngineBatch(b *testing.B) {
+	tab := servingTable(20000)
+	queries := make([]probtopk.BatchQuery, 16)
+	for i := range queries {
+		queries[i] = probtopk.BatchQuery{K: 2 + i%8, Threshold: 0.001}
+	}
+	e := probtopk.NewEngine()
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			opts := &probtopk.Options{Parallelism: par}
+			for i := 0; i < b.N; i++ {
+				if _, err := e.TopKDistributionBatch(tab, queries, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamPushQuery measures the windowed push+query cycle, whose
+// cost the incremental prepared-state maintenance (suffix re-prepare
+// instead of per-query sort) bounds.
+func BenchmarkStreamPushQuery(b *testing.B) {
+	r := rand.New(rand.NewSource(12))
+	s, err := probtopk.NewStream(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		s.Push(probtopk.Tuple{ID: "t", Score: 1000 * r.Float64(), Prob: 0.5 + 0.5*r.Float64()})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Push(probtopk.Tuple{ID: "t", Score: 1000 * r.Float64(), Prob: 0.5 + 0.5*r.Float64()}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.TopKDistribution(5, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

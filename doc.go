@@ -29,6 +29,27 @@
 // score. UTopK, UKRanks, PTk and GlobalTopK provide the pre-existing
 // semantics the paper compares against.
 //
+// # Serving engine
+//
+// All queries route through a reusable Engine built for repeated queries
+// over slowly-changing data. The prepared (validated, sorted, indexed) form
+// of each table is cached keyed by the table's mutation version — repeated
+// queries over an unchanged table skip preparation entirely, and any
+// mutation transparently invalidates. Per-query dynamic-programming scratch
+// is pooled, so steady-state queries allocate near-zero, with results
+// bit-identical to fresh allocation. Engine.TopKDistributionBatch evaluates
+// many (k, threshold) queries against one table, sharing the preparation
+// and scan and fanning out over a bounded worker pool. The package-level
+// functions use a shared default engine; construct one with NewEngine to
+// isolate cache capacity and statistics per workload.
+//
+// Stream maintains a sliding window whose prepared state is kept
+// incrementally: each Push updates the canonical rank order in place and
+// the next query re-prepares only the rank suffix below the highest changed
+// position (falling back to a full, sort-free rebuild when ME-group
+// membership changes); repeated queries over an unchanged window reuse the
+// prepared state outright.
+//
 // # Quick start
 //
 //	table := probtopk.NewTable()

@@ -1,0 +1,176 @@
+package probtopk
+
+import (
+	"fmt"
+
+	"probtopk/internal/core"
+	"probtopk/internal/engine"
+	"probtopk/internal/uncertain"
+)
+
+// DefaultEngineCacheSize is the number of prepared tables a NewEngine engine
+// retains (each distinct table occupies at most one slot).
+const DefaultEngineCacheSize = engine.DefaultCacheSize
+
+// Engine is a reusable, concurrency-safe query engine for serving repeated
+// top-k queries:
+//
+//   - The prepared (validated, sorted, indexed) form of each table is cached
+//     keyed by the table's mutation version, so repeated queries over an
+//     unchanged table skip preparation entirely; mutating the table
+//     transparently invalidates.
+//   - Per-query dynamic-programming scratch is drawn from a process-wide
+//     pool, so steady-state queries allocate near-zero. Results are
+//     bit-identical to the uncached, freshly allocated path.
+//   - Batches of (k, threshold) queries against one table share the
+//     preparation, the Theorem-2 prefix sums and the unit decomposition,
+//     fanned out over a bounded worker pool.
+//
+// The package-level query functions (TopKDistribution, CTypicalTopK, the
+// baseline semantics) route through a shared default engine, so plain
+// library use gets the caching for free. Construct a dedicated Engine to
+// isolate cache capacity or statistics per workload.
+//
+// An Engine holds references to the tables it has prepared (at most
+// cacheSize of them, least-recently-used evicted first); call Invalidate to
+// release a table eagerly.
+type Engine struct {
+	e *engine.Engine
+}
+
+// NewEngine returns an engine with the default prepared-table cache size.
+func NewEngine() *Engine { return NewEngineWithCache(DefaultEngineCacheSize) }
+
+// NewEngineWithCache returns an engine whose cache holds up to cacheSize
+// prepared tables. cacheSize <= 0 disables caching — every query prepares
+// afresh — which is the configuration to benchmark the uncached path
+// against.
+func NewEngineWithCache(cacheSize int) *Engine {
+	return &Engine{e: engine.New(cacheSize)}
+}
+
+// defaultEngine backs the package-level query functions.
+var defaultEngine = NewEngine()
+
+// Invalidate drops any preparation of t cached by the package's shared
+// default engine. The package-level query functions retain (up to the
+// default cache size) the most recently queried tables and their prepared
+// forms; long-running processes that query many short-lived tables should
+// call Invalidate when done with one, or use a dedicated Engine whose
+// lifetime they control.
+func Invalidate(t *Table) { defaultEngine.Invalidate(t) }
+
+// EngineStats is a snapshot of an engine's prepared-table cache counters.
+type EngineStats struct {
+	// Hits and Misses count Prepare calls served from / filled into the
+	// cache; Evictions counts entries dropped by the LRU bound.
+	Hits, Misses, Evictions uint64
+	// Entries is the current number of cached prepared tables.
+	Entries int
+}
+
+// CacheStats returns a snapshot of the engine's cache counters.
+func (e *Engine) CacheStats() EngineStats {
+	s := e.e.Stats()
+	return EngineStats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Entries: s.Entries}
+}
+
+// Invalidate drops any cached preparation of t, releasing the engine's
+// references to it.
+func (e *Engine) Invalidate(t *Table) { e.e.Invalidate(t) }
+
+// TopKDistribution computes the score distribution of the top-k tuple
+// vectors of t, like the package-level function, with this engine's cache.
+func (e *Engine) TopKDistribution(t *Table, k int, opts *Options) (*Distribution, error) {
+	if t == nil {
+		return nil, ErrNilTable
+	}
+	prep, err := e.e.Prepare(t)
+	if err != nil {
+		return nil, err
+	}
+	params, alg := opts.resolve()
+	params.K = k
+	var res *core.Result
+	switch alg {
+	case AlgorithmMain:
+		res, err = e.e.DistributionPrepared(prep, params)
+	case AlgorithmStateExpansion:
+		res, err = core.StateExpansion(prep, params)
+	case AlgorithmKCombo:
+		res, err = core.KCombo(prep, params)
+	default:
+		return nil, fmt.Errorf("probtopk: unknown algorithm %v", alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts != nil && opts.Normalize {
+		res.Dist.Normalize()
+	}
+	return &Distribution{dist: res.Dist, prepared: prep, ScanDepth: res.ScanDepth, K: k}, nil
+}
+
+// BatchQuery is one member of a TopKDistributionBatch: a k and a per-query
+// probability threshold carrying the same sentinel semantics as
+// Options.Threshold (0 means the 0.001 paper default, negative means exact).
+type BatchQuery struct {
+	K         int
+	Threshold float64
+}
+
+// TopKDistributionBatch answers many (k, threshold) queries against one
+// table with the main algorithm, sharing a single (cached) preparation and
+// scan across all of them. opts supplies the shared options; each query's K
+// and Threshold override it. Queries fan out over up to opts.Parallelism
+// goroutines (values below 2 run serially, each query's own unit-level
+// parallelism then still applies). Results are indexed like queries.
+func (e *Engine) TopKDistributionBatch(t *Table, queries []BatchQuery, opts *Options) ([]*Distribution, error) {
+	if t == nil {
+		return nil, ErrNilTable
+	}
+	prep, err := e.e.Prepare(t)
+	if err != nil {
+		return nil, err
+	}
+	params, alg := opts.resolve()
+	if alg != AlgorithmMain {
+		return nil, fmt.Errorf("probtopk: batch execution supports only AlgorithmMain, got %v", alg)
+	}
+	qs := make([]engine.Query, len(queries))
+	for i, q := range queries {
+		qs[i] = engine.Query{K: q.K, Threshold: resolveThreshold(q.Threshold)}
+	}
+	results, err := e.e.BatchPrepared(prep, params, qs, params.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Distribution, len(results))
+	for i, res := range results {
+		if opts != nil && opts.Normalize {
+			res.Dist.Normalize()
+		}
+		out[i] = &Distribution{dist: res.Dist, prepared: prep, ScanDepth: res.ScanDepth, K: queries[i].K}
+	}
+	return out, nil
+}
+
+// CTypicalTopK computes the top-k score distribution of t with this
+// engine's cache and returns the c typical vectors; see the package-level
+// CTypicalTopK.
+func (e *Engine) CTypicalTopK(t *Table, k, c int, opts *Options) ([]Line, error) {
+	dist, err := e.TopKDistribution(t, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	lines, _, err := dist.Typical(c)
+	return lines, err
+}
+
+// prepare returns the cached prepared form of t via the default engine.
+func prepare(t *Table) (*uncertain.Prepared, error) {
+	if t == nil {
+		return nil, ErrNilTable
+	}
+	return defaultEngine.e.Prepare(t)
+}

@@ -1,0 +1,3 @@
+module probtopk
+
+go 1.24

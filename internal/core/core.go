@@ -173,16 +173,16 @@ func ScanDepth(p *uncertain.Prepared, k int, ptau float64) int {
 	if math.IsInf(bound, 1) {
 		return n
 	}
-	var prefix float64 // total probability of tuples at positions < i
 	depth := n
 	for i := 0; i < n; i++ {
 		tp := p.Tuples[i]
-		mu := prefix - p.PrefixMass(tp.Group, i)
+		// PrefixProbability is precomputed once per Prepared, so repeated
+		// queries and batches share the scan's running sums.
+		mu := p.PrefixProbability(i) - p.PrefixMass(tp.Group, i)
 		if mu >= bound {
 			depth = i
 			break
 		}
-		prefix += tp.Prob
 	}
 	if depth == 0 {
 		return 0

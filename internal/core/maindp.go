@@ -46,22 +46,34 @@ func (r row) skipTrue(bound float64) float64 {
 // tuple. ME groups above the unit are compressed into rule tuples; exit
 // points are enabled only at the unit's rows. The per-unit distributions are
 // merged and coalesced to Params.MaxLines.
+//
+// The per-query working state comes from the process-wide Scratch pool, so
+// steady-state repeated queries allocate near-zero.
 func Distribution(p *uncertain.Prepared, params Params) (*Result, error) {
+	s := GetScratch()
+	defer PutScratch(s)
+	return DistributionScratch(p, params, s)
+}
+
+// DistributionScratch is Distribution running against an explicit Scratch,
+// for callers (the query engine, the sliding window) that manage scratch
+// lifetime themselves. The result is bit-identical to running with a fresh
+// zero Scratch.
+func DistributionScratch(p *uncertain.Prepared, params Params, s *Scratch) (*Result, error) {
 	if err := params.validate(p); err != nil {
 		return nil, err
 	}
 	n := ScanDepth(p, params.K, params.Threshold)
 	res := &Result{ScanDepth: n}
-	units := p.Units(n)
+	units := p.UnitsPrefix(n)
 	res.Units = len(units)
 	var perUnit []*pmf.Dist
 	if params.Parallelism > 1 && len(units) > 1 {
 		perUnit = runUnitsParallel(p, units, params, &res.Cells)
 	} else {
 		perUnit = make([]*pmf.Dist, len(units))
-		var grid pmf.GridCombiner
 		for i, u := range units {
-			perUnit[i] = runUnitDP(buildUnitRows(p, u), params, &grid, &res.Cells)
+			perUnit[i] = runUnitDP(buildUnitRows(p, u), params, s, &res.Cells)
 		}
 	}
 	dists := perUnit[:0]
@@ -71,8 +83,15 @@ func Distribution(p *uncertain.Prepared, params Params) (*Result, error) {
 		}
 	}
 	res.Dist = pmf.MergeAll(dists)
-	var scratch pmf.Coalescer
-	scratch.Coalesce(res.Dist, params.MaxLines, params.CoalesceMode)
+	// The per-unit distributions are dead after the merge (MergeAll always
+	// returns fresh storage); recycle them for the next query. dists is the
+	// compacted filter of perUnit, so each distribution appears exactly once.
+	for _, d := range dists {
+		if d != res.Dist {
+			s.putDist(d)
+		}
+	}
+	s.co.Coalesce(res.Dist, params.MaxLines, params.CoalesceMode)
 	if params.TrackVectors {
 		res.Dist.NormalizeVectors()
 	}
@@ -95,10 +114,11 @@ func runUnitsParallel(p *uncertain.Prepared, units []uncertain.Unit, params Para
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			var grid pmf.GridCombiner
+			ws := GetScratch()
+			defer PutScratch(ws)
 			local := 0
 			for i := range next {
-				perUnit[i] = runUnitDP(buildUnitRows(p, units[i]), params, &grid, &local)
+				perUnit[i] = runUnitDP(buildUnitRows(p, units[i]), params, ws, &local)
 			}
 			atomic.AddInt64(&counted, int64(local))
 		}()
@@ -170,14 +190,16 @@ func buildUnitRows(p *uncertain.Prepared, u uncertain.Unit) []row {
 // probabilities and the skip factors of all unchosen rows above the deepest
 // chosen one — exactly the configuration sub-event semantics of Theorem 3.
 // The answer is dists[k] after the top row.
-func runUnitDP(rows []row, params Params, grid *pmf.GridCombiner, cells *int) *pmf.Dist {
+func runUnitDP(rows []row, params Params, s *Scratch, cells *int) *pmf.Dist {
 	k := params.K
 	dists := make([]*pmf.Dist, k+1)
 	next := make([]*pmf.Dist, k+1)
-	exitPoint := pmf.PointVec(0, 1, nil, 1)
+	exitPoint := s.exitPoint()
 	// pool recycles the previous generation's distributions: after a row is
 	// processed, the old column entries are unreachable and their line
-	// storage can back the next row's outputs.
+	// storage can back the next row's outputs. When the local pool is dry,
+	// distributions recycled from earlier units and queries (the Scratch
+	// free list) are used before allocating.
 	var pool []*pmf.Dist
 	fromPool := func() *pmf.Dist {
 		if n := len(pool); n > 0 {
@@ -185,7 +207,7 @@ func runUnitDP(rows []row, params Params, grid *pmf.GridCombiner, cells *int) *p
 			pool = pool[:n-1]
 			return d
 		}
-		return nil
+		return s.getDist()
 	}
 	for i := len(rows) - 1; i >= 0; i-- {
 		r := rows[i]
@@ -202,7 +224,7 @@ func runUnitDP(rows []row, params Params, grid *pmf.GridCombiner, cells *int) *p
 			} else {
 				take = dists[j-1]
 			}
-			d := grid.Combine(fromPool(), dists[j], r.skipFactor, take, r.branches,
+			d := s.grid.Combine(fromPool(), dists[j], r.skipFactor, take, r.branches,
 				params.MaxLines, params.CoalesceMode, params.TrackVectors, adjust)
 			next[j] = d
 			*cells++
@@ -213,6 +235,13 @@ func runUnitDP(rows []row, params Params, grid *pmf.GridCombiner, cells *int) *p
 			}
 			dists[j], next[j] = next[j], nil
 		}
+	}
+	// Everything except the answer column is dead: recycle it.
+	for _, d := range pool {
+		s.putDist(d)
+	}
+	for j := 1; j < k; j++ {
+		s.putDist(dists[j])
 	}
 	if dists[k] == nil {
 		return pmf.New()

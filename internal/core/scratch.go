@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sync"
+
+	"probtopk/internal/pmf"
+)
+
+// maxFreeDists bounds the number of recycled distributions a Scratch retains
+// between queries, so a one-off huge query cannot pin its working set in the
+// pool forever.
+const maxFreeDists = 64
+
+// Scratch is the reusable per-query working state of the main dynamic
+// program: the fused combine/coalesce buffers, the closest-pair coalescing
+// buffers, and a free list of recycled intermediate distributions. A zero
+// Scratch is ready to use; a Scratch must not be used concurrently.
+//
+// Steady-state query serving obtains Scratches from a process-wide sync.Pool
+// via GetScratch/PutScratch, which makes repeated queries allocate near-zero:
+// the DP's intermediate distributions, grid cells and heap storage all come
+// from earlier queries.
+type Scratch struct {
+	grid pmf.GridCombiner
+	co   pmf.Coalescer
+	free []*pmf.Dist
+	exit *pmf.Dist
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch returns a Scratch from the process-wide pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns s to the process-wide pool.
+func PutScratch(s *Scratch) {
+	if s != nil {
+		scratchPool.Put(s)
+	}
+}
+
+// getDist pops a recycled distribution, or returns nil when none is free
+// (the combiner then allocates a fresh one).
+func (s *Scratch) getDist() *pmf.Dist {
+	if n := len(s.free); n > 0 {
+		d := s.free[n-1]
+		s.free = s.free[:n-1]
+		return d
+	}
+	return nil
+}
+
+// putDist recycles a distribution whose contents are no longer reachable.
+func (s *Scratch) putDist(d *pmf.Dist) {
+	if d == nil || len(s.free) >= maxFreeDists {
+		return
+	}
+	d.Reset()
+	s.free = append(s.free, d)
+}
+
+// exitPoint returns the shared single-line distribution {(0, 1)} used as the
+// take source of enabled exit rows. It is read-only for the DP, so one
+// instance per Scratch suffices.
+func (s *Scratch) exitPoint() *pmf.Dist {
+	if s.exit == nil {
+		s.exit = pmf.PointVec(0, 1, nil, 1)
+	}
+	return s.exit
+}

@@ -1,0 +1,247 @@
+// Package engine provides the reusable, concurrency-safe query engine that
+// turns the one-shot batch algorithms of internal/core into something that
+// can sit behind a server:
+//
+//   - Prepared-table caching. uncertain.Prepare sorts, validates and indexes
+//     a table; for repeated queries over slowly-changing data that dominates
+//     small-query cost. The engine caches Prepared values keyed by the
+//     (table pointer, mutation version) pair, so queries over an unchanged
+//     table skip preparation entirely and any mutation (which bumps the
+//     version) transparently invalidates.
+//   - Pooled scratch. Every query draws its dynamic-programming working
+//     state (grid combiner, coalescer, recycled intermediate distributions)
+//     from the process-wide core.Scratch pool, so steady-state queries
+//     allocate near-zero. Results are bit-identical to fresh allocation.
+//   - Batched multi-query execution. Many (k, threshold) queries against
+//     one prepared table share the preparation, the precomputed Theorem-2
+//     prefix sums and the memoized unit decomposition, fanned out over a
+//     bounded worker pool.
+//
+// An Engine is safe for concurrent use; tables must not be mutated while
+// queries over them are in flight (the usual Table contract).
+package engine
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"probtopk/internal/core"
+	"probtopk/internal/uncertain"
+)
+
+// DefaultCacheSize is the default number of prepared tables an Engine
+// retains. Each distinct *Table occupies at most one slot (only the latest
+// version of a table is reachable, so stale versions are dropped eagerly).
+const DefaultCacheSize = 64
+
+// Engine is a reusable query engine with a bounded LRU cache of prepared
+// tables. The zero value is not usable; construct with New.
+type Engine struct {
+	cacheCap int
+
+	mu    sync.Mutex
+	byTab map[*uncertain.Table]*list.Element // of *cacheEntry
+	lru   *list.List                         // front = most recently used
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheEntry struct {
+	tab     *uncertain.Table
+	version uint64
+	prep    *uncertain.Prepared
+}
+
+// New returns an Engine whose prepared-table cache holds up to cacheSize
+// tables. cacheSize <= 0 disables caching: every query prepares afresh
+// (scratch pooling and batching still apply), which is the configuration
+// benchmarks use as the uncached baseline.
+func New(cacheSize int) *Engine {
+	return &Engine{
+		cacheCap: cacheSize,
+		byTab:    make(map[*uncertain.Table]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Stats is a snapshot of the engine's cache counters.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	n := e.lru.Len()
+	e.mu.Unlock()
+	return Stats{
+		Hits:      e.hits.Load(),
+		Misses:    e.misses.Load(),
+		Evictions: e.evictions.Load(),
+		Entries:   n,
+	}
+}
+
+// Prepare returns the Prepared form of t, from cache when t has not been
+// mutated since it was last prepared, preparing and caching it otherwise.
+// The returned Prepared is shared: it is immutable and safe for concurrent
+// readers, but must be discarded once the table mutates.
+func (e *Engine) Prepare(t *uncertain.Table) (*uncertain.Prepared, error) {
+	if e.cacheCap <= 0 {
+		e.misses.Add(1)
+		return uncertain.Prepare(t)
+	}
+	version := t.Version()
+	e.mu.Lock()
+	if el, ok := e.byTab[t]; ok {
+		ent := el.Value.(*cacheEntry)
+		if ent.version == version {
+			e.lru.MoveToFront(el)
+			e.mu.Unlock()
+			e.hits.Add(1)
+			return ent.prep, nil
+		}
+		// The table mutated: the old version is unreachable, drop it now
+		// rather than letting it age out.
+		e.lru.Remove(el)
+		delete(e.byTab, t)
+	}
+	e.mu.Unlock()
+	e.misses.Add(1)
+	// Prepare outside the lock: sorting a large table must not block
+	// concurrent cache hits. A racing prepare of the same version does
+	// redundant work but stays correct (last insert wins).
+	prep, err := uncertain.Prepare(t)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if el, ok := e.byTab[t]; ok {
+		e.lru.Remove(el)
+	}
+	e.byTab[t] = e.lru.PushFront(&cacheEntry{tab: t, version: version, prep: prep})
+	for e.lru.Len() > e.cacheCap {
+		oldest := e.lru.Back()
+		e.lru.Remove(oldest)
+		delete(e.byTab, oldest.Value.(*cacheEntry).tab)
+		e.evictions.Add(1)
+	}
+	e.mu.Unlock()
+	return prep, nil
+}
+
+// Invalidate drops any cached preparation of t, releasing the engine's
+// references to both the table and its Prepared form.
+func (e *Engine) Invalidate(t *uncertain.Table) {
+	e.mu.Lock()
+	if el, ok := e.byTab[t]; ok {
+		e.lru.Remove(el)
+		delete(e.byTab, t)
+	}
+	e.mu.Unlock()
+}
+
+// Distribution answers one main-algorithm query over t, using the cached
+// preparation and pooled scratch.
+func (e *Engine) Distribution(t *uncertain.Table, params core.Params) (*core.Result, error) {
+	prep, err := e.Prepare(t)
+	if err != nil {
+		return nil, err
+	}
+	return e.DistributionPrepared(prep, params)
+}
+
+// DistributionPrepared answers one main-algorithm query over an
+// already-prepared table with pooled scratch.
+func (e *Engine) DistributionPrepared(p *uncertain.Prepared, params core.Params) (*core.Result, error) {
+	s := core.GetScratch()
+	defer core.PutScratch(s)
+	return core.DistributionScratch(p, params, s)
+}
+
+// Query is one member of a batch: a (k, threshold) pair evaluated against
+// the shared prepared table. Threshold carries core.Params semantics
+// (0 means exact; callers resolve any public-API sentinel beforehand).
+type Query struct {
+	K         int
+	Threshold float64
+}
+
+// Batch answers many (k, threshold) queries against one table, sharing a
+// single (cached) preparation, the precomputed prefix sums and the memoized
+// unit decomposition. workers bounds the fan-out goroutines; values below 2
+// run the batch serially on the calling goroutine. When fanning out, each
+// query's DP runs serially (base.Parallelism is ignored) — the batch itself
+// is the parallelism.
+//
+// Results are indexed like queries. The first error (by query index) aborts
+// the batch.
+func (e *Engine) Batch(t *uncertain.Table, base core.Params, queries []Query, workers int) ([]*core.Result, error) {
+	prep, err := e.Prepare(t)
+	if err != nil {
+		return nil, err
+	}
+	return e.BatchPrepared(prep, base, queries, workers)
+}
+
+// BatchPrepared is Batch against an already-prepared table.
+func (e *Engine) BatchPrepared(p *uncertain.Prepared, base core.Params, queries []Query, workers int) ([]*core.Result, error) {
+	results := make([]*core.Result, len(queries))
+	if len(queries) == 0 {
+		return results, nil
+	}
+	// Force the memoization of the unit decomposition before fanning out so
+	// every query shares one computation of it.
+	p.AllUnits()
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 2 {
+		s := core.GetScratch()
+		defer core.PutScratch(s)
+		for i, q := range queries {
+			params := base
+			params.K = q.K
+			params.Threshold = q.Threshold
+			res, err := core.DistributionScratch(p, params, s)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+	errs := make([]error, len(queries))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			s := core.GetScratch()
+			defer core.PutScratch(s)
+			for i := range next {
+				params := base
+				params.K = queries[i].K
+				params.Threshold = queries[i].Threshold
+				params.Parallelism = 0 // the batch is the parallelism
+				results[i], errs[i] = core.DistributionScratch(p, params, s)
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"probtopk/internal/core"
+	"probtopk/internal/pmf"
+	"probtopk/internal/uncertain"
+)
+
+func randomTable(r *rand.Rand, n int, groupFrac float64) *uncertain.Table {
+	tab := uncertain.NewTable()
+	mass := make(map[string]float64)
+	for i := 0; i < n; i++ {
+		prob := 0.05 + 0.25*r.Float64()
+		group := ""
+		if r.Float64() < groupFrac {
+			g := fmt.Sprintf("g%d", r.Intn(3))
+			if mass[g]+prob <= 1 {
+				group = g
+				mass[g] += prob
+			}
+		}
+		tab.Add(uncertain.Tuple{
+			ID:    fmt.Sprintf("t%d", i),
+			Score: math.Floor(100 * r.Float64()),
+			Prob:  prob,
+			Group: group,
+		})
+	}
+	return tab
+}
+
+func sameDist(t *testing.T, label string, got, want *pmf.Dist) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d lines, want %d", label, got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		g, w := got.Line(i), want.Line(i)
+		if g.Score != w.Score || g.Prob != w.Prob || g.VecProb != w.VecProb {
+			t.Fatalf("%s: line %d = %+v, want %+v", label, i, g, w)
+		}
+		gs, ws := g.Vec.Slice(), w.Vec.Slice()
+		if len(gs) != len(ws) {
+			t.Fatalf("%s: line %d vector %v, want %v", label, i, gs, ws)
+		}
+		for j := range gs {
+			if gs[j] != ws[j] {
+				t.Fatalf("%s: line %d vector %v, want %v", label, i, gs, ws)
+			}
+		}
+	}
+}
+
+// TestCacheHitMiss: repeated Prepare over an unchanged table returns the
+// identical Prepared from cache; mutating the table invalidates.
+func TestCacheHitMiss(t *testing.T) {
+	e := New(8)
+	tab := randomTable(rand.New(rand.NewSource(1)), 20, 0.3)
+
+	p1, err := e.Prepare(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.Prepare(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("second Prepare over unchanged table did not hit the cache")
+	}
+	if s := e.Stats(); s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", s)
+	}
+
+	tab.AddIndependent("fresh", 55, 0.5)
+	p3, err := e.Prepare(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("Prepare after mutation returned the stale Prepared")
+	}
+	if p3.Len() != tab.Len() {
+		t.Fatalf("stale preparation: %d tuples, table has %d", p3.Len(), tab.Len())
+	}
+	// The stale version is replaced, not kept alongside.
+	if s := e.Stats(); s.Misses != 2 || s.Entries != 1 {
+		t.Fatalf("stats after mutation = %+v, want 2 misses / 1 entry", s)
+	}
+}
+
+// TestCacheEvictionAndInvalidate: the LRU bound holds, and Invalidate
+// releases an entry.
+func TestCacheEvictionAndInvalidate(t *testing.T) {
+	e := New(2)
+	r := rand.New(rand.NewSource(2))
+	tabs := []*uncertain.Table{
+		randomTable(r, 8, 0), randomTable(r, 8, 0), randomTable(r, 8, 0),
+	}
+	for _, tab := range tabs {
+		if _, err := e.Prepare(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := e.Stats(); s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries / 1 eviction", s)
+	}
+	// tabs[0] was evicted (LRU); tabs[2] is cached.
+	if _, err := e.Prepare(tabs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 hit on the resident table", s)
+	}
+	e.Invalidate(tabs[2])
+	if s := e.Stats(); s.Entries != 1 {
+		t.Fatalf("after Invalidate: %d entries, want 1", s.Entries)
+	}
+}
+
+// TestCacheDisabled: cache size 0 prepares afresh every time.
+func TestCacheDisabled(t *testing.T) {
+	e := New(0)
+	tab := randomTable(rand.New(rand.NewSource(3)), 12, 0.2)
+	p1, err := e.Prepare(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.Prepare(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("cache-disabled engine returned a cached Prepared")
+	}
+}
+
+// TestPooledScratchBitIdentical: query results through the engine's pooled
+// (and warmed, recycled) scratch are bit-identical to a fresh zero Scratch
+// on every trial — the pooling is purely an allocation optimisation.
+func TestPooledScratchBitIdentical(t *testing.T) {
+	e := New(8)
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		tab := randomTable(r, 10+r.Intn(20), 0.4)
+		if tab.Validate() != nil {
+			continue
+		}
+		params := core.Params{
+			K: 1 + r.Intn(4), Threshold: 0.001, MaxLines: 50, TrackVectors: true,
+		}
+		got, err := e.Distribution(tab, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := uncertain.Prepare(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.DistributionScratch(prep, params, new(core.Scratch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameDist(t, fmt.Sprintf("trial %d", trial), got.Dist, want.Dist)
+	}
+}
+
+// TestBatchMatchesIndividual: batch execution (serial and fanned out) gives
+// exactly the per-query results.
+func TestBatchMatchesIndividual(t *testing.T) {
+	e := New(8)
+	tab := randomTable(rand.New(rand.NewSource(5)), 40, 0.3)
+	queries := []Query{
+		{K: 1, Threshold: 0.001}, {K: 2, Threshold: 0.001}, {K: 3, Threshold: 0},
+		{K: 2, Threshold: 0.05}, {K: 5, Threshold: 0.001}, {K: 4, Threshold: 0.01},
+	}
+	base := core.Params{MaxLines: 100, TrackVectors: true}
+	for _, workers := range []int{1, 4} {
+		results, err := e.Batch(tab, base, queries, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(queries) {
+			t.Fatalf("workers=%d: %d results for %d queries", workers, len(results), len(queries))
+		}
+		for i, q := range queries {
+			params := base
+			params.K = q.K
+			params.Threshold = q.Threshold
+			want, err := e.Distribution(tab, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameDist(t, fmt.Sprintf("workers=%d query %d", workers, i), results[i].Dist, want.Dist)
+			if results[i].ScanDepth != want.ScanDepth {
+				t.Fatalf("workers=%d query %d: scan depth %d, want %d",
+					workers, i, results[i].ScanDepth, want.ScanDepth)
+			}
+		}
+	}
+	// The whole exercise prepared the table exactly once.
+	if s := e.Stats(); s.Misses != 1 {
+		t.Fatalf("stats = %+v, want a single preparation", s)
+	}
+}
+
+// TestBatchError: an invalid query aborts the batch in both execution modes.
+func TestBatchError(t *testing.T) {
+	e := New(4)
+	tab := randomTable(rand.New(rand.NewSource(6)), 10, 0)
+	queries := []Query{{K: 2, Threshold: 0.001}, {K: 0, Threshold: 0.001}}
+	for _, workers := range []int{1, 2} {
+		if _, err := e.Batch(tab, core.Params{TrackVectors: true}, queries, workers); err == nil {
+			t.Fatalf("workers=%d: k=0 should error", workers)
+		}
+	}
+}
+
+// TestConcurrentQueries: many goroutines querying one engine and table get
+// identical answers (run with -race to exercise the cache and scratch pool).
+func TestConcurrentQueries(t *testing.T) {
+	e := New(4)
+	tab := randomTable(rand.New(rand.NewSource(7)), 30, 0.3)
+	params := core.Params{K: 3, Threshold: 0.001, MaxLines: 60, TrackVectors: true}
+	want, err := e.Distribution(tab, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				res, err := e.Distribution(tab, params)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if res.Dist.Len() != want.Dist.Len() || res.Dist.TotalMass() != want.Dist.TotalMass() {
+					errc <- fmt.Errorf("concurrent result diverged: %v vs %v", res.Dist, want.Dist)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

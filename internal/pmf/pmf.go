@@ -173,6 +173,13 @@ func (d *Dist) Clone() *Dist {
 // IsEmpty reports whether the distribution has no mass.
 func (d *Dist) IsEmpty() bool { return len(d.lines) == 0 }
 
+// Reset empties d in place, keeping the line storage for reuse but clearing
+// it so recycled distributions do not pin vector nodes of earlier queries.
+func (d *Dist) Reset() {
+	clear(d.lines)
+	d.lines = d.lines[:0]
+}
+
 // TotalMass returns the sum of all line probabilities using compensated
 // (Kahan) summation.
 func (d *Dist) TotalMass() float64 {

@@ -4,12 +4,22 @@
 // uncertain tuples is maintained, and the top-k score distribution (and
 // c-Typical-Topk answers) of the window contents can be queried at any time.
 //
-// The window keeps its tuples in a rank-ordered index so a query costs one
-// run of the paper's main dynamic program over the window — insertion and
-// eviction are O(log W + W) (slice insert), far cheaper than the DP itself.
+// The window maintains its prepared (rank-ordered, §3.4) state
+// incrementally. Each Push binary-inserts the new tuple into the canonical
+// order and removes the evicted one, both O(log W + W); the derived
+// uncertain.Prepared structure is rebuilt lazily at the next query, and only
+// from the first rank position that changed — the shared higher-ranked
+// prefix is reused ("suffix re-prepare"). When a push or eviction changes
+// ME-group membership the window conservatively falls back to a full
+// (sort-free) rebuild. Repeated queries over an unchanged window reuse the
+// cached Prepared outright, so a query costs exactly one run of the paper's
+// dynamic program, with pooled scratch.
+//
 // ME groups are supported with the window-native semantics that a group's
 // constraint binds among the members currently inside the window; evicted
-// members simply drop out (their probability mass leaves the group).
+// members simply drop out (their probability mass leaves the group), and a
+// group whose in-window mass exceeds 1 surfaces as an error at query time,
+// healing as members slide out.
 package stream
 
 import (
@@ -29,11 +39,55 @@ type Window struct {
 	seq      int64
 	// tuples in arrival order (oldest first).
 	arrival []entry
+	// the same tuples in canonical §3.4 rank order: descending (score,
+	// probability), remaining ties by arrival. Maintained incrementally.
+	ranked []entry
+
+	// prep is the cached Prepared built from ranked; nil when never built or
+	// after an ME-group membership change. dirtyFrom is the lowest rank
+	// position touched since prep was built (-1 = clean); needFull forces a
+	// full rebuild at the next query.
+	prep      *uncertain.Prepared
+	dirtyFrom int
+	needFull  bool
+
+	// scratch buffer reused for the tuple slice handed to PrepareSorted.
+	buf []uncertain.Tuple
+
+	stats WindowStats
 }
 
 type entry struct {
 	seq   int64
 	tuple uncertain.Tuple
+}
+
+// WindowStats counts how queries obtained their prepared state, for
+// observability and tests of the incremental maintenance.
+type WindowStats struct {
+	// CachedQueries is the number of queries that reused the cached
+	// Prepared without any rebuild (no pushes since the last query).
+	CachedQueries int
+	// SuffixRebuilds is the number of rebuilds that reused the unchanged
+	// higher-ranked prefix.
+	SuffixRebuilds int
+	// FullRebuilds is the number of rebuilds from scratch (first build, or
+	// after ME-group membership changed).
+	FullRebuilds int
+}
+
+// canonBefore reports whether a precedes b in the canonical prepared order:
+// descending score, then descending probability, then arrival order. The
+// sequence tie-break makes the order total and identical to Prepare's stable
+// sort of the arrival-order table.
+func canonBefore(a, b entry) bool {
+	if a.tuple.Score != b.tuple.Score {
+		return a.tuple.Score > b.tuple.Score
+	}
+	if a.tuple.Prob != b.tuple.Prob {
+		return a.tuple.Prob > b.tuple.Prob
+	}
+	return a.seq < b.seq
 }
 
 // NewWindow creates a sliding window holding the most recent capacity
@@ -42,7 +96,7 @@ func NewWindow(capacity int) (*Window, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("stream: window capacity must be ≥ 1, got %d", capacity)
 	}
-	return &Window{capacity: capacity}, nil
+	return &Window{capacity: capacity, dirtyFrom: -1}, nil
 }
 
 // Len returns the number of tuples currently in the window.
@@ -51,25 +105,64 @@ func (w *Window) Len() int { return len(w.arrival) }
 // Capacity returns the window size.
 func (w *Window) Capacity() int { return w.capacity }
 
+// Stats returns the prepared-state maintenance counters.
+func (w *Window) Stats() WindowStats { return w.stats }
+
+// markDirty records that rank positions at or beyond pos changed.
+func (w *Window) markDirty(pos int) {
+	if w.dirtyFrom < 0 || pos < w.dirtyFrom {
+		w.dirtyFrom = pos
+	}
+}
+
 // Push appends a tuple to the stream, evicting the oldest tuple when the
 // window is full. It returns the evicted tuple, if any. The tuple is
 // validated on entry (probability in (0, 1], finite score); group-mass
 // validation happens against the *current window contents* at query time,
 // since a group's in-window mass changes as members are evicted.
 func (w *Window) Push(t uncertain.Tuple) (evicted *uncertain.Tuple, err error) {
-	probe := uncertain.NewTable().Add(uncertain.Tuple{ID: t.ID, Score: t.Score, Prob: t.Prob})
-	if err := probe.Validate(); err != nil {
-		return nil, err
+	if err := uncertain.CheckTuple(t); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
 	}
-	w.seq++
-	w.arrival = append(w.arrival, entry{seq: w.seq, tuple: t})
-	if len(w.arrival) > w.capacity {
-		old := w.arrival[0].tuple
+	if len(w.arrival) == w.capacity {
+		old := w.arrival[0]
 		copy(w.arrival, w.arrival[1:])
 		w.arrival = w.arrival[:len(w.arrival)-1]
-		return &old, nil
+		w.removeRanked(old)
+		if old.tuple.Group != "" {
+			w.needFull = true
+		}
+		evicted = &old.tuple
 	}
-	return nil, nil
+	w.seq++
+	e := entry{seq: w.seq, tuple: t}
+	w.arrival = append(w.arrival, e)
+	w.insertRanked(e)
+	if t.Group != "" {
+		w.needFull = true
+	}
+	return evicted, nil
+}
+
+// insertRanked binary-inserts e into the canonical order.
+func (w *Window) insertRanked(e entry) {
+	pos := sort.Search(len(w.ranked), func(i int) bool { return canonBefore(e, w.ranked[i]) })
+	w.ranked = append(w.ranked, entry{})
+	copy(w.ranked[pos+1:], w.ranked[pos:])
+	w.ranked[pos] = e
+	w.markDirty(pos)
+}
+
+// removeRanked removes the entry with e's sequence number from the canonical
+// order.
+func (w *Window) removeRanked(e entry) {
+	pos := sort.Search(len(w.ranked), func(i int) bool { return !canonBefore(w.ranked[i], e) })
+	for pos < len(w.ranked) && w.ranked[pos].seq != e.seq {
+		pos++ // canonBefore is total, so this only skips float-equal twins
+	}
+	copy(w.ranked[pos:], w.ranked[pos+1:])
+	w.ranked = w.ranked[:len(w.ranked)-1]
+	w.markDirty(pos)
 }
 
 // ErrEmptyWindow is returned when a query runs against an empty window.
@@ -91,6 +184,45 @@ func (w *Window) Table() (*uncertain.Table, error) {
 	return t, nil
 }
 
+// Prepared returns the prepared form of the current window contents,
+// maintained incrementally: clean state is returned as-is; otherwise the
+// rank suffix from the first changed position is re-prepared (or everything,
+// after ME-group membership changed). Group-mass validation runs on every
+// rebuild, so an overfull in-window group surfaces here.
+func (w *Window) Prepared() (*uncertain.Prepared, error) {
+	if len(w.ranked) == 0 {
+		return nil, ErrEmptyWindow
+	}
+	if w.prep != nil && !w.needFull && w.dirtyFrom < 0 {
+		w.stats.CachedQueries++
+		return w.prep, nil
+	}
+	w.buf = w.buf[:0]
+	for _, e := range w.ranked {
+		w.buf = append(w.buf, e.tuple)
+	}
+	var (
+		prev *uncertain.Prepared
+		from int
+	)
+	if w.prep != nil && !w.needFull && w.dirtyFrom >= 0 {
+		prev, from = w.prep, w.dirtyFrom
+	}
+	prep, err := uncertain.PrepareSorted(w.buf, prev, from)
+	if err != nil {
+		return nil, fmt.Errorf("stream: window contents invalid: %w", err)
+	}
+	if prev != nil {
+		w.stats.SuffixRebuilds++
+	} else {
+		w.stats.FullRebuilds++
+	}
+	w.prep = prep
+	w.dirtyFrom = -1
+	w.needFull = false
+	return prep, nil
+}
+
 // Result is one windowed query answer.
 type Result struct {
 	// Dist is the top-k score distribution of the window contents.
@@ -100,17 +232,17 @@ type Result struct {
 	Prepared *uncertain.Prepared
 	// WindowLen is the number of tuples that were in the window.
 	WindowLen int
+	// ScanDepth is the number of window tuples the query examined under
+	// Theorem 2 (at most WindowLen).
+	ScanDepth int
 }
 
 // TopK computes the top-k score distribution of the current window with the
 // main algorithm under params (K is taken from the argument, overriding
-// params.K).
+// params.K), reusing the incrementally maintained prepared state and pooled
+// DP scratch.
 func (w *Window) TopK(k int, params core.Params) (*Result, error) {
-	tab, err := w.Table()
-	if err != nil {
-		return nil, err
-	}
-	prep, err := uncertain.Prepare(tab)
+	prep, err := w.Prepared()
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +251,7 @@ func (w *Window) TopK(k int, params core.Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Dist: res.Dist, Prepared: prep, WindowLen: tab.Len()}, nil
+	return &Result{Dist: res.Dist, Prepared: prep, WindowLen: len(w.arrival), ScanDepth: res.ScanDepth}, nil
 }
 
 // Series runs a query after every arrival of stream and collects a chosen
@@ -149,15 +281,9 @@ func Series(window *Window, streamTuples []uncertain.Tuple, k int, params core.P
 // Snapshot lists the window contents in rank (score, probability) order,
 // useful for debugging and display.
 func (w *Window) Snapshot() []uncertain.Tuple {
-	out := make([]uncertain.Tuple, len(w.arrival))
-	for i, e := range w.arrival {
+	out := make([]uncertain.Tuple, len(w.ranked))
+	for i, e := range w.ranked {
 		out[i] = e.tuple
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Prob > out[j].Prob
-	})
 	return out
 }

@@ -169,6 +169,128 @@ func TestSlidingCrossCheck(t *testing.T) {
 	}
 }
 
+// TestIncrementalMatchesFullPrepare: property-style cross-check of the
+// window's incremental prepared-state maintenance (suffix re-prepare,
+// ME-triggered full rebuilds, cached reuse) against preparing the
+// materialised window table from scratch at every step. Distributions must
+// be bit-identical, and the prepared structures must agree position by
+// position.
+func TestIncrementalMatchesFullPrepare(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		groupFrac float64
+	}{
+		{"independent", 0},
+		{"mixed-groups", 0.4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(99))
+			w, _ := NewWindow(8)
+			for step := 0; step < 120; step++ {
+				tp := uncertain.Tuple{
+					ID:    "t",
+					Score: float64(r.Intn(25)),
+					Prob:  0.05 + 0.2*r.Float64(),
+				}
+				if r.Float64() < tc.groupFrac {
+					tp.Group = "g" // bounded probs keep the in-window mass ≤ 1 only sometimes
+				}
+				if _, err := w.Push(tp); err != nil {
+					t.Fatal(err)
+				}
+				tab, err := w.Table()
+				if err != nil {
+					// Overfull in-window group: the incremental path must
+					// agree that the window is invalid.
+					if _, werr := w.Prepared(); werr == nil {
+						t.Fatalf("step %d: full prepare failed (%v) but incremental succeeded", step, err)
+					}
+					continue
+				}
+				want, err := uncertain.Prepare(tab)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := w.Prepared()
+				if err != nil {
+					t.Fatalf("step %d: incremental prepare: %v", step, err)
+				}
+				if got.Len() != want.Len() || got.NumGroups() != want.NumGroups() {
+					t.Fatalf("step %d: prepared %v vs %v", step, got, want)
+				}
+				for i := 0; i < want.Len(); i++ {
+					g, v := got.Tuples[i], want.Tuples[i]
+					if g.Score != v.Score || g.Prob != v.Prob || g.Lead != v.Lead ||
+						g.Group != v.Group {
+						t.Fatalf("step %d pos %d: %+v vs %+v", step, i, g, v)
+					}
+				}
+				k := 1 + r.Intn(3)
+				res, err := w.TopK(k, exactParams())
+				if err != nil {
+					t.Fatal(err)
+				}
+				full, err := core.Distribution(want, core.Params{K: k, TrackVectors: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Dist.Len() != full.Dist.Len() {
+					t.Fatalf("step %d: %d lines vs %d", step, res.Dist.Len(), full.Dist.Len())
+				}
+				for i := 0; i < full.Dist.Len(); i++ {
+					a, b := res.Dist.Line(i), full.Dist.Line(i)
+					if a.Score != b.Score || a.Prob != b.Prob || a.VecProb != b.VecProb {
+						t.Fatalf("step %d line %d: %+v vs %+v", step, i, a, b)
+					}
+				}
+			}
+			stats := w.Stats()
+			if tc.groupFrac == 0 {
+				if stats.FullRebuilds != 1 {
+					t.Fatalf("independent stream: %d full rebuilds, want only the first (stats %+v)",
+						stats.FullRebuilds, stats)
+				}
+				if stats.SuffixRebuilds == 0 {
+					t.Fatalf("independent stream never took the suffix path: %+v", stats)
+				}
+			} else if stats.FullRebuilds <= 1 {
+				t.Fatalf("ME churn should force full rebuilds: %+v", stats)
+			}
+		})
+	}
+}
+
+// TestPreparedCachedAcrossQueries: with no pushes in between, repeated
+// queries reuse the prepared state outright.
+func TestPreparedCachedAcrossQueries(t *testing.T) {
+	w, _ := NewWindow(5)
+	for i := 0; i < 5; i++ {
+		w.Push(uncertain.Tuple{ID: "t", Score: float64(i), Prob: 0.5})
+	}
+	p1, err := w.Prepared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := w.Prepared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("unchanged window rebuilt its prepared state")
+	}
+	if s := w.Stats(); s.CachedQueries != 1 {
+		t.Fatalf("stats = %+v, want 1 cached query", s)
+	}
+	w.Push(uncertain.Tuple{ID: "t", Score: 9, Prob: 0.5})
+	p3, err := w.Prepared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("push did not invalidate the prepared state")
+	}
+}
+
 func TestSeries(t *testing.T) {
 	w, _ := NewWindow(4)
 	var stream []uncertain.Tuple

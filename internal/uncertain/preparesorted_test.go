@@ -1,0 +1,172 @@
+package uncertain
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// canonicalSort sorts tuples the way Prepare does, stably on insertion
+// order.
+func canonicalSort(tuples []Tuple) []Tuple {
+	out := append([]Tuple(nil), tuples...)
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Prob > out[b].Prob
+	})
+	return out
+}
+
+// samePrepared asserts the query-relevant derived structure of two Prepared
+// tables is identical (Orig is excluded: PrepareSorted defines it as the
+// prepared position).
+func samePrepared(t *testing.T, label string, got, want *Prepared) {
+	t.Helper()
+	if got.Len() != want.Len() || got.NumGroups() != want.NumGroups() {
+		t.Fatalf("%s: %v vs %v", label, got, want)
+	}
+	for i := 0; i < want.Len(); i++ {
+		g, w := got.Tuples[i], want.Tuples[i]
+		if g.ID != w.ID || g.Score != w.Score || g.Prob != w.Prob ||
+			g.Group != w.Group || g.Lead != w.Lead {
+			t.Fatalf("%s: position %d: %+v vs %+v", label, i, g, w)
+		}
+		gs, ge := got.TieGroup(i)
+		ws, we := want.TieGroup(i)
+		if gs != ws || ge != we {
+			t.Fatalf("%s: tie group at %d: [%d,%d) vs [%d,%d)", label, i, gs, ge, ws, we)
+		}
+		if got.PrefixProbability(i) != want.PrefixProbability(i) {
+			t.Fatalf("%s: prefix probability at %d: %v vs %v",
+				label, i, got.PrefixProbability(i), want.PrefixProbability(i))
+		}
+	}
+	for g := 0; g < want.NumGroups(); g++ {
+		gm, wm := got.GroupMembers(g), want.GroupMembers(g)
+		if len(gm) != len(wm) {
+			t.Fatalf("%s: group %d members %v vs %v", label, g, gm, wm)
+		}
+		for i := range wm {
+			if gm[i] != wm[i] {
+				t.Fatalf("%s: group %d members %v vs %v", label, g, gm, wm)
+			}
+		}
+	}
+}
+
+// TestPrepareSortedMatchesPrepare: building from pre-sorted tuples yields
+// the same derived structure as Prepare on the unsorted table, across
+// random tables with ties and ME groups.
+func TestPrepareSortedMatchesPrepare(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		tab := NewTable()
+		n := 1 + r.Intn(25)
+		for i := 0; i < n; i++ {
+			group := ""
+			if r.Float64() < 0.4 {
+				group = fmt.Sprintf("g%d", r.Intn(3))
+			}
+			tab.Add(Tuple{
+				ID:    fmt.Sprintf("t%d", i),
+				Score: float64(r.Intn(8)), // few distinct scores → many ties
+				Prob:  0.05 + 0.2*r.Float64(),
+				Group: group,
+			})
+		}
+		if tab.Validate() != nil {
+			continue
+		}
+		want, err := Prepare(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PrepareSorted(canonicalSort(tab.Tuples()), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePrepared(t, fmt.Sprintf("trial %d", trial), got, want)
+	}
+}
+
+// TestPrepareSortedSuffixReuse: re-preparing with a shared prefix (including
+// named groups spanning prefix and suffix) equals a from-scratch build.
+func TestPrepareSortedSuffixReuse(t *testing.T) {
+	base := []Tuple{
+		{ID: "a", Score: 90, Prob: 0.5, Group: "g"},
+		{ID: "b", Score: 80, Prob: 0.9},
+		{ID: "c", Score: 70, Prob: 0.3, Group: "g"},
+		{ID: "d", Score: 60, Prob: 0.8},
+		{ID: "e", Score: 50, Prob: 0.1, Group: "g"},
+	}
+	prev, err := PrepareSorted(base, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the suffix from position 2: drop "c", insert two tuples, one
+	// extending group g.
+	next := []Tuple{
+		base[0], base[1],
+		{ID: "x", Score: 65, Prob: 0.6},
+		{ID: "y", Score: 55, Prob: 0.05, Group: "g"},
+		base[4],
+	}
+	got, err := PrepareSorted(next, prev, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PrepareSorted(next, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePrepared(t, "suffix reuse", got, want)
+	// The reused prefix must keep prev's group identity for "g" so the
+	// suffix members join the same group.
+	gid := got.Tuples[0].Group
+	members := got.GroupMembers(gid)
+	if len(members) != 3 {
+		t.Fatalf("group g members = %v, want a, y, e", members)
+	}
+}
+
+// TestPrepareSortedRejectsUnsorted: out-of-order input is an error, not a
+// silently wrong structure.
+func TestPrepareSortedRejectsUnsorted(t *testing.T) {
+	if _, err := PrepareSorted([]Tuple{
+		{ID: "lo", Score: 1, Prob: 0.5},
+		{ID: "hi", Score: 2, Prob: 0.5},
+	}, nil, 0); err == nil {
+		t.Fatal("ascending scores should be rejected")
+	}
+	if _, err := PrepareSorted([]Tuple{
+		{ID: "a", Score: 1, Prob: 0.2},
+		{ID: "b", Score: 1, Prob: 0.7},
+	}, nil, 0); err == nil {
+		t.Fatal("ascending probabilities within a tie should be rejected")
+	}
+	if _, err := PrepareSorted(nil, nil, 0); err != ErrEmptyTable {
+		t.Fatal("empty input should be ErrEmptyTable")
+	}
+}
+
+// TestTableVersion: the mutation counter changes on Add and is what cache
+// keys rely on.
+func TestTableVersion(t *testing.T) {
+	tab := NewTable()
+	v0 := tab.Version()
+	tab.AddIndependent("a", 1, 0.5)
+	if tab.Version() == v0 {
+		t.Fatal("Add did not change the version")
+	}
+	v1 := tab.Version()
+	tab.AddExclusive("b", "g", 2, 0.5)
+	if tab.Version() == v1 {
+		t.Fatal("AddExclusive did not change the version")
+	}
+	if c := tab.Clone(); c.Version() != tab.Version() {
+		t.Fatal("Clone should carry the version value")
+	}
+}

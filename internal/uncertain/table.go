@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // probSumTolerance is the slack allowed when validating that an ME group's
@@ -36,7 +37,8 @@ type Tuple struct {
 // Table is an uncertain table: an ordered collection of tuples plus the ME
 // rules implied by their Group keys. The zero value is an empty table.
 type Table struct {
-	tuples []Tuple
+	tuples  []Tuple
+	version uint64
 }
 
 // NewTable returns an empty table.
@@ -45,8 +47,14 @@ func NewTable() *Table { return &Table{} }
 // Add appends a tuple. Returns the table for chaining.
 func (t *Table) Add(tp Tuple) *Table {
 	t.tuples = append(t.tuples, tp)
+	t.version++
 	return t
 }
+
+// Version returns a counter that changes on every mutation of the table.
+// A (table pointer, version) pair therefore identifies immutable contents,
+// which is what the query engine keys its Prepared cache by.
+func (t *Table) Version() uint64 { return t.version }
 
 // AddIndependent appends an independent tuple (its own ME group).
 func (t *Table) AddIndependent(id string, score, prob float64) *Table {
@@ -73,22 +81,31 @@ func (t *Table) Tuple(i int) Tuple { return t.tuples[i] }
 
 // Clone returns a deep copy.
 func (t *Table) Clone() *Table {
-	c := &Table{tuples: make([]Tuple, len(t.tuples))}
+	c := &Table{tuples: make([]Tuple, len(t.tuples)), version: t.version}
 	copy(c.tuples, t.tuples)
 	return c
 }
 
-// Validate checks the data-model invariants: every probability is in (0, 1],
-// scores are finite, and each ME group's probabilities sum to at most 1.
-func (t *Table) Validate() error {
+// CheckTuple validates one tuple's own invariants — finite score,
+// probability in (0, 1] — independent of any group-mass constraint. It is
+// the single per-tuple rule shared by Validate, PrepareSorted and the
+// sliding window's Push. The message carries no package prefix; callers
+// wrap it with their own context.
+func CheckTuple(tp Tuple) error {
+	if math.IsNaN(tp.Score) || math.IsInf(tp.Score, 0) {
+		return fmt.Errorf("tuple %q has non-finite score %v", tp.ID, tp.Score)
+	}
+	if !(tp.Prob > 0 && tp.Prob <= 1) {
+		return fmt.Errorf("tuple %q has probability %v outside (0, 1]", tp.ID, tp.Prob)
+	}
+	return nil
+}
+
+// checkGroupSums validates that each ME group's probabilities sum to at
+// most 1.
+func checkGroupSums(tuples []Tuple) error {
 	sums := make(map[string]float64)
-	for i, tp := range t.tuples {
-		if math.IsNaN(tp.Score) || math.IsInf(tp.Score, 0) {
-			return fmt.Errorf("uncertain: tuple %d (%q) has non-finite score %v", i, tp.ID, tp.Score)
-		}
-		if !(tp.Prob > 0 && tp.Prob <= 1) {
-			return fmt.Errorf("uncertain: tuple %d (%q) has probability %v outside (0, 1]", i, tp.ID, tp.Prob)
-		}
+	for _, tp := range tuples {
 		if tp.Group != "" {
 			sums[tp.Group] += tp.Prob
 		}
@@ -99,6 +116,17 @@ func (t *Table) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Validate checks the data-model invariants: every probability is in (0, 1],
+// scores are finite, and each ME group's probabilities sum to at most 1.
+func (t *Table) Validate() error {
+	for i, tp := range t.tuples {
+		if err := CheckTuple(tp); err != nil {
+			return fmt.Errorf("uncertain: at index %d: %w", i, err)
+		}
+	}
+	return checkGroupSums(t.tuples)
 }
 
 // ErrEmptyTable is returned when an operation requires a non-empty table.
@@ -134,6 +162,13 @@ type Prepared struct {
 	// tieStart[i] / tieEnd[i] give the half-open range of the tie group
 	// containing position i.
 	tieStart, tieEnd []int
+	// cumProb[i] is the total probability of the tuples at positions < i,
+	// shared by every Theorem-2 scan over this table.
+	cumProb []float64
+	// allUnits memoizes the full §3.3.3 unit decomposition so repeated
+	// queries (and multi-query batches) share it; see AllUnits.
+	unitsOnce sync.Once
+	allUnits  []Unit
 }
 
 // Prepare validates and sorts the table, returning the derived structure.
@@ -179,8 +214,107 @@ func Prepare(t *Table) (*Prepared, error) {
 		}
 		p.groupMembers[g] = append(p.groupMembers[g], pos)
 	}
-	p.buildTieGroups()
+	p.buildDerived()
 	return p, nil
+}
+
+// validateSorted checks the Prepare invariants on an already-sorted tuple
+// slice — the same per-tuple and group-mass rules as Table.Validate — plus
+// the canonical (score, probability)-descending order.
+func validateSorted(tuples []Tuple) error {
+	for i, tp := range tuples {
+		if err := CheckTuple(tp); err != nil {
+			return fmt.Errorf("uncertain: at position %d: %w", i, err)
+		}
+		if i > 0 {
+			prev := tuples[i-1]
+			if tp.Score > prev.Score || (tp.Score == prev.Score && tp.Prob > prev.Prob) {
+				return fmt.Errorf("uncertain: tuples %d–%d violate the canonical (score, prob)-descending order", i-1, i)
+			}
+		}
+	}
+	return checkGroupSums(tuples)
+}
+
+// PrepareSorted builds a Prepared from tuples that are already in the
+// canonical §3.4 order (descending score, then descending probability, with
+// remaining ties in their desired insertion order). It performs the same
+// validation as Prepare but skips the sort, which makes it the fast path for
+// callers that maintain rank order incrementally (the sliding window).
+//
+// If prev is non-nil and from > 0, the caller guarantees that tuples[0:from]
+// is identical to the first from tuples prev was built from, and that prev
+// itself was built by PrepareSorted. The first from tuple rows and their
+// ME group identities are then reused and only the rank suffix [from, n) is
+// re-derived — the incremental "suffix re-prepare". The group-membership,
+// tie-group and prefix-mass indexes are rebuilt (they hold positions, which
+// shift with the suffix), but no sort and no prefix row construction happens.
+// Prepared tables built this way use the prepared position itself as each
+// tuple's Orig index.
+func PrepareSorted(tuples []Tuple, prev *Prepared, from int) (*Prepared, error) {
+	n := len(tuples)
+	if n == 0 {
+		return nil, ErrEmptyTable
+	}
+	if err := validateSorted(tuples); err != nil {
+		return nil, err
+	}
+	if prev == nil || from > len(prev.Tuples) {
+		from = 0
+	}
+	if from > n {
+		from = n
+	}
+	p := &Prepared{Tuples: make([]PTuple, n)}
+	groupIDs := make(map[string]int)
+	// Recover the prefix's group-id assignments: ids are dense and assigned
+	// in first-occurrence order, so the shared prefix reuses prev's ids and
+	// the suffix continues numbering after them.
+	for pos := 0; pos < from; pos++ {
+		if g := tuples[pos].Group; g != "" {
+			groupIDs[g] = prev.Tuples[pos].Group
+		}
+	}
+	for pos := 0; pos < n; pos++ {
+		tp := tuples[pos]
+		var g int
+		if pos < from {
+			p.Tuples[pos] = prev.Tuples[pos]
+			p.Tuples[pos].Orig = pos
+			g = p.Tuples[pos].Group
+			if g == len(p.groupMembers) {
+				p.groupMembers = append(p.groupMembers, nil)
+			}
+		} else {
+			if tp.Group == "" {
+				g = len(p.groupMembers)
+				p.groupMembers = append(p.groupMembers, nil)
+			} else if known, ok := groupIDs[tp.Group]; ok {
+				g = known
+			} else {
+				g = len(p.groupMembers)
+				groupIDs[tp.Group] = g
+				p.groupMembers = append(p.groupMembers, nil)
+			}
+			p.Tuples[pos] = PTuple{
+				Orig: pos, ID: tp.ID, Score: tp.Score, Prob: tp.Prob,
+				Group: g, Lead: len(p.groupMembers[g]) == 0,
+			}
+		}
+		p.groupMembers[g] = append(p.groupMembers[g], pos)
+	}
+	p.buildDerived()
+	return p, nil
+}
+
+// buildDerived computes the structures shared across queries: tie groups and
+// cumulative prefix probabilities.
+func (p *Prepared) buildDerived() {
+	p.buildTieGroups()
+	p.cumProb = make([]float64, len(p.Tuples)+1)
+	for i, tp := range p.Tuples {
+		p.cumProb[i+1] = p.cumProb[i] + tp.Prob
+	}
 }
 
 func (p *Prepared) buildTieGroups() {
@@ -243,6 +377,11 @@ func (p *Prepared) MExclusiveCount(n int) int {
 	return m
 }
 
+// PrefixProbability returns the total probability of the tuples at prepared
+// positions strictly less than pos — the running prefix sum of the Theorem-2
+// scan, precomputed once per Prepared so that every query shares it.
+func (p *Prepared) PrefixProbability(pos int) float64 { return p.cumProb[pos] }
+
 // PrefixMass returns the total probability of group g's members at prepared
 // positions strictly less than pos. This is the "consumed" group mass seen
 // by a scan that has processed positions [0, pos).
@@ -285,26 +424,58 @@ type Unit struct {
 
 // Units decomposes positions [0, n) into the DP units of §3.3.3, in rank
 // order: maximal lead-tuple regions interleaved with individual non-lead
-// tuples.
+// tuples. The returned slice is freshly allocated and owned by the caller;
+// query loops should prefer UnitsPrefix, which shares the memoized full
+// decomposition.
 func (p *Prepared) Units(n int) []Unit {
+	return append([]Unit(nil), p.UnitsPrefix(n)...)
+}
+
+// AllUnits returns the unit decomposition of the whole table, computed once
+// and shared by every subsequent query (and by all queries of a batch). The
+// returned slice must not be modified.
+func (p *Prepared) AllUnits() []Unit {
+	p.unitsOnce.Do(func() {
+		n := len(p.Tuples)
+		for i := 0; i < n; {
+			if p.Tuples[i].Lead {
+				j := i + 1
+				for j < n && p.Tuples[j].Lead {
+					j++
+				}
+				p.allUnits = append(p.allUnits, Unit{Kind: UnitLeadRegion, Start: i, End: j})
+				i = j
+			} else {
+				p.allUnits = append(p.allUnits, Unit{Kind: UnitNonLead, Start: i, End: i + 1})
+				i++
+			}
+		}
+	})
+	return p.allUnits
+}
+
+// UnitsPrefix returns the unit decomposition of positions [0, n), derived
+// from the memoized full decomposition: a lead-tuple region cut by the scan
+// depth is truncated, which yields exactly the decomposition of the prefix.
+// The returned slice must not be modified (it may alias the memoized one).
+func (p *Prepared) UnitsPrefix(n int) []Unit {
 	if n > len(p.Tuples) {
 		n = len(p.Tuples)
 	}
-	var units []Unit
-	for i := 0; i < n; {
-		if p.Tuples[i].Lead {
-			j := i + 1
-			for j < n && p.Tuples[j].Lead {
-				j++
-			}
-			units = append(units, Unit{Kind: UnitLeadRegion, Start: i, End: j})
-			i = j
-		} else {
-			units = append(units, Unit{Kind: UnitNonLead, Start: i, End: i + 1})
-			i++
-		}
+	all := p.AllUnits()
+	if n == len(p.Tuples) {
+		return all
 	}
-	return units
+	cut := 0
+	for cut < len(all) && all[cut].End <= n {
+		cut++
+	}
+	if cut == len(all) || all[cut].Start >= n {
+		return all[:cut:cut]
+	}
+	trunc := all[cut]
+	trunc.End = n
+	return append(all[:cut:cut], trunc)
 }
 
 // TruncateTable materialises the first n prepared (rank-ordered) tuples as a

@@ -62,9 +62,15 @@ type Options struct {
 	// Algorithm selects the computation strategy.
 	Algorithm Algorithm
 	// Threshold is the paper's pτ: vectors with probability at or below it
-	// may be dropped and the Theorem-2 scan depth derives from it. Negative
-	// means exact (scan everything); 0 is replaced by the 0.001 default the
-	// paper's experiments use.
+	// may be dropped and the Theorem-2 scan depth derives from it.
+	//
+	// SENTINEL: the zero value does NOT mean "threshold zero". Threshold ==
+	// 0 — including the zero Options value and a nil *Options — is replaced
+	// by the 0.001 default the paper's experiments use. An exact,
+	// unthresholded computation is requested with any NEGATIVE value (or
+	// with Exact(), which also lifts the line cap). There is no way to ask
+	// for a literal threshold of exactly 0 other than a negative sentinel;
+	// positive values are used as given.
 	Threshold float64
 	// MaxLines caps the number of lines in every intermediate and final
 	// distribution. Negative means unlimited; 0 is replaced by
@@ -83,20 +89,27 @@ type Options struct {
 	Parallelism int
 }
 
+// resolveThreshold maps the public Threshold sentinel (see
+// Options.Threshold) to the core parameter: negative → 0 (exact), 0 → the
+// 0.001 paper default, positive → itself.
+func resolveThreshold(t float64) float64 {
+	switch {
+	case t < 0:
+		return 0
+	case t == 0:
+		return 0.001
+	default:
+		return t
+	}
+}
+
 func (o *Options) resolve() (core.Params, Algorithm) {
 	opts := Options{}
 	if o != nil {
 		opts = *o
 	}
 	p := core.Params{TrackVectors: true}
-	switch {
-	case opts.Threshold < 0:
-		p.Threshold = 0
-	case opts.Threshold == 0:
-		p.Threshold = 0.001
-	default:
-		p.Threshold = opts.Threshold
-	}
+	p.Threshold = resolveThreshold(opts.Threshold)
 	switch {
 	case opts.MaxLines < 0:
 		p.MaxLines = 0
@@ -147,34 +160,13 @@ var ErrNilTable = errors.New("probtopk: nil table")
 
 // TopKDistribution computes the score distribution of the top-k tuple
 // vectors of t. A nil opts uses the defaults documented on Options.
+//
+// Queries route through the package's shared default Engine: the prepared
+// form of t is cached against its mutation version, so repeated queries
+// over an unchanged table skip preparation, and per-query scratch is
+// pooled. Results are identical to an uncached computation.
 func TopKDistribution(t *Table, k int, opts *Options) (*Distribution, error) {
-	if t == nil {
-		return nil, ErrNilTable
-	}
-	prep, err := uncertain.Prepare(t)
-	if err != nil {
-		return nil, err
-	}
-	params, alg := opts.resolve()
-	params.K = k
-	var res *core.Result
-	switch alg {
-	case AlgorithmMain:
-		res, err = core.Distribution(prep, params)
-	case AlgorithmStateExpansion:
-		res, err = core.StateExpansion(prep, params)
-	case AlgorithmKCombo:
-		res, err = core.KCombo(prep, params)
-	default:
-		return nil, fmt.Errorf("probtopk: unknown algorithm %v", alg)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if opts != nil && opts.Normalize {
-		res.Dist.Normalize()
-	}
-	return &Distribution{dist: res.Dist, prepared: prep, ScanDepth: res.ScanDepth, K: k}, nil
+	return defaultEngine.TopKDistribution(t, k, opts)
 }
 
 // NewDistribution builds a Distribution directly from (score, probability)

@@ -1,6 +1,9 @@
 package probtopk
 
 import (
+	"fmt"
+
+	"probtopk/internal/core"
 	"probtopk/internal/stream"
 )
 
@@ -8,7 +11,14 @@ import (
 // paper's semantics to the continuous setting its related work points at
 // (sliding-window top-k on uncertain streams). The window holds the most
 // recent tuples; TopKDistribution answers the paper's query over the current
-// contents. Not safe for concurrent use.
+// contents.
+//
+// The window maintains its prepared (rank-ordered) state incrementally:
+// every Push updates the canonical order in place, and the next query
+// re-prepares only the rank suffix below the highest position that changed
+// (falling back to a full rebuild when ME-group membership changes).
+// Repeated queries over an unchanged window reuse the prepared state
+// outright. Not safe for concurrent use.
 type Stream struct {
 	w *stream.Window
 }
@@ -41,16 +51,43 @@ func (s *Stream) Capacity() int { return s.w.Capacity() }
 func (s *Stream) Tuples() []Tuple { return s.w.Snapshot() }
 
 // TopKDistribution computes the top-k score distribution of the current
-// window contents; options as in the package-level TopKDistribution. The
-// result supports the same statistics, Typical and UTopK accessors.
+// window contents; options as in the package-level TopKDistribution,
+// including Options.Algorithm — all three algorithms run against the
+// window's incrementally maintained prepared state. The result supports the
+// same statistics, Typical and UTopK accessors.
 func (s *Stream) TopKDistribution(k int, opts *Options) (*Distribution, error) {
-	params, _ := opts.resolve()
-	res, err := s.w.TopK(k, params)
+	params, alg := opts.resolve()
+	params.K = k
+	var (
+		res *stream.Result
+		err error
+	)
+	switch alg {
+	case AlgorithmMain:
+		res, err = s.w.TopK(k, params)
+	case AlgorithmStateExpansion, AlgorithmKCombo:
+		prep, perr := s.w.Prepared()
+		if perr != nil {
+			return nil, perr
+		}
+		var cres *core.Result
+		if alg == AlgorithmStateExpansion {
+			cres, err = core.StateExpansion(prep, params)
+		} else {
+			cres, err = core.KCombo(prep, params)
+		}
+		if err == nil {
+			res = &stream.Result{Dist: cres.Dist, Prepared: prep,
+				WindowLen: s.w.Len(), ScanDepth: cres.ScanDepth}
+		}
+	default:
+		return nil, fmt.Errorf("probtopk: unknown algorithm %v", alg)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if opts != nil && opts.Normalize {
 		res.Dist.Normalize()
 	}
-	return &Distribution{dist: res.Dist, prepared: res.Prepared, ScanDepth: res.WindowLen, K: k}, nil
+	return &Distribution{dist: res.Dist, prepared: res.Prepared, ScanDepth: res.ScanDepth, K: k}, nil
 }
