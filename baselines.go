@@ -6,16 +6,21 @@ import (
 	"probtopk/internal/uncertain"
 )
 
-// The baseline semantics below share the default engine's prepared-table
-// cache (see prepare in engine.go): computing several of them over the same
-// table — the typical comparison workload — prepares it once.
+// The baseline semantics below are Engine methods sharing the engine's
+// prepared-table cache: computing several of them over the same table — the
+// typical comparison workload — prepares it once. The package-level
+// functions delegate to the shared default engine.
 
 // UTopK computes the U-Topk answer [Soliman, Ilyas, Chang]: the top-k tuple
 // vector with the highest probability of being a top-k vector. Equivalent to
 // TopKDistribution(t, k, Exact()) followed by Distribution.UTopK, which
 // callers already holding a Distribution should prefer.
-func UTopK(t *Table, k int) (Line, error) {
-	dist, err := TopKDistribution(t, k, Exact())
+func UTopK(t *Table, k int) (Line, error) { return defaultEngine.UTopK(t, k) }
+
+// UTopK computes the U-Topk answer with this engine's cache; see the
+// package-level UTopK.
+func (e *Engine) UTopK(t *Table, k int) (Line, error) {
+	dist, err := e.TopKDistribution(t, k, Exact())
 	if err != nil {
 		return Line{}, err
 	}
@@ -48,8 +53,12 @@ type RankedTuple struct {
 // r-th across all possible worlds. As the paper's §1 observes, the same
 // tuple may win several ranks, and the returned tuples need not be able to
 // co-exist.
-func UKRanks(t *Table, k int) ([]RankedTuple, error) {
-	prep, err := prepare(t)
+func UKRanks(t *Table, k int) ([]RankedTuple, error) { return defaultEngine.UKRanks(t, k) }
+
+// UKRanks computes the U-kRanks answer with this engine's cache; see the
+// package-level UKRanks.
+func (e *Engine) UKRanks(t *Table, k int) ([]RankedTuple, error) {
+	prep, err := e.prepare(t)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +92,13 @@ type TupleProb struct {
 // tuple whose probability of being in the top-k is at least threshold, in
 // rank order.
 func PTk(t *Table, k int, threshold float64) ([]TupleProb, error) {
-	prep, err := prepare(t)
+	return defaultEngine.PTk(t, k, threshold)
+}
+
+// PTk computes the probabilistic threshold top-k answer with this engine's
+// cache; see the package-level PTk.
+func (e *Engine) PTk(t *Table, k int, threshold float64) ([]TupleProb, error) {
+	prep, err := e.prepare(t)
 	if err != nil {
 		return nil, err
 	}
@@ -100,8 +115,12 @@ func PTk(t *Table, k int, threshold float64) ([]TupleProb, error) {
 
 // GlobalTopK computes the Global-Topk answer [Zhang, Chomicki]: the k tuples
 // with the highest probability of being in the top-k, most probable first.
-func GlobalTopK(t *Table, k int) ([]TupleProb, error) {
-	prep, err := prepare(t)
+func GlobalTopK(t *Table, k int) ([]TupleProb, error) { return defaultEngine.GlobalTopK(t, k) }
+
+// GlobalTopK computes the Global-Topk answer with this engine's cache; see
+// the package-level GlobalTopK.
+func (e *Engine) GlobalTopK(t *Table, k int) ([]TupleProb, error) {
+	prep, err := e.prepare(t)
 	if err != nil {
 		return nil, err
 	}
@@ -118,8 +137,12 @@ func GlobalTopK(t *Table, k int) ([]TupleProb, error) {
 
 // InTopKProbs returns, for every tuple in rank order, its probability of
 // being among the top-k — the marginal the category-2 semantics build on.
-func InTopKProbs(t *Table, k int) ([]TupleProb, error) {
-	prep, err := prepare(t)
+func InTopKProbs(t *Table, k int) ([]TupleProb, error) { return defaultEngine.InTopKProbs(t, k) }
+
+// InTopKProbs returns the in-top-k marginals with this engine's cache; see
+// the package-level InTopKProbs.
+func (e *Engine) InTopKProbs(t *Table, k int) ([]TupleProb, error) {
+	prep, err := e.prepare(t)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +173,13 @@ type ExpectedRankTuple struct {
 // the paper (Cormode, Li, Yi; ICDE 2009): the k tuples with the smallest
 // rank averaged over all possible worlds, in increasing expected-rank order.
 func ExpectedRankTopK(t *Table, k int) ([]ExpectedRankTuple, error) {
-	prep, err := prepare(t)
+	return defaultEngine.ExpectedRankTopK(t, k)
+}
+
+// ExpectedRankTopK computes the expected-rank answer with this engine's
+// cache; see the package-level ExpectedRankTopK.
+func (e *Engine) ExpectedRankTopK(t *Table, k int) ([]ExpectedRankTuple, error) {
+	prep, err := e.prepare(t)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +200,13 @@ func ExpectedRankTopK(t *Table, k int) ([]ExpectedRankTuple, error) {
 // examine for a top-k query with probability threshold ptau, per Theorem 2.
 // ptau ≤ 0 means the whole table.
 func ScanDepth(t *Table, k int, ptau float64) (int, error) {
-	prep, err := prepare(t)
+	return defaultEngine.ScanDepth(t, k, ptau)
+}
+
+// ScanDepth returns the Theorem-2 scan depth with this engine's cache; see
+// the package-level ScanDepth.
+func (e *Engine) ScanDepth(t *Table, k int, ptau float64) (int, error) {
+	prep, err := e.prepare(t)
 	if err != nil {
 		return 0, err
 	}

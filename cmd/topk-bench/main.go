@@ -1,12 +1,22 @@
 // Command topk-bench regenerates the figures of the paper's empirical study
 // (§5). Each figure is printed as an ASCII chart or table with the U-Topk
-// and 3-Typical positions marked; -csv emits machine-readable rows instead.
+// and 3-Typical positions marked; -csv emits machine-readable rows and
+// -json emits one JSON array of figure objects ({id, title, series,
+// markers, notes}), the snapshot format tracked across PRs:
+//
+//	topk-bench -fig 9 -json > BENCH_fig9.json
+//	topk-bench -fig serving -json > BENCH_serving.json
+//
+// Besides the paper's numbered figures, the special figure "serving"
+// measures this build's HTTP serving path (cold vs derived-answer cache
+// hit); it is not part of -fig all.
 //
 // Usage:
 //
 //	topk-bench -fig all
 //	topk-bench -fig 3,9,13
 //	topk-bench -fig 8 -csv
+//	topk-bench -fig serving -json
 package main
 
 import (
@@ -19,14 +29,26 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figure numbers (3, 8, 9, 10, 11, 12, 13, 14, 15, 16) or 'all'")
+	fig := flag.String("fig", "all", "comma-separated figure numbers (3, 8, 9, 10, 11, 12, 13, 14, 15, 16), 'serving', or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of ASCII charts")
+	jsonOut := flag.Bool("json", false, "emit one JSON array of figure objects instead of ASCII charts")
 	flag.Parse()
 
+	if *csv && *jsonOut {
+		fmt.Fprintln(os.Stderr, "topk-bench: -csv and -json are mutually exclusive")
+		os.Exit(1)
+	}
 	figs, err := collect(*fig)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topk-bench:", err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		if err := bench.WriteJSON(os.Stdout, figs); err != nil {
+			fmt.Fprintln(os.Stderr, "topk-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	for _, f := range figs {
 		if *csv {
@@ -83,6 +105,8 @@ func collect(spec string) ([]*bench.Figure, error) {
 			err = one(bench.Fig15())
 		case "16":
 			err = one(bench.Fig16())
+		case "serving":
+			err = one(bench.FigServing())
 		default:
 			err = fmt.Errorf("unknown figure %q", tok)
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -50,5 +51,56 @@ func TestRenderedFigure3(t *testing.T) {
 		if !strings.Contains(sb.String(), want) {
 			t.Fatalf("render missing %q:\n%s", want, sb.String())
 		}
+	}
+}
+
+func TestCollectServing(t *testing.T) {
+	figs, err := collect("serving")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 || figs[0].ID != "serving" {
+		t.Fatalf("figs = %+v", figs)
+	}
+	if len(figs[0].Series) != 2 {
+		t.Fatalf("series = %d, want cold and hit", len(figs[0].Series))
+	}
+	for _, s := range figs[0].Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Fatalf("series %q: %d/%d points", s.Name, len(s.X), len(s.Y))
+		}
+	}
+}
+
+func TestWriteJSONSnapshot(t *testing.T) {
+	figs, err := collect("3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := bench.WriteJSON(&sb, figs); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		ID     string `json:"id"`
+		Title  string `json:"title"`
+		Series []struct {
+			Name string    `json:"name"`
+			X    []float64 `json:"x"`
+			Y    []float64 `json:"y"`
+		} `json:"series"`
+		Markers []struct {
+			Name  string  `json:"name"`
+			Score float64 `json:"score"`
+		} `json:"markers"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(decoded) != 1 || decoded[0].ID != "fig3" || len(decoded[0].Series) == 0 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if len(decoded[0].Markers) == 0 {
+		t.Fatal("fig3 should carry U-Topk/typical markers")
 	}
 }

@@ -1,0 +1,96 @@
+// Command topkd is the HTTP/JSON daemon serving top-k queries on uncertain
+// tables: upload tables as CSV or JSON, append tuples, and query top-k
+// score distributions (single or batched), c-typical answer sets and the
+// §5 baseline semantics. Repeated identical queries are served from a
+// derived-answer cache; GET /debug/stats exposes the counters.
+//
+// Usage:
+//
+//	topkd -addr :8080
+//	topkd -addr :8080 -load 'data/*.csv'
+//
+// Each file matched by -load is served as a table named after its base name
+// (data/fleet.csv → "fleet"). See the package documentation of
+// internal/server (or the repository README) for the endpoint reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"probtopk"
+	"probtopk/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	load := flag.String("load", "", "glob of CSV table files to serve at startup")
+	answerCache := flag.Int("answer-cache", 0,
+		"derived-answer cache entries (0 = default, negative = disabled)")
+	engineCache := flag.Int("engine-cache", 0,
+		"prepared-table cache entries (0 = default, negative = disabled)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		AnswerCacheSize: *answerCache,
+		EngineCacheSize: *engineCache,
+	})
+	names, err := loadTables(srv, *load)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topkd:", err)
+		os.Exit(1)
+	}
+	for _, name := range names {
+		log.Printf("topkd: serving table %q", name)
+	}
+	log.Printf("topkd: listening on %s (%d tables)", *addr, len(names))
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "topkd:", err)
+		os.Exit(1)
+	}
+}
+
+// tableName derives the registry name for a loaded file: the base name
+// without its extension.
+func tableName(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// loadTables installs every CSV file matching the glob and returns the
+// table names, sorted by filepath.Glob order.
+func loadTables(srv *server.Server, glob string) ([]string, error) {
+	if glob == "" {
+		return nil, nil
+	}
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, fmt.Errorf("bad -load pattern %q: %v", glob, err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("-load pattern %q matches no files", glob)
+	}
+	var names []string
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		tab, err := probtopk.ReadTableCSV(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %v", path, err)
+		}
+		name := tableName(path)
+		if _, err := srv.CreateTable(name, tab); err != nil {
+			return nil, fmt.Errorf("loading %s: %v", path, err)
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}

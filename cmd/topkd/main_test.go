@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"probtopk/internal/server"
+)
+
+const fleetCSV = `id,score,prob,group
+car1,80,0.9,
+car2,70,0.4,lane3
+car3,65,0.5,lane3
+`
+
+func TestTableName(t *testing.T) {
+	cases := map[string]string{
+		"fleet.csv":           "fleet",
+		"data/fleet.csv":      "fleet",
+		"/abs/path/radar.CSV": "radar",
+		"noext":               "noext",
+	}
+	for in, want := range cases {
+		if got := tableName(in); got != want {
+			t.Errorf("tableName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLoadTables(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"fleet.csv", "radar.csv"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(fleetCSV), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := server.New(server.Config{})
+	names, err := loadTables(srv, filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+
+	// The loaded tables answer queries.
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest("GET", "/tables/fleet/topk?k=2", nil))
+	if w.Code != 200 {
+		t.Fatalf("query status %d: %s", w.Code, w.Body.String())
+	}
+	var dist server.DistributionResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &dist); err != nil {
+		t.Fatal(err)
+	}
+	if dist.K != 2 || len(dist.Lines) == 0 {
+		t.Fatalf("dist = %+v", dist)
+	}
+}
+
+func TestLoadTablesEmptyGlobIsNoop(t *testing.T) {
+	names, err := loadTables(server.New(server.Config{}), "")
+	if err != nil || names != nil {
+		t.Fatalf("loadTables(\"\") = %v, %v", names, err)
+	}
+}
+
+func TestLoadTablesErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := loadTables(server.New(server.Config{}), filepath.Join(dir, "*.csv")); err == nil {
+		t.Fatal("empty match should error")
+	}
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("id,score,prob,group\nx,1,7,\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTables(server.New(server.Config{}), bad); err == nil {
+		t.Fatal("invalid CSV should error")
+	}
+}

@@ -50,6 +50,19 @@
 // membership changes); repeated queries over an unchanged window reuse the
 // prepared state outright.
 //
+// # HTTP serving
+//
+// cmd/topkd serves the whole query surface over HTTP/JSON: named tables
+// uploaded as CSV or JSON and mutated by appending tuples, with endpoints
+// for top-k distributions (single and batched), c-typical answer sets and
+// the baseline semantics, all routed through one shared Engine. Successful
+// answers are additionally cached as encoded JSON keyed by (table, mutation
+// version, canonical query fingerprint), so repeated identical queries
+// skip the dynamic program entirely and any mutation invalidates
+// transparently; GET /debug/stats exposes the counters. See internal/server
+// for the endpoint reference and the repository README for a curl
+// quickstart.
+//
 // # Quick start
 //
 //	table := probtopk.NewTable()

@@ -2,6 +2,7 @@ package probtopk
 
 import (
 	"fmt"
+	"time"
 
 	"probtopk/internal/core"
 	"probtopk/internal/engine"
@@ -60,19 +61,29 @@ var defaultEngine = NewEngine()
 // lifetime they control.
 func Invalidate(t *Table) { defaultEngine.Invalidate(t) }
 
-// EngineStats is a snapshot of an engine's prepared-table cache counters.
+// EngineStats is a snapshot of an engine's prepared-table cache and query
+// counters.
 type EngineStats struct {
 	// Hits and Misses count Prepare calls served from / filled into the
 	// cache; Evictions counts entries dropped by the LRU bound.
 	Hits, Misses, Evictions uint64
 	// Entries is the current number of cached prepared tables.
 	Entries int
+	// Queries counts the main-algorithm distribution computations the
+	// engine has run (each member of a batch counts once); QueryTime is
+	// their cumulative wall-clock time. A serving layer exports these to
+	// track the mean dynamic-programming cost.
+	Queries   uint64
+	QueryTime time.Duration
 }
 
 // CacheStats returns a snapshot of the engine's cache counters.
 func (e *Engine) CacheStats() EngineStats {
 	s := e.e.Stats()
-	return EngineStats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Entries: s.Entries}
+	return EngineStats{
+		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Entries: s.Entries,
+		Queries: s.Queries, QueryTime: time.Duration(s.QueryNanos),
+	}
 }
 
 // Invalidate drops any cached preparation of t, releasing the engine's
@@ -167,10 +178,10 @@ func (e *Engine) CTypicalTopK(t *Table, k, c int, opts *Options) ([]Line, error)
 	return lines, err
 }
 
-// prepare returns the cached prepared form of t via the default engine.
-func prepare(t *Table) (*uncertain.Prepared, error) {
+// prepare returns the cached prepared form of t via this engine.
+func (e *Engine) prepare(t *Table) (*uncertain.Prepared, error) {
 	if t == nil {
 		return nil, ErrNilTable
 	}
-	return defaultEngine.e.Prepare(t)
+	return e.e.Prepare(t)
 }

@@ -1,0 +1,109 @@
+// Serving starts the HTTP front-end in-process on a loopback port and
+// drives it as a client would with curl: upload the paper's soldier table
+// as CSV, query the top-2 score distribution, the 3-typical answer set and
+// the U-Topk baseline, then repeat a query to show the derived-answer cache
+// and mutate the table to show the invalidation.
+//
+// Run with: go run ./examples/serving
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"probtopk/internal/server"
+)
+
+const soldierCSV = `id,score,prob,group
+T1,49,0.4,
+T2,60,0.4,soldier2
+T3,110,0.4,soldier3
+T4,80,0.3,soldier2
+T5,56,1.0,
+T6,58,0.5,soldier3
+T7,125,0.3,soldier2
+`
+
+func main() {
+	// In a deployment this is `topkd -addr :8080`; here the same handler
+	// runs on an httptest listener so the example is self-contained.
+	ts := httptest.NewServer(server.New(server.Config{}))
+	defer ts.Close()
+	fmt.Println("serving on", ts.URL)
+
+	// curl -X PUT --data-binary @soldier.csv -H 'Content-Type: text/csv' \
+	//   $URL/tables/soldier
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/tables/soldier", strings.NewReader(soldierCSV))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	body := must(http.DefaultClient.Do(req))
+	fmt.Printf("upload: %s\n", body)
+
+	// curl $URL/tables/soldier/topk?k=2&exact=true
+	var dist server.DistributionResponse
+	decode(must(http.Get(ts.URL+"/tables/soldier/topk?k=2&exact=true")), &dist)
+	fmt.Printf("top-2 distribution: %d lines, mass %.2f, mean %.1f\n",
+		len(dist.Lines), dist.TotalMass, dist.Stats.Mean)
+
+	// curl $URL/tables/soldier/typical?k=2&c=3&exact=true
+	var typ server.TypicalResponse
+	decode(must(http.Get(ts.URL+"/tables/soldier/typical?k=2&c=3&exact=true")), &typ)
+	fmt.Print("3-typical top-2 answers:")
+	for _, l := range typ.Lines {
+		fmt.Printf("  %g (p=%.2f, %v)", l.Score, l.Prob, l.Vector)
+	}
+	fmt.Println()
+
+	// curl $URL/tables/soldier/baseline/utopk?k=2
+	var base server.BaselineResponse
+	decode(must(http.Get(ts.URL+"/tables/soldier/baseline/utopk?k=2")), &base)
+	fmt.Printf("U-Top2 baseline: %v score %g (vector prob %.2f)\n",
+		base.Line.Vector, base.Line.Score, base.Line.VectorProb)
+
+	// The identical query again: served from the derived-answer cache.
+	must(http.Get(ts.URL + "/tables/soldier/topk?k=2&exact=true"))
+	var stats server.StatsResponse
+	decode(must(http.Get(ts.URL+"/debug/stats")), &stats)
+	fmt.Printf("after repeat: answer cache hits=%d misses=%d\n",
+		stats.AnswerCache.Hits, stats.AnswerCache.Misses)
+
+	// curl -X POST -d '{"tuples": [...]}' $URL/tables/soldier/tuples
+	// Mutation invalidates the cached answers for the table.
+	body = must(http.Post(ts.URL+"/tables/soldier/tuples", "application/json",
+		strings.NewReader(`{"tuples": [{"id": "T8", "score": 130, "prob": 0.8}]}`)))
+	fmt.Printf("append: %s\n", body)
+	decode(must(http.Get(ts.URL+"/tables/soldier/topk?k=2&exact=true")), &dist)
+	fmt.Printf("after append: mean %.1f\n", dist.Stats.Mean)
+	decode(must(http.Get(ts.URL+"/debug/stats")), &stats)
+	fmt.Printf("cache invalidations=%d entries=%d\n",
+		stats.AnswerCache.Invalidations, stats.AnswerCache.Entries)
+}
+
+// must drains one response, failing the example on a non-2xx status.
+func must(resp *http.Response, err error) []byte {
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	return data
+}
+
+func decode(data []byte, v any) {
+	if err := json.Unmarshal(data, v); err != nil {
+		log.Fatalf("%v in %s", err, data)
+	}
+}

@@ -24,28 +24,29 @@ import (
 	"probtopk/internal/uncertain"
 )
 
-// Series is one plotted curve: paired X/Y values.
+// Series is one plotted curve: paired X/Y values. The JSON tags define the
+// machine-readable schema emitted by WriteJSON (topk-bench -json).
 type Series struct {
-	Name string
-	X    []float64
-	Y    []float64
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
 }
 
 // Marker is an annotated position in a distribution figure (the paper's
 // solid U-Topk arrow and dotted typical arrows).
 type Marker struct {
-	Name  string
-	Score float64
-	Prob  float64
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+	Prob  float64 `json:"prob"`
 }
 
 // Figure is one reproduced figure.
 type Figure struct {
-	ID      string
-	Title   string
-	Series  []Series
-	Markers []Marker
-	Notes   []string
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Series  []Series `json:"series"`
+	Markers []Marker `json:"markers,omitempty"`
+	Notes   []string `json:"notes,omitempty"`
 }
 
 // distSeries converts a distribution into a plottable series of histogram

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -89,6 +90,16 @@ func lookup(s Series, x float64) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// WriteJSON emits the figures as one JSON array using the schema defined by
+// the Figure/Series/Marker tags. This is the machine-readable form tracked
+// across PRs: `topk-bench -fig 9 -json > BENCH_fig9.json` snapshots a
+// figure, and `topk-bench -fig serving -json` snapshots the serving path.
+func WriteJSON(w io.Writer, figs []*Figure) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(figs)
 }
 
 // WriteCSV emits the figure's series as CSV: one row per (series, x, y)

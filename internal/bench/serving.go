@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"probtopk/internal/server"
+	"probtopk/internal/synth"
+)
+
+// servingReps is how many requests each serving measurement averages over.
+const servingReps = 5
+
+// FigServing measures the HTTP serving path end to end — request decode,
+// engine, JSON encode — on the Figure-13a synthetic workload (200 tuples),
+// for growing k: one series with the derived-answer cache disabled (every
+// request recomputes) and one with the cache warm (every request is a
+// derived-answer hit). It is not a figure from the paper; request it with
+// `topk-bench -fig serving`, typically alongside -json so future runs can
+// be compared.
+func FigServing() (*Figure, error) {
+	tab, err := synth.Generate(synth.Config{Seed: 1}.WithDefaults())
+	if err != nil {
+		return nil, err
+	}
+	var tuples []server.TupleJSON
+	for _, tp := range tab.Tuples() {
+		tuples = append(tuples, server.TupleJSON{ID: tp.ID, Score: tp.Score, Prob: tp.Prob, Group: tp.Group})
+	}
+	upload, err := json.Marshal(server.TableRequest{Tuples: tuples})
+	if err != nil {
+		return nil, err
+	}
+
+	ks := []int{1, 5, 10, 20, 50}
+	cold := Series{Name: "cold (cache disabled, ms/req)"}
+	hit := Series{Name: "derived-cache hit (ms/req)"}
+	for _, cached := range []bool{false, true} {
+		cfg := server.Config{AnswerCacheSize: -1}
+		if cached {
+			cfg.AnswerCacheSize = 0 // default-sized cache
+		}
+		srv := server.New(cfg)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, httptest.NewRequest("PUT", "/tables/bench", strings.NewReader(string(upload))))
+		if w.Code != 201 {
+			return nil, fmt.Errorf("bench upload: status %d", w.Code)
+		}
+		for _, k := range ks {
+			path := fmt.Sprintf("/tables/bench/topk?k=%d", k)
+			query := func() error {
+				w := httptest.NewRecorder()
+				srv.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+				if w.Code != 200 {
+					return fmt.Errorf("bench query k=%d: status %d", k, w.Code)
+				}
+				return nil
+			}
+			if err := query(); err != nil { // warm caches / first computation
+				return nil, err
+			}
+			start := time.Now()
+			for r := 0; r < servingReps; r++ {
+				if err := query(); err != nil {
+					return nil, err
+				}
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000 / servingReps
+			if cached {
+				hit.X = append(hit.X, float64(k))
+				hit.Y = append(hit.Y, ms)
+			} else {
+				cold.X = append(cold.X, float64(k))
+				cold.Y = append(cold.Y, ms)
+			}
+		}
+	}
+	return &Figure{
+		ID:     "serving",
+		Title:  "HTTP serving path: cold vs derived-answer cache hit (200 tuples)",
+		Series: []Series{cold, hit},
+		Notes: []string{
+			"cold = answer cache disabled; every request runs the DP and re-encodes",
+			"hit = repeated identical request served from the derived-answer cache",
+			fmt.Sprintf("each point averages %d requests after one warmup", servingReps),
+		},
+	}, nil
+}

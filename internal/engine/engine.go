@@ -25,6 +25,7 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"probtopk/internal/core"
 	"probtopk/internal/uncertain"
@@ -47,6 +48,9 @@ type Engine struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+
+	queries    atomic.Uint64
+	queryNanos atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -67,10 +71,16 @@ func New(cacheSize int) *Engine {
 	}
 }
 
-// Stats is a snapshot of the engine's cache counters.
+// Stats is a snapshot of the engine's cache and query counters.
 type Stats struct {
 	Hits, Misses, Evictions uint64
 	Entries                 int
+	// Queries counts the distribution computations the engine has run
+	// (each member of a batch counts once); QueryNanos is their cumulative
+	// wall-clock time in nanoseconds. Together they give the mean DP cost a
+	// serving layer can export.
+	Queries    uint64
+	QueryNanos uint64
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -79,11 +89,19 @@ func (e *Engine) Stats() Stats {
 	n := e.lru.Len()
 	e.mu.Unlock()
 	return Stats{
-		Hits:      e.hits.Load(),
-		Misses:    e.misses.Load(),
-		Evictions: e.evictions.Load(),
-		Entries:   n,
+		Hits:       e.hits.Load(),
+		Misses:     e.misses.Load(),
+		Evictions:  e.evictions.Load(),
+		Entries:    n,
+		Queries:    e.queries.Load(),
+		QueryNanos: e.queryNanos.Load(),
 	}
+}
+
+// recordQueries adds n computed queries taking d to the latency counters.
+func (e *Engine) recordQueries(n int, d time.Duration) {
+	e.queries.Add(uint64(n))
+	e.queryNanos.Add(uint64(d))
 }
 
 // Prepare returns the Prepared form of t, from cache when t has not been
@@ -160,7 +178,10 @@ func (e *Engine) Distribution(t *uncertain.Table, params core.Params) (*core.Res
 func (e *Engine) DistributionPrepared(p *uncertain.Prepared, params core.Params) (*core.Result, error) {
 	s := core.GetScratch()
 	defer core.PutScratch(s)
-	return core.DistributionScratch(p, params, s)
+	start := time.Now()
+	res, err := core.DistributionScratch(p, params, s)
+	e.recordQueries(1, time.Since(start))
+	return res, err
 }
 
 // Query is one member of a batch: a (k, threshold) pair evaluated against
@@ -207,7 +228,9 @@ func (e *Engine) BatchPrepared(p *uncertain.Prepared, base core.Params, queries 
 			params := base
 			params.K = q.K
 			params.Threshold = q.Threshold
+			start := time.Now()
 			res, err := core.DistributionScratch(p, params, s)
+			e.recordQueries(1, time.Since(start))
 			if err != nil {
 				return nil, err
 			}
@@ -229,7 +252,9 @@ func (e *Engine) BatchPrepared(p *uncertain.Prepared, base core.Params, queries 
 				params.K = queries[i].K
 				params.Threshold = queries[i].Threshold
 				params.Parallelism = 0 // the batch is the parallelism
+				start := time.Now()
 				results[i], errs[i] = core.DistributionScratch(p, params, s)
+				e.recordQueries(1, time.Since(start))
 			}
 		}()
 	}

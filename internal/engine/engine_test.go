@@ -257,3 +257,21 @@ func TestConcurrentQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQueryLatencyCounters(t *testing.T) {
+	e := New(4)
+	tab := randomTable(rand.New(rand.NewSource(3)), 30, 0.3)
+	if _, err := e.Distribution(tab, core.Params{K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Batch(tab, core.Params{}, []Query{{K: 1}, {K: 2}, {K: 3}}, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Queries != 4 {
+		t.Fatalf("Queries = %d, want 4", s.Queries)
+	}
+	if s.QueryNanos == 0 {
+		t.Fatal("QueryNanos = 0, want > 0")
+	}
+}

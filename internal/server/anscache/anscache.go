@@ -1,0 +1,153 @@
+// Package anscache is the server's derived-answer cache: a bounded LRU from
+// fully-resolved query descriptions to their encoded JSON answers.
+//
+// A derived answer (a top-k score distribution, a c-typical set, a baseline
+// answer) is a pure function of the table contents and the resolved query
+// parameters, so the cache key is (table name, table state generation,
+// canonical query fingerprint). The generation is a never-reused stamp
+// minted by the registry each time a table state is published (create,
+// replace, append), which makes stale hits impossible by construction:
+// every key minted for a superseded state is unreachable, regardless of
+// how cache fills race with mutations. (Table.Version alone would not do —
+// it counts Adds, so two different uploads of n tuples share version n.)
+// InvalidateTable additionally drops a table's entries eagerly on mutation
+// or deletion, so dead answers don't occupy LRU slots until they age out —
+// it reclaims space; it is not load-bearing for correctness.
+package anscache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies one derived answer.
+type Key struct {
+	// Table is the registry name of the table.
+	Table string
+	// Generation is the never-reused stamp of the published table state
+	// the answer was derived from.
+	Generation uint64
+	// Query is the canonical fingerprint of the query kind and its fully
+	// resolved parameters (sentinels already substituted), so that two
+	// requests spelled differently but meaning the same computation share
+	// an entry.
+	Query string
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+	// Invalidations counts entries dropped by InvalidateTable.
+	Invalidations uint64
+	Entries       int
+}
+
+type entry struct {
+	key Key
+	val []byte
+}
+
+// Cache is a bounded LRU of encoded answers, safe for concurrent use.
+type Cache struct {
+	capacity int
+
+	mu      sync.Mutex
+	byKey   map[Key]*list.Element // of *entry
+	byTable map[string]map[Key]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits, misses, evictions, invalidations uint64
+}
+
+// New returns a cache holding up to capacity answers. capacity <= 0 disables
+// caching: Get always misses and Put is a no-op (misses are still counted,
+// so a disabled cache yields meaningful cold-path stats).
+func New(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		byKey:    make(map[Key]*list.Element),
+		byTable:  make(map[string]map[Key]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Get returns the cached answer for k, if present. The returned bytes are
+// shared and must not be modified.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry).val, true
+}
+
+// Put stores the answer for k, evicting the least recently used entries
+// beyond the capacity. The cache takes ownership of val.
+func (c *Cache) Put(k Key, val []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*entry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&entry{key: k, val: val})
+	c.byKey[k] = el
+	tk := c.byTable[k.Table]
+	if tk == nil {
+		tk = make(map[Key]*list.Element)
+		c.byTable[k.Table] = tk
+	}
+	tk[k] = el
+	for c.lru.Len() > c.capacity {
+		c.remove(c.lru.Back())
+		c.evictions++
+	}
+}
+
+// remove unlinks el from every index. Callers hold c.mu.
+func (c *Cache) remove(el *list.Element) {
+	k := el.Value.(*entry).key
+	c.lru.Remove(el)
+	delete(c.byKey, k)
+	if tk := c.byTable[k.Table]; tk != nil {
+		delete(tk, k)
+		if len(tk) == 0 {
+			delete(c.byTable, k.Table)
+		}
+	}
+}
+
+// InvalidateTable drops every cached answer derived from the named table,
+// whatever the version. Called on mutation and deletion.
+func (c *Cache) InvalidateTable(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, el := range c.byTable[table] {
+		c.lru.Remove(el)
+		delete(c.byKey, el.Value.(*entry).key)
+		c.invalidations++
+	}
+	delete(c.byTable, table)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.lru.Len(),
+	}
+}

@@ -1,0 +1,122 @@
+package anscache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(table string, version uint64, q string) Key {
+	return Key{Table: table, Generation: version, Query: q}
+}
+
+func TestHitMissAndVersionSeparation(t *testing.T) {
+	c := New(8)
+	k1 := key("t", 1, "topk?k=2")
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.Put(k1, []byte("a"))
+	got, ok := c.Get(k1)
+	if !ok || string(got) != "a" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	// Same query at a newer generation is a distinct entry.
+	k2 := key("t", 2, "topk?k=2")
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("generation bump must not hit the old answer")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put(key("t", 1, "a"), []byte("a"))
+	c.Put(key("t", 1, "b"), []byte("b"))
+	c.Get(key("t", 1, "a")) // refresh a; b is now LRU
+	c.Put(key("t", 1, "c"), []byte("c"))
+	if _, ok := c.Get(key("t", 1, "b")); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get(key("t", 1, "a")); !ok {
+		t.Fatal("a should have survived")
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInvalidateTable(t *testing.T) {
+	c := New(8)
+	c.Put(key("x", 1, "a"), []byte("a"))
+	c.Put(key("x", 2, "a"), []byte("a2"))
+	c.Put(key("y", 1, "a"), []byte("ya"))
+	c.InvalidateTable("x")
+	if _, ok := c.Get(key("x", 1, "a")); ok {
+		t.Fatal("x@1 should be gone")
+	}
+	if _, ok := c.Get(key("x", 2, "a")); ok {
+		t.Fatal("x@2 should be gone")
+	}
+	if _, ok := c.Get(key("y", 1, "a")); !ok {
+		t.Fatal("y should survive")
+	}
+	s := c.Stats()
+	if s.Invalidations != 2 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Invalidating an absent table is a no-op.
+	c.InvalidateTable("zzz")
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := New(2)
+	k := key("t", 1, "a")
+	c.Put(k, []byte("old"))
+	c.Put(k, []byte("new"))
+	got, ok := c.Get(k)
+	if !ok || string(got) != "new" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("entries = %d", s.Entries)
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	c := New(0)
+	c.Put(key("t", 1, "a"), []byte("a"))
+	if _, ok := c.Get(key("t", 1, "a")); ok {
+		t.Fatal("disabled cache must not hit")
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Entries != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(fmt.Sprintf("t%d", i%4), uint64(i%3), "q")
+				switch i % 3 {
+				case 0:
+					c.Put(k, []byte{byte(w)})
+				case 1:
+					c.Get(k)
+				default:
+					c.InvalidateTable(k.Table)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Stats()
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"probtopk/internal/synth"
+)
+
+// benchServer returns a server hosting a 200-tuple synthetic table (the
+// paper's Figure-13a baseline workload) as "bench".
+func benchServer(b *testing.B, cfg Config) *Server {
+	b.Helper()
+	tab, err := synth.Generate(synth.Config{Seed: 1}.WithDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(cfg)
+	tuples := []TupleJSON{}
+	for _, tp := range tab.Tuples() {
+		tuples = append(tuples, TupleJSON{ID: tp.ID, Score: tp.Score, Prob: tp.Prob, Group: tp.Group})
+	}
+	body, err := json.Marshal(TableRequest{Tuples: tuples})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := httptest.NewRequest("PUT", "/tables/bench", strings.NewReader(string(body)))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusCreated {
+		b.Fatalf("upload: %d %s", w.Code, w.Body.String())
+	}
+	return s
+}
+
+func benchQuery(b *testing.B, s *Server) {
+	b.Helper()
+	req := httptest.NewRequest("GET", "/tables/bench/topk?k=10", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("query: %d %s", w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkServerQuery measures the serving path end to end (request
+// decode, engine, JSON encode): cold with the derived-answer cache
+// disabled, hit with the cache warm. The gap is what the cache buys a
+// read-heavy workload.
+func BenchmarkServerQuery(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		s := benchServer(b, Config{AnswerCacheSize: -1})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchQuery(b, s)
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		s := benchServer(b, Config{})
+		benchQuery(b, s) // warm the derived-answer cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchQuery(b, s)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"testing"
+
+	"probtopk"
+)
+
+// FuzzDecodeQuery asserts the server's JSON query decoder never panics and
+// that every accepted query resolves (for some endpoint kind) into
+// well-formed engine inputs: positive k, a known algorithm, a
+// fully-substituted threshold and line cap, and a deterministic
+// fingerprint.
+func FuzzDecodeQuery(f *testing.F) {
+	seeds := []string{
+		`{"k": 2}`,
+		`{"k": 2, "exact": true}`,
+		`{"k": 2, "threshold": 0.001}`,
+		`{"k": 2, "threshold": -1, "maxLines": -1}`,
+		`{"k": 3, "c": 2, "normalize": true}`,
+		`{"k": 2, "algorithm": "state-expansion"}`,
+		`{"queries": [{"k": 1}, {"k": 2, "exact": true}]}`,
+		`{"k": 2, "p": 0.5}`,
+		`{"k": 1e9}`,
+		`{"k": 2, "kk": 3}`,
+		`{"k": 2}{"k": 3}`,
+		`[1, 2, 3]`,
+		`null`,
+		`{`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	kinds := []struct {
+		kind     queryKind
+		baseline string
+	}{
+		{kindTopK, ""}, {kindBatch, ""}, {kindTypical, ""},
+		{kindBaseline, "utopk"}, {kindBaseline, "ptk"},
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := decodeQueryJSON(data)
+		if err != nil {
+			return
+		}
+		for _, kb := range kinds {
+			rq, err := q.resolve(kb.kind, kb.baseline)
+			if err != nil {
+				continue
+			}
+			if kb.kind != kindBatch && rq.k < 1 {
+				t.Fatalf("resolved k = %d from %q", rq.k, data)
+			}
+			switch rq.algorithm {
+			case probtopk.AlgorithmMain, probtopk.AlgorithmStateExpansion, probtopk.AlgorithmKCombo:
+			default:
+				t.Fatalf("resolved unknown algorithm %v from %q", rq.algorithm, data)
+			}
+			if rq.threshold < 0 || rq.threshold > 1e308 {
+				t.Fatalf("resolved threshold %v from %q", rq.threshold, data)
+			}
+			if rq.maxLines < 0 {
+				t.Fatalf("resolved maxLines %d from %q", rq.maxLines, data)
+			}
+			for i, bq := range rq.batch {
+				if bq.K < 1 {
+					t.Fatalf("resolved batch k[%d] = %d from %q", i, bq.K, data)
+				}
+			}
+			// The options must embed without tripping the public API's
+			// zero sentinels, and the fingerprint must be deterministic.
+			opts := rq.options()
+			if opts.Threshold == 0 || opts.MaxLines == 0 {
+				t.Fatalf("options left a zero sentinel: %+v from %q", opts, data)
+			}
+			if rq.fingerprint() != rq.fingerprint() {
+				t.Fatalf("unstable fingerprint for %q", data)
+			}
+		}
+	})
+}

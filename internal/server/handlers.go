@@ -1,0 +1,407 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"probtopk"
+	"probtopk/internal/server/anscache"
+)
+
+// --- table registry endpoints ---
+
+func (s *Server) handleListTables(w http.ResponseWriter, r *http.Request) {
+	resp := TablesResponse{Tables: []TableInfo{}}
+	for _, name := range s.reg.names() {
+		e, ok := s.reg.get(name)
+		if !ok {
+			continue // deleted between listing and lookup
+		}
+		e.mu.RLock()
+		resp.Tables = append(resp.Tables, TableInfo{
+			Name: name, Tuples: e.tab.Len(), Version: e.tab.Version(),
+		})
+		e.mu.RUnlock()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// checkUniqueIDs rejects tables with duplicate tuple ids: answers reference
+// tuples by id, so ids must be unambiguous.
+func checkUniqueIDs(tab *probtopk.Table) error {
+	seen := make(map[string]bool, tab.Len())
+	for _, tp := range tab.Tuples() {
+		if seen[tp.ID] {
+			return fmt.Errorf("duplicate tuple id %q", tp.ID)
+		}
+		seen[tp.ID] = true
+	}
+	return nil
+}
+
+// decodeTuplesJSON strictly parses the JSON {"tuples": [...]} body shared
+// by table uploads and appends: unknown fields and trailing data are
+// errors, like the query decoder.
+func decodeTuplesJSON(body io.Reader) (*TableRequest, error) {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req TableRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad tuples JSON: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, fmt.Errorf("bad tuples JSON: trailing data after the object")
+	}
+	return &req, nil
+}
+
+// decodeTableBody parses an uploaded table: CSV when the Content-Type says
+// so, the JSON {"tuples": [...]} shape otherwise.
+func decodeTableBody(r *http.Request) (*probtopk.Table, error) {
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "text/csv") {
+		tab, err := probtopk.ReadTableCSV(r.Body)
+		if err != nil {
+			return nil, err
+		}
+		return tab, nil
+	}
+	req, err := decodeTuplesJSON(r.Body)
+	if err != nil {
+		return nil, err
+	}
+	tab := probtopk.NewTable()
+	for _, tp := range req.Tuples {
+		tab.Add(probtopk.Tuple{ID: tp.ID, Score: tp.Score, Prob: tp.Prob, Group: tp.Group})
+	}
+	return tab, nil
+}
+
+// CreateTable installs tab under name, replacing any previous table — the
+// programmatic equivalent of PUT /tables/{name}, used by the daemon's
+// startup loader. It reports whether the name was new.
+func (s *Server) CreateTable(name string, tab *probtopk.Table) (created bool, err error) {
+	if err := checkTableName(name); err != nil {
+		return false, err
+	}
+	if err := tab.Validate(); err != nil {
+		return false, err
+	}
+	if err := checkUniqueIDs(tab); err != nil {
+		return false, err
+	}
+	replaced := s.reg.put(name, tab)
+	s.cache.InvalidateTable(name)
+	if replaced != nil {
+		s.engine.Invalidate(replaced)
+	}
+	return replaced == nil, nil
+}
+
+func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	tab, err := decodeTableBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	created, err := s.CreateTable(name, tab)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, TableInfo{Name: name, Tuples: tab.Len(), Version: tab.Version()})
+}
+
+func (s *Server) handleGetTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.reg.acquireRead(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
+		return
+	}
+	info := TableInfo{Name: name, Tuples: e.tab.Len(), Version: e.tab.Version()}
+	e.mu.RUnlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleGetTableCSV(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.reg.acquireRead(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
+		return
+	}
+	var buf bytes.Buffer
+	err := e.tab.WriteCSV(&buf)
+	e.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("encoding csv"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+func (s *Server) handleDeleteTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	tab, ok := s.reg.remove(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
+		return
+	}
+	s.cache.InvalidateTable(name)
+	s.engine.Invalidate(tab)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleAppendTuples(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	req, err := decodeTuplesJSON(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Tuples) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no tuples to append"))
+		return
+	}
+	e, ok := s.reg.acquireWrite(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
+		return
+	}
+	// Append onto a clone and validate the whole candidate, so a bad batch
+	// leaves the served table untouched (all-or-nothing) and queries never
+	// observe a half-appended state.
+	old := e.tab
+	candidate := old.Clone()
+	for _, tp := range req.Tuples {
+		candidate.Add(probtopk.Tuple{ID: tp.ID, Score: tp.Score, Prob: tp.Prob, Group: tp.Group})
+	}
+	if err := candidate.Validate(); err != nil {
+		e.mu.Unlock()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := checkUniqueIDs(candidate); err != nil {
+		e.mu.Unlock()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	e.tab = candidate
+	e.gen = s.reg.nextGen()
+	info := TableInfo{Name: name, Tuples: candidate.Len(), Version: candidate.Version()}
+	e.mu.Unlock()
+	s.cache.InvalidateTable(name) // reclaims the old generation's entries
+	s.engine.Invalidate(old)
+	writeJSON(w, http.StatusOK, info)
+}
+
+// --- query endpoints ---
+
+// decodeRequest extracts the query from URL parameters (GET) or the JSON
+// body (POST).
+func decodeRequest(r *http.Request) (*QueryRequest, error) {
+	if r.Method == http.MethodGet {
+		return decodeQueryParams(r.URL.Query())
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %v", err)
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("empty query body")
+	}
+	return decodeQueryJSON(data)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	s.serveQuery(w, r, kindTopK, "")
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.serveQuery(w, r, kindBatch, "")
+}
+
+func (s *Server) handleTypical(w http.ResponseWriter, r *http.Request) {
+	s.serveQuery(w, r, kindTypical, "")
+}
+
+func (s *Server) handleBaseline(w http.ResponseWriter, r *http.Request) {
+	semantic := r.PathValue("semantic")
+	if !baselineKinds[semantic] {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown baseline %q (want utopk, ukranks, ptk, globaltopk, intopk or expectedrank)", semantic))
+		return
+	}
+	s.serveQuery(w, r, kindBaseline, semantic)
+}
+
+// serveQuery is the shared read path: decode and resolve the query, try the
+// derived-answer cache under the table's read lock, compute and fill on a
+// miss.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind queryKind, baseline string) {
+	start := time.Now()
+	q, err := decodeRequest(r)
+	if err != nil {
+		s.queryErrors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rq, err := q.resolve(kind, baseline)
+	if err != nil {
+		s.queryErrors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	name := r.PathValue("name")
+	e, ok := s.reg.acquireRead(name)
+	if !ok {
+		s.queryErrors.Add(1)
+		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
+		return
+	}
+	// The read lock is held through compute and the cache fill, but
+	// released before any write to the client: a stalled client connection
+	// must not wedge the table's pending writers (and, behind them, every
+	// other reader). The generation in the key pins the exact published
+	// state the answer came from, so the late Put of a query racing a
+	// mutation can never be served for the successor state.
+	key := anscache.Key{Table: name, Generation: e.gen, Query: rq.fingerprint()}
+	if data, ok := s.cache.Get(key); ok {
+		e.mu.RUnlock()
+		s.cached.record(time.Since(start))
+		writeRaw(w, http.StatusOK, data)
+		return
+	}
+	resp, err := s.compute(e.tab, rq)
+	if err != nil {
+		e.mu.RUnlock()
+		// The request was well-formed; the current table contents make it
+		// unanswerable (empty table, no k co-existing tuples, ...).
+		s.queryErrors.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		e.mu.RUnlock()
+		s.queryErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("encoding response: %v", err))
+		return
+	}
+	s.cache.Put(key, data)
+	e.mu.RUnlock()
+	s.computed.record(time.Since(start))
+	writeRaw(w, http.StatusOK, data)
+}
+
+// compute runs the resolved query against tab through the shared engine.
+func (s *Server) compute(tab *probtopk.Table, rq *resolvedQuery) (any, error) {
+	switch rq.kind {
+	case kindTopK:
+		d, err := s.engine.TopKDistribution(tab, rq.k, rq.options())
+		if err != nil {
+			return nil, err
+		}
+		return distResponse(rq.k, d), nil
+	case kindBatch:
+		ds, err := s.engine.TopKDistributionBatch(tab, rq.batch, rq.options())
+		if err != nil {
+			return nil, err
+		}
+		resp := BatchResponse{Results: make([]DistributionResponse, len(ds))}
+		for i, d := range ds {
+			resp.Results[i] = distResponse(rq.batch[i].K, d)
+		}
+		return resp, nil
+	case kindTypical:
+		d, err := s.engine.TopKDistribution(tab, rq.k, rq.options())
+		if err != nil {
+			return nil, err
+		}
+		lines, cost, err := d.Typical(rq.c)
+		if err != nil {
+			return nil, err
+		}
+		resp := TypicalResponse{K: rq.k, C: rq.c, Cost: cost, Lines: []LineJSON{}}
+		for _, l := range lines {
+			resp.Lines = append(resp.Lines, lineJSON(l))
+		}
+		resp.SpreadMean, resp.SpreadMax = probtopk.TypicalSpread(lines)
+		return resp, nil
+	case kindBaseline:
+		return s.computeBaseline(tab, rq)
+	}
+	return nil, fmt.Errorf("unknown query kind %q", rq.kind)
+}
+
+func (s *Server) computeBaseline(tab *probtopk.Table, rq *resolvedQuery) (any, error) {
+	resp := BaselineResponse{Semantic: rq.baseline, K: rq.k}
+	switch rq.baseline {
+	case "utopk":
+		l, err := s.engine.UTopK(tab, rq.k)
+		if err != nil {
+			return nil, err
+		}
+		lj := lineJSON(l)
+		resp.Line = &lj
+	case "ukranks":
+		rows, err := s.engine.UKRanks(tab, rq.k)
+		if err != nil {
+			return nil, err
+		}
+		resp.Ranks = []RankedTupleJSON{}
+		for _, a := range rows {
+			resp.Ranks = append(resp.Ranks, RankedTupleJSON{Rank: a.Rank, ID: a.ID, Score: a.Score, Prob: a.Prob})
+		}
+	case "ptk":
+		resp.P = rq.p
+		tps, err := s.engine.PTk(tab, rq.k, rq.p)
+		if err != nil {
+			return nil, err
+		}
+		resp.Tuples = tupleProbJSON(tps)
+	case "globaltopk":
+		tps, err := s.engine.GlobalTopK(tab, rq.k)
+		if err != nil {
+			return nil, err
+		}
+		resp.Tuples = tupleProbJSON(tps)
+	case "intopk":
+		tps, err := s.engine.InTopKProbs(tab, rq.k)
+		if err != nil {
+			return nil, err
+		}
+		resp.Tuples = tupleProbJSON(tps)
+	case "expectedrank":
+		rows, err := s.engine.ExpectedRankTopK(tab, rq.k)
+		if err != nil {
+			return nil, err
+		}
+		resp.Expected = []ExpectedRankJSON{}
+		for _, a := range rows {
+			resp.Expected = append(resp.Expected, ExpectedRankJSON{ID: a.ID, Score: a.Score, Prob: a.Prob, Rank: a.Rank})
+		}
+	default:
+		return nil, fmt.Errorf("unknown baseline %q", rq.baseline)
+	}
+	return resp, nil
+}
+
+func tupleProbJSON(tps []probtopk.TupleProb) []TupleProbJSON {
+	out := []TupleProbJSON{}
+	for _, tp := range tps {
+		out = append(out, TupleProbJSON{ID: tp.ID, Score: tp.Score, Prob: tp.Prob, InTopK: tp.InTopK})
+	}
+	return out
+}

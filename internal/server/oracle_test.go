@@ -1,0 +1,230 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"testing"
+
+	"probtopk"
+	"probtopk/internal/uncertain"
+	"probtopk/internal/worlds"
+)
+
+// oracleTolerance bounds the probability disagreement allowed between the
+// possible-worlds enumeration and every efficient path. Scores are drawn
+// from a small integer grid so total scores are exact in float64 and line
+// identity never hinges on rounding.
+const oracleTolerance = 1e-12
+
+// randomOracleTable builds a small random table: ≤ 12 tuples, a mix of
+// independent tuples and up to three ME groups, and scores from an integer
+// grid of 6 values so score ties are frequent and deliberate.
+func randomOracleTable(r *rand.Rand) *probtopk.Table {
+	n := 1 + r.Intn(12)
+	tab := probtopk.NewTable()
+	groupMass := make(map[string]float64)
+	for i := 0; i < n; i++ {
+		score := float64(10 * (1 + r.Intn(6)))
+		prob := float64(1+r.Intn(19)) / 20 // 0.05 .. 0.95
+		group := ""
+		if r.Intn(3) == 0 {
+			g := fmt.Sprintf("g%d", r.Intn(3))
+			if groupMass[g]+prob <= 1 {
+				group = g
+				groupMass[g] += prob
+			}
+		}
+		tab.Add(probtopk.Tuple{ID: fmt.Sprintf("t%d", i), Score: score, Prob: prob, Group: group})
+	}
+	return tab
+}
+
+// scoreProb is one (score, probability) atom for comparison.
+type scoreProb struct {
+	score, prob float64
+}
+
+// assertSameDist fails unless the two line sets agree within
+// oracleTolerance. Both inputs must be sorted by ascending score with
+// distinct scores (every path under test emits coalesced exact atoms).
+func assertSameDist(t *testing.T, label string, got, want []scoreProb) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d lines, oracle has %d\n got: %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i].score != want[i].score {
+			t.Fatalf("%s: line %d score %v, oracle %v", label, i, got[i].score, want[i].score)
+		}
+		if math.Abs(got[i].prob-want[i].prob) > oracleTolerance {
+			t.Fatalf("%s: line %d (score %v) prob %v, oracle %v (diff %g)",
+				label, i, got[i].score, got[i].prob, want[i].prob,
+				math.Abs(got[i].prob-want[i].prob))
+		}
+	}
+}
+
+func distLines(d *probtopk.Distribution) []scoreProb {
+	out := []scoreProb{}
+	for _, l := range d.Lines() {
+		out = append(out, scoreProb{l.Score, l.Prob})
+	}
+	return out
+}
+
+// TestOracleCrossCheck asserts, on randomized small tables with mixed ME
+// groups and deliberate score ties, that the exact possible-worlds
+// enumeration, AlgorithmMain, AlgorithmStateExpansion,
+// Engine.TopKDistributionBatch and the HTTP handler's decoded JSON response
+// all produce the same top-k score distribution.
+func TestOracleCrossCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(20090629))
+	srv := New(Config{})
+	eng := probtopk.NewEngine()
+	exact := probtopk.Exact()
+
+	trials := 80
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		tab := randomOracleTable(r)
+		k := 1 + r.Intn(4)
+		if r.Intn(8) == 0 {
+			k = tab.Len() + 1 + r.Intn(2) // occasionally force the empty answer
+		}
+		label := func(path string) string {
+			return fmt.Sprintf("trial %d (n=%d, k=%d): %s", trial, tab.Len(), k, path)
+		}
+
+		// Ground truth: full possible-worlds enumeration.
+		prep, err := uncertain.Prepare(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactDist, err := worlds.ExactDistribution(prep, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := []scoreProb{}
+		for _, l := range exactDist.Lines() {
+			oracle = append(oracle, scoreProb{l.Score, l.Prob})
+		}
+		sort.Slice(oracle, func(a, b int) bool { return oracle[a].score < oracle[b].score })
+
+		// Path 1: the main dynamic program, exact options.
+		dMain, err := probtopk.TopKDistribution(tab, k, exact)
+		if err != nil {
+			t.Fatalf("%s: %v", label("main"), err)
+		}
+		assertSameDist(t, label("AlgorithmMain"), distLines(dMain), oracle)
+
+		// Path 2: the state-expansion baseline.
+		seOpts := *exact
+		seOpts.Algorithm = probtopk.AlgorithmStateExpansion
+		dSE, err := probtopk.TopKDistribution(tab, k, &seOpts)
+		if err != nil {
+			t.Fatalf("%s: %v", label("state-expansion"), err)
+		}
+		assertSameDist(t, label("AlgorithmStateExpansion"), distLines(dSE), oracle)
+
+		// Path 3: the batched engine entry point (exact per-query
+		// threshold via the negative sentinel).
+		batch, err := eng.TopKDistributionBatch(tab,
+			[]probtopk.BatchQuery{{K: k, Threshold: -1}}, exact)
+		if err != nil {
+			t.Fatalf("%s: %v", label("batch"), err)
+		}
+		assertSameDist(t, label("Engine.TopKDistributionBatch"), distLines(batch[0]), oracle)
+
+		// Path 4: the HTTP handler, end to end through upload, JSON query
+		// and response decoding.
+		body, err := json.Marshal(map[string]any{"tuples": tableTuples(tab)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := do(t, srv, "PUT", "/tables/oracle", string(body))
+		if w.Code != http.StatusCreated && w.Code != http.StatusOK {
+			t.Fatalf("%s: upload status %d: %s", label("http"), w.Code, w.Body.String())
+		}
+		w = do(t, srv, "POST", "/tables/oracle/topk", fmt.Sprintf(`{"k": %d, "exact": true}`, k))
+		respBody := mustStatus(t, w, http.StatusOK)
+		var resp DistributionResponse
+		if err := json.Unmarshal([]byte(respBody), &resp); err != nil {
+			t.Fatalf("%s: %v", label("http decode"), err)
+		}
+		httpLines := []scoreProb{}
+		for _, l := range resp.Lines {
+			httpLines = append(httpLines, scoreProb{l.Score, l.Prob})
+		}
+		assertSameDist(t, label("HTTP handler"), httpLines, oracle)
+
+		// The handler's aggregates must match the oracle too.
+		if math.Abs(resp.TotalMass-exactDist.TotalMass()) > oracleTolerance {
+			t.Fatalf("%s: total mass %v, oracle %v", label("http mass"), resp.TotalMass, exactDist.TotalMass())
+		}
+	}
+}
+
+func tableTuples(tab *probtopk.Table) []TupleJSON {
+	out := []TupleJSON{}
+	for _, tp := range tab.Tuples() {
+		out = append(out, TupleJSON{ID: tp.ID, Score: tp.Score, Prob: tp.Prob, Group: tp.Group})
+	}
+	return out
+}
+
+// TestOracleVectorProbs cross-checks the per-vector probability the server
+// reports for the U-Topk line against the exact enumeration.
+func TestOracleVectorProbs(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	srv := New(Config{})
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		tab := randomOracleTable(r)
+		k := 1 + r.Intn(3)
+		if k > tab.Len() {
+			k = tab.Len()
+		}
+		prep, err := uncertain.Prepare(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, wantProb, err := worlds.UTopkOracle(prep, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := json.Marshal(map[string]any{"tuples": tableTuples(tab)})
+		w := do(t, srv, "PUT", "/tables/vp", string(body))
+		if w.Code != http.StatusCreated && w.Code != http.StatusOK {
+			t.Fatalf("upload: %d", w.Code)
+		}
+		w = do(t, srv, "GET", fmt.Sprintf("/tables/vp/baseline/utopk?k=%d", k), "")
+		if w.Code == http.StatusUnprocessableEntity {
+			// No k tuples co-exist; the oracle must agree.
+			if wantProb > 0 {
+				t.Fatalf("trial %d: server says no vector, oracle prob %v", trial, wantProb)
+			}
+			continue
+		}
+		respBody := mustStatus(t, w, http.StatusOK)
+		var resp BaselineResponse
+		if err := json.Unmarshal([]byte(respBody), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Line == nil {
+			t.Fatalf("trial %d: missing line", trial)
+		}
+		if math.Abs(resp.Line.VectorProb-wantProb) > oracleTolerance {
+			t.Fatalf("trial %d (k=%d): U-Topk vector prob %v, oracle %v",
+				trial, k, resp.Line.VectorProb, wantProb)
+		}
+	}
+}

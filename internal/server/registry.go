@@ -1,0 +1,183 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"probtopk"
+)
+
+// maxTableNameLen bounds registry names so they stay usable as cache keys
+// and log fields.
+const maxTableNameLen = 128
+
+// tableEntry is one hosted table. Its RWMutex serializes mutations against
+// queries: queries hold the read lock for their whole computation (the Table
+// contract forbids mutation while queries are in flight), mutations hold the
+// write lock.
+type tableEntry struct {
+	mu  sync.RWMutex
+	tab *probtopk.Table
+	// gen is a registry-wide, never-reused stamp of this published table
+	// state, reassigned on every create, replace and append (guarded by
+	// mu). The answer cache keys on it instead of Table.Version, which can
+	// repeat across replaces and delete/recreate (it just counts Adds) —
+	// with gen, an answer cached from a superseded state is unreachable by
+	// construction, whatever the invalidation ordering.
+	gen uint64
+}
+
+// registry maps names to hosted tables. The registry lock only guards the
+// map; per-table work happens under the entry lock, so a slow query on one
+// table never blocks operations on another.
+type registry struct {
+	mu     sync.RWMutex
+	tables map[string]*tableEntry
+
+	gens atomic.Uint64
+}
+
+func newRegistry() *registry {
+	return &registry{tables: make(map[string]*tableEntry)}
+}
+
+// nextGen mints a fresh generation stamp.
+func (r *registry) nextGen() uint64 { return r.gens.Add(1) }
+
+// checkTableName validates a registry name: non-empty, bounded, and limited
+// to [A-Za-z0-9._-] so names embed cleanly in URLs and fingerprints.
+func checkTableName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty table name")
+	}
+	if len(name) > maxTableNameLen {
+		return fmt.Errorf("table name longer than %d bytes", maxTableNameLen)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("table name contains invalid byte %q (allowed: letters, digits, '.', '_', '-')", c)
+		}
+	}
+	return nil
+}
+
+// get returns the entry for name.
+func (r *registry) get(name string) (*tableEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.tables[name]
+	return e, ok
+}
+
+// acquireRead returns name's entry with its read lock held, guaranteeing
+// the entry is still the one registered under name at lock time — a bare
+// get-then-lock would let a concurrent delete (and recreate) complete in
+// the window, and an answer cached from the orphaned entry could outlive
+// the delete's invalidation. The caller must mu.RUnlock the entry.
+func (r *registry) acquireRead(name string) (*tableEntry, bool) {
+	for {
+		e, ok := r.get(name)
+		if !ok {
+			return nil, false
+		}
+		e.mu.RLock()
+		if cur, ok := r.get(name); ok && cur == e {
+			return e, true
+		}
+		e.mu.RUnlock()
+	}
+}
+
+// acquireWrite is acquireRead with the write lock: mutations on an entry
+// that has been concurrently deleted must surface as "no table", not
+// silently land on an orphan. The caller must mu.Unlock the entry.
+func (r *registry) acquireWrite(name string) (*tableEntry, bool) {
+	for {
+		e, ok := r.get(name)
+		if !ok {
+			return nil, false
+		}
+		e.mu.Lock()
+		if cur, ok := r.get(name); ok && cur == e {
+			return e, true
+		}
+		e.mu.Unlock()
+	}
+}
+
+// put installs tab under name, replacing any previous table. It returns the
+// replaced table (nil if the name is new) so the caller can release engine
+// cache entries for it.
+func (r *registry) put(name string, tab *probtopk.Table) (replaced *probtopk.Table) {
+	for {
+		r.mu.Lock()
+		e, ok := r.tables[name]
+		if !ok {
+			r.tables[name] = &tableEntry{tab: tab, gen: r.nextGen()}
+			r.mu.Unlock()
+			return nil
+		}
+		r.mu.Unlock()
+		// Replace under the entry lock so in-flight queries on the old
+		// table drain first — then re-check the entry is still registered:
+		// a concurrent delete may have orphaned it, and swapping onto an
+		// orphan would acknowledge an upload that no lookup can ever see.
+		e.mu.Lock()
+		r.mu.RLock()
+		cur, ok := r.tables[name]
+		r.mu.RUnlock()
+		if !ok || cur != e {
+			e.mu.Unlock()
+			continue
+		}
+		replaced = e.tab
+		e.tab = tab
+		e.gen = r.nextGen()
+		e.mu.Unlock()
+		return replaced
+	}
+}
+
+// remove deletes name, returning the removed table.
+func (r *registry) remove(name string) (*probtopk.Table, bool) {
+	r.mu.Lock()
+	e, ok := r.tables[name]
+	if ok {
+		delete(r.tables, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	// Wait for in-flight queries before handing the table back for engine
+	// invalidation.
+	e.mu.Lock()
+	tab := e.tab
+	e.mu.Unlock()
+	return tab, true
+}
+
+// names returns the sorted table names.
+func (r *registry) names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.tables))
+	for n := range r.tables {
+		out = append(out, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// len returns the number of hosted tables.
+func (r *registry) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tables)
+}

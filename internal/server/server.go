@@ -1,0 +1,203 @@
+// Package server is the HTTP/JSON front-end over the probtopk query engine:
+// a registry of named uncertain tables (uploaded as CSV or JSON, mutable by
+// appending tuples) and query endpoints for top-k score distributions
+// (single and batched), c-typical answer sets, and the §5 baseline
+// semantics, all routed through one shared Engine.
+//
+// # Endpoints
+//
+//	GET    /healthz                           liveness probe
+//	GET    /debug/stats                       cache and latency counters
+//	GET    /tables                            list hosted tables
+//	PUT    /tables/{name}                     create or replace a table
+//	                                          (body: text/csv or JSON {"tuples": [...]})
+//	GET    /tables/{name}                     table info (tuple count, version)
+//	GET    /tables/{name}/csv                 download as CSV
+//	DELETE /tables/{name}                     drop the table
+//	POST   /tables/{name}/tuples              append tuples (JSON {"tuples": [...]})
+//	GET    /tables/{name}/topk                top-k score distribution
+//	POST   /tables/{name}/topk                same, query in the JSON body
+//	POST   /tables/{name}/topk/batch          many (k, threshold) queries in one call
+//	GET    /tables/{name}/typical             c-typical answer set
+//	POST   /tables/{name}/typical             same, query in the JSON body
+//	GET    /tables/{name}/baseline/{semantic} utopk | ukranks | ptk | globaltopk |
+//	POST   /tables/{name}/baseline/{semantic}   intopk | expectedrank
+//
+// # Derived-answer cache
+//
+// Every successful query answer is cached as its encoded JSON, keyed by
+// (table name, table state generation, canonical query fingerprint), the
+// generation being a never-reused stamp minted each time a table state is
+// published (create, replace, append). A repeated identical query — even
+// one spelled differently but resolving to the same computation — is
+// served from the cache without touching the dynamic program or
+// re-encoding. Any mutation changes the generation, so a hit can never be
+// stale — even across delete/recreate cycles — while the eager
+// invalidation on mutation reclaims the dead entries' LRU slots. GET
+// /debug/stats exposes hit/miss/latency counters for both this cache and
+// the engine's prepared-table cache.
+//
+// Queries hold the table's read lock for the computation and the cache
+// fill (but not the client write), and mutations hold the write lock, so
+// the Table contract (no mutation while queries are in flight) holds under
+// full concurrency.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"probtopk"
+	"probtopk/internal/server/anscache"
+)
+
+// DefaultAnswerCacheSize is the default bound on cached derived answers.
+const DefaultAnswerCacheSize = 1024
+
+// maxBodyBytes bounds uploaded request bodies.
+const maxBodyBytes = 32 << 20
+
+// Config tunes a Server. The zero value serves with the default cache
+// sizes.
+type Config struct {
+	// AnswerCacheSize bounds the derived-answer cache: 0 means
+	// DefaultAnswerCacheSize, negative disables the cache (every query
+	// recomputes — the benchmark baseline).
+	AnswerCacheSize int
+	// EngineCacheSize bounds the engine's prepared-table cache: 0 means
+	// probtopk.DefaultEngineCacheSize, negative disables it.
+	EngineCacheSize int
+}
+
+// latency is a lock-free (count, total duration) pair.
+type latency struct {
+	count atomic.Uint64
+	nanos atomic.Uint64
+}
+
+func (l *latency) record(d time.Duration) {
+	l.count.Add(1)
+	l.nanos.Add(uint64(d))
+}
+
+func (l *latency) json() LatencyJSON {
+	return LatencyJSON{Count: l.count.Load(), TotalNs: l.nanos.Load()}
+}
+
+// Server hosts tables and serves queries over them. Construct with New; a
+// Server is an http.Handler safe for concurrent use.
+type Server struct {
+	engine *probtopk.Engine
+	reg    *registry
+	cache  *anscache.Cache
+	mux    *http.ServeMux
+	start  time.Time
+
+	cached      latency // queries answered by the derived-answer cache
+	computed    latency // queries that ran the engine
+	queryErrors atomic.Uint64
+}
+
+// New returns a Server ready to serve.
+func New(cfg Config) *Server {
+	answerCap := cfg.AnswerCacheSize
+	if answerCap == 0 {
+		answerCap = DefaultAnswerCacheSize
+	}
+	engineCap := cfg.EngineCacheSize
+	if engineCap == 0 {
+		engineCap = probtopk.DefaultEngineCacheSize
+	}
+	s := &Server{
+		engine: probtopk.NewEngineWithCache(engineCap),
+		reg:    newRegistry(),
+		cache:  anscache.New(answerCap),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /debug/stats", s.handleStats)
+	s.mux.HandleFunc("GET /tables", s.handleListTables)
+	s.mux.HandleFunc("PUT /tables/{name}", s.handlePutTable)
+	s.mux.HandleFunc("GET /tables/{name}", s.handleGetTable)
+	s.mux.HandleFunc("GET /tables/{name}/csv", s.handleGetTableCSV)
+	s.mux.HandleFunc("DELETE /tables/{name}", s.handleDeleteTable)
+	s.mux.HandleFunc("POST /tables/{name}/tuples", s.handleAppendTuples)
+	s.mux.HandleFunc("GET /tables/{name}/topk", s.handleTopK)
+	s.mux.HandleFunc("POST /tables/{name}/topk", s.handleTopK)
+	s.mux.HandleFunc("POST /tables/{name}/topk/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /tables/{name}/typical", s.handleTypical)
+	s.mux.HandleFunc("POST /tables/{name}/typical", s.handleTypical)
+	s.mux.HandleFunc("GET /tables/{name}/baseline/{semantic}", s.handleBaseline)
+	s.mux.HandleFunc("POST /tables/{name}/baseline/{semantic}", s.handleBaseline)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Engine returns the server's query engine (for tests and embedding).
+func (s *Server) Engine() *probtopk.Engine { return s.engine }
+
+// writeJSON encodes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Marshalling our own response types cannot fail unless a value is
+		// non-finite; fail closed without echoing it.
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("encoding response: %v", err))
+		return
+	}
+	writeRaw(w, status, data)
+}
+
+// writeRaw writes already-encoded JSON.
+func writeRaw(w http.ResponseWriter, status int, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+// writeError writes the uniform error body. Error text reaching clients is
+// built from request data and library validation messages only — never from
+// file paths or other process internals.
+func writeError(w http.ResponseWriter, status int, err error) {
+	data, merr := json.Marshal(ErrorResponse{Error: err.Error()})
+	if merr != nil {
+		http.Error(w, `{"error":"internal error"}`, http.StatusInternalServerError)
+		return
+	}
+	writeRaw(w, status, data)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ans := s.cache.Stats()
+	eng := s.engine.CacheStats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Tables: s.reg.len(),
+		AnswerCache: CacheStatsJSON{
+			Hits: ans.Hits, Misses: ans.Misses, Evictions: ans.Evictions,
+			Invalidations: ans.Invalidations, Entries: ans.Entries,
+		},
+		PreparedCache: CacheStatsJSON{
+			Hits: eng.Hits, Misses: eng.Misses, Evictions: eng.Evictions,
+			Entries: eng.Entries,
+		},
+		EngineQueries:   LatencyJSON{Count: eng.Queries, TotalNs: uint64(eng.QueryTime)},
+		CachedQueries:   s.cached.json(),
+		ComputedQueries: s.computed.json(),
+		QueryErrors:     s.queryErrors.Load(),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+	})
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"probtopk"
+)
+
+// TestServerConcurrentMutateQuery hammers one server from many goroutines:
+// writers append tuples and replace/drop tables while readers run every
+// query endpoint, with private Streams pushing through the shared engine
+// pools at the same time. Run under -race (CI does), this is the
+// concurrency contract check for the registry locks, the answer cache and
+// the engine.
+func TestServerConcurrentMutateQuery(t *testing.T) {
+	s := New(Config{AnswerCacheSize: 64})
+	tables := []string{"alpha", "beta", "gamma"}
+	for _, name := range tables {
+		mustStatus(t, do(t, s, "PUT", "/tables/"+name, soldierJSON), http.StatusCreated)
+	}
+
+	// iters stays divisible by len(tables) so every table receives the same
+	// number of appends (asserted at the end).
+	iters := 120
+	if testing.Short() {
+		iters = 24
+	}
+	// Allowed statuses: 404/409-free by construction, but queries race with
+	// deletes and appends, so "no table" and "unanswerable" are legitimate.
+	allowed := map[int]bool{
+		http.StatusOK: true, http.StatusCreated: true, http.StatusNoContent: true,
+		http.StatusNotFound: true, http.StatusUnprocessableEntity: true,
+	}
+	var unexpected atomic.Int64
+	check := func(w *httptest.ResponseRecorder, what string) {
+		if !allowed[w.Code] {
+			unexpected.Add(1)
+			t.Errorf("%s: status %d: %s", what, w.Code, w.Body.String())
+		}
+		if ct := w.Header().Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+			if !json.Valid(w.Body.Bytes()) {
+				unexpected.Add(1)
+				t.Errorf("%s: invalid JSON body: %s", what, w.Body.String())
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	run := func(fn func(w int)) {
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				fn(w)
+			}(w)
+		}
+	}
+
+	// Appenders: grow each table with fresh independent tuples.
+	run(func(worker int) {
+		for i := 0; i < iters; i++ {
+			name := tables[i%len(tables)]
+			body := fmt.Sprintf(`{"tuples": [{"id": "w%d-%d", "score": %d, "prob": 0.5}]}`,
+				worker, i, 10+i%90)
+			check(do(t, s, "POST", "/tables/"+name+"/tuples", body), "append")
+		}
+	})
+	// Query mix across every endpoint.
+	run(func(worker int) {
+		for i := 0; i < iters; i++ {
+			name := tables[(worker+i)%len(tables)]
+			switch i % 6 {
+			case 0:
+				check(do(t, s, "GET", "/tables/"+name+"/topk?k=2", ""), "topk")
+			case 1:
+				check(do(t, s, "POST", "/tables/"+name+"/topk/batch",
+					`{"queries": [{"k": 1}, {"k": 2}, {"k": 3}]}`), "batch")
+			case 2:
+				check(do(t, s, "GET", "/tables/"+name+"/typical?k=2&c=2", ""), "typical")
+			case 3:
+				check(do(t, s, "GET", "/tables/"+name+"/baseline/utopk?k=2", ""), "utopk")
+			case 4:
+				check(do(t, s, "GET", "/tables/"+name+"/baseline/ptk?k=2&p=0.2", ""), "ptk")
+			default:
+				check(do(t, s, "GET", "/tables/"+name+"/baseline/expectedrank?k=2", ""), "expectedrank")
+			}
+		}
+	})
+	// Admin churn: list, stats, csv download, create/replace/drop scratch
+	// tables.
+	run(func(worker int) {
+		scratch := fmt.Sprintf("scratch-%d", worker)
+		for i := 0; i < iters; i++ {
+			switch i % 5 {
+			case 0:
+				check(do(t, s, "GET", "/tables", ""), "list")
+			case 1:
+				check(do(t, s, "GET", "/debug/stats", ""), "stats")
+			case 2:
+				check(do(t, s, "PUT", "/tables/"+scratch, soldierJSON), "put scratch")
+			case 3:
+				check(do(t, s, "GET", "/tables/"+scratch+"/topk?k=1", ""), "query scratch")
+			default:
+				check(do(t, s, "DELETE", "/tables/"+scratch, ""), "delete scratch")
+			}
+		}
+	})
+	// Streams: each goroutine owns a private window (Streams are
+	// single-owner by contract) pushing and querying through the same
+	// process-wide scratch pools the server uses.
+	run(func(worker int) {
+		st, err := probtopk.NewStream(16)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < iters; i++ {
+			if _, err := st.Push(probtopk.Tuple{
+				ID: fmt.Sprintf("s%d-%d", worker, i), Score: float64(i % 50), Prob: 0.5,
+			}); err != nil {
+				t.Errorf("stream push: %v", err)
+				return
+			}
+			if i%4 == 3 {
+				if _, err := st.TopKDistribution(2, nil); err != nil {
+					t.Errorf("stream query: %v", err)
+					return
+				}
+			}
+		}
+	})
+	wg.Wait()
+
+	if unexpected.Load() != 0 {
+		t.Fatalf("%d unexpected responses", unexpected.Load())
+	}
+	// The survivors must still serve consistent answers: version equals
+	// tuple count history and a fresh query matches a recomputation.
+	for _, name := range tables {
+		var info TableInfo
+		if err := json.Unmarshal([]byte(mustStatus(t, do(t, s, "GET", "/tables/"+name, ""), http.StatusOK)), &info); err != nil {
+			t.Fatal(err)
+		}
+		// 3 appender workers each spread iters appends round-robin over
+		// the tables, so each table gains exactly iters tuples.
+		if info.Tuples != 7+iters {
+			t.Fatalf("%s: %d tuples, want %d", name, info.Tuples, 7+iters)
+		}
+		first := mustStatus(t, do(t, s, "GET", "/tables/"+name+"/topk?k=3", ""), http.StatusOK)
+		again := mustStatus(t, do(t, s, "GET", "/tables/"+name+"/topk?k=3", ""), http.StatusOK)
+		if first != again {
+			t.Fatalf("%s: unstable answer after stress", name)
+		}
+	}
+}

@@ -34,6 +34,8 @@ func (t *Table) WriteCSV(w io.Writer) error {
 
 // ReadCSV parses a table written by WriteCSV (or any CSV with the same
 // header). The header row is required so column order is unambiguous.
+// Tuple ids must be unique: answers reference tuples by id, so a file with
+// a repeated id is ambiguous and rejected.
 func ReadCSV(r io.Reader) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(csvHeader)
@@ -47,6 +49,7 @@ func ReadCSV(r io.Reader) (*Table, error) {
 		}
 	}
 	t := NewTable()
+	seen := make(map[string]int)
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -63,6 +66,10 @@ func ReadCSV(r io.Reader) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("uncertain: csv line %d: bad prob %q: %w", line, rec[2], err)
 		}
+		if first, dup := seen[rec[0]]; dup {
+			return nil, fmt.Errorf("uncertain: csv line %d: duplicate id %q (first on line %d)", line, rec[0], first)
+		}
+		seen[rec[0]] = line
 		t.Add(Tuple{ID: rec[0], Score: score, Prob: prob, Group: rec[3]})
 	}
 	if err := t.Validate(); err != nil {

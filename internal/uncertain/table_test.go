@@ -236,7 +236,12 @@ func TestCSVErrors(t *testing.T) {
 		"wrong,header,here,x\n",
 		"id,score,prob,group\nT1,notanumber,0.5,\n",
 		"id,score,prob,group\nT1,1,notanumber,\n",
-		"id,score,prob,group\nT1,1,2.0,\n", // invalid prob
+		"id,score,prob,group\nT1,1,2.0,\n",             // invalid prob
+		"id,score,prob,group\nT1,1,0.5,\nT1,2,0.4,\n",  // duplicate id
+		"id,score,prob,group\na,1,0.6,g\nb,2,0.6,g\n",  // group mass > 1
+		"id,score,prob,group\na,NaN,0.5,\n",            // non-finite score
+		"id,score,prob,group\na,1,0.5,\nb,2,0.5\n",     // short row
+		"id,score,prob,group\na,1,0.5,\nb,2,0.5,x,y\n", // long row
 	}
 	for i, c := range cases {
 		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
