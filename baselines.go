@@ -20,7 +20,15 @@ func UTopK(t *Table, k int) (Line, error) { return defaultEngine.UTopK(t, k) }
 // UTopK computes the U-Topk answer with this engine's cache; see the
 // package-level UTopK.
 func (e *Engine) UTopK(t *Table, k int) (Line, error) {
-	dist, err := e.TopKDistribution(t, k, Exact())
+	if t == nil {
+		return Line{}, ErrNilTable
+	}
+	return e.UTopKSnapshot(t.Snapshot(), k)
+}
+
+// UTopKSnapshot computes the U-Topk answer over an immutable snapshot.
+func (e *Engine) UTopKSnapshot(s *Snapshot, k int) (Line, error) {
+	dist, err := e.TopKDistributionSnapshot(s, k, Exact())
 	if err != nil {
 		return Line{}, err
 	}
@@ -58,7 +66,15 @@ func UKRanks(t *Table, k int) ([]RankedTuple, error) { return defaultEngine.UKRa
 // UKRanks computes the U-kRanks answer with this engine's cache; see the
 // package-level UKRanks.
 func (e *Engine) UKRanks(t *Table, k int) ([]RankedTuple, error) {
-	prep, err := e.prepare(t)
+	if t == nil {
+		return nil, ErrNilTable
+	}
+	return e.UKRanksSnapshot(t.Snapshot(), k)
+}
+
+// UKRanksSnapshot computes the U-kRanks answer over an immutable snapshot.
+func (e *Engine) UKRanksSnapshot(s *Snapshot, k int) ([]RankedTuple, error) {
+	prep, err := e.prepareSnapshot(s)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +114,16 @@ func PTk(t *Table, k int, threshold float64) ([]TupleProb, error) {
 // PTk computes the probabilistic threshold top-k answer with this engine's
 // cache; see the package-level PTk.
 func (e *Engine) PTk(t *Table, k int, threshold float64) ([]TupleProb, error) {
-	prep, err := e.prepare(t)
+	if t == nil {
+		return nil, ErrNilTable
+	}
+	return e.PTkSnapshot(t.Snapshot(), k, threshold)
+}
+
+// PTkSnapshot computes the probabilistic threshold top-k answer over an
+// immutable snapshot.
+func (e *Engine) PTkSnapshot(s *Snapshot, k int, threshold float64) ([]TupleProb, error) {
+	prep, err := e.prepareSnapshot(s)
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +145,16 @@ func GlobalTopK(t *Table, k int) ([]TupleProb, error) { return defaultEngine.Glo
 // GlobalTopK computes the Global-Topk answer with this engine's cache; see
 // the package-level GlobalTopK.
 func (e *Engine) GlobalTopK(t *Table, k int) ([]TupleProb, error) {
-	prep, err := e.prepare(t)
+	if t == nil {
+		return nil, ErrNilTable
+	}
+	return e.GlobalTopKSnapshot(t.Snapshot(), k)
+}
+
+// GlobalTopKSnapshot computes the Global-Topk answer over an immutable
+// snapshot.
+func (e *Engine) GlobalTopKSnapshot(s *Snapshot, k int) ([]TupleProb, error) {
+	prep, err := e.prepareSnapshot(s)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +176,16 @@ func InTopKProbs(t *Table, k int) ([]TupleProb, error) { return defaultEngine.In
 // InTopKProbs returns the in-top-k marginals with this engine's cache; see
 // the package-level InTopKProbs.
 func (e *Engine) InTopKProbs(t *Table, k int) ([]TupleProb, error) {
-	prep, err := e.prepare(t)
+	if t == nil {
+		return nil, ErrNilTable
+	}
+	return e.InTopKProbsSnapshot(t.Snapshot(), k)
+}
+
+// InTopKProbsSnapshot returns the in-top-k marginals over an immutable
+// snapshot.
+func (e *Engine) InTopKProbsSnapshot(s *Snapshot, k int) ([]TupleProb, error) {
+	prep, err := e.prepareSnapshot(s)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +222,16 @@ func ExpectedRankTopK(t *Table, k int) ([]ExpectedRankTuple, error) {
 // ExpectedRankTopK computes the expected-rank answer with this engine's
 // cache; see the package-level ExpectedRankTopK.
 func (e *Engine) ExpectedRankTopK(t *Table, k int) ([]ExpectedRankTuple, error) {
-	prep, err := e.prepare(t)
+	if t == nil {
+		return nil, ErrNilTable
+	}
+	return e.ExpectedRankTopKSnapshot(t.Snapshot(), k)
+}
+
+// ExpectedRankTopKSnapshot computes the expected-rank answer over an
+// immutable snapshot.
+func (e *Engine) ExpectedRankTopKSnapshot(s *Snapshot, k int) ([]ExpectedRankTuple, error) {
+	prep, err := e.prepareSnapshot(s)
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +258,16 @@ func ScanDepth(t *Table, k int, ptau float64) (int, error) {
 // ScanDepth returns the Theorem-2 scan depth with this engine's cache; see
 // the package-level ScanDepth.
 func (e *Engine) ScanDepth(t *Table, k int, ptau float64) (int, error) {
-	prep, err := e.prepare(t)
+	if t == nil {
+		return 0, ErrNilTable
+	}
+	return e.ScanDepthSnapshot(t.Snapshot(), k, ptau)
+}
+
+// ScanDepthSnapshot returns the Theorem-2 scan depth over an immutable
+// snapshot.
+func (e *Engine) ScanDepthSnapshot(s *Snapshot, k int, ptau float64) (int, error) {
+	prep, err := e.prepareSnapshot(s)
 	if err != nil {
 		return 0, err
 	}

@@ -6,10 +6,13 @@
 //
 //	topk-bench -fig 9 -json > BENCH_fig9.json
 //	topk-bench -fig serving -json > BENCH_serving.json
+//	topk-bench -fig mutation -json > BENCH_mutation.json
 //
-// Besides the paper's numbered figures, the special figure "serving"
-// measures this build's HTTP serving path (cold vs derived-answer cache
-// hit); it is not part of -fig all.
+// Besides the paper's numbered figures, the special figures "serving"
+// (HTTP serving path, cold vs derived-answer cache hit) and "mutation"
+// (append latency uncontended vs under concurrent slow queries — the
+// snapshot-isolation guarantee) measure this build's serving stack; they
+// are not part of -fig all.
 //
 // Usage:
 //
@@ -29,7 +32,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figure numbers (3, 8, 9, 10, 11, 12, 13, 14, 15, 16), 'serving', or 'all'")
+	fig := flag.String("fig", "all", "comma-separated figure numbers (3, 8, 9, 10, 11, 12, 13, 14, 15, 16), 'serving', 'mutation', or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of ASCII charts")
 	jsonOut := flag.Bool("json", false, "emit one JSON array of figure objects instead of ASCII charts")
 	flag.Parse()
@@ -107,6 +110,8 @@ func collect(spec string) ([]*bench.Figure, error) {
 			err = one(bench.Fig16())
 		case "serving":
 			err = one(bench.FigServing())
+		case "mutation":
+			err = one(bench.FigMutation())
 		default:
 			err = fmt.Errorf("unknown figure %q", tok)
 		}

@@ -104,3 +104,24 @@ func TestWriteJSONSnapshot(t *testing.T) {
 		t.Fatal("fig3 should carry U-Topk/typical markers")
 	}
 }
+
+func TestCollectMutation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs slow queries to measure contention")
+	}
+	figs, err := collect("mutation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 || figs[0].ID != "mutation" {
+		t.Fatalf("figs = %+v", figs)
+	}
+	if len(figs[0].Series) != 2 {
+		t.Fatalf("series = %d, want uncontended and contended", len(figs[0].Series))
+	}
+	for _, s := range figs[0].Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Fatalf("series %q: %d/%d points", s.Name, len(s.X), len(s.Y))
+		}
+	}
+}

@@ -1,8 +1,11 @@
 // Command topkd is the HTTP/JSON daemon serving top-k queries on uncertain
 // tables: upload tables as CSV or JSON, append tuples, and query top-k
 // score distributions (single or batched), c-typical answer sets and the
-// §5 baseline semantics. Repeated identical queries are served from a
-// derived-answer cache; GET /debug/stats exposes the counters.
+// §5 baseline semantics. Tables are served as immutable snapshots:
+// queries hold no lock while they compute, appends never wait behind
+// queries, and answers can never be stale. Repeated identical queries are
+// served from a derived-answer cache; GET /debug/stats exposes the
+// counters.
 //
 // Usage:
 //

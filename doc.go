@@ -29,37 +29,63 @@
 // score. UTopK, UKRanks, PTk and GlobalTopK provide the pre-existing
 // semantics the paper compares against.
 //
+// # Snapshots and mutation
+//
+// A Table is the mutable builder of the model; everything above it works on
+// the immutable Snapshot it publishes. Table.Snapshot freezes the current
+// contents under a process-unique identity, copy-on-write: an unchanged
+// table hands out the same snapshot on every call (so caches keep
+// hitting), and a mutation lazily mints a fresh one without copying any
+// tuples. A snapshot, once obtained, never changes — queries over it hold
+// no lock, see exactly the state it froze, and can run while the owning
+// table keeps mutating; a multi-step read (distribution, then baselines,
+// then typical sets over one Snapshot) is guaranteed a consistent state
+// throughout. Because identities are never reused within a process, they
+// are sound cache keys: an answer derived from a superseded snapshot is
+// unreachable by construction, so cached answers can never be stale —
+// not across mutations, clones, or delete/recreate cycles.
+//
 // # Serving engine
 //
 // All queries route through a reusable Engine built for repeated queries
 // over slowly-changing data. The prepared (validated, sorted, indexed) form
-// of each table is cached keyed by the table's mutation version — repeated
-// queries over an unchanged table skip preparation entirely, and any
-// mutation transparently invalidates. Per-query dynamic-programming scratch
-// is pooled, so steady-state queries allocate near-zero, with results
-// bit-identical to fresh allocation. Engine.TopKDistributionBatch evaluates
-// many (k, threshold) queries against one table, sharing the preparation
-// and scan and fanning out over a bounded worker pool. The package-level
-// functions use a shared default engine; construct one with NewEngine to
-// isolate cache capacity and statistics per workload.
+// of each queried state is cached keyed by its snapshot identity —
+// repeated queries over an unchanged table skip preparation entirely, and
+// any mutation transparently invalidates. Per-query dynamic-programming
+// scratch is pooled, so steady-state queries allocate near-zero, with
+// results bit-identical to fresh allocation. Engine.TopKDistributionBatch
+// evaluates many (k, threshold) queries against one table, sharing the
+// preparation and scan and fanning out over a bounded worker pool. Every
+// query method has a *Snapshot form (TopKDistributionSnapshot, the
+// baseline semantics, batches) for lock-free reads concurrent with
+// mutation. The package-level functions use a shared default engine;
+// construct one with NewEngine to isolate cache capacity and statistics
+// per workload.
 //
 // Stream maintains a sliding window whose prepared state is kept
 // incrementally: each Push updates the canonical rank order in place and
 // the next query re-prepares only the rank suffix below the highest changed
 // position (falling back to a full, sort-free rebuild when ME-group
 // membership changes); repeated queries over an unchanged window reuse the
-// prepared state outright.
+// prepared state outright. Stream.Freeze publishes the window contents as
+// a Snapshot, bridging the single-owner window to concurrent engine
+// queries.
 //
 // # HTTP serving
 //
 // cmd/topkd serves the whole query surface over HTTP/JSON: named tables
 // uploaded as CSV or JSON and mutated by appending tuples, with endpoints
 // for top-k distributions (single and batched), c-typical answer sets and
-// the baseline semantics, all routed through one shared Engine. Successful
-// answers are additionally cached as encoded JSON keyed by (table, mutation
-// version, canonical query fingerprint), so repeated identical queries
-// skip the dynamic program entirely and any mutation invalidates
-// transparently; GET /debug/stats exposes the counters. See internal/server
+// the baseline semantics, all routed through one shared Engine. The server
+// publishes each table state as an atomic snapshot: queries load it and
+// hold nothing while the dynamic program runs, so a slow query never
+// delays an append and appends never wait behind queries (the
+// mutate-under-query benchmark and the "mutation" figure of topk-bench
+// track this). Successful answers are additionally cached as encoded JSON
+// keyed by (table, snapshot identity, canonical query fingerprint), so
+// repeated identical queries skip the dynamic program entirely, and a
+// cached answer can never be served stale, however fills race with
+// mutations; GET /debug/stats exposes the counters. See internal/server
 // for the endpoint reference and the repository README for a curl
 // quickstart.
 //

@@ -16,10 +16,13 @@ const DefaultEngineCacheSize = engine.DefaultCacheSize
 // Engine is a reusable, concurrency-safe query engine for serving repeated
 // top-k queries:
 //
-//   - The prepared (validated, sorted, indexed) form of each table is cached
-//     keyed by the table's mutation version, so repeated queries over an
-//     unchanged table skip preparation entirely; mutating the table
-//     transparently invalidates.
+//   - The prepared (validated, sorted, indexed) form of each queried state
+//     is cached keyed by its snapshot identity (Snapshot.ID), so repeated
+//     queries over an unchanged table skip preparation entirely; mutating
+//     the table mints a fresh snapshot whose new identity transparently
+//     invalidates, and — identities being process-unique and never reused —
+//     a cached preparation can never be served for different contents,
+//     whatever happens to table pointers, versions or clones.
 //   - Per-query dynamic-programming scratch is drawn from a process-wide
 //     pool, so steady-state queries allocate near-zero. Results are
 //     bit-identical to the uncached, freshly allocated path.
@@ -27,14 +30,22 @@ const DefaultEngineCacheSize = engine.DefaultCacheSize
 //     preparation, the Theorem-2 prefix sums and the unit decomposition,
 //     fanned out over a bounded worker pool.
 //
+// Every query method comes in two forms: the *Table form takes the table's
+// current snapshot and queries that (so the usual Table contract applies to
+// the call itself), and the *Snapshot form queries an immutable snapshot
+// the caller already holds — those hold no lock and no reference to the
+// table, so they can run concurrently with mutations, and every query of a
+// multi-step read (distribution, then baselines, then typical sets) sees
+// the same frozen state.
+//
 // The package-level query functions (TopKDistribution, CTypicalTopK, the
 // baseline semantics) route through a shared default engine, so plain
 // library use gets the caching for free. Construct a dedicated Engine to
 // isolate cache capacity or statistics per workload.
 //
-// An Engine holds references to the tables it has prepared (at most
+// An Engine holds references to the snapshots it has prepared (at most
 // cacheSize of them, least-recently-used evicted first); call Invalidate to
-// release a table eagerly.
+// release a table's entry eagerly.
 type Engine struct {
 	e *engine.Engine
 }
@@ -86,9 +97,13 @@ func (e *Engine) CacheStats() EngineStats {
 	}
 }
 
-// Invalidate drops any cached preparation of t, releasing the engine's
-// references to it.
+// Invalidate drops any cached preparation of t's latest snapshot, releasing
+// the engine's references to it.
 func (e *Engine) Invalidate(t *Table) { e.e.Invalidate(t) }
+
+// InvalidateSnapshot drops the cached preparation of the snapshot with the
+// given identity, if present.
+func (e *Engine) InvalidateSnapshot(id uint64) { e.e.InvalidateSnapshot(id) }
 
 // TopKDistribution computes the score distribution of the top-k tuple
 // vectors of t, like the package-level function, with this engine's cache.
@@ -96,7 +111,17 @@ func (e *Engine) TopKDistribution(t *Table, k int, opts *Options) (*Distribution
 	if t == nil {
 		return nil, ErrNilTable
 	}
-	prep, err := e.e.Prepare(t)
+	return e.TopKDistributionSnapshot(t.Snapshot(), k, opts)
+}
+
+// TopKDistributionSnapshot computes the score distribution of the top-k
+// tuple vectors of the snapshot's frozen contents. It holds no lock and no
+// reference to the owning table, so it can run concurrently with mutations.
+func (e *Engine) TopKDistributionSnapshot(s *Snapshot, k int, opts *Options) (*Distribution, error) {
+	if s == nil {
+		return nil, ErrNilSnapshot
+	}
+	prep, err := e.e.PrepareSnapshot(s)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +165,17 @@ func (e *Engine) TopKDistributionBatch(t *Table, queries []BatchQuery, opts *Opt
 	if t == nil {
 		return nil, ErrNilTable
 	}
-	prep, err := e.e.Prepare(t)
+	return e.TopKDistributionBatchSnapshot(t.Snapshot(), queries, opts)
+}
+
+// TopKDistributionBatchSnapshot is TopKDistributionBatch over an immutable
+// snapshot: every member of the batch is guaranteed to answer against the
+// same frozen state, however long the batch runs.
+func (e *Engine) TopKDistributionBatchSnapshot(s *Snapshot, queries []BatchQuery, opts *Options) ([]*Distribution, error) {
+	if s == nil {
+		return nil, ErrNilSnapshot
+	}
+	prep, err := e.e.PrepareSnapshot(s)
 	if err != nil {
 		return nil, err
 	}
@@ -178,10 +213,20 @@ func (e *Engine) CTypicalTopK(t *Table, k, c int, opts *Options) ([]Line, error)
 	return lines, err
 }
 
-// prepare returns the cached prepared form of t via this engine.
-func (e *Engine) prepare(t *Table) (*uncertain.Prepared, error) {
-	if t == nil {
-		return nil, ErrNilTable
+// CTypicalTopKSnapshot is CTypicalTopK over an immutable snapshot.
+func (e *Engine) CTypicalTopKSnapshot(s *Snapshot, k, c int, opts *Options) ([]Line, error) {
+	dist, err := e.TopKDistributionSnapshot(s, k, opts)
+	if err != nil {
+		return nil, err
 	}
-	return e.e.Prepare(t)
+	lines, _, err := dist.Typical(c)
+	return lines, err
+}
+
+// prepareSnapshot returns the cached prepared form of s via this engine.
+func (e *Engine) prepareSnapshot(s *Snapshot) (*uncertain.Prepared, error) {
+	if s == nil {
+		return nil, ErrNilSnapshot
+	}
+	return e.e.PrepareSnapshot(s)
 }

@@ -1,8 +1,12 @@
 // Serving starts the HTTP front-end in-process on a loopback port and
 // drives it as a client would with curl: upload the paper's soldier table
 // as CSV, query the top-2 score distribution, the 3-typical answer set and
-// the U-Topk baseline, then repeat a query to show the derived-answer cache
-// and mutate the table to show the invalidation.
+// the U-Topk baseline, then repeat a query to show the derived-answer
+// cache and mutate the table to show the snapshot semantics — every
+// published state carries a process-unique snapshot stamp, queries answer
+// against the stamped state they loaded (lock-free, so appends never wait
+// for queries), and a new stamp means every cached answer of the old state
+// is unreachable: served answers can never be stale.
 //
 // Run with: go run ./examples/serving
 package main
@@ -43,8 +47,9 @@ func main() {
 		log.Fatal(err)
 	}
 	req.Header.Set("Content-Type", "text/csv")
-	body := must(http.DefaultClient.Do(req))
-	fmt.Printf("upload: %s\n", body)
+	var created server.TableInfo
+	decode(must(http.DefaultClient.Do(req)), &created)
+	fmt.Printf("upload: %d tuples, snapshot stamp %d\n", created.Tuples, created.Snapshot)
 
 	// curl $URL/tables/soldier/topk?k=2&exact=true
 	var dist server.DistributionResponse
@@ -75,10 +80,15 @@ func main() {
 		stats.AnswerCache.Hits, stats.AnswerCache.Misses)
 
 	// curl -X POST -d '{"tuples": [...]}' $URL/tables/soldier/tuples
-	// Mutation invalidates the cached answers for the table.
-	body = must(http.Post(ts.URL+"/tables/soldier/tuples", "application/json",
-		strings.NewReader(`{"tuples": [{"id": "T8", "score": 130, "prob": 0.8}]}`)))
-	fmt.Printf("append: %s\n", body)
+	// A mutation publishes a NEW snapshot (fresh stamp): the append itself
+	// only swaps an atomic pointer — it would not have waited even if a slow
+	// query were mid-computation — and every answer cached under the old
+	// stamp becomes unreachable, so nothing stale can ever be served.
+	var appended server.TableInfo
+	decode(must(http.Post(ts.URL+"/tables/soldier/tuples", "application/json",
+		strings.NewReader(`{"tuples": [{"id": "T8", "score": 130, "prob": 0.8}]}`))), &appended)
+	fmt.Printf("append: %d tuples, snapshot stamp %d -> %d\n",
+		appended.Tuples, created.Snapshot, appended.Snapshot)
 	decode(must(http.Get(ts.URL+"/tables/soldier/topk?k=2&exact=true")), &dist)
 	fmt.Printf("after append: mean %.1f\n", dist.Stats.Mean)
 	decode(must(http.Get(ts.URL+"/debug/stats")), &stats)

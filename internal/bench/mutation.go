@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"probtopk/internal/server"
+	"probtopk/internal/synth"
+)
+
+// mutationAppends is how many appends each mutation series measures.
+const mutationAppends = 30
+
+// FigMutation measures snapshot isolation on the serving path: the latency
+// of appending one tuple to a hosted table, first uncontended, then while
+// goroutines keep deliberately slow queries (answer cache disabled, so
+// every request runs the full dynamic program) in flight on the SAME
+// table. With atomic snapshot publication both series sit at microseconds —
+// append latency is decoupled from concurrent query cost; under the
+// retired per-table RWMutex the contended series tracked the query
+// duration instead. It is not a figure from the paper; request it with
+// `topk-bench -fig mutation`, typically alongside -json so future runs can
+// be compared.
+func FigMutation() (*Figure, error) {
+	tab, err := synth.Generate(synth.Config{N: 400, Seed: 7}.WithDefaults())
+	if err != nil {
+		return nil, err
+	}
+	var tuples []server.TupleJSON
+	for _, tp := range tab.Tuples() {
+		tuples = append(tuples, server.TupleJSON{ID: tp.ID, Score: tp.Score, Prob: tp.Prob, Group: tp.Group})
+	}
+	upload, err := json.Marshal(server.TableRequest{Tuples: tuples})
+	if err != nil {
+		return nil, err
+	}
+
+	srv := server.New(server.Config{AnswerCacheSize: -1})
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest("PUT", "/tables/mut", strings.NewReader(string(upload))))
+	if w.Code != 201 {
+		return nil, fmt.Errorf("bench upload: status %d", w.Code)
+	}
+
+	const slowQuery = "/tables/mut/topk?k=20"
+	query := func() error {
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, httptest.NewRequest("GET", slowQuery, nil))
+		if w.Code != 200 {
+			return fmt.Errorf("bench query: status %d", w.Code)
+		}
+		return nil
+	}
+	// One uncontended run fixes the reference query duration for the notes.
+	queryStart := time.Now()
+	if err := query(); err != nil {
+		return nil, err
+	}
+	querySecs := time.Since(queryStart).Seconds()
+
+	appendOnce := func(i int, contended bool) (float64, error) {
+		body := fmt.Sprintf(`{"tuples": [{"id": "m%v-%d", "score": 50.5, "prob": 0.5}]}`, contended, i)
+		start := time.Now()
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, httptest.NewRequest("POST", "/tables/mut/tuples", strings.NewReader(body)))
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if w.Code != 200 {
+			return 0, fmt.Errorf("bench append: status %d: %s", w.Code, w.Body.String())
+		}
+		return ms, nil
+	}
+
+	uncontended := Series{Name: "append uncontended (ms)"}
+	for i := 0; i < mutationAppends; i++ {
+		ms, err := appendOnce(i, false)
+		if err != nil {
+			return nil, err
+		}
+		uncontended.X = append(uncontended.X, float64(i))
+		uncontended.Y = append(uncontended.Y, ms)
+	}
+
+	// Keep slow queries continuously in flight, then measure again.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := query(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the queries get into their DP
+	contended := Series{Name: "append under slow queries (ms)"}
+	var worst float64
+	for i := 0; i < mutationAppends; i++ {
+		ms, err := appendOnce(i, true)
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			return nil, err
+		}
+		if ms > worst {
+			worst = ms
+		}
+		contended.X = append(contended.X, float64(i))
+		contended.Y = append(contended.Y, ms)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	return &Figure{
+		ID:     "mutation",
+		Title:  "Append latency vs concurrent slow queries (snapshot isolation, 400 tuples)",
+		Series: []Series{uncontended, contended},
+		Notes: []string{
+			"uncontended = appends with no query in flight",
+			"under slow queries = appends while 2 goroutines keep k=20 full-DP queries running on the same table",
+			fmt.Sprintf("reference slow query: %.0f ms; worst contended append: %.3f ms — appends do not wait for queries", querySecs*1000, worst),
+		},
+	}, nil
+}

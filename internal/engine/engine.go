@@ -5,9 +5,12 @@
 //   - Prepared-table caching. uncertain.Prepare sorts, validates and indexes
 //     a table; for repeated queries over slowly-changing data that dominates
 //     small-query cost. The engine caches Prepared values keyed by the
-//     (table pointer, mutation version) pair, so queries over an unchanged
-//     table skip preparation entirely and any mutation (which bumps the
-//     version) transparently invalidates.
+//     snapshot identity (uncertain.Snapshot.ID): queries over an unchanged
+//     table hand out the same snapshot and skip preparation entirely, a
+//     mutation mints a fresh snapshot whose ID transparently misses, and —
+//     because IDs are process-unique and never reused — a cached entry can
+//     never be served for different contents, whatever happens to table
+//     pointers, versions or clones.
 //   - Pooled scratch. Every query draws its dynamic-programming working
 //     state (grid combiner, coalescer, recycled intermediate distributions)
 //     from the process-wide core.Scratch pool, so steady-state queries
@@ -17,8 +20,10 @@
 //     prefix sums and the memoized unit decomposition, fanned out over a
 //     bounded worker pool.
 //
-// An Engine is safe for concurrent use; tables must not be mutated while
-// queries over them are in flight (the usual Table contract).
+// An Engine is safe for concurrent use. Queries that enter through a
+// *Table must follow the usual Table contract (no mutation concurrent with
+// the call itself), but queries that enter through a Snapshot hold nothing:
+// the table may keep mutating while they run.
 package engine
 
 import (
@@ -31,19 +36,25 @@ import (
 	"probtopk/internal/uncertain"
 )
 
-// DefaultCacheSize is the default number of prepared tables an Engine
-// retains. Each distinct *Table occupies at most one slot (only the latest
-// version of a table is reachable, so stale versions are dropped eagerly).
+// DefaultCacheSize is the default number of prepared snapshots an Engine
+// retains. Each table occupies at most one slot in the steady state: a
+// newer snapshot of the same owner eagerly drops the superseded entry.
 const DefaultCacheSize = 64
 
 // Engine is a reusable query engine with a bounded LRU cache of prepared
-// tables. The zero value is not usable; construct with New.
+// snapshots. The zero value is not usable; construct with New.
 type Engine struct {
 	cacheCap int
 
-	mu    sync.Mutex
-	byTab map[*uncertain.Table]*list.Element // of *cacheEntry
-	lru   *list.List                         // front = most recently used
+	mu sync.Mutex
+	// byID indexes every cached entry by its snapshot identity — the sound
+	// lookup key.
+	byID map[uint64]*list.Element // of *cacheEntry
+	// byOwner tracks, per table identity, the entry for that table's LATEST
+	// cached snapshot, so a newer snapshot can eagerly reclaim the
+	// superseded one instead of letting it age out of the LRU.
+	byOwner map[uint64]*list.Element
+	lru     *list.List // front = most recently used
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -54,19 +65,20 @@ type Engine struct {
 }
 
 type cacheEntry struct {
-	tab     *uncertain.Table
-	version uint64
-	prep    *uncertain.Prepared
+	id    uint64 // snapshot identity
+	owner uint64 // table identity
+	prep  *uncertain.Prepared
 }
 
-// New returns an Engine whose prepared-table cache holds up to cacheSize
-// tables. cacheSize <= 0 disables caching: every query prepares afresh
+// New returns an Engine whose prepared-snapshot cache holds up to cacheSize
+// entries. cacheSize <= 0 disables caching: every query prepares afresh
 // (scratch pooling and batching still apply), which is the configuration
 // benchmarks use as the uncached baseline.
 func New(cacheSize int) *Engine {
 	return &Engine{
 		cacheCap: cacheSize,
-		byTab:    make(map[*uncertain.Table]*list.Element),
+		byID:     make(map[uint64]*list.Element),
+		byOwner:  make(map[uint64]*list.Element),
 		lru:      list.New(),
 	}
 }
@@ -104,61 +116,110 @@ func (e *Engine) recordQueries(n int, d time.Duration) {
 	e.queryNanos.Add(uint64(d))
 }
 
-// Prepare returns the Prepared form of t, from cache when t has not been
-// mutated since it was last prepared, preparing and caching it otherwise.
-// The returned Prepared is shared: it is immutable and safe for concurrent
-// readers, but must be discarded once the table mutates.
+// Prepare returns the Prepared form of t's current snapshot, from cache
+// when possible. The returned Prepared is immutable and safe for concurrent
+// readers for as long as the caller likes — it belongs to the snapshot, not
+// to the table's future states.
 func (e *Engine) Prepare(t *uncertain.Table) (*uncertain.Prepared, error) {
 	if e.cacheCap <= 0 {
 		e.misses.Add(1)
 		return uncertain.Prepare(t)
 	}
-	version := t.Version()
+	return e.PrepareSnapshot(t.Snapshot())
+}
+
+// PrepareSnapshot returns the Prepared form of s, keyed by its identity:
+// from cache on a repeat, prepared and cached otherwise.
+func (e *Engine) PrepareSnapshot(s *uncertain.Snapshot) (*uncertain.Prepared, error) {
+	if e.cacheCap <= 0 {
+		e.misses.Add(1)
+		return s.Prepare()
+	}
+	id := s.ID()
 	e.mu.Lock()
-	if el, ok := e.byTab[t]; ok {
-		ent := el.Value.(*cacheEntry)
-		if ent.version == version {
-			e.lru.MoveToFront(el)
-			e.mu.Unlock()
-			e.hits.Add(1)
-			return ent.prep, nil
-		}
-		// The table mutated: the old version is unreachable, drop it now
-		// rather than letting it age out.
-		e.lru.Remove(el)
-		delete(e.byTab, t)
+	if el, ok := e.byID[id]; ok {
+		e.lru.MoveToFront(el)
+		e.mu.Unlock()
+		e.hits.Add(1)
+		return el.Value.(*cacheEntry).prep, nil
 	}
 	e.mu.Unlock()
 	e.misses.Add(1)
-	// Prepare outside the lock: sorting a large table must not block
-	// concurrent cache hits. A racing prepare of the same version does
-	// redundant work but stays correct (last insert wins).
-	prep, err := uncertain.Prepare(t)
+	// Prepare outside the lock: sorting a large snapshot must not block
+	// concurrent cache hits. A racing prepare of the same snapshot does
+	// redundant work but stays correct (the first insert wins).
+	prep, err := s.Prepare()
 	if err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
-	if el, ok := e.byTab[t]; ok {
-		e.lru.Remove(el)
-	}
-	e.byTab[t] = e.lru.PushFront(&cacheEntry{tab: t, version: version, prep: prep})
-	for e.lru.Len() > e.cacheCap {
-		oldest := e.lru.Back()
-		e.lru.Remove(oldest)
-		delete(e.byTab, oldest.Value.(*cacheEntry).tab)
-		e.evictions.Add(1)
-	}
+	e.insertLocked(&cacheEntry{id: id, owner: s.Owner(), prep: prep})
 	e.mu.Unlock()
 	return prep, nil
 }
 
-// Invalidate drops any cached preparation of t, releasing the engine's
-// references to both the table and its Prepared form.
+// insertLocked adds ent to the cache. A newer snapshot of the same owner
+// supersedes that owner's previous entry, which is dropped eagerly (it is
+// unreachable through the table; a holder of the old snapshot re-prepares).
+// An OLDER snapshot arriving late — a slow query racing a mutation — is
+// cached by ID without disturbing the owner index, so it never shadows the
+// current state's entry. Callers hold e.mu.
+func (e *Engine) insertLocked(ent *cacheEntry) {
+	if el, ok := e.byID[ent.id]; ok {
+		// A racing prepare of the same snapshot beat us; keep the resident
+		// entry (identical contents) fresh.
+		e.lru.MoveToFront(el)
+		return
+	}
+	ownerIndexed := true
+	if el, ok := e.byOwner[ent.owner]; ok {
+		if el.Value.(*cacheEntry).id < ent.id {
+			e.removeLocked(el)
+		} else {
+			ownerIndexed = false
+		}
+	}
+	el := e.lru.PushFront(ent)
+	e.byID[ent.id] = el
+	if ownerIndexed {
+		e.byOwner[ent.owner] = el
+	}
+	for e.lru.Len() > e.cacheCap {
+		e.removeLocked(e.lru.Back())
+		e.evictions.Add(1)
+	}
+}
+
+// removeLocked unlinks el from every index. Callers hold e.mu.
+func (e *Engine) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	e.lru.Remove(el)
+	delete(e.byID, ent.id)
+	if cur, ok := e.byOwner[ent.owner]; ok && cur == el {
+		delete(e.byOwner, ent.owner)
+	}
+}
+
+// Invalidate drops the cached preparation of t's latest snapshot, releasing
+// the engine's reference to it. (Entries for t's older snapshots were
+// already dropped when the newer one was cached.) A nil table is a no-op.
 func (e *Engine) Invalidate(t *uncertain.Table) {
+	if t == nil {
+		return
+	}
 	e.mu.Lock()
-	if el, ok := e.byTab[t]; ok {
-		e.lru.Remove(el)
-		delete(e.byTab, t)
+	if el, ok := e.byOwner[t.Identity()]; ok {
+		e.removeLocked(el)
+	}
+	e.mu.Unlock()
+}
+
+// InvalidateSnapshot drops the cache entry for the snapshot with the given
+// identity, if present.
+func (e *Engine) InvalidateSnapshot(id uint64) {
+	e.mu.Lock()
+	if el, ok := e.byID[id]; ok {
+		e.removeLocked(el)
 	}
 	e.mu.Unlock()
 }

@@ -275,3 +275,127 @@ func TestQueryLatencyCounters(t *testing.T) {
 		t.Fatal("QueryNanos = 0, want > 0")
 	}
 }
+
+// TestCacheNoCrossServeAcrossCloneAndRecreate regression-tests the
+// identity-keyed cache against the scenarios the old (pointer, version) key
+// could get wrong: a clone shares its origin's Version, and a recreated
+// table built by the same number of Adds shares it too — the cache must
+// serve each its own preparation.
+func TestCacheNoCrossServeAcrossCloneAndRecreate(t *testing.T) {
+	e := New(8)
+	tab := uncertain.NewTable()
+	tab.AddIndependent("a", 10, 0.5)
+	tab.AddIndependent("b", 5, 0.5)
+	p1, err := e.Prepare(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clone := tab.Clone()
+	clone.AddIndependent("c", 99, 0.5)
+	pc, err := e.Prepare(clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc == p1 || pc.Len() != 3 {
+		t.Fatalf("clone served its origin's preparation: %v", pc)
+	}
+	// The origin still hits its own entry.
+	back, err := e.Prepare(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != p1 {
+		t.Fatal("origin's cache entry was clobbered by the clone")
+	}
+
+	// Recreate: same Add count and Version as tab, different contents.
+	again := uncertain.NewTable()
+	again.AddIndependent("a", 77, 0.5)
+	again.AddIndependent("b", 5, 0.5)
+	if again.Version() != tab.Version() {
+		t.Fatalf("precondition: versions differ (%d vs %d)", again.Version(), tab.Version())
+	}
+	pa, err := e.Prepare(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa == p1 || pa.Tuples[0].Score != 77 {
+		t.Fatalf("recreated table served stale contents: %+v", pa.Tuples[0])
+	}
+}
+
+// TestPrepareSnapshotConcurrentWithMutation: queries over earlier snapshots
+// run (and cache) correctly while the table keeps mutating — the lock-free
+// read guarantee at the engine layer. Run with -race.
+func TestPrepareSnapshotConcurrentWithMutation(t *testing.T) {
+	e := New(8)
+	tab := randomTable(rand.New(rand.NewSource(9)), 40, 0.3)
+	var wg sync.WaitGroup
+	for step := 0; step < 60; step++ {
+		s := tab.Snapshot()
+		wantLen := tab.Len()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prep, err := e.PrepareSnapshot(s)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if prep.Len() != wantLen {
+				t.Errorf("prepared %d tuples, want %d", prep.Len(), wantLen)
+				return
+			}
+			if _, err := e.DistributionPrepared(prep, core.Params{K: 2, Threshold: 0.001}); err != nil {
+				t.Error(err)
+			}
+		}()
+		tab.AddIndependent(fmt.Sprintf("new%d", step), float64(step%50), 0.4)
+	}
+	wg.Wait()
+
+	// A late insert of an old snapshot must not shadow the current state:
+	// after everything drains, preparing the current snapshot returns the
+	// current contents.
+	prep, err := e.Prepare(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Len() != tab.Len() {
+		t.Fatalf("current preparation has %d tuples, want %d", prep.Len(), tab.Len())
+	}
+}
+
+// TestInvalidateSnapshot: dropping a snapshot's entry forces a re-prepare
+// without touching other entries.
+func TestInvalidateSnapshot(t *testing.T) {
+	e := New(8)
+	tab := randomTable(rand.New(rand.NewSource(10)), 10, 0)
+	s := tab.Snapshot()
+	p1, err := e.PrepareSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.InvalidateSnapshot(s.ID())
+	if st := e.Stats(); st.Entries != 0 {
+		t.Fatalf("entries = %d after InvalidateSnapshot", st.Entries)
+	}
+	p2, err := e.PrepareSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("invalidated entry was still served")
+	}
+}
+
+// TestInvalidateNilTable: Invalidate(nil) is a safe no-op, as it was before
+// identity keying.
+func TestInvalidateNilTable(t *testing.T) {
+	e := New(4)
+	e.Invalidate(nil) // must not panic
+	if st := e.Stats(); st.Entries != 0 {
+		t.Fatalf("entries = %d", st.Entries)
+	}
+}

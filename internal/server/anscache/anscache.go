@@ -3,16 +3,17 @@
 //
 // A derived answer (a top-k score distribution, a c-typical set, a baseline
 // answer) is a pure function of the table contents and the resolved query
-// parameters, so the cache key is (table name, table state generation,
-// canonical query fingerprint). The generation is a never-reused stamp
-// minted by the registry each time a table state is published (create,
-// replace, append), which makes stale hits impossible by construction:
-// every key minted for a superseded state is unreachable, regardless of
-// how cache fills race with mutations. (Table.Version alone would not do —
-// it counts Adds, so two different uploads of n tuples share version n.)
-// InvalidateTable additionally drops a table's entries eagerly on mutation
-// or deletion, so dead answers don't occupy LRU slots until they age out —
-// it reclaims space; it is not load-bearing for correctness.
+// parameters, so the cache key is (table name, snapshot identity, canonical
+// query fingerprint). The snapshot identity is the process-unique,
+// never-reused stamp every published table state already carries
+// (probtopk.Snapshot.ID), which makes stale hits impossible by
+// construction: every key minted for a superseded state is unreachable,
+// regardless of how cache fills race with mutations. (Table.Version alone
+// would not do — it counts Adds, so two different uploads of n tuples
+// share version n.) InvalidateTable additionally drops a table's entries
+// eagerly on mutation or deletion, so dead answers don't occupy LRU slots
+// until they age out — it reclaims space; it is not load-bearing for
+// correctness.
 package anscache
 
 import (
@@ -24,9 +25,10 @@ import (
 type Key struct {
 	// Table is the registry name of the table.
 	Table string
-	// Generation is the never-reused stamp of the published table state
-	// the answer was derived from.
-	Generation uint64
+	// Snapshot is the identity (probtopk.Snapshot.ID) of the published
+	// table state the answer was derived from; identities are
+	// process-unique and never reused.
+	Snapshot uint64
 	// Query is the canonical fingerprint of the query kind and its fully
 	// resolved parameters (sentinels already substituted), so that two
 	// requests spelled differently but meaning the same computation share

@@ -6,11 +6,11 @@ import (
 	"testing"
 )
 
-func key(table string, version uint64, q string) Key {
-	return Key{Table: table, Generation: version, Query: q}
+func key(table string, snapID uint64, q string) Key {
+	return Key{Table: table, Snapshot: snapID, Query: q}
 }
 
-func TestHitMissAndVersionSeparation(t *testing.T) {
+func TestHitMissAndSnapshotSeparation(t *testing.T) {
 	c := New(8)
 	k1 := key("t", 1, "topk?k=2")
 	if _, ok := c.Get(k1); ok {
@@ -21,10 +21,10 @@ func TestHitMissAndVersionSeparation(t *testing.T) {
 	if !ok || string(got) != "a" {
 		t.Fatalf("Get = %q, %v", got, ok)
 	}
-	// Same query at a newer generation is a distinct entry.
+	// Same query at a newer snapshot is a distinct entry.
 	k2 := key("t", 2, "topk?k=2")
 	if _, ok := c.Get(k2); ok {
-		t.Fatal("generation bump must not hit the old answer")
+		t.Fatal("a new snapshot identity must not hit the old answer")
 	}
 	s := c.Stats()
 	if s.Hits != 1 || s.Misses != 2 || s.Entries != 1 {

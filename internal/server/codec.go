@@ -31,9 +31,15 @@ type TableRequest struct {
 
 // TableInfo describes one hosted table.
 type TableInfo struct {
-	Name    string `json:"name"`
-	Tuples  int    `json:"tuples"`
+	Name   string `json:"name"`
+	Tuples int    `json:"tuples"`
+	// Version counts the table's mutations (Adds); it orders the states of
+	// one table but is reusable across replace and delete/recreate.
 	Version uint64 `json:"version"`
+	// Snapshot is the process-unique identity of the published state — the
+	// stamp every derived answer is keyed by. It changes on every create,
+	// replace and append, and is never reused.
+	Snapshot uint64 `json:"snapshot"`
 }
 
 // TablesResponse is the body of GET /tables.

@@ -18,17 +18,21 @@ import (
 func (s *Server) handleListTables(w http.ResponseWriter, r *http.Request) {
 	resp := TablesResponse{Tables: []TableInfo{}}
 	for _, name := range s.reg.names() {
-		e, ok := s.reg.get(name)
+		st, ok := s.reg.load(name)
 		if !ok {
 			continue // deleted between listing and lookup
 		}
-		e.mu.RLock()
-		resp.Tables = append(resp.Tables, TableInfo{
-			Name: name, Tuples: e.tab.Len(), Version: e.tab.Version(),
-		})
-		e.mu.RUnlock()
+		resp.Tables = append(resp.Tables, tableInfo(name, st))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// tableInfo describes one published table state.
+func tableInfo(name string, st *tableState) TableInfo {
+	return TableInfo{
+		Name: name, Tuples: st.tab.Len(), Version: st.tab.Version(),
+		Snapshot: st.snap.ID(),
+	}
 }
 
 // checkUniqueIDs rejects tables with duplicate tuple ids: answers reference
@@ -85,21 +89,27 @@ func decodeTableBody(r *http.Request) (*probtopk.Table, error) {
 // programmatic equivalent of PUT /tables/{name}, used by the daemon's
 // startup loader. It reports whether the name was new.
 func (s *Server) CreateTable(name string, tab *probtopk.Table) (created bool, err error) {
+	_, created, err = s.createTable(name, tab)
+	return created, err
+}
+
+// createTable validates and publishes tab, returning the published state.
+func (s *Server) createTable(name string, tab *probtopk.Table) (*tableState, bool, error) {
 	if err := checkTableName(name); err != nil {
-		return false, err
+		return nil, false, err
 	}
 	if err := tab.Validate(); err != nil {
-		return false, err
+		return nil, false, err
 	}
 	if err := checkUniqueIDs(tab); err != nil {
-		return false, err
+		return nil, false, err
 	}
-	replaced := s.reg.put(name, tab)
+	published, replaced := s.reg.put(name, tab)
 	s.cache.InvalidateTable(name)
 	if replaced != nil {
-		s.engine.Invalidate(replaced)
+		s.engine.Invalidate(replaced.tab)
 	}
-	return replaced == nil, nil
+	return published, replaced == nil, nil
 }
 
 func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
@@ -109,7 +119,7 @@ func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	created, err := s.CreateTable(name, tab)
+	st, created, err := s.createTable(name, tab)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -118,32 +128,29 @@ func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
 	if created {
 		status = http.StatusCreated
 	}
-	writeJSON(w, status, TableInfo{Name: name, Tuples: tab.Len(), Version: tab.Version()})
+	writeJSON(w, status, tableInfo(name, st))
 }
 
 func (s *Server) handleGetTable(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	e, ok := s.reg.acquireRead(name)
+	st, ok := s.reg.load(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 		return
 	}
-	info := TableInfo{Name: name, Tuples: e.tab.Len(), Version: e.tab.Version()}
-	e.mu.RUnlock()
-	writeJSON(w, http.StatusOK, info)
+	writeJSON(w, http.StatusOK, tableInfo(name, st))
 }
 
 func (s *Server) handleGetTableCSV(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	e, ok := s.reg.acquireRead(name)
+	st, ok := s.reg.load(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 		return
 	}
+	// The published table is immutable; encoding needs no lock.
 	var buf bytes.Buffer
-	err := e.tab.WriteCSV(&buf)
-	e.mu.RUnlock()
-	if err != nil {
+	if err := st.tab.WriteCSV(&buf); err != nil {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("encoding csv"))
 		return
 	}
@@ -154,13 +161,13 @@ func (s *Server) handleGetTableCSV(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteTable(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	tab, ok := s.reg.remove(name)
+	st, ok := s.reg.remove(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 		return
 	}
 	s.cache.InvalidateTable(name)
-	s.engine.Invalidate(tab)
+	s.engine.Invalidate(st.tab)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -175,16 +182,17 @@ func (s *Server) handleAppendTuples(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("no tuples to append"))
 		return
 	}
-	e, ok := s.reg.acquireWrite(name)
+	e, old, ok := s.reg.acquireMutate(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 		return
 	}
 	// Append onto a clone and validate the whole candidate, so a bad batch
 	// leaves the served table untouched (all-or-nothing) and queries never
-	// observe a half-appended state.
-	old := e.tab
-	candidate := old.Clone()
+	// observe a half-appended state. Only other mutations wait on the entry
+	// lock; in-flight queries keep reading the old published snapshot and
+	// never delay the swap.
+	candidate := old.tab.Clone()
 	for _, tp := range req.Tuples {
 		candidate.Add(probtopk.Tuple{ID: tp.ID, Score: tp.Score, Prob: tp.Prob, Group: tp.Group})
 	}
@@ -198,13 +206,12 @@ func (s *Server) handleAppendTuples(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	e.tab = candidate
-	e.gen = s.reg.nextGen()
-	info := TableInfo{Name: name, Tuples: candidate.Len(), Version: candidate.Version()}
+	next := &tableState{tab: candidate, snap: candidate.Snapshot()}
+	e.state.Store(next)
 	e.mu.Unlock()
-	s.cache.InvalidateTable(name) // reclaims the old generation's entries
-	s.engine.Invalidate(old)
-	writeJSON(w, http.StatusOK, info)
+	s.cache.InvalidateTable(name) // reclaims the old snapshot's entries
+	s.engine.Invalidate(old.tab)
+	writeJSON(w, http.StatusOK, tableInfo(name, next))
 }
 
 // --- query endpoints ---
@@ -246,9 +253,14 @@ func (s *Server) handleBaseline(w http.ResponseWriter, r *http.Request) {
 	s.serveQuery(w, r, kindBaseline, semantic)
 }
 
-// serveQuery is the shared read path: decode and resolve the query, try the
-// derived-answer cache under the table's read lock, compute and fill on a
-// miss.
+// serveQuery is the shared read path: decode and resolve the query, load
+// the table's published snapshot, try the derived-answer cache, compute and
+// fill on a miss. No lock is held at any point — the snapshot is immutable,
+// so the dynamic program runs entirely outside the mutation path, a slow
+// query never delays an append, and a stalled client connection can wedge
+// nothing. The snapshot identity in the cache key pins the exact published
+// state the answer came from, so the late Put of a query racing a mutation
+// can never be served for the successor state.
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind queryKind, baseline string) {
 	start := time.Now()
 	q, err := decodeRequest(r)
@@ -264,29 +276,21 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind queryKi
 		return
 	}
 	name := r.PathValue("name")
-	e, ok := s.reg.acquireRead(name)
+	st, ok := s.reg.load(name)
 	if !ok {
 		s.queryErrors.Add(1)
 		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 		return
 	}
-	// The read lock is held through compute and the cache fill, but
-	// released before any write to the client: a stalled client connection
-	// must not wedge the table's pending writers (and, behind them, every
-	// other reader). The generation in the key pins the exact published
-	// state the answer came from, so the late Put of a query racing a
-	// mutation can never be served for the successor state.
-	key := anscache.Key{Table: name, Generation: e.gen, Query: rq.fingerprint()}
+	key := anscache.Key{Table: name, Snapshot: st.snap.ID(), Query: rq.fingerprint()}
 	if data, ok := s.cache.Get(key); ok {
-		e.mu.RUnlock()
 		s.cached.record(time.Since(start))
 		writeRaw(w, http.StatusOK, data)
 		return
 	}
-	resp, err := s.compute(e.tab, rq)
+	resp, err := s.compute(st.snap, rq)
 	if err != nil {
-		e.mu.RUnlock()
-		// The request was well-formed; the current table contents make it
+		// The request was well-formed; the queried contents make it
 		// unanswerable (empty table, no k co-existing tuples, ...).
 		s.queryErrors.Add(1)
 		writeError(w, http.StatusUnprocessableEntity, err)
@@ -294,28 +298,27 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind queryKi
 	}
 	data, err := json.Marshal(resp)
 	if err != nil {
-		e.mu.RUnlock()
 		s.queryErrors.Add(1)
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("encoding response: %v", err))
 		return
 	}
 	s.cache.Put(key, data)
-	e.mu.RUnlock()
 	s.computed.record(time.Since(start))
 	writeRaw(w, http.StatusOK, data)
 }
 
-// compute runs the resolved query against tab through the shared engine.
-func (s *Server) compute(tab *probtopk.Table, rq *resolvedQuery) (any, error) {
+// compute runs the resolved query against the immutable snapshot through
+// the shared engine.
+func (s *Server) compute(snap *probtopk.Snapshot, rq *resolvedQuery) (any, error) {
 	switch rq.kind {
 	case kindTopK:
-		d, err := s.engine.TopKDistribution(tab, rq.k, rq.options())
+		d, err := s.engine.TopKDistributionSnapshot(snap, rq.k, rq.options())
 		if err != nil {
 			return nil, err
 		}
 		return distResponse(rq.k, d), nil
 	case kindBatch:
-		ds, err := s.engine.TopKDistributionBatch(tab, rq.batch, rq.options())
+		ds, err := s.engine.TopKDistributionBatchSnapshot(snap, rq.batch, rq.options())
 		if err != nil {
 			return nil, err
 		}
@@ -325,7 +328,7 @@ func (s *Server) compute(tab *probtopk.Table, rq *resolvedQuery) (any, error) {
 		}
 		return resp, nil
 	case kindTypical:
-		d, err := s.engine.TopKDistribution(tab, rq.k, rq.options())
+		d, err := s.engine.TopKDistributionSnapshot(snap, rq.k, rq.options())
 		if err != nil {
 			return nil, err
 		}
@@ -340,23 +343,23 @@ func (s *Server) compute(tab *probtopk.Table, rq *resolvedQuery) (any, error) {
 		resp.SpreadMean, resp.SpreadMax = probtopk.TypicalSpread(lines)
 		return resp, nil
 	case kindBaseline:
-		return s.computeBaseline(tab, rq)
+		return s.computeBaseline(snap, rq)
 	}
 	return nil, fmt.Errorf("unknown query kind %q", rq.kind)
 }
 
-func (s *Server) computeBaseline(tab *probtopk.Table, rq *resolvedQuery) (any, error) {
+func (s *Server) computeBaseline(snap *probtopk.Snapshot, rq *resolvedQuery) (any, error) {
 	resp := BaselineResponse{Semantic: rq.baseline, K: rq.k}
 	switch rq.baseline {
 	case "utopk":
-		l, err := s.engine.UTopK(tab, rq.k)
+		l, err := s.engine.UTopKSnapshot(snap, rq.k)
 		if err != nil {
 			return nil, err
 		}
 		lj := lineJSON(l)
 		resp.Line = &lj
 	case "ukranks":
-		rows, err := s.engine.UKRanks(tab, rq.k)
+		rows, err := s.engine.UKRanksSnapshot(snap, rq.k)
 		if err != nil {
 			return nil, err
 		}
@@ -366,25 +369,25 @@ func (s *Server) computeBaseline(tab *probtopk.Table, rq *resolvedQuery) (any, e
 		}
 	case "ptk":
 		resp.P = rq.p
-		tps, err := s.engine.PTk(tab, rq.k, rq.p)
+		tps, err := s.engine.PTkSnapshot(snap, rq.k, rq.p)
 		if err != nil {
 			return nil, err
 		}
 		resp.Tuples = tupleProbJSON(tps)
 	case "globaltopk":
-		tps, err := s.engine.GlobalTopK(tab, rq.k)
+		tps, err := s.engine.GlobalTopKSnapshot(snap, rq.k)
 		if err != nil {
 			return nil, err
 		}
 		resp.Tuples = tupleProbJSON(tps)
 	case "intopk":
-		tps, err := s.engine.InTopKProbs(tab, rq.k)
+		tps, err := s.engine.InTopKProbsSnapshot(snap, rq.k)
 		if err != nil {
 			return nil, err
 		}
 		resp.Tuples = tupleProbJSON(tps)
 	case "expectedrank":
-		rows, err := s.engine.ExpectedRankTopK(tab, rq.k)
+		rows, err := s.engine.ExpectedRankTopKSnapshot(snap, rq.k)
 		if err != nil {
 			return nil, err
 		}

@@ -13,38 +13,37 @@ import (
 // and log fields.
 const maxTableNameLen = 128
 
-// tableEntry is one hosted table. Its RWMutex serializes mutations against
-// queries: queries hold the read lock for their whole computation (the Table
-// contract forbids mutation while queries are in flight), mutations hold the
-// write lock.
+// tableState is one published, immutable state of a hosted table: the table
+// value — never mutated after publication; appends build and publish a
+// fresh one — and its snapshot, whose process-unique identity stamps the
+// state for every cache above.
+type tableState struct {
+	tab  *probtopk.Table
+	snap *probtopk.Snapshot
+}
+
+// tableEntry is one hosted table. Readers load the published state from the
+// atomic pointer and then hold NOTHING: the snapshot they got is immutable,
+// so the whole query — preparation, dynamic program, cache fill — runs
+// lock-free and can never block or be blocked by a mutation. The mutex
+// serializes mutations (append, replace) against each other only.
 type tableEntry struct {
-	mu  sync.RWMutex
-	tab *probtopk.Table
-	// gen is a registry-wide, never-reused stamp of this published table
-	// state, reassigned on every create, replace and append (guarded by
-	// mu). The answer cache keys on it instead of Table.Version, which can
-	// repeat across replaces and delete/recreate (it just counts Adds) —
-	// with gen, an answer cached from a superseded state is unreachable by
-	// construction, whatever the invalidation ordering.
-	gen uint64
+	mu    sync.Mutex // held by mutations; never by queries
+	state atomic.Pointer[tableState]
 }
 
 // registry maps names to hosted tables. The registry lock only guards the
-// map; per-table work happens under the entry lock, so a slow query on one
-// table never blocks operations on another.
+// map; per-table state is published through each entry's atomic pointer, so
+// a query on one table never blocks anything — not mutations of the same
+// table, not other tables.
 type registry struct {
 	mu     sync.RWMutex
 	tables map[string]*tableEntry
-
-	gens atomic.Uint64
 }
 
 func newRegistry() *registry {
 	return &registry{tables: make(map[string]*tableEntry)}
 }
-
-// nextGen mints a fresh generation stamp.
-func (r *registry) nextGen() uint64 { return r.gens.Add(1) }
 
 // checkTableName validates a registry name: non-empty, bounded, and limited
 // to [A-Za-z0-9._-] so names embed cleanly in URLs and fingerprints.
@@ -67,85 +66,85 @@ func checkTableName(name string) error {
 	return nil
 }
 
-// get returns the entry for name.
-func (r *registry) get(name string) (*tableEntry, bool) {
+// entry returns the tableEntry for name.
+func (r *registry) entry(name string) (*tableEntry, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	e, ok := r.tables[name]
 	return e, ok
 }
 
-// acquireRead returns name's entry with its read lock held, guaranteeing
-// the entry is still the one registered under name at lock time — a bare
-// get-then-lock would let a concurrent delete (and recreate) complete in
-// the window, and an answer cached from the orphaned entry could outlive
-// the delete's invalidation. The caller must mu.RUnlock the entry.
-func (r *registry) acquireRead(name string) (*tableEntry, bool) {
-	for {
-		e, ok := r.get(name)
-		if !ok {
-			return nil, false
-		}
-		e.mu.RLock()
-		if cur, ok := r.get(name); ok && cur == e {
-			return e, true
-		}
-		e.mu.RUnlock()
+// load returns name's currently published state. This is the whole read
+// path: one map read and one atomic load, no per-table lock. The returned
+// state is immutable; a concurrent delete or replace cannot invalidate it,
+// and answers derived from it are keyed by its snapshot identity, which is
+// never reused.
+func (r *registry) load(name string) (*tableState, bool) {
+	e, ok := r.entry(name)
+	if !ok {
+		return nil, false
 	}
+	return e.state.Load(), true
 }
 
-// acquireWrite is acquireRead with the write lock: mutations on an entry
-// that has been concurrently deleted must surface as "no table", not
-// silently land on an orphan. The caller must mu.Unlock the entry.
-func (r *registry) acquireWrite(name string) (*tableEntry, bool) {
+// acquireMutate returns name's entry with its mutation lock held and the
+// state published at lock time, re-checking registration so a mutation
+// cannot land on an entry a concurrent delete has orphaned (it must surface
+// as "no table", not as an acknowledged write no lookup can see). The
+// caller must e.mu.Unlock.
+func (r *registry) acquireMutate(name string) (*tableEntry, *tableState, bool) {
 	for {
-		e, ok := r.get(name)
+		e, ok := r.entry(name)
 		if !ok {
-			return nil, false
+			return nil, nil, false
 		}
 		e.mu.Lock()
-		if cur, ok := r.get(name); ok && cur == e {
-			return e, true
+		if cur, ok := r.entry(name); ok && cur == e {
+			return e, e.state.Load(), true
 		}
 		e.mu.Unlock()
 	}
 }
 
 // put installs tab under name, replacing any previous table. It returns the
-// replaced table (nil if the name is new) so the caller can release engine
-// cache entries for it.
-func (r *registry) put(name string, tab *probtopk.Table) (replaced *probtopk.Table) {
+// newly published state and the replaced one (nil if the name is new, so
+// the caller can release cache entries derived from it).
+func (r *registry) put(name string, tab *probtopk.Table) (published, replaced *tableState) {
+	st := &tableState{tab: tab, snap: tab.Snapshot()}
 	for {
 		r.mu.Lock()
 		e, ok := r.tables[name]
 		if !ok {
-			r.tables[name] = &tableEntry{tab: tab, gen: r.nextGen()}
+			e = &tableEntry{}
+			e.state.Store(st)
+			r.tables[name] = e
 			r.mu.Unlock()
-			return nil
+			return st, nil
 		}
 		r.mu.Unlock()
-		// Replace under the entry lock so in-flight queries on the old
-		// table drain first — then re-check the entry is still registered:
-		// a concurrent delete may have orphaned it, and swapping onto an
+		// Replace under the entry's mutation lock (serializing against
+		// appends), then re-check the entry is still registered: a
+		// concurrent delete may have orphaned it, and swapping onto an
 		// orphan would acknowledge an upload that no lookup can ever see.
+		// In-flight queries are unaffected either way — they hold the old
+		// immutable state.
 		e.mu.Lock()
-		r.mu.RLock()
-		cur, ok := r.tables[name]
-		r.mu.RUnlock()
+		cur, ok := r.entry(name)
 		if !ok || cur != e {
 			e.mu.Unlock()
 			continue
 		}
-		replaced = e.tab
-		e.tab = tab
-		e.gen = r.nextGen()
+		replaced = e.state.Load()
+		e.state.Store(st)
 		e.mu.Unlock()
-		return replaced
+		return st, replaced
 	}
 }
 
-// remove deletes name, returning the removed table.
-func (r *registry) remove(name string) (*probtopk.Table, bool) {
+// remove deletes name, returning the removed state. It never waits:
+// in-flight queries over the removed table finish against the immutable
+// state they already hold.
+func (r *registry) remove(name string) (*tableState, bool) {
 	r.mu.Lock()
 	e, ok := r.tables[name]
 	if ok {
@@ -155,12 +154,7 @@ func (r *registry) remove(name string) (*probtopk.Table, bool) {
 	if !ok {
 		return nil, false
 	}
-	// Wait for in-flight queries before handing the table back for engine
-	// invalidation.
-	e.mu.Lock()
-	tab := e.tab
-	e.mu.Unlock()
-	return tab, true
+	return e.state.Load(), true
 }
 
 // names returns the sorted table names.

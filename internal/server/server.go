@@ -23,24 +23,31 @@
 //	GET    /tables/{name}/baseline/{semantic} utopk | ukranks | ptk | globaltopk |
 //	POST   /tables/{name}/baseline/{semantic}   intopk | expectedrank
 //
+// # Snapshot isolation
+//
+// Every published table state is an immutable probtopk.Snapshot with a
+// process-unique identity, installed in the registry by an atomic pointer
+// swap. A query loads the current snapshot and then holds NOTHING: the
+// whole computation — preparation, dynamic program, cache fill — runs
+// lock-free against frozen contents, so a slow query never delays an
+// append, an append never waits behind queries, and a query always answers
+// against exactly the state it started from (never a half-mutated one).
+// Mutations build the successor state on a clone and publish it with one
+// atomic swap; only mutations of the same table serialize against each
+// other.
+//
 // # Derived-answer cache
 //
 // Every successful query answer is cached as its encoded JSON, keyed by
-// (table name, table state generation, canonical query fingerprint), the
-// generation being a never-reused stamp minted each time a table state is
-// published (create, replace, append). A repeated identical query — even
-// one spelled differently but resolving to the same computation — is
-// served from the cache without touching the dynamic program or
-// re-encoding. Any mutation changes the generation, so a hit can never be
-// stale — even across delete/recreate cycles — while the eager
-// invalidation on mutation reclaims the dead entries' LRU slots. GET
-// /debug/stats exposes hit/miss/latency counters for both this cache and
-// the engine's prepared-table cache.
-//
-// Queries hold the table's read lock for the computation and the cache
-// fill (but not the client write), and mutations hold the write lock, so
-// the Table contract (no mutation while queries are in flight) holds under
-// full concurrency.
+// (table name, snapshot identity, canonical query fingerprint). A repeated
+// identical query — even one spelled differently but resolving to the same
+// computation — is served from the cache without touching the dynamic
+// program or re-encoding. Any mutation publishes a snapshot with a fresh,
+// never-reused identity, so a hit can never be stale — even across
+// delete/recreate cycles and however cache fills race with mutations —
+// while the eager invalidation on mutation reclaims the dead entries' LRU
+// slots. GET /debug/stats exposes hit/miss/latency counters for both this
+// cache and the engine's prepared-snapshot cache.
 package server
 
 import (

@@ -9,8 +9,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"probtopk"
+	"probtopk/internal/synth"
 )
 
 // TestServerConcurrentMutateQuery hammers one server from many goroutines:
@@ -158,5 +160,104 @@ func TestServerConcurrentMutateQuery(t *testing.T) {
 		if first != again {
 			t.Fatalf("%s: unstable answer after stress", name)
 		}
+	}
+}
+
+// TestAppendsDoNotWaitForSlowQueries is the lock-free-read latency
+// assertion, not just an absence-of-races check: appends issued while
+// deliberately slow queries are in flight on the SAME table must complete
+// without waiting for them. Under the old per-table RWMutex a writer waited
+// for the in-flight reader's whole dynamic program; with snapshot
+// publication an append only swaps an atomic pointer, so its latency is
+// decoupled from query cost by orders of magnitude. The assertion is
+// deliberately loose (a third of one query) to stay robust on slow or
+// race-instrumented machines while still failing hard if appends ever
+// queue behind queries again.
+func TestAppendsDoNotWaitForSlowQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	// Answer cache disabled so every query runs the full dynamic program.
+	s := New(Config{AnswerCacheSize: -1})
+	tab, err := synth.Generate(synth.Config{N: 500, Seed: 5}.WithDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tuples []TupleJSON
+	for _, tp := range tab.Tuples() {
+		tuples = append(tuples, TupleJSON{ID: tp.ID, Score: tp.Score, Prob: tp.Prob, Group: tp.Group})
+	}
+	body, err := json.Marshal(TableRequest{Tuples: tuples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustStatus(t, do(t, s, "PUT", "/tables/big", string(body)), http.StatusCreated)
+
+	// Calibrate a query slow enough to dwarf any honest append: escalate k
+	// until one uncontended run takes at least minSlow.
+	const minSlow = 200 * time.Millisecond
+	var (
+		query string
+		slow  time.Duration
+	)
+	for _, k := range []int{10, 20, 40, 60} {
+		query = fmt.Sprintf("/tables/big/topk?k=%d", k)
+		start := time.Now()
+		mustStatus(t, do(t, s, "GET", query, ""), http.StatusOK)
+		if slow = time.Since(start); slow >= minSlow {
+			break
+		}
+	}
+	if slow < minSlow {
+		t.Skipf("machine too fast to build a slow query (best %v)", slow)
+	}
+	t.Logf("slow query %s takes %v uncontended", query, slow)
+
+	// Keep slow queries continuously in flight on the same table.
+	stop := make(chan struct{})
+	var inflight atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				inflight.Add(1)
+				w := do(t, s, "GET", query, "")
+				inflight.Add(-1)
+				if w.Code != http.StatusOK {
+					t.Errorf("background query: status %d", w.Code)
+					return
+				}
+			}
+		}()
+	}
+	for inflight.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Give the in-flight query time to be deep inside its computation.
+	time.Sleep(20 * time.Millisecond)
+
+	var maxAppend time.Duration
+	for i := 0; i < 20; i++ {
+		b := fmt.Sprintf(`{"tuples": [{"id": "fast%d", "score": 50.5, "prob": 0.5}]}`, i)
+		start := time.Now()
+		mustStatus(t, do(t, s, "POST", "/tables/big/tuples", b), http.StatusOK)
+		if d := time.Since(start); d > maxAppend {
+			maxAppend = d
+		}
+	}
+	stillRunning := inflight.Load() > 0
+	close(stop)
+	wg.Wait()
+
+	t.Logf("max append latency under slow queries: %v (query in flight at end: %v)", maxAppend, stillRunning)
+	if maxAppend > slow/3 {
+		t.Fatalf("append took %v while a %v query was in flight — appends are waiting on queries", maxAppend, slow)
 	}
 }

@@ -51,6 +51,11 @@ type Window struct {
 	dirtyFrom int
 	needFull  bool
 
+	// frozen memoizes the snapshot published by Freeze; nil after any Push,
+	// so an unchanged window keeps handing out one identity (and the engine
+	// cache keeps hitting), mirroring Table.Snapshot's copy-on-write.
+	frozen *uncertain.Snapshot
+
 	// scratch buffer reused for the tuple slice handed to PrepareSorted.
 	buf []uncertain.Tuple
 
@@ -141,6 +146,7 @@ func (w *Window) Push(t uncertain.Tuple) (evicted *uncertain.Tuple, err error) {
 	if t.Group != "" {
 		w.needFull = true
 	}
+	w.frozen = nil
 	return evicted, nil
 }
 
@@ -286,4 +292,28 @@ func (w *Window) Snapshot() []uncertain.Tuple {
 		out[i] = e.tuple
 	}
 	return out
+}
+
+// Freeze publishes the current window contents as an immutable
+// uncertain.Snapshot (in rank order). The window is single-owner, but the
+// returned snapshot is not: it can be queried through an Engine from any
+// goroutine — and cached under its identity — while the owner keeps
+// pushing. An unchanged window returns the same snapshot on every call
+// (so engine caches keep hitting); a Push clears the memo and the next
+// Freeze mints a fresh identity. The frozen contents are validated so an
+// overfull in-window ME group surfaces here, like at query time.
+func (w *Window) Freeze() (*uncertain.Snapshot, error) {
+	if len(w.ranked) == 0 {
+		return nil, ErrEmptyWindow
+	}
+	if w.frozen != nil {
+		return w.frozen, nil
+	}
+	// Snapshot() already builds a private slice; hand it over outright.
+	snap := uncertain.OwnSnapshot(w.Snapshot())
+	if err := snap.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: window contents invalid: %w", err)
+	}
+	w.frozen = snap
+	return snap, nil
 }

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -321,5 +322,44 @@ func TestSeries(t *testing.T) {
 		if v < 20 || v > 40 {
 			t.Fatalf("windowed top-2 mean %v outside plausible range", v)
 		}
+	}
+}
+
+// TestFreezeMemoized: an unchanged window hands out the same snapshot (so
+// identity-keyed caches keep hitting); a Push mints a fresh identity, and
+// old snapshots stay frozen at their contents.
+func TestFreezeMemoized(t *testing.T) {
+	w, err := NewWindow(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := w.Push(uncertain.Tuple{ID: fmt.Sprintf("t%d", i), Score: float64(i), Prob: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1, err := w.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := w.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("unchanged window minted a new snapshot")
+	}
+	if _, err := w.Push(uncertain.Tuple{ID: "new", Score: 99, Prob: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := w.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 || s3.ID() == s1.ID() {
+		t.Fatal("push did not mint a fresh snapshot identity")
+	}
+	if s1.Len() != 4 || s3.Len() != 5 || s3.Tuple(0).ID != "new" {
+		t.Fatalf("frozen contents wrong: s1 len %d, s3 %+v", s1.Len(), s3.Tuples()[:1])
 	}
 }

@@ -1,0 +1,95 @@
+package uncertain
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// naivePrefixMass is the pre-optimisation reference: rescan the group's
+// member list and sum probabilities below pos.
+func naivePrefixMass(p *Prepared, g, pos int) float64 {
+	var s float64
+	for _, m := range p.GroupMembers(g) {
+		if m >= pos {
+			break
+		}
+		s += p.Tuples[m].Prob
+	}
+	return s
+}
+
+// bigGroupTable builds a table dominated by one huge ME group of n members
+// interleaved with independent tuples — the worst case for a linear
+// PrefixMass rescan.
+func bigGroupTable(n int) *Table {
+	tab := NewTable()
+	prob := 0.9 / float64(n)
+	for i := 0; i < n; i++ {
+		tab.AddExclusive(fmt.Sprintf("g%d", i), "huge", float64(2*n-i), prob)
+		tab.AddIndependent(fmt.Sprintf("i%d", i), float64(2*n-i)-0.5, 0.5)
+	}
+	return tab
+}
+
+// TestPrefixMassMatchesNaive: the binary-search PrefixMass agrees exactly
+// with the linear rescan at every (group, position), including the
+// boundaries, on both Prepare and PrepareSorted outputs.
+func TestPrefixMassMatchesNaive(t *testing.T) {
+	tab := bigGroupTable(40)
+	p, err := Prepare(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := tab.Tuples()
+	sorted := make([]Tuple, p.Len())
+	for i, pt := range p.Tuples {
+		sorted[i] = orig[pt.Orig]
+	}
+	ps, err := PrepareSorted(sorted, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prep := range []*Prepared{p, ps} {
+		for g := 0; g < prep.NumGroups(); g++ {
+			for pos := 0; pos <= prep.Len(); pos++ {
+				got, want := prep.PrefixMass(g, pos), naivePrefixMass(prep, g, pos)
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("PrefixMass(%d, %d) = %v, want %v", g, pos, got, want)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkPrefixMass measures the precomputed binary-search path on a
+// large ME group; BenchmarkPrefixMassNaive is the old linear rescan for
+// comparison — the gap is the satellite win.
+func BenchmarkPrefixMass(b *testing.B) {
+	p := mustPrepare(b, bigGroupTable(2000))
+	g := p.Tuples[0].Group
+	n := p.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.PrefixMass(g, (i*31)%n)
+	}
+}
+
+func BenchmarkPrefixMassNaive(b *testing.B) {
+	p := mustPrepare(b, bigGroupTable(2000))
+	g := p.Tuples[0].Group
+	n := p.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = naivePrefixMass(p, g, (i*31)%n)
+	}
+}
+
+func mustPrepare(tb testing.TB, tab *Table) *Prepared {
+	tb.Helper()
+	p, err := Prepare(tab)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p
+}

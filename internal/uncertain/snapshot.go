@@ -1,0 +1,97 @@
+package uncertain
+
+import "sync/atomic"
+
+// snapshotIDs mints process-unique snapshot identities. IDs start at 1 so 0
+// is never a valid identity, and they are monotonically increasing, so among
+// snapshots of one table a larger ID always means a later state.
+var snapshotIDs atomic.Uint64
+
+// tableIDs mints process-unique table (owner) identities; see
+// Table.Identity.
+var tableIDs atomic.Uint64
+
+// Snapshot is an immutable view of a table's contents, frozen at the moment
+// Table.Snapshot was called, with a process-unique identity.
+//
+// Snapshots are the unit of isolation for concurrent serving: once obtained,
+// a Snapshot never changes — queries over it need no locks, run against
+// exactly the state they started from, and can proceed while the owning
+// table keeps mutating. Because identities are minted from a process-wide
+// counter and never reused, a Snapshot's ID is a sound cache key: two
+// snapshots with the same ID are the same object with the same contents,
+// whatever happened to table pointers, versions, clones or name bindings in
+// between.
+//
+// The zero value is not useful; obtain snapshots from Table.Snapshot or
+// NewSnapshot.
+type Snapshot struct {
+	id    uint64
+	owner uint64
+	// tuples is frozen: it aliases the owning table's append-only storage
+	// with its capacity clamped, so neither side can ever write through it.
+	tuples []Tuple
+}
+
+// NewSnapshot freezes a copy of the given tuples (in insertion order) as a
+// standalone snapshot with a fresh identity and owner. The input slice is
+// copied, so the caller may keep mutating it.
+func NewSnapshot(tuples []Tuple) *Snapshot {
+	frozen := make([]Tuple, len(tuples))
+	copy(frozen, tuples)
+	return OwnSnapshot(frozen)
+}
+
+// OwnSnapshot freezes tuples as a snapshot WITHOUT copying: the snapshot
+// takes ownership, and the caller must never touch the slice again. For
+// callers that just built a private slice (the sliding window's Freeze);
+// everyone else wants NewSnapshot.
+func OwnSnapshot(tuples []Tuple) *Snapshot {
+	return &Snapshot{
+		id:     snapshotIDs.Add(1),
+		owner:  tableIDs.Add(1),
+		tuples: tuples[:len(tuples):len(tuples)],
+	}
+}
+
+// ID returns the snapshot's process-unique identity. IDs are never reused
+// within a process, which makes them sound cache keys: an entry keyed by a
+// superseded snapshot's ID is unreachable by construction.
+func (s *Snapshot) ID() uint64 { return s.id }
+
+// Owner returns the identity of the table this snapshot was taken from (see
+// Table.Identity). Successive snapshots of one table share an owner, which
+// lets caches eagerly drop entries for that table's superseded states.
+func (s *Snapshot) Owner() uint64 { return s.owner }
+
+// Len returns the number of tuples.
+func (s *Snapshot) Len() int { return len(s.tuples) }
+
+// Tuple returns the i-th tuple in insertion order.
+func (s *Snapshot) Tuple(i int) Tuple { return s.tuples[i] }
+
+// Tuples returns a copy of the tuple slice in insertion order.
+func (s *Snapshot) Tuples() []Tuple {
+	out := make([]Tuple, len(s.tuples))
+	copy(out, s.tuples)
+	return out
+}
+
+// Validate checks the data-model invariants on the frozen contents, exactly
+// like Table.Validate.
+func (s *Snapshot) Validate() error { return validateTuples(s.tuples) }
+
+// Table materialises the snapshot as a fresh mutable table with its own
+// identity.
+func (s *Snapshot) Table() *Table {
+	t := NewTable()
+	t.tuples = s.Tuples()
+	t.version = uint64(len(s.tuples))
+	return t
+}
+
+// Prepare validates and sorts the frozen contents, returning the derived
+// structure the query algorithms need — the snapshot-native form of the
+// package-level Prepare. It never mutates the snapshot and is safe to call
+// concurrently.
+func (s *Snapshot) Prepare() (*Prepared, error) { return prepareTuples(s.tuples) }

@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // probSumTolerance is the slack allowed when validating that an ME group's
@@ -36,9 +37,21 @@ type Tuple struct {
 
 // Table is an uncertain table: an ordered collection of tuples plus the ME
 // rules implied by their Group keys. The zero value is an empty table.
+//
+// A Table is the mutable builder of the model; queries and caches work on
+// the immutable Snapshot it publishes (see Table.Snapshot). Mutations must
+// be externally synchronized with each other and with Snapshot calls, but a
+// Snapshot, once obtained, is safe to read from any goroutine while the
+// table keeps mutating.
 type Table struct {
 	tuples  []Tuple
 	version uint64
+	// id is the table's lazily minted process-unique identity; see Identity.
+	id atomic.Uint64
+	// snap memoizes the snapshot of the current contents: unchanged tables
+	// hand out the same snapshot, mutations clear the memo so the next
+	// Snapshot call lazily mints a fresh one (copy-on-write).
+	snap atomic.Pointer[Snapshot]
 }
 
 // NewTable returns an empty table.
@@ -48,13 +61,56 @@ func NewTable() *Table { return &Table{} }
 func (t *Table) Add(tp Tuple) *Table {
 	t.tuples = append(t.tuples, tp)
 	t.version++
+	t.snap.Store(nil)
 	return t
 }
 
 // Version returns a counter that changes on every mutation of the table.
-// A (table pointer, version) pair therefore identifies immutable contents,
-// which is what the query engine keys its Prepared cache by.
+// It orders the states of ONE table; it does not identify contents across
+// tables (a clone shares its origin's version, and two tables built by the
+// same number of Adds share a version). Caches must key on Snapshot.ID,
+// which is process-unique, instead.
 func (t *Table) Version() uint64 { return t.version }
+
+// Identity returns the table's process-unique identity, minted on first use
+// and stable for the table's lifetime. Unlike the pointer, an identity is
+// never reused within a process, and a Clone gets its own; caches use it to
+// recognise "a later state of the same table" without risking collisions.
+func (t *Table) Identity() uint64 {
+	if id := t.id.Load(); id != 0 {
+		return id
+	}
+	if t.id.CompareAndSwap(0, tableIDs.Add(1)) {
+		return t.id.Load()
+	}
+	return t.id.Load()
+}
+
+// Snapshot returns an immutable snapshot of the current contents with a
+// process-unique identity. Snapshots are copy-on-write: while the table is
+// unchanged, every call returns the same *Snapshot (and therefore the same
+// ID); a mutation clears the memo, and the next call mints a fresh snapshot
+// — without copying the tuples, since the table's storage is append-only
+// and the snapshot's view has its capacity clamped.
+//
+// Snapshot must be synchronized with mutations like any other read, but the
+// returned Snapshot itself is immutable and safe for concurrent use.
+func (t *Table) Snapshot() *Snapshot {
+	if s := t.snap.Load(); s != nil {
+		return s
+	}
+	s := &Snapshot{
+		id:     snapshotIDs.Add(1),
+		owner:  t.Identity(),
+		tuples: t.tuples[:len(t.tuples):len(t.tuples)],
+	}
+	if t.snap.CompareAndSwap(nil, s) {
+		return s
+	}
+	// A concurrent first Snapshot won the race; share its result so the
+	// "unchanged table → same snapshot" contract holds.
+	return t.snap.Load()
+}
 
 // AddIndependent appends an independent tuple (its own ME group).
 func (t *Table) AddIndependent(id string, score, prob float64) *Table {
@@ -79,7 +135,10 @@ func (t *Table) Tuples() []Tuple {
 // Tuple returns the i-th tuple in insertion order.
 func (t *Table) Tuple(i int) Tuple { return t.tuples[i] }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy with its own identity: the clone shares no
+// storage, no snapshot memo, and — even though it shares its origin's
+// Version — can never be confused with the original by an identity-keyed
+// cache, because its snapshots carry a fresh owner and fresh IDs.
 func (t *Table) Clone() *Table {
 	c := &Table{tuples: make([]Tuple, len(t.tuples)), version: t.version}
 	copy(c.tuples, t.tuples)
@@ -118,16 +177,20 @@ func checkGroupSums(tuples []Tuple) error {
 	return nil
 }
 
-// Validate checks the data-model invariants: every probability is in (0, 1],
-// scores are finite, and each ME group's probabilities sum to at most 1.
-func (t *Table) Validate() error {
-	for i, tp := range t.tuples {
+// validateTuples checks the data-model invariants on a tuple slice; shared
+// by Table.Validate and Snapshot.Validate.
+func validateTuples(tuples []Tuple) error {
+	for i, tp := range tuples {
 		if err := CheckTuple(tp); err != nil {
 			return fmt.Errorf("uncertain: at index %d: %w", i, err)
 		}
 	}
-	return checkGroupSums(t.tuples)
+	return checkGroupSums(tuples)
 }
+
+// Validate checks the data-model invariants: every probability is in (0, 1],
+// scores are finite, and each ME group's probabilities sum to at most 1.
+func (t *Table) Validate() error { return validateTuples(t.tuples) }
 
 // ErrEmptyTable is returned when an operation requires a non-empty table.
 var ErrEmptyTable = errors.New("uncertain: empty table")
@@ -159,6 +222,10 @@ type Prepared struct {
 	// groupMembers[g] lists the prepared positions of group g's members in
 	// rank order.
 	groupMembers [][]int
+	// groupCum[g][j] is the total probability of group g's first j members
+	// in rank order, so PrefixMass answers with one binary search instead of
+	// rescanning the member list.
+	groupCum [][]float64
 	// tieStart[i] / tieEnd[i] give the half-open range of the tie group
 	// containing position i.
 	tieStart, tieEnd []int
@@ -172,19 +239,24 @@ type Prepared struct {
 }
 
 // Prepare validates and sorts the table, returning the derived structure.
-func Prepare(t *Table) (*Prepared, error) {
-	if err := t.Validate(); err != nil {
+func Prepare(t *Table) (*Prepared, error) { return prepareTuples(t.tuples) }
+
+// prepareTuples is the shared body of Prepare and Snapshot.Prepare. It
+// never mutates tuples (the sort permutes an index array), so it is safe on
+// a frozen snapshot's storage.
+func prepareTuples(tuples []Tuple) (*Prepared, error) {
+	if err := validateTuples(tuples); err != nil {
 		return nil, err
 	}
-	if t.Len() == 0 {
+	if len(tuples) == 0 {
 		return nil, ErrEmptyTable
 	}
-	idx := make([]int, t.Len())
+	idx := make([]int, len(tuples))
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
-		ta, tb := t.tuples[idx[a]], t.tuples[idx[b]]
+		ta, tb := tuples[idx[a]], tuples[idx[b]]
 		if ta.Score != tb.Score {
 			return ta.Score > tb.Score
 		}
@@ -193,10 +265,10 @@ func Prepare(t *Table) (*Prepared, error) {
 		}
 		return idx[a] < idx[b]
 	})
-	p := &Prepared{Tuples: make([]PTuple, t.Len())}
+	p := &Prepared{Tuples: make([]PTuple, len(tuples))}
 	groupIDs := make(map[string]int)
 	for pos, oi := range idx {
-		tp := t.tuples[oi]
+		tp := tuples[oi]
 		var g int
 		if tp.Group == "" {
 			g = len(p.groupMembers)
@@ -307,13 +379,28 @@ func PrepareSorted(tuples []Tuple, prev *Prepared, from int) (*Prepared, error) 
 	return p, nil
 }
 
-// buildDerived computes the structures shared across queries: tie groups and
-// cumulative prefix probabilities.
+// buildDerived computes the structures shared across queries: tie groups,
+// cumulative prefix probabilities, and per-group cumulative masses.
 func (p *Prepared) buildDerived() {
 	p.buildTieGroups()
 	p.cumProb = make([]float64, len(p.Tuples)+1)
 	for i, tp := range p.Tuples {
 		p.cumProb[i+1] = p.cumProb[i] + tp.Prob
+	}
+	// All per-group cumulative slices share one flat backing array, so the
+	// whole index costs two allocations however many (mostly singleton)
+	// groups there are — buildDerived runs on the sliding window's
+	// suffix-re-prepare hot path.
+	flat := make([]float64, len(p.Tuples)+len(p.groupMembers))
+	p.groupCum = make([][]float64, len(p.groupMembers))
+	off := 0
+	for g, members := range p.groupMembers {
+		cum := flat[off : off+len(members)+1 : off+len(members)+1]
+		off += len(members) + 1
+		for j, m := range members {
+			cum[j+1] = cum[j] + p.Tuples[m].Prob
+		}
+		p.groupCum[g] = cum
 	}
 }
 
@@ -384,16 +471,14 @@ func (p *Prepared) PrefixProbability(pos int) float64 { return p.cumProb[pos] }
 
 // PrefixMass returns the total probability of group g's members at prepared
 // positions strictly less than pos. This is the "consumed" group mass seen
-// by a scan that has processed positions [0, pos).
+// by a scan that has processed positions [0, pos). The per-group cumulative
+// masses are precomputed in buildDerived, so a call costs one binary search
+// over the member list (O(log group size)) instead of rescanning it.
 func (p *Prepared) PrefixMass(g, pos int) float64 {
-	var s float64
-	for _, m := range p.groupMembers[g] {
-		if m >= pos {
-			break
-		}
-		s += p.Tuples[m].Prob
-	}
-	return s
+	// The first member index at or beyond pos is the number of members
+	// strictly below it.
+	n := sort.SearchInts(p.groupMembers[g], pos)
+	return p.groupCum[g][n]
 }
 
 // GroupMassBefore returns, for group g, the total probability of members at

@@ -19,6 +19,21 @@ type Tuple = uncertain.Tuple
 // Add/AddIndependent/AddExclusive, then query it with TopKDistribution.
 type Table = uncertain.Table
 
+// Snapshot is an immutable snapshot of a table's contents with a
+// process-unique identity, obtained from Table.Snapshot (or frozen from raw
+// tuples with NewSnapshot). Snapshots are the unit of isolation for
+// concurrent serving: a query over a Snapshot holds no lock and sees
+// exactly the state the snapshot was taken from, while the owning table
+// keeps mutating. Unchanged tables hand out the same snapshot, so the
+// engine's prepared cache — keyed by Snapshot.ID — still hits across
+// repeated queries; a mutation lazily mints a fresh snapshot (copy-on-write,
+// no tuple copying) whose new identity transparently invalidates.
+type Snapshot = uncertain.Snapshot
+
+// NewSnapshot freezes a copy of the given tuples as a standalone snapshot
+// with a fresh identity.
+func NewSnapshot(tuples []Tuple) *Snapshot { return uncertain.NewSnapshot(tuples) }
+
 // NewTable returns an empty uncertain table.
 func NewTable() *Table { return uncertain.NewTable() }
 
@@ -158,15 +173,26 @@ type Distribution struct {
 // ErrNilTable is returned when a nil table is queried.
 var ErrNilTable = errors.New("probtopk: nil table")
 
+// ErrNilSnapshot is returned when a nil snapshot is queried.
+var ErrNilSnapshot = errors.New("probtopk: nil snapshot")
+
 // TopKDistribution computes the score distribution of the top-k tuple
 // vectors of t. A nil opts uses the defaults documented on Options.
 //
-// Queries route through the package's shared default Engine: the prepared
-// form of t is cached against its mutation version, so repeated queries
-// over an unchanged table skip preparation, and per-query scratch is
-// pooled. Results are identical to an uncached computation.
+// Queries route through the package's shared default Engine: t's current
+// snapshot is taken and its prepared form cached against the snapshot's
+// identity, so repeated queries over an unchanged table skip preparation,
+// and per-query scratch is pooled. Results are identical to an uncached
+// computation.
 func TopKDistribution(t *Table, k int, opts *Options) (*Distribution, error) {
 	return defaultEngine.TopKDistribution(t, k, opts)
+}
+
+// TopKDistributionSnapshot is TopKDistribution over an immutable snapshot:
+// the computation holds no reference to any table and may run concurrently
+// with mutations of the snapshot's origin.
+func TopKDistributionSnapshot(s *Snapshot, k int, opts *Options) (*Distribution, error) {
+	return defaultEngine.TopKDistributionSnapshot(s, k, opts)
 }
 
 // NewDistribution builds a Distribution directly from (score, probability)

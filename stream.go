@@ -50,6 +50,15 @@ func (s *Stream) Capacity() int { return s.w.Capacity() }
 // Tuples returns the window contents in rank order.
 func (s *Stream) Tuples() []Tuple { return s.w.Snapshot() }
 
+// Freeze publishes the current window contents as an immutable Snapshot
+// with a fresh identity. The Stream itself is single-owner, but the
+// returned snapshot is not: hand it to an Engine (TopKDistributionSnapshot,
+// the baseline semantics, batches) from any goroutine while the owner keeps
+// pushing — the frozen contents never change, and the engine caches the
+// preparation under the snapshot's identity. This is the bridge from the
+// streaming window to the concurrent serving layer.
+func (s *Stream) Freeze() (*Snapshot, error) { return s.w.Freeze() }
+
 // TopKDistribution computes the top-k score distribution of the current
 // window contents; options as in the package-level TopKDistribution,
 // including Options.Algorithm — all three algorithms run against the
