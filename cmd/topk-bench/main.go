@@ -7,12 +7,14 @@
 //	topk-bench -fig 9 -json > BENCH_fig9.json
 //	topk-bench -fig serving -json > BENCH_serving.json
 //	topk-bench -fig mutation -json > BENCH_mutation.json
+//	topk-bench -fig durability -json > BENCH_durability.json
 //
 // Besides the paper's numbered figures, the special figures "serving"
-// (HTTP serving path, cold vs derived-answer cache hit) and "mutation"
+// (HTTP serving path, cold vs derived-answer cache hit), "mutation"
 // (append latency uncontended vs under concurrent slow queries — the
-// snapshot-isolation guarantee) measure this build's serving stack; they
-// are not part of -fig all.
+// snapshot-isolation guarantee) and "durability" (append latency in-memory
+// vs WAL vs WAL+fsync — the price of each durability level) measure this
+// build's serving stack; they are not part of -fig all.
 //
 // Usage:
 //
@@ -32,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figure numbers (3, 8, 9, 10, 11, 12, 13, 14, 15, 16), 'serving', 'mutation', or 'all'")
+	fig := flag.String("fig", "all", "comma-separated figure numbers (3, 8, 9, 10, 11, 12, 13, 14, 15, 16), 'serving', 'mutation', 'durability', or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of ASCII charts")
 	jsonOut := flag.Bool("json", false, "emit one JSON array of figure objects instead of ASCII charts")
 	flag.Parse()
@@ -112,6 +114,8 @@ func collect(spec string) ([]*bench.Figure, error) {
 			err = one(bench.FigServing())
 		case "mutation":
 			err = one(bench.FigMutation())
+		case "durability":
+			err = one(bench.FigDurability())
 		default:
 			err = fmt.Errorf("unknown figure %q", tok)
 		}

@@ -11,10 +11,18 @@
 //
 //	topkd -addr :8080
 //	topkd -addr :8080 -load 'data/*.csv'
+//	topkd -addr :8080 -data-dir /var/lib/topkd
 //
 // Each file matched by -load is served as a table named after its base name
-// (data/fleet.csv → "fleet"). See the package documentation of
-// internal/server (or the repository README) for the endpoint reference.
+// (data/fleet.csv → "fleet"). With -data-dir, every mutation is appended to
+// a write-ahead log under that directory before it is acknowledged, the
+// hosted tables are periodically checkpointed into a snapshot file (see
+// -checkpoint-every), and a restart recovers every table by replaying
+// snapshot + WAL. -fsync=false trades crash-durability of the most recent
+// mutations for much faster writes. -load runs after recovery, so a loaded
+// CSV replaces a recovered table of the same name (and is itself logged).
+// See the package documentation of internal/server (or the repository
+// README) for the endpoint reference and recovery semantics.
 package main
 
 import (
@@ -24,9 +32,11 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"probtopk"
+	"probtopk/internal/persist"
 	"probtopk/internal/server"
 )
 
@@ -37,12 +47,22 @@ func main() {
 		"derived-answer cache entries (0 = default, negative = disabled)")
 	engineCache := flag.Int("engine-cache", 0,
 		"prepared-table cache entries (0 = default, negative = disabled)")
+	dataDir := flag.String("data-dir", "",
+		"directory for durable state (WAL + snapshot checkpoints); empty = in-memory only")
+	fsync := flag.Bool("fsync", true,
+		"fsync every logged mutation (with -data-dir); false is faster but a crash may lose the newest acknowledged mutations")
+	checkpointEvery := flag.Int("checkpoint-every", 256,
+		"checkpoint hosted tables into the snapshot file and truncate the WAL after this many logged mutations (0 = never)")
 	flag.Parse()
 
-	srv := server.New(server.Config{
-		AnswerCacheSize: *answerCache,
-		EngineCacheSize: *engineCache,
+	srv, _, err := buildServer(config{
+		answerCache: *answerCache, engineCache: *engineCache,
+		dataDir: *dataDir, fsync: *fsync, checkpointEvery: *checkpointEvery,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topkd:", err)
+		os.Exit(1)
+	}
 	names, err := loadTables(srv, *load)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topkd:", err)
@@ -51,11 +71,64 @@ func main() {
 	for _, name := range names {
 		log.Printf("topkd: serving table %q", name)
 	}
-	log.Printf("topkd: listening on %s (%d tables)", *addr, len(names))
+	log.Printf("topkd: listening on %s", *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fmt.Fprintln(os.Stderr, "topkd:", err)
 		os.Exit(1)
 	}
+}
+
+// config is the daemon's resolved flag set.
+type config struct {
+	answerCache     int
+	engineCache     int
+	dataDir         string
+	fsync           bool
+	checkpointEvery int
+}
+
+// buildServer opens the durability backend (when configured), recovers and
+// restores its tables, and returns the ready server alongside the manager
+// (nil without -data-dir; the daemon holds it for the process lifetime).
+// Split from main so the restart test exercises the daemon's real boot
+// sequence, including releasing the data-dir lock between lives.
+func buildServer(cfg config) (*server.Server, *persist.Manager, error) {
+	var durable *persist.Manager
+	var recovered map[string]*probtopk.Table
+	if cfg.dataDir != "" {
+		man, tables, err := persist.Open(cfg.dataDir, persist.Options{
+			Fsync:           cfg.fsync,
+			CheckpointEvery: cfg.checkpointEvery,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening -data-dir %s: %v", cfg.dataDir, err)
+		}
+		durable, recovered = man, tables
+		info := man.ReplayInfo()
+		note := ""
+		if info.Truncated {
+			note = fmt.Sprintf(" (torn tail: %d bytes truncated)", info.DroppedBytes)
+		}
+		log.Printf("topkd: recovered %d tables from %s, %d WAL records replayed%s",
+			len(recovered), cfg.dataDir, info.Records, note)
+	}
+	srv := server.New(server.Config{
+		AnswerCacheSize: cfg.answerCache,
+		EngineCacheSize: cfg.engineCache,
+		Durability:      durable,
+	})
+	names := make([]string, 0, len(recovered))
+	for name := range recovered {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := srv.RestoreTable(name, recovered[name]); err != nil {
+			return nil, nil, fmt.Errorf("restoring table %q: %v", name, err)
+		}
+		log.Printf("topkd: restored table %q (%d tuples)", name, recovered[name].Len())
+	}
+	return srv, durable, nil
 }
 
 // tableName derives the registry name for a loaded file: the base name

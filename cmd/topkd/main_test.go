@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"strings"
+
 	"probtopk/internal/server"
 )
 
@@ -79,5 +81,89 @@ func TestLoadTablesErrors(t *testing.T) {
 	}
 	if _, err := loadTables(server.New(server.Config{}), bad); err == nil {
 		t.Fatal("invalid CSV should error")
+	}
+}
+
+// TestRestartRecoversTables drives the daemon's real boot sequence
+// (buildServer) twice over one data directory: mutations served by the
+// first life must be answered identically by the second, and -load must
+// still override a recovered table by name.
+func TestRestartRecoversTables(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{dataDir: filepath.Join(dir, "data"), fsync: false, checkpointEvery: 3}
+
+	srv1, man1, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := httptest.NewRequest("PUT", "/tables/fleet", strings.NewReader(fleetCSV))
+	put.Header.Set("Content-Type", "text/csv")
+	w := httptest.NewRecorder()
+	srv1.ServeHTTP(w, put)
+	if w.Code != 201 {
+		t.Fatalf("put: %d %s", w.Code, w.Body.String())
+	}
+	w = httptest.NewRecorder()
+	srv1.ServeHTTP(w, httptest.NewRequest("POST", "/tables/fleet/tuples",
+		strings.NewReader(`{"tuples": [{"id": "car4", "score": 90, "prob": 0.7}]}`)))
+	if w.Code != 200 {
+		t.Fatalf("append: %d %s", w.Code, w.Body.String())
+	}
+	w = httptest.NewRecorder()
+	srv1.ServeHTTP(w, httptest.NewRequest("GET", "/tables/fleet/topk?k=2", nil))
+	if w.Code != 200 {
+		t.Fatalf("query: %d", w.Code)
+	}
+	before := w.Body.String()
+
+	// Second life: no process state survives but the data dir. Closing the
+	// manager is the "crash" — it flushes nothing, only releases the
+	// data-dir lock the next life needs.
+	man1.Close()
+	srv2, man2, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = httptest.NewRecorder()
+	srv2.ServeHTTP(w, httptest.NewRequest("GET", "/tables/fleet/topk?k=2", nil))
+	if w.Code != 200 || w.Body.String() != before {
+		t.Fatalf("recovered answer differs:\nbefore %s\nafter  %d %s", before, w.Code, w.Body.String())
+	}
+
+	// -load replaces the recovered table (and the replacement is durable).
+	csvPath := filepath.Join(dir, "fleet.csv")
+	if err := os.WriteFile(csvPath, []byte("id,score,prob,group\nonly,50,0.5,\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man2.Close()
+	srv3, man3, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTables(srv3, csvPath); err != nil {
+		t.Fatal(err)
+	}
+	var info server.TableInfo
+	w = httptest.NewRecorder()
+	srv3.ServeHTTP(w, httptest.NewRequest("GET", "/tables/fleet", nil))
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Tuples != 1 {
+		t.Fatalf("-load did not replace recovered table: %+v", info)
+	}
+	man3.Close()
+	srv4, man4, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer man4.Close()
+	w = httptest.NewRecorder()
+	srv4.ServeHTTP(w, httptest.NewRequest("GET", "/tables/fleet", nil))
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Tuples != 1 {
+		t.Fatalf("replacement not durable: %+v", info)
 	}
 }

@@ -89,6 +89,24 @@
 // for the endpoint reference and the repository README for a curl
 // quickstart.
 //
+// # Durability
+//
+// With topkd -data-dir, hosted tables survive restarts: every mutation is
+// appended to a segmented, CRC32C-framed write-ahead log BEFORE its new
+// snapshot is published (internal/wal), and the registry is periodically
+// checkpointed into a versioned snapshot file that truncates the WAL
+// behind it (internal/persist). -fsync (default true) makes each
+// acknowledged mutation survive a machine crash; -fsync=false is much
+// faster and still recovers a clean prefix of the history. Recovery
+// replays snapshot + WAL, truncating a torn or corrupt tail cleanly
+// rather than mis-replaying it. Snapshot identities are process-unique
+// and re-minted on every boot, so recovered tables can never collide with
+// any cache entry from a previous life. Queries are unaffected by all of
+// this — they read immutable snapshots and never touch the log. The
+// crash-injection property test (internal/persist/crashtest) drives
+// randomized mutate/checkpoint/crash/recover interleavings and asserts
+// recovered tables answer bit-identically to the pre-crash oracle.
+//
 // # Quick start
 //
 //	table := probtopk.NewTable()

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"probtopk/internal/persist"
+	"probtopk/internal/server"
+	"probtopk/internal/synth"
+)
+
+// durabilityAppends is how many appends each durability series measures.
+const durabilityAppends = 30
+
+// FigDurability measures what the durable log adds to the serving path's
+// append latency: the in-memory baseline, the WAL without fsync, and the
+// WAL fsyncing every record. The spread between the series is the price of
+// each durability level; recovery correctness is covered by the
+// crash-injection tests, this figure tracks the cost. Not a figure from
+// the paper; request it with `topk-bench -fig durability`, typically with
+// -json so future runs can be compared.
+func FigDurability() (*Figure, error) {
+	tab, err := synth.Generate(synth.Config{N: 400, Seed: 7}.WithDefaults())
+	if err != nil {
+		return nil, err
+	}
+	var tuples []server.TupleJSON
+	for _, tp := range tab.Tuples() {
+		tuples = append(tuples, server.TupleJSON{ID: tp.ID, Score: tp.Score, Prob: tp.Prob, Group: tp.Group})
+	}
+	upload, err := json.Marshal(server.TableRequest{Tuples: tuples})
+	if err != nil {
+		return nil, err
+	}
+
+	type mode struct {
+		name    string
+		durable bool
+		fsync   bool
+	}
+	modes := []mode{
+		{"append in-memory (ms)", false, false},
+		{"append wal (ms)", true, false},
+		{"append wal+fsync (ms)", true, true},
+	}
+	fig := &Figure{
+		ID:    "durability",
+		Title: "Append latency vs durability level (400 tuples)",
+	}
+	for mi, md := range modes {
+		cfg := server.Config{AnswerCacheSize: -1}
+		var cleanup func()
+		if md.durable {
+			dir, err := os.MkdirTemp("", "topk-bench-durability")
+			if err != nil {
+				return nil, err
+			}
+			man, _, err := persist.Open(dir, persist.Options{Fsync: md.fsync})
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			cfg.Durability = man
+			cleanup = func() { man.Close(); os.RemoveAll(dir) }
+		}
+		srv := server.New(cfg)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, httptest.NewRequest("PUT", "/tables/dur", strings.NewReader(string(upload))))
+		if w.Code != 201 {
+			if cleanup != nil {
+				cleanup()
+			}
+			return nil, fmt.Errorf("bench upload: status %d", w.Code)
+		}
+		series := Series{Name: md.name}
+		var total float64
+		for i := 0; i < durabilityAppends; i++ {
+			body := fmt.Sprintf(`{"tuples": [{"id": "d%d-%d", "score": 50.5, "prob": 0.5}]}`, mi, i)
+			start := time.Now()
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, httptest.NewRequest("POST", "/tables/dur/tuples", strings.NewReader(body)))
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			if w.Code != 200 {
+				if cleanup != nil {
+					cleanup()
+				}
+				return nil, fmt.Errorf("bench append: status %d: %s", w.Code, w.Body.String())
+			}
+			series.X = append(series.X, float64(i))
+			series.Y = append(series.Y, ms)
+			total += ms
+		}
+		if cleanup != nil {
+			cleanup()
+		}
+		fig.Series = append(fig.Series, series)
+		fig.Notes = append(fig.Notes,
+			fmt.Sprintf("%s mean: %.3f ms", strings.TrimSuffix(md.name, " (ms)"), total/durabilityAppends))
+	}
+	fig.Notes = append(fig.Notes,
+		"in-memory = no durability backend; wal = logged append, OS flushes; wal+fsync = logged and fsynced before the 200 response",
+	)
+	return fig, nil
+}

@@ -399,3 +399,102 @@ func TestInvalidateNilTable(t *testing.T) {
 		t.Fatalf("entries = %d", st.Entries)
 	}
 }
+
+// TestInvalidateAfterDeleteRecreate covers the delete-recreate lifecycle
+// the durable registry performs on recovery: the original table's entry is
+// invalidated on delete, a re-created table with identical contents gets a
+// FRESH identity (recovery re-mints identities on every boot), and neither
+// Invalidate of the dead table nor late traffic on the new one can
+// resurrect or disturb the other's cache entries.
+func TestInvalidateAfterDeleteRecreate(t *testing.T) {
+	e := New(8)
+	old := randomTable(rand.New(rand.NewSource(20)), 12, 0.5)
+	oldSnap := old.Snapshot()
+	oldPrep, err := e.PrepareSnapshot(oldSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Delete": the server invalidates by table on the remove path.
+	e.Invalidate(old)
+	if st := e.Stats(); st.Entries != 0 {
+		t.Fatalf("entries = %d after delete", st.Entries)
+	}
+	// "Recreate": identical contents, fresh identity (as after recovery).
+	fresh := uncertain.NewTable()
+	for _, tp := range old.Tuples() {
+		fresh.Add(tp)
+	}
+	freshSnap := fresh.Snapshot()
+	if freshSnap.ID() == oldSnap.ID() || freshSnap.Owner() == oldSnap.Owner() {
+		t.Fatalf("recreate reused identity: %d/%d", freshSnap.ID(), freshSnap.Owner())
+	}
+	freshPrep, err := e.PrepareSnapshot(freshSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshPrep == oldPrep {
+		t.Fatal("recreated table served the dead table's preparation")
+	}
+	// Invalidating the DEAD table again must not touch the new entry...
+	e.Invalidate(old)
+	e.InvalidateSnapshot(oldSnap.ID())
+	if p, err := e.PrepareSnapshot(freshSnap); err != nil || p != freshPrep {
+		t.Fatalf("stale invalidation disturbed the live entry: %p vs %p (%v)", p, freshPrep, err)
+	}
+	// ...and invalidating the new table must not resurrect the old one.
+	e.Invalidate(fresh)
+	if st := e.Stats(); st.Entries != 0 {
+		t.Fatalf("entries = %d after invalidating recreate", st.Entries)
+	}
+}
+
+// TestInvalidateSnapshotAfterSupersede covers InvalidateSnapshot on the
+// byOwner supersede path: once a newer snapshot of the same table is
+// cached, the older entry is gone, and invalidating the old ID is a no-op
+// that must not drop the newer entry. A late re-insert of the OLD snapshot
+// (a slow query finishing after a mutation) is cached by ID without
+// touching the owner index — Invalidate(table) then removes the latest
+// entry, and InvalidateSnapshot is what reclaims the late straggler.
+func TestInvalidateSnapshotAfterSupersede(t *testing.T) {
+	e := New(8)
+	tab := randomTable(rand.New(rand.NewSource(21)), 10, 0.3)
+	s1 := tab.Snapshot()
+	if _, err := e.PrepareSnapshot(s1); err != nil {
+		t.Fatal(err)
+	}
+	tab.AddIndependent("extra", 55, 0.5)
+	s2 := tab.Snapshot()
+	p2, err := e.PrepareSnapshot(s2) // supersedes s1's entry eagerly
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d after supersede", st.Entries)
+	}
+	e.InvalidateSnapshot(s1.ID()) // stale ID: must be a no-op
+	if p, err := e.PrepareSnapshot(s2); err != nil || p != p2 {
+		t.Fatalf("stale InvalidateSnapshot dropped the live entry (%v)", err)
+	}
+
+	// Late straggler: the superseded snapshot is re-prepared after the
+	// fact (a slow query), landing in the cache by ID only.
+	if _, err := e.PrepareSnapshot(s1); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Entries != 2 {
+		t.Fatalf("entries = %d with straggler", st.Entries)
+	}
+	// The owner index still points at the LATEST snapshot: invalidating
+	// the table removes s2's entry, not the straggler...
+	e.Invalidate(tab)
+	if p, err := e.PrepareSnapshot(s1); err != nil {
+		t.Fatal(err)
+	} else if st := e.Stats(); st.Entries != 1 || st.Hits == 0 && p == nil {
+		t.Fatalf("straggler lost with the owner entry: %+v", st)
+	}
+	// ...and InvalidateSnapshot reclaims the straggler by its own ID.
+	e.InvalidateSnapshot(s1.ID())
+	if st := e.Stats(); st.Entries != 0 {
+		t.Fatalf("entries = %d after reclaiming straggler", st.Entries)
+	}
+}

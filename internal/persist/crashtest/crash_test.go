@@ -1,0 +1,271 @@
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"probtopk"
+	"probtopk/internal/persist"
+	"probtopk/internal/uncertain"
+)
+
+// crashIterations is how many randomized mutate/checkpoint/crash/recover
+// interleavings the property test drives (the acceptance bar is 1000+).
+const crashIterations = 1000
+
+// model is the in-memory oracle: the acknowledged state of every table.
+type model map[string][]uncertain.Tuple
+
+func (m model) clone() model {
+	out := make(model, len(m))
+	for name, tuples := range m {
+		out[name] = append([]uncertain.Tuple(nil), tuples...)
+	}
+	return out
+}
+
+// snapshots freezes the oracle as the states a checkpoint persists.
+func (m model) snapshots() map[string]*uncertain.Snapshot {
+	out := make(map[string]*uncertain.Snapshot, len(m))
+	for name, tuples := range m {
+		out[name] = uncertain.NewSnapshot(tuples)
+	}
+	return out
+}
+
+// tableOf materializes one oracle table.
+func tableOf(tuples []uncertain.Tuple) *probtopk.Table {
+	tab := probtopk.NewTable()
+	for _, tp := range tuples {
+		tab.Add(tp)
+	}
+	return tab
+}
+
+// genTuples returns 1–3 fresh valid tuples for table name, keeping every
+// ME group's mass under 1 however many land in it (each group member
+// carries 0.2 and groups are per-batch unique-ish across ≤ 20 ops).
+func genTuples(rng *rand.Rand, serial *int) []uncertain.Tuple {
+	n := 1 + rng.Intn(3)
+	out := make([]uncertain.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		*serial++
+		tp := uncertain.Tuple{
+			ID:    fmt.Sprintf("t%d", *serial),
+			Score: float64(rng.Intn(50)) + rng.Float64(),
+			Prob:  0.05 + 0.9*rng.Float64(),
+		}
+		if rng.Intn(3) == 0 {
+			tp.Group = fmt.Sprintf("g%d", rng.Intn(3))
+			tp.Prob = 0.2
+		}
+		out = append(out, tp)
+	}
+	return out
+}
+
+// newestSegment returns the newest WAL segment and its size, or "" if none.
+func newestSegment(t *testing.T, dir string) (string, int64) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		return "", 0
+	}
+	path := matches[len(matches)-1]
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, fi.Size()
+}
+
+// queryIdentical asserts the recovered table answers TopKDistribution and
+// CTypicalTopK bit-identically to the oracle table: same errors, and on
+// success the same lines down to the float bits (reflect.DeepEqual on
+// float64 is bitwise).
+func queryIdentical(t *testing.T, iter int, name string, recovered, oracle *probtopk.Table, rng *rand.Rand) {
+	t.Helper()
+	k := 1 + rng.Intn(3)
+	dr, errR := probtopk.TopKDistribution(recovered, k, nil)
+	do, errO := probtopk.TopKDistribution(oracle, k, nil)
+	if (errR == nil) != (errO == nil) {
+		t.Fatalf("iter %d table %q k=%d: recovered err %v, oracle err %v", iter, name, k, errR, errO)
+	}
+	if errR == nil {
+		if !reflect.DeepEqual(dr.Lines(), do.Lines()) {
+			t.Fatalf("iter %d table %q k=%d: distributions differ\nrecovered %v\noracle    %v",
+				iter, name, k, dr.Lines(), do.Lines())
+		}
+	}
+	lr, errR := probtopk.CTypicalTopK(recovered, k, 2, nil)
+	lo, errO := probtopk.CTypicalTopK(oracle, k, 2, nil)
+	if (errR == nil) != (errO == nil) {
+		t.Fatalf("iter %d table %q: typical errs %v vs %v", iter, name, errR, errO)
+	}
+	if errR == nil && !reflect.DeepEqual(lr, lo) {
+		t.Fatalf("iter %d table %q: typical answers differ\nrecovered %v\noracle    %v", iter, name, lr, lo)
+	}
+}
+
+// TestCrashRecoveryProperty drives randomized interleavings of mutations,
+// checkpoints and crashes through the durability layer. Crashes are
+// injected three ways: a write budget that dies mid-record (FailingFile),
+// garbage appended to the WAL tail (a torn next record), and a truncation
+// inside the last acknowledged record's frame (a record the crash tore
+// before it was durable — the oracle then forgets that op too). After every
+// crash, recovery must reproduce the oracle exactly: same tables, same
+// tuples, and query answers that are bit-identical.
+func TestCrashRecoveryProperty(t *testing.T) {
+	iterations := crashIterations
+	if testing.Short() {
+		iterations = 200
+	}
+	base := t.TempDir()
+	for iter := 0; iter < iterations; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter) * 7919))
+		dir := filepath.Join(base, fmt.Sprintf("it%04d", iter))
+
+		opts := persist.Options{
+			Fsync:        iter%10 == 0, // mostly off: content survives either way, fsync paths still covered
+			SegmentBytes: int64(512 + rng.Intn(2048)),
+		}
+		var budget *Budget
+		if iter%2 == 1 {
+			budget = NewBudget(int64(200 + rng.Intn(2000)))
+			opts.OpenFile = budget.OpenFile
+		}
+
+		m, recovered, err := persist.Open(dir, opts)
+		if err != nil {
+			// The injected budget can die during Open itself; that is a
+			// crash before any op — recovery below must yield nothing.
+			if budget == nil || !budget.Tripped() {
+				t.Fatalf("iter %d: open: %v", iter, err)
+			}
+		}
+		if len(recovered) != 0 {
+			t.Fatalf("iter %d: fresh dir recovered %d tables", iter, len(recovered))
+		}
+
+		oracle := model{}
+		serial := 0
+		crashed := m == nil
+
+		// tail tracking for the torn-last-record crash mode
+		var tailPath string
+		var tailBefore, tailAfter int64
+		var beforeLastOp model
+		tailValid := false
+
+		steps := 3 + rng.Intn(8)
+		for s := 0; s < steps && !crashed; s++ {
+			names := make([]string, 0, len(oracle))
+			for name := range oracle {
+				names = append(names, name)
+			}
+			pick := func() string { return names[rng.Intn(len(names))] }
+
+			switch op := rng.Intn(10); {
+			case op < 2 && len(names) > 0 && m != nil: // checkpoint
+				if err := m.Checkpoint(oracle.snapshots()); err != nil {
+					crashed = true
+				}
+				tailValid = false
+			case op < 5 || len(names) == 0: // put (create or replace)
+				name := fmt.Sprintf("tab%d", rng.Intn(3))
+				tuples := genTuples(rng, &serial)
+				prev := oracle.clone()
+				path0, size0 := newestSegment(t, dir)
+				if err := m.LogPut(name, tuples); err != nil {
+					crashed = true
+					break
+				}
+				path1, size1 := newestSegment(t, dir)
+				beforeLastOp, tailPath, tailBefore, tailAfter = prev, path1, size0, size1
+				tailValid = path0 == path1 && size1 > size0
+				oracle[name] = append([]uncertain.Tuple(nil), tuples...)
+			case op < 8: // append
+				name := pick()
+				tuples := genTuples(rng, &serial)
+				prev := oracle.clone()
+				path0, size0 := newestSegment(t, dir)
+				if err := m.LogAppend(name, tuples); err != nil {
+					crashed = true
+					break
+				}
+				path1, size1 := newestSegment(t, dir)
+				beforeLastOp, tailPath, tailBefore, tailAfter = prev, path1, size0, size1
+				tailValid = path0 == path1 && size1 > size0
+				oracle[name] = append(oracle[name], tuples...)
+			default: // delete
+				name := pick()
+				prev := oracle.clone()
+				path0, size0 := newestSegment(t, dir)
+				if err := m.LogDelete(name); err != nil {
+					crashed = true
+					break
+				}
+				path1, size1 := newestSegment(t, dir)
+				beforeLastOp, tailPath, tailBefore, tailAfter = prev, path1, size0, size1
+				tailValid = path0 == path1 && size1 > size0
+				delete(oracle, name)
+			}
+		}
+		if m != nil {
+			m.Close() // closing flushes nothing extra: equivalent to the crash
+		}
+
+		// Crash surgery on the dead process's files.
+		switch mode := rng.Intn(3); {
+		case mode == 1: // torn next record: garbage after the acknowledged tail
+			if path, size := newestSegment(t, dir); path != "" && size > 0 {
+				f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				garbage := make([]byte, 1+rng.Intn(40))
+				rng.Read(garbage)
+				f.Write(garbage)
+				f.Close()
+			}
+		case mode == 2 && tailValid && !crashed: // the last record itself was torn
+			cut := tailBefore + rng.Int63n(tailAfter-tailBefore)
+			if err := os.Truncate(tailPath, cut); err != nil {
+				t.Fatal(err)
+			}
+			oracle = beforeLastOp // that op was never durable
+		}
+
+		// Recover with a healthy process and compare against the oracle.
+		m2, tables, err := persist.Open(dir, persist.Options{})
+		if err != nil {
+			t.Fatalf("iter %d: recovery: %v", iter, err)
+		}
+		if len(tables) != len(oracle) {
+			t.Fatalf("iter %d: recovered %d tables, oracle has %d", iter, len(tables), len(oracle))
+		}
+		for name, want := range oracle {
+			tab, ok := tables[name]
+			if !ok {
+				t.Fatalf("iter %d: lost table %q", iter, name)
+			}
+			got := tab.Tuples()
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("iter %d: table %q recovered %v, oracle %v", iter, name, got, want)
+			}
+			queryIdentical(t, iter, name, tab, tableOf(want), rng)
+		}
+		m2.Close()
+		os.RemoveAll(dir) // keep the tempdir small across 1000 iterations
+	}
+}

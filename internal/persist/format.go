@@ -1,0 +1,263 @@
+// Package persist makes hosted tables durable: it pairs a snapshot file —
+// a full checkpoint of every table's frozen contents — with the
+// write-ahead log of internal/wal, and recovers their union on boot.
+//
+// # Snapshot file format (version 1)
+//
+// One file, checkpoint.snap, holds every table of a checkpoint:
+//
+//	8 bytes  magic "PTKSNAPS"
+//	uint32   format version (little-endian, currently 1)
+//	uvarint  WAL watermark: the first WAL segment sequence number whose
+//	         records are NOT covered by this snapshot (wal.Options
+//	         .MinSegment on recovery — older segments would double-apply)
+//	uvarint  table count
+//	  per table, in ascending name order:
+//	  string   table name
+//	  — ME-group section —
+//	  uvarint  group count
+//	  string…  group names, in order of first appearance
+//	  — tuple section —
+//	  uvarint  tuple count
+//	    per tuple, in insertion order:
+//	    string   id
+//	    uvarint  group reference: 0 = independent, g+1 = groups[g]
+//	    uint64   score bits (math.Float64bits, little-endian)
+//	    uint64   probability bits
+//	uint32   CRC32C (Castagnoli) of everything above
+//
+// Strings are uvarint length prefixes followed by raw bytes. The group
+// section exists so repeated ME-group keys are stored once and the tuple
+// rows stay fixed-width apart from their ids.
+//
+// The file is written to a temporary name, fsynced, and atomically renamed
+// over the previous checkpoint, so a crash mid-checkpoint leaves the old
+// snapshot (and the not-yet-truncated WAL) intact. The format is pinned by
+// the golden files under testdata/golden: readers of today must decode
+// them forever.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"probtopk/internal/uncertain"
+	"probtopk/internal/wal"
+)
+
+// snapMagic opens every snapshot file.
+const snapMagic = "PTKSNAPS"
+
+// FormatVersion is the snapshot format this package writes. Readers accept
+// exactly the versions they know; an unknown version is an error, never a
+// guess.
+const FormatVersion = 1
+
+// SnapshotFileName is the checkpoint file inside a data directory.
+const SnapshotFileName = "checkpoint.snap"
+
+// snapTmpName is the scratch name a checkpoint is staged under before the
+// atomic rename.
+const snapTmpName = "checkpoint.snap.tmp"
+
+// maxSnapStringBytes bounds any string in a snapshot file.
+const maxSnapStringBytes = 1 << 20
+
+// castagnoli is the shared CRC32C table.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeTables serializes tables deterministically (names sorted), with
+// the WAL watermark, checksum included.
+func encodeTables(tables map[string][]uncertain.Tuple, walSeq uint64) []byte {
+	names := make([]string, 0, len(tables))
+	for name := range tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	buf := []byte(snapMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, FormatVersion)
+	buf = binary.AppendUvarint(buf, walSeq)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		buf = appendString(buf, name)
+		tuples := tables[name]
+		// ME-group section: distinct group keys in first-appearance order.
+		var groups []string
+		groupRef := make(map[string]uint64)
+		for _, tp := range tuples {
+			if tp.Group != "" {
+				if _, ok := groupRef[tp.Group]; !ok {
+					groupRef[tp.Group] = uint64(len(groups))
+					groups = append(groups, tp.Group)
+				}
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(groups)))
+		for _, g := range groups {
+			buf = appendString(buf, g)
+		}
+		// Tuple section.
+		buf = binary.AppendUvarint(buf, uint64(len(tuples)))
+		for _, tp := range tuples {
+			buf = appendString(buf, tp.ID)
+			ref := uint64(0)
+			if tp.Group != "" {
+				ref = groupRef[tp.Group] + 1
+			}
+			buf = binary.AppendUvarint(buf, ref)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(tp.Score))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(tp.Prob))
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// decodeTables parses a snapshot file's full contents. It is defensive —
+// arbitrary bytes must produce an error, never a panic or a huge
+// allocation — but it does not validate the data model; callers vet the
+// tuples with uncertain.ValidateTuples before serving them.
+func decodeTables(data []byte) (map[string][]uncertain.Tuple, uint64, error) {
+	if len(data) < len(snapMagic)+4+4 {
+		return nil, 0, errors.New("persist: snapshot file too short")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, 0, errors.New("persist: snapshot checksum mismatch")
+	}
+	if string(body[:len(snapMagic)]) != snapMagic {
+		return nil, 0, errors.New("persist: bad snapshot magic")
+	}
+	if v := binary.LittleEndian.Uint32(body[len(snapMagic):]); v != FormatVersion {
+		return nil, 0, fmt.Errorf("persist: unsupported snapshot format version %d (have %d)", v, FormatVersion)
+	}
+	d := wal.Decoder{Buf: body[len(snapMagic)+4:], Prefix: "persist"}
+	walSeq := d.Uvarint()
+	nTables := d.Uvarint()
+	tables := make(map[string][]uncertain.Tuple)
+	for i := uint64(0); i < nTables && d.Err() == nil; i++ {
+		name := d.String(maxSnapStringBytes)
+		if _, dup := tables[name]; dup {
+			d.Fail("duplicate table %q", name)
+			break
+		}
+		nGroups := d.Uvarint()
+		if d.Err() == nil && nGroups > uint64(len(d.Buf))+1 {
+			d.Fail("group count %d exceeds payload", nGroups)
+			break
+		}
+		groups := make([]string, 0, min(nGroups, 1024))
+		for g := uint64(0); g < nGroups && d.Err() == nil; g++ {
+			groups = append(groups, d.String(maxSnapStringBytes))
+		}
+		nTuples := d.Uvarint()
+		// A tuple costs at least 18 encoded bytes (id prefix, group ref,
+		// two float64s), so a lying count cannot force a huge allocation.
+		if d.Err() == nil && nTuples > uint64(len(d.Buf))/18+1 {
+			d.Fail("tuple count %d exceeds payload", nTuples)
+			break
+		}
+		var tuples []uncertain.Tuple
+		if d.Err() == nil && nTuples > 0 {
+			tuples = make([]uncertain.Tuple, 0, nTuples)
+		}
+		for j := uint64(0); j < nTuples && d.Err() == nil; j++ {
+			tp := uncertain.Tuple{ID: d.String(maxSnapStringBytes)}
+			ref := d.Uvarint()
+			if d.Err() == nil && ref > 0 {
+				if ref > uint64(len(groups)) {
+					d.Fail("group reference %d out of range", ref)
+					break
+				}
+				tp.Group = groups[ref-1]
+			}
+			tp.Score = math.Float64frombits(d.Uint64())
+			tp.Prob = math.Float64frombits(d.Uint64())
+			if d.Err() == nil {
+				tuples = append(tuples, tp)
+			}
+		}
+		if d.Err() == nil {
+			tables[name] = tuples
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, 0, err
+	}
+	if len(d.Buf) != 0 {
+		return nil, 0, fmt.Errorf("persist: %d trailing snapshot bytes", len(d.Buf))
+	}
+	return tables, walSeq, nil
+}
+
+// openFunc opens a file for writing; see Options.OpenFile.
+type openFunc func(path string, flag int, perm os.FileMode) (wal.File, error)
+
+// defaultOpen is the real-filesystem openFunc.
+func defaultOpen(path string, flag int, perm os.FileMode) (wal.File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+// writeSnapshotFile stages the encoded tables under a temporary name and
+// atomically renames it over the checkpoint file. The staged file is
+// ALWAYS fsynced before the rename (and the directory after), whatever the
+// WAL's fsync policy: the WAL behind a committed checkpoint is deleted, so
+// an un-flushed checkpoint surviving its rename would be an unrecoverable
+// corruption, not merely a lost suffix. Checkpoints are rare; the sync is
+// cheap insurance.
+func writeSnapshotFile(dir string, tables map[string][]uncertain.Tuple, walSeq uint64, open openFunc) error {
+	data := encodeTables(tables, walSeq)
+	tmp := filepath.Join(dir, snapTmpName)
+	f, err := open(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, SnapshotFileName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// readSnapshotFile loads the checkpoint file of dir, returning the tables
+// and the WAL watermark. A missing file is an empty checkpoint, not an
+// error; a present-but-corrupt file IS an error — the WAL behind a
+// checkpoint was deleted, so there is no safe fallback and the operator
+// must intervene.
+func readSnapshotFile(dir string) (map[string][]uncertain.Tuple, uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, SnapshotFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return map[string][]uncertain.Tuple{}, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("persist: %w", err)
+	}
+	return decodeTables(data)
+}
+
+// appendString aliases the string framing shared with the WAL codec.
+func appendString(buf []byte, s string) []byte { return wal.AppendString(buf, s) }

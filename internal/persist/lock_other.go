@@ -1,0 +1,9 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// lockDataDir is a no-op where flock is unavailable: the data directory is
+// unguarded against a second live process, which the unix build prevents.
+func lockDataDir(dir string) (*os.File, error) { return nil, nil }

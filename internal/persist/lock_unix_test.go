@@ -1,0 +1,29 @@
+//go:build unix
+
+package persist
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDataDirSingleWriter: a second live Manager on the same data dir must
+// be refused — two writers would interleave frames into one segment and
+// delete each other's segments at checkpoint — and the lock must die with
+// the holder, so a crash (Close) never wedges the successor.
+func TestDataDirSingleWriter(t *testing.T) {
+	dir := t.TempDir()
+	m1, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second Open on a live dir: %v, want lock refusal", err)
+	}
+	m1.Close()
+	m2, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after the holder died: %v", err)
+	}
+	m2.Close()
+}

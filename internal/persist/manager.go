@@ -1,0 +1,278 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"probtopk/internal/uncertain"
+	"probtopk/internal/wal"
+)
+
+// Options tune a Manager. The zero value fsyncs nothing, never
+// auto-checkpoints, and uses the default WAL segment size.
+type Options struct {
+	// Fsync makes every logged mutation (and every checkpoint) fsync before
+	// it is acknowledged. Off, the OS flushes when it likes: a crash may
+	// lose the most recent acknowledged mutations, but recovery still
+	// yields a clean earlier state.
+	Fsync bool
+	// CheckpointEvery marks a checkpoint as due after this many logged
+	// records. <= 0 means checkpoints happen only when the caller asks.
+	CheckpointEvery int
+	// SegmentBytes is the WAL segment-rotation threshold; 0 = the WAL
+	// default.
+	SegmentBytes int64
+	// OpenFile opens files for writing (WAL segments and staged
+	// snapshots). nil means os.OpenFile; tests inject failures here.
+	OpenFile func(path string, flag int, perm os.FileMode) (wal.File, error)
+}
+
+// Stats is a snapshot of a Manager's counters for /debug/stats.
+type Stats struct {
+	WAL                    wal.Stats
+	RecordsSinceCheckpoint int
+	Checkpoints            uint64
+	CheckpointErrors       uint64
+	// LastCheckpointNanos is the wall-clock cost of the most recent
+	// successful checkpoint.
+	LastCheckpointNanos int64
+	// ReplayedRecords and ReplayTruncated describe the boot-time recovery.
+	ReplayedRecords int
+	ReplayTruncated bool
+}
+
+// Manager is the durability backend for a table registry: it logs every
+// mutation to the WAL before the caller publishes it, and checkpoints the
+// full registry into a snapshot file, truncating the WAL behind it. A
+// Manager is safe for concurrent use, but the caller must still order
+// logging before publication per mutation (internal/server holds its
+// durability mutex across both).
+type Manager struct {
+	dir  string
+	opts Options
+
+	mu                  sync.Mutex
+	log                 *wal.Log
+	lock                *os.File // held flock on the data dir; nil on non-unix
+	since               int      // records logged since the last checkpoint
+	checkpoints         uint64
+	checkpointErrors    uint64
+	lastCheckpointNanos int64
+	replay              wal.ReplayInfo
+}
+
+// Open recovers the durable state of dir — the checkpoint snapshot plus
+// every WAL record behind it — and returns the manager together with the
+// recovered tables. The returned tables are freshly built: their
+// identities and snapshot IDs are process-unique and have nothing to do
+// with any pre-crash process's (identities are re-minted on every boot).
+func Open(dir string, opts Options) (*Manager, map[string]*uncertain.Table, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("persist: %w", err)
+	}
+	// One live process per data dir: a second writer would interleave
+	// frames into the shared segment and delete segments the first still
+	// counts on at checkpoint.
+	lock, err := lockDataDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(err error) (*Manager, map[string]*uncertain.Table, error) {
+		if lock != nil {
+			lock.Close()
+		}
+		return nil, nil, err
+	}
+	state, walSeq, err := readSnapshotFile(dir)
+	if err != nil {
+		return fail(err)
+	}
+	for name, tuples := range state {
+		if err := uncertain.ValidateTuples(tuples); err != nil {
+			return fail(fmt.Errorf("persist: snapshot table %q: %w", name, err))
+		}
+	}
+	sync := wal.SyncNever
+	if opts.Fsync {
+		sync = wal.SyncAlways
+	}
+	log, err := wal.Open(dir, wal.Options{
+		Sync:         sync,
+		SegmentBytes: opts.SegmentBytes,
+		// The snapshot's watermark: segments below it are already folded
+		// into state; replaying them would double-apply (they survive only
+		// when a crash interrupted the previous checkpoint's cleanup).
+		MinSegment: walSeq,
+		OpenFile:   opts.OpenFile,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	info, err := log.Replay(func(r wal.Record) error { return applyRecord(state, r) })
+	if err != nil {
+		log.Close()
+		return fail(err)
+	}
+	tables := make(map[string]*uncertain.Table, len(state))
+	for name, tuples := range state {
+		tab := uncertain.NewTable()
+		for _, tp := range tuples {
+			tab.Add(tp)
+		}
+		tables[name] = tab
+	}
+	m := &Manager{dir: dir, opts: opts, log: log, lock: lock, since: info.Records, replay: info}
+	return m, tables, nil
+}
+
+// applyRecord folds one WAL record into the recovered state. Any rejection
+// — an op that cannot apply, or contents that break the data-model
+// invariants — makes the replayer truncate the log at this record, so a
+// corrupt-but-checksummed record can never become a served table.
+func applyRecord(state map[string][]uncertain.Tuple, r wal.Record) error {
+	switch r.Op {
+	case wal.OpPut:
+		cand := append([]uncertain.Tuple(nil), r.Tuples...)
+		if err := uncertain.ValidateTuples(cand); err != nil {
+			return err
+		}
+		state[r.Name] = cand
+	case wal.OpAppend:
+		base, ok := state[r.Name]
+		if !ok {
+			return fmt.Errorf("append to unknown table %q", r.Name)
+		}
+		cand := make([]uncertain.Tuple, 0, len(base)+len(r.Tuples))
+		cand = append(append(cand, base...), r.Tuples...)
+		if err := uncertain.ValidateTuples(cand); err != nil {
+			return err
+		}
+		state[r.Name] = cand
+	case wal.OpDelete:
+		if _, ok := state[r.Name]; !ok {
+			return fmt.Errorf("delete of unknown table %q", r.Name)
+		}
+		delete(state, r.Name)
+	default:
+		return fmt.Errorf("unknown op %d", byte(r.Op))
+	}
+	return nil
+}
+
+// ReplayInfo describes the boot-time recovery (how many records were
+// replayed, and whether a torn tail was truncated).
+func (m *Manager) ReplayInfo() wal.ReplayInfo { return m.replay }
+
+// LogPut logs a create-or-replace of name with the given full contents.
+// The record is durable (per the fsync policy) when LogPut returns nil;
+// the caller publishes the new state only then.
+func (m *Manager) LogPut(name string, tuples []uncertain.Tuple) error {
+	return m.logRecord(wal.Record{Op: wal.OpPut, Name: name, Tuples: tuples})
+}
+
+// LogAppend logs appending tuples to name.
+func (m *Manager) LogAppend(name string, tuples []uncertain.Tuple) error {
+	return m.logRecord(wal.Record{Op: wal.OpAppend, Name: name, Tuples: tuples})
+}
+
+// LogDelete logs dropping name.
+func (m *Manager) LogDelete(name string) error {
+	return m.logRecord(wal.Record{Op: wal.OpDelete, Name: name})
+}
+
+func (m *Manager) logRecord(r wal.Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.log.Append(r); err != nil {
+		return err
+	}
+	m.since++
+	return nil
+}
+
+// CheckpointDue reports whether enough records have accumulated since the
+// last checkpoint to warrant one (per Options.CheckpointEvery).
+func (m *Manager) CheckpointDue() bool {
+	if m.opts.CheckpointEvery <= 0 {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.since >= m.opts.CheckpointEvery
+}
+
+// Checkpoint persists the given full registry state — every hosted table's
+// current snapshot — into the snapshot file and truncates the WAL behind
+// it. The caller must guarantee states reflects every mutation it has
+// logged (internal/server holds its durability mutex across the gather and
+// this call).
+//
+// The sequence is crash-safe at every boundary: first a fresh WAL segment
+// is started and its sequence number becomes the snapshot's watermark;
+// then the snapshot is staged, fsynced and renamed; only then are the
+// segments below the watermark deleted. A crash before the rename leaves
+// the old snapshot and the full WAL (nothing lost, checkpoint postponed);
+// a crash after it leaves stale pre-watermark segments that recovery
+// skips and cleans — never double-applies. On error nothing acknowledged
+// is lost either.
+func (m *Manager) Checkpoint(states map[string]*uncertain.Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := time.Now()
+	tables := make(map[string][]uncertain.Tuple, len(states))
+	for name, snap := range states {
+		tables[name] = snap.Tuples()
+	}
+	open := m.opts.OpenFile
+	if open == nil {
+		open = defaultOpen
+	}
+	seq, err := m.log.StartSegment()
+	if err != nil {
+		m.checkpointErrors++
+		return err
+	}
+	if err := writeSnapshotFile(m.dir, tables, seq, open); err != nil {
+		m.checkpointErrors++
+		return err
+	}
+	if err := m.log.DropBefore(seq); err != nil {
+		m.checkpointErrors++
+		return err
+	}
+	m.since = 0
+	m.checkpoints++
+	m.lastCheckpointNanos = time.Since(start).Nanoseconds()
+	return nil
+}
+
+// Stats returns the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		WAL:                    m.log.Stats(),
+		RecordsSinceCheckpoint: m.since,
+		Checkpoints:            m.checkpoints,
+		CheckpointErrors:       m.checkpointErrors,
+		LastCheckpointNanos:    m.lastCheckpointNanos,
+		ReplayedRecords:        m.replay.Records,
+		ReplayTruncated:        m.replay.Truncated,
+	}
+}
+
+// Close releases the WAL handle and the data-dir lock. It does not flush
+// beyond the configured policy: closing is equivalent to a crash, which is
+// exactly the guarantee recovery is tested against.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	err := m.log.Close()
+	if m.lock != nil {
+		m.lock.Close() // releases the flock
+		m.lock = nil
+	}
+	return err
+}

@@ -1,0 +1,133 @@
+//go:build ignore
+
+// Command gen regenerates the checked-in persistence fixtures:
+//
+//	go run internal/persist/testdata/gen.go
+//
+// from the repository root. It writes the golden snapshot + WAL pair under
+// internal/persist/testdata/golden/ (the format-regression gate: today's
+// readers must decode these bytes forever) and the seed corpus under
+// internal/persist/testdata/fuzz/FuzzReplayWAL/. Regenerating is only
+// legitimate alongside a deliberate, versioned format change.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"probtopk/internal/persist"
+	"probtopk/internal/uncertain"
+	"probtopk/internal/wal"
+)
+
+func main() {
+	root := filepath.Join("internal", "persist", "testdata")
+	golden := filepath.Join(root, "golden")
+	corpus := filepath.Join(root, "fuzz", "FuzzReplayWAL")
+	for _, dir := range []string{golden, corpus} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The checkpoint: two tables, one with ME groups, one independent-only,
+	// built through the real Manager so the fixture is exactly what a
+	// checkpoint writes.
+	fleet := uncertain.NewTable().
+		AddIndependent("car1", 80, 0.9).
+		AddExclusive("car2", "lane3", 70, 0.4).
+		AddExclusive("car3", "lane3", 65, 0.5)
+	radar := uncertain.NewTable().
+		AddIndependent("r1", 12.5, 0.125).
+		AddIndependent("r2", -3, 1)
+	snapDir, err := os.MkdirTemp("", "snapgen")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(snapDir)
+	man, _, err := persist.Open(snapDir, persist.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = man.Checkpoint(map[string]*uncertain.Snapshot{
+		"fleet": fleet.Snapshot(),
+		"radar": radar.Snapshot(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	man.Close()
+	snap, err := os.ReadFile(filepath.Join(snapDir, persist.SnapshotFileName))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(golden, persist.SnapshotFileName), snap, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	// The WAL on top of it: a put, an append, and a delete, exercising all
+	// three ops and group-carrying tuples. The segment is named at the
+	// snapshot's watermark (the checkpoint above leaves walSeq=2) so the
+	// reader replays it instead of skipping it as checkpoint-covered.
+	seg := buildSegment([]wal.Record{
+		{Op: wal.OpPut, Name: "sensors", Tuples: []uncertain.Tuple{
+			{ID: "s1", Score: 99.5, Prob: 0.25},
+			{ID: "s2", Score: 88, Prob: 0.5, Group: "pair"},
+			{ID: "s3", Score: 77, Prob: 0.5, Group: "pair"},
+		}},
+		{Op: wal.OpAppend, Name: "fleet", Tuples: []uncertain.Tuple{
+			{ID: "car4", Score: 90, Prob: 0.7},
+		}},
+		{Op: wal.OpDelete, Name: "radar"},
+	})
+	if err := os.WriteFile(filepath.Join(golden, "wal-00000002.seg"), seg, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(golden, "wal-00000001.seg")); err != nil && !os.IsNotExist(err) {
+		log.Fatal(err)
+	}
+
+	// Fuzz seeds: the golden segment, a torn tail, and a lone magic.
+	seeds := map[string][]byte{
+		"golden-segment": seg,
+		"torn-tail":      seg[:len(seg)-7],
+		"bare-magic":     []byte("PTKWAL01"),
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(corpus, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("fixtures regenerated")
+}
+
+// buildSegment appends records through a real log in a scratch dir and
+// returns the resulting segment bytes.
+func buildSegment(records []wal.Record) []byte {
+	dir, err := os.MkdirTemp("", "walgen")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	l, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := l.Replay(func(wal.Record) error { return nil }); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range records {
+		if err := l.Append(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	l.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "wal-00000001.seg"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return data
+}

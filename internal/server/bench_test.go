@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"probtopk/internal/persist"
 	"probtopk/internal/synth"
 )
 
@@ -145,4 +146,51 @@ func BenchmarkMutateUnderQuery(b *testing.B) {
 	}
 	b.Run("uncontended", func(b *testing.B) { run(b, 0) })
 	b.Run("under-slow-query", func(b *testing.B) { run(b, 2) })
+}
+
+// BenchmarkAppendDurable measures what the durable log adds to one
+// appended tuple on the serving path: the in-memory baseline, the WAL
+// without fsync (the OS flushes), and the WAL fsyncing every record (an
+// acknowledged append survives a machine crash). Compare the three in the
+// bench JSON alongside the "durability" figure of topk-bench.
+func BenchmarkAppendDurable(b *testing.B) {
+	upload := benchUploadBody(b)
+	run := func(b *testing.B, durable, fsync bool) {
+		cfg := Config{}
+		if durable {
+			man, _, err := persist.Open(b.TempDir(), persist.Options{Fsync: fsync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer man.Close()
+			cfg.Durability = man
+		}
+		s := benchServer(b, cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%512 == 0 {
+				// Reset the table so the append's clone cost stays
+				// representative instead of growing with b.N.
+				b.StopTimer()
+				req := httptest.NewRequest("PUT", "/tables/bench", strings.NewReader(upload))
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("reset: %d %s", rec.Code, rec.Body.String())
+				}
+				b.StartTimer()
+			}
+			body := fmt.Sprintf(`{"tuples": [{"id": "d%d", "score": 50.5, "prob": 0.5}]}`, i)
+			req := httptest.NewRequest("POST", "/tables/bench/tuples", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("append: %d %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+	b.Run("memory", func(b *testing.B) { run(b, false, false) })
+	b.Run("wal", func(b *testing.B) { run(b, true, false) })
+	b.Run("wal-fsync", func(b *testing.B) { run(b, true, true) })
 }

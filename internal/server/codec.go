@@ -434,6 +434,21 @@ type LatencyJSON struct {
 	TotalNs uint64 `json:"totalNs"`
 }
 
+// DurabilityJSON mirrors the WAL and checkpoint counters on /debug/stats;
+// present only when the server runs with a durability backend.
+type DurabilityJSON struct {
+	WALRecords             uint64 `json:"walRecords"`
+	WALBytes               uint64 `json:"walBytes"`
+	WALSyncs               uint64 `json:"walSyncs"`
+	WALSegments            int    `json:"walSegments"`
+	RecordsSinceCheckpoint int    `json:"recordsSinceCheckpoint"`
+	Checkpoints            uint64 `json:"checkpoints"`
+	CheckpointErrors       uint64 `json:"checkpointErrors"`
+	LastCheckpointNs       int64  `json:"lastCheckpointNs"`
+	ReplayedRecords        int    `json:"replayedRecords"`
+	ReplayTruncated        bool   `json:"replayTruncated,omitempty"`
+}
+
 // StatsResponse is the body of GET /debug/stats.
 type StatsResponse struct {
 	Tables int `json:"tables"`
@@ -450,6 +465,9 @@ type StatsResponse struct {
 	// QueryErrors counts query requests that ended in an error response.
 	QueryErrors   uint64  `json:"queryErrors"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Durability carries the WAL/checkpoint counters when the server runs
+	// with a durability backend; omitted otherwise.
+	Durability *DurabilityJSON `json:"durability,omitempty"`
 }
 
 func lineJSON(l probtopk.Line) LineJSON {

@@ -3,8 +3,10 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strings"
 	"time"
@@ -87,14 +89,35 @@ func decodeTableBody(r *http.Request) (*probtopk.Table, error) {
 
 // CreateTable installs tab under name, replacing any previous table — the
 // programmatic equivalent of PUT /tables/{name}, used by the daemon's
-// startup loader. It reports whether the name was new.
+// startup loader. It reports whether the name was new. On a durable server
+// the installation is logged like any other mutation.
 func (s *Server) CreateTable(name string, tab *probtopk.Table) (created bool, err error) {
-	_, created, err = s.createTable(name, tab)
+	_, created, err = s.installTable(name, tab, true)
 	return created, err
+}
+
+// RestoreTable installs a recovered table WITHOUT logging it: it came from
+// the log, so it is already durable, and re-logging recovered state on
+// every boot would grow the WAL without bound. The daemon calls this for
+// each table persist.Open returned, before serving starts. The restored
+// table's snapshot identity is freshly minted (identities are
+// process-unique), so no cache entry from a previous process's life can be
+// resurrected for it.
+func (s *Server) RestoreTable(name string, tab *probtopk.Table) error {
+	_, _, err := s.installTable(name, tab, false)
+	return err
 }
 
 // createTable validates and publishes tab, returning the published state.
 func (s *Server) createTable(name string, tab *probtopk.Table) (*tableState, bool, error) {
+	return s.installTable(name, tab, true)
+}
+
+// installTable validates tab and publishes it under name. With logIt on a
+// durable server, the put record is appended to the WAL before the
+// registry swap, under the durability mutex that orders the log's serial
+// history against publication.
+func (s *Server) installTable(name string, tab *probtopk.Table, logIt bool) (*tableState, bool, error) {
 	if err := checkTableName(name); err != nil {
 		return nil, false, err
 	}
@@ -104,12 +127,83 @@ func (s *Server) createTable(name string, tab *probtopk.Table) (*tableState, boo
 	if err := checkUniqueIDs(tab); err != nil {
 		return nil, false, err
 	}
-	published, replaced := s.reg.put(name, tab)
+	var published, replaced *tableState
+	if s.durable != nil && logIt {
+		s.durMu.Lock()
+		if err := s.durable.LogPut(name, tab.Tuples()); err != nil {
+			s.durMu.Unlock()
+			return nil, false, &durabilityError{err}
+		}
+		published, replaced = s.reg.put(name, tab)
+		s.durMu.Unlock()
+	} else {
+		published, replaced = s.reg.put(name, tab)
+	}
 	s.cache.InvalidateTable(name)
 	if replaced != nil {
 		s.engine.Invalidate(replaced.tab)
 	}
+	if logIt {
+		// Never on the restore path: mid-boot the registry holds only the
+		// tables restored so far, and a checkpoint would truncate the WAL
+		// against that partial state.
+		s.maybeCheckpoint()
+	}
 	return published, replaced == nil, nil
+}
+
+// durabilityError marks a mutation rejected because it could not be made
+// durable. The served state is untouched and the caller should retry;
+// handlers map it to 503. Error carries the full cause so non-HTTP
+// callers (the daemon's boot-time loader) surface it to the operator; the
+// HTTP path writes a fixed message instead, because the cause may name
+// file paths that must never reach clients.
+type durabilityError struct{ err error }
+
+func (e *durabilityError) Error() string { return "durability: " + e.err.Error() }
+func (e *durabilityError) Unwrap() error { return e.err }
+
+// writeMutationError routes a mutation failure to the right status:
+// durability failures are 503 (retryable, server-side, detail logged but
+// not echoed), everything else is the caller's 400.
+func (s *Server) writeMutationError(w http.ResponseWriter, err error) {
+	var de *durabilityError
+	if errors.As(err, &de) {
+		log.Printf("server: %v (mutation not applied)", de)
+		writeError(w, http.StatusServiceUnavailable,
+			errors.New("durable log unavailable; mutation not applied"))
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
+}
+
+// maybeCheckpoint checkpoints the registry when enough mutations have
+// accumulated. It holds the durability mutex across gathering the
+// registry's published states and the checkpoint itself, so the persisted
+// snapshot reflects every logged record and the WAL truncation behind it
+// can never drop a record the snapshot missed. Mutations of other tables
+// wait; queries are unaffected.
+func (s *Server) maybeCheckpoint() {
+	if s.durable == nil || !s.durable.CheckpointDue() {
+		return
+	}
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	if !s.durable.CheckpointDue() { // a racing mutation already checkpointed
+		return
+	}
+	states := make(map[string]*probtopk.Snapshot)
+	for _, name := range s.reg.names() {
+		if st, ok := s.reg.load(name); ok {
+			states[name] = st.snap
+		}
+	}
+	if err := s.durable.Checkpoint(states); err != nil {
+		// Nothing is lost: the WAL still holds every record and the old
+		// snapshot is intact. The checkpoint is retried after the next
+		// mutation.
+		log.Printf("server: checkpoint failed (will retry): %v", err)
+	}
 }
 
 func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
@@ -121,7 +215,7 @@ func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
 	}
 	st, created, err := s.createTable(name, tab)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeMutationError(w, err)
 		return
 	}
 	status := http.StatusOK
@@ -161,13 +255,35 @@ func (s *Server) handleGetTableCSV(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteTable(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	st, ok := s.reg.remove(name)
+	var st *tableState
+	var ok bool
+	if s.durable != nil {
+		// Log before removing, under the durability mutex: every mutation
+		// holds it, so the existence check cannot go stale between the log
+		// append and the removal.
+		s.durMu.Lock()
+		if _, ok = s.reg.load(name); !ok {
+			s.durMu.Unlock()
+			writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
+			return
+		}
+		if err := s.durable.LogDelete(name); err != nil {
+			s.durMu.Unlock()
+			s.writeMutationError(w, &durabilityError{err})
+			return
+		}
+		st, ok = s.reg.remove(name)
+		s.durMu.Unlock()
+	} else {
+		st, ok = s.reg.remove(name)
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 		return
 	}
 	s.cache.InvalidateTable(name)
 	s.engine.Invalidate(st.tab)
+	s.maybeCheckpoint()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -182,10 +298,25 @@ func (s *Server) handleAppendTuples(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("no tuples to append"))
 		return
 	}
+	// Lock order on a durable server: durMu, then the entry's mutation
+	// lock — the same order the put path takes through reg.put, so the two
+	// can never deadlock. Queries take neither.
+	if s.durable != nil {
+		s.durMu.Lock()
+	}
 	e, old, ok := s.reg.acquireMutate(name)
 	if !ok {
+		if s.durable != nil {
+			s.durMu.Unlock()
+		}
 		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 		return
+	}
+	unlock := func() {
+		e.mu.Unlock()
+		if s.durable != nil {
+			s.durMu.Unlock()
+		}
 	}
 	// Append onto a clone and validate the whole candidate, so a bad batch
 	// leaves the served table untouched (all-or-nothing) and queries never
@@ -193,24 +324,36 @@ func (s *Server) handleAppendTuples(w http.ResponseWriter, r *http.Request) {
 	// lock; in-flight queries keep reading the old published snapshot and
 	// never delay the swap.
 	candidate := old.tab.Clone()
+	appended := make([]probtopk.Tuple, 0, len(req.Tuples))
 	for _, tp := range req.Tuples {
-		candidate.Add(probtopk.Tuple{ID: tp.ID, Score: tp.Score, Prob: tp.Prob, Group: tp.Group})
+		appended = append(appended, probtopk.Tuple{ID: tp.ID, Score: tp.Score, Prob: tp.Prob, Group: tp.Group})
+		candidate.Add(appended[len(appended)-1])
 	}
 	if err := candidate.Validate(); err != nil {
-		e.mu.Unlock()
+		unlock()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if err := checkUniqueIDs(candidate); err != nil {
-		e.mu.Unlock()
+		unlock()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Log the (validated) append before the swap: an acknowledged append
+	// is durable, a failed log leaves the served table untouched.
+	if s.durable != nil {
+		if err := s.durable.LogAppend(name, appended); err != nil {
+			unlock()
+			s.writeMutationError(w, &durabilityError{err})
+			return
+		}
+	}
 	next := &tableState{tab: candidate, snap: candidate.Snapshot()}
 	e.state.Store(next)
-	e.mu.Unlock()
+	unlock()
 	s.cache.InvalidateTable(name) // reclaims the old snapshot's entries
 	s.engine.Invalidate(old.tab)
+	s.maybeCheckpoint()
 	writeJSON(w, http.StatusOK, tableInfo(name, next))
 }
 

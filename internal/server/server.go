@@ -48,16 +48,33 @@
 // while the eager invalidation on mutation reclaims the dead entries' LRU
 // slots. GET /debug/stats exposes hit/miss/latency counters for both this
 // cache and the engine's prepared-snapshot cache.
+//
+// # Durability
+//
+// With Config.Durability set (topkd -data-dir), every mutation — table
+// upload, append, delete — is appended to a write-ahead log BEFORE its new
+// state is published: an acknowledged mutation survives a restart, and a
+// mutation that cannot be logged is rejected with 503, leaving the served
+// state untouched. A checkpoint periodically persists every table's
+// current snapshot into a snapshot file and truncates the WAL behind it
+// (see internal/persist). Queries are completely unaffected: they load
+// immutable snapshots and never touch the log. On boot the daemon replays
+// snapshot + WAL and installs the recovered tables with RestoreTable;
+// snapshot identities are process-unique, so recovered tables carry fresh
+// ones and no cache entry from a previous life can ever be resurrected.
+// GET /debug/stats exposes WAL and checkpoint counters.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"probtopk"
+	"probtopk/internal/persist"
 	"probtopk/internal/server/anscache"
 )
 
@@ -68,7 +85,7 @@ const DefaultAnswerCacheSize = 1024
 const maxBodyBytes = 32 << 20
 
 // Config tunes a Server. The zero value serves with the default cache
-// sizes.
+// sizes and no durability.
 type Config struct {
 	// AnswerCacheSize bounds the derived-answer cache: 0 means
 	// DefaultAnswerCacheSize, negative disables the cache (every query
@@ -77,6 +94,13 @@ type Config struct {
 	// EngineCacheSize bounds the engine's prepared-table cache: 0 means
 	// probtopk.DefaultEngineCacheSize, negative disables it.
 	EngineCacheSize int
+	// Durability, when non-nil, makes every table mutation durable: the
+	// mutation is appended to the write-ahead log (fsynced per the
+	// manager's policy) BEFORE the new state is published, so a mutation
+	// the client saw acknowledged survives a restart. A mutation that
+	// cannot be logged is rejected with 503 and leaves the served state
+	// untouched. Recovered tables are installed at boot with RestoreTable.
+	Durability *persist.Manager
 }
 
 // latency is a lock-free (count, total duration) pair.
@@ -103,6 +127,15 @@ type Server struct {
 	mux    *http.ServeMux
 	start  time.Time
 
+	// durable, when non-nil, is the WAL+snapshot backend every mutation
+	// logs to before publishing. durMu orders logging against publication
+	// across ALL tables — the log is one serial history — and checkpoints
+	// hold it across gathering the registry state and truncating the WAL,
+	// so a checkpoint can never truncate a logged-but-unpublished record.
+	// Queries never touch either.
+	durable *persist.Manager
+	durMu   sync.Mutex
+
 	cached      latency // queries answered by the derived-answer cache
 	computed    latency // queries that ran the engine
 	queryErrors atomic.Uint64
@@ -119,11 +152,12 @@ func New(cfg Config) *Server {
 		engineCap = probtopk.DefaultEngineCacheSize
 	}
 	s := &Server{
-		engine: probtopk.NewEngineWithCache(engineCap),
-		reg:    newRegistry(),
-		cache:  anscache.New(answerCap),
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
+		engine:  probtopk.NewEngineWithCache(engineCap),
+		reg:     newRegistry(),
+		cache:   anscache.New(answerCap),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		durable: cfg.Durability,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/stats", s.handleStats)
@@ -191,8 +225,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ans := s.cache.Stats()
 	eng := s.engine.CacheStats()
+	var dur *DurabilityJSON
+	if s.durable != nil {
+		st := s.durable.Stats()
+		dur = &DurabilityJSON{
+			WALRecords: st.WAL.Appends, WALBytes: st.WAL.AppendBytes,
+			WALSyncs: st.WAL.Syncs, WALSegments: st.WAL.Segments,
+			RecordsSinceCheckpoint: st.RecordsSinceCheckpoint,
+			Checkpoints:            st.Checkpoints,
+			CheckpointErrors:       st.CheckpointErrors,
+			LastCheckpointNs:       st.LastCheckpointNanos,
+			ReplayedRecords:        st.ReplayedRecords,
+			ReplayTruncated:        st.ReplayTruncated,
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Tables: s.reg.len(),
+		Durability: dur,
+		Tables:     s.reg.len(),
 		AnswerCache: CacheStatsJSON{
 			Hits: ans.Hits, Misses: ans.Misses, Evictions: ans.Evictions,
 			Invalidations: ans.Invalidations, Entries: ans.Entries,

@@ -177,6 +177,12 @@ func checkGroupSums(tuples []Tuple) error {
 	return nil
 }
 
+// ValidateTuples checks the data-model invariants on a raw tuple slice —
+// the same rules as Table.Validate — without requiring a Table. Replay
+// paths (internal/persist) use it to vet recovered contents before they
+// become live tables.
+func ValidateTuples(tuples []Tuple) error { return validateTuples(tuples) }
+
 // validateTuples checks the data-model invariants on a tuple slice; shared
 // by Table.Validate and Snapshot.Validate.
 func validateTuples(tuples []Tuple) error {

@@ -1,0 +1,803 @@
+// Package wal implements the segmented append-only write-ahead log behind
+// durable hosted tables: every table mutation (create/replace, append,
+// delete) is encoded as one length-prefixed, CRC32C-framed record and
+// appended to the current segment file before the mutation is published.
+//
+// # On-disk format
+//
+// A log is a directory of segment files named wal-%08d.seg, replayed in
+// name order. Each segment starts with the 8-byte magic "PTKWAL01" (the
+// trailing digits are the format version) followed by records framed as
+//
+//	uint32 payload length (little-endian)
+//	uint32 CRC32C of the payload (Castagnoli, little-endian)
+//	payload bytes
+//
+// The payload encodes the operation, the table name, and — for put/append —
+// the tuples (id, group, score bits, probability bits), all length-prefixed
+// with uvarints.
+//
+// # Recovery
+//
+// Replay validates every frame. The first bad record — a torn tail from a
+// crash mid-write, a CRC mismatch from corruption, an undecodable payload,
+// or a record the caller's apply function rejects — ends the replay: the
+// containing segment is truncated at the bad record's offset, later
+// segments are deleted, and the log resumes appending from the surviving
+// prefix. Nothing after a bad record can be trusted (later records may
+// depend on the lost one), so clean truncation is the only safe recovery.
+//
+// # Durability
+//
+// With SyncAlways every Append fsyncs the segment (and directory-changing
+// operations fsync the directory), so a record that Append acknowledged
+// survives a machine crash. SyncNever leaves flushing to the OS: much
+// faster, but a crash may lose the most recent acknowledged records —
+// replay still recovers a clean prefix.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"probtopk/internal/uncertain"
+)
+
+// segMagic opens every segment file; the trailing "01" is the format
+// version. Readers reject segments with any other magic.
+const segMagic = "PTKWAL01"
+
+// frameHeaderLen is the fixed per-record framing overhead: payload length
+// and payload CRC32C.
+const frameHeaderLen = 8
+
+// DefaultSegmentBytes is the default segment-rotation threshold.
+const DefaultSegmentBytes = 4 << 20
+
+// maxRecordBytes bounds a single record's payload, both appended and
+// replayed. A replayed frame claiming more is treated as corruption, which
+// also stops a hostile length prefix from forcing a huge allocation.
+const maxRecordBytes = 32 << 20
+
+// maxNameBytes bounds the table name inside a record.
+const maxNameBytes = 4096
+
+// maxStringBytes bounds tuple id and group strings inside a record.
+const maxStringBytes = 1 << 20
+
+// castagnoli is the CRC32C table shared by all framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Op identifies what a record does to its named table.
+type Op byte
+
+const (
+	// OpPut installs the record's tuples as the table's full contents,
+	// creating or replacing it.
+	OpPut Op = 1
+	// OpAppend appends the record's tuples to an existing table.
+	OpAppend Op = 2
+	// OpDelete removes the table.
+	OpDelete Op = 3
+)
+
+// String returns the op's wire name.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpAppend:
+		return "append"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", byte(o))
+	}
+}
+
+// Record is one logged mutation. Tuples is nil for OpDelete.
+type Record struct {
+	Op     Op
+	Name   string
+	Tuples []uncertain.Tuple
+}
+
+// SyncPolicy selects when the log fsyncs; see the package comment.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every Append and after every
+	// directory-changing operation. Acknowledged records survive crashes.
+	SyncAlways SyncPolicy = iota
+	// SyncNever never fsyncs; the OS flushes when it likes.
+	SyncNever
+)
+
+// File is the writable handle the log appends through. *os.File satisfies
+// it; tests substitute failure-injecting implementations via
+// Options.OpenFile.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Options tune a Log. The zero value means SyncAlways, the default segment
+// size, and real files.
+type Options struct {
+	// Sync is the fsync policy.
+	Sync SyncPolicy
+	// SegmentBytes is the rotation threshold: an Append that would grow the
+	// current segment past it starts a new segment first. 0 means
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// MinSegment is the checkpoint watermark: segments with a smaller
+	// sequence number are already covered by a snapshot and are deleted at
+	// Open instead of replayed (they survive only when a crash interrupted
+	// the checkpoint between persisting the snapshot and dropping them —
+	// replaying them would double-apply their records). 0 means replay
+	// everything.
+	MinSegment uint64
+	// OpenFile opens segment files for writing. nil means os.OpenFile.
+	// Replay always reads through the real filesystem; the hook exists so
+	// tests can inject write failures (see internal/persist/crashtest).
+	OpenFile func(path string, flag int, perm os.FileMode) (File, error)
+}
+
+// Stats counts a Log's activity since Open.
+type Stats struct {
+	// Appends and AppendBytes count acknowledged records and their framed
+	// bytes.
+	Appends     uint64
+	AppendBytes uint64
+	// Syncs counts segment fsyncs.
+	Syncs uint64
+	// Segments is the current number of segment files.
+	Segments int
+	// Drops counts checkpoint truncations (DropBefore calls).
+	Drops uint64
+}
+
+// ReplayInfo describes what Replay found.
+type ReplayInfo struct {
+	// Records is the number of records applied.
+	Records int
+	// Segments is the number of segment files scanned.
+	Segments int
+	// Truncated reports that a torn or corrupt record was found and the log
+	// was truncated at it.
+	Truncated bool
+	// DroppedBytes is the number of bytes discarded by that truncation,
+	// including any later segments.
+	DroppedBytes int64
+}
+
+// Log is a segmented write-ahead log rooted at one directory. Open it,
+// Replay it exactly once, then Append. A Log is safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	segments []string // absolute segment paths, replay order
+	nextSeq  uint64   // sequence number for the next new segment
+	cur      File
+	curPath  string
+	curSize  int64
+	replayed bool
+	broken   bool
+	// badOffset is where replaySegment found the first bad record; only
+	// meaningful between replaySegment and truncateFrom, both under mu.
+	badOffset int64
+
+	appends     uint64
+	appendBytes uint64
+	syncs       uint64
+	drops       uint64
+}
+
+// errNotReplayed is returned by Append/Reset before Replay has run.
+var errNotReplayed = errors.New("wal: log not replayed yet")
+
+// errBroken is returned once a failed write could not be rolled back; the
+// segment tail is untrustworthy and the log refuses further appends.
+var errBroken = errors.New("wal: log broken by an unrecoverable write failure")
+
+// Open scans dir (creating it if needed) for existing segments, deleting
+// any below the MinSegment watermark (their records are covered by a
+// snapshot; replaying them would double-apply). It reads nothing else:
+// call Replay to recover the records and position the writer.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.OpenFile == nil {
+		opts.OpenFile = func(path string, flag int, perm os.FileMode) (File, error) {
+			return os.OpenFile(path, flag, perm)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	sort.Strings(matches)
+	// nextSeq must clear the watermark even if every segment at or beyond
+	// it is gone, or a fresh segment would be numbered below the snapshot's
+	// watermark and skipped by the next boot.
+	l := &Log{dir: dir, opts: opts, nextSeq: max(1, opts.MinSegment)}
+	for _, path := range matches {
+		seq, err := segmentSeq(path)
+		if err != nil {
+			return nil, err
+		}
+		if seq < opts.MinSegment {
+			// Checkpointed leftovers from a crash mid-drop.
+			if err := os.Remove(path); err != nil {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			continue
+		}
+		l.segments = append(l.segments, path)
+		if seq >= l.nextSeq {
+			l.nextSeq = seq + 1
+		}
+	}
+	return l, nil
+}
+
+// segmentSeq parses a segment path's sequence number.
+func segmentSeq(path string) (uint64, error) {
+	var seq uint64
+	if _, err := fmt.Sscanf(filepath.Base(path), "wal-%d.seg", &seq); err != nil {
+		return 0, fmt.Errorf("wal: unparseable segment name %q", filepath.Base(path))
+	}
+	return seq, nil
+}
+
+// Replay reads every record of every segment in order, calling apply on
+// each. The first torn, corrupt or rejected record truncates the log at
+// that point (see the package comment); that is recovery, not failure, and
+// is reported through ReplayInfo. Replay must be called exactly once,
+// before the first Append.
+func (l *Log) Replay(apply func(Record) error) (ReplayInfo, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.replayed {
+		return ReplayInfo{}, errors.New("wal: already replayed")
+	}
+	var info ReplayInfo
+	info.Segments = len(l.segments)
+	for i, path := range l.segments {
+		stop, err := l.replaySegment(path, apply, &info)
+		if err != nil {
+			return info, err
+		}
+		if stop {
+			if err := l.truncateFrom(i, &info); err != nil {
+				return info, err
+			}
+			break
+		}
+	}
+	if err := l.openForAppendLocked(); err != nil {
+		return info, err
+	}
+	l.replayed = true
+	return info, nil
+}
+
+// replaySegment scans one segment. It returns stop=true when a bad record
+// was found at l.badOffset (recorded in info), and a non-nil error only for
+// environmental failures (the segment cannot be read at all).
+func (l *Log) replaySegment(path string, apply func(Record) error, info *ReplayInfo) (stop bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != segMagic {
+		l.badOffset, info.Truncated = 0, true
+		return true, nil
+	}
+	offset := int64(len(segMagic))
+	header := make([]byte, frameHeaderLen)
+	for {
+		_, err := io.ReadFull(f, header)
+		if err == io.EOF {
+			return false, nil // clean segment end
+		}
+		if err != nil { // torn frame header
+			l.badOffset, info.Truncated = offset, true
+			return true, nil
+		}
+		payloadLen := binary.LittleEndian.Uint32(header[0:4])
+		wantCRC := binary.LittleEndian.Uint32(header[4:8])
+		if payloadLen > maxRecordBytes {
+			l.badOffset, info.Truncated = offset, true
+			return true, nil
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(f, payload); err != nil { // torn payload
+			l.badOffset, info.Truncated = offset, true
+			return true, nil
+		}
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			l.badOffset, info.Truncated = offset, true
+			return true, nil
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			l.badOffset, info.Truncated = offset, true
+			return true, nil
+		}
+		if err := apply(rec); err != nil {
+			l.badOffset, info.Truncated = offset, true
+			return true, nil
+		}
+		info.Records++
+		offset += frameHeaderLen + int64(payloadLen)
+	}
+}
+
+// truncateFrom discards the bad record at l.badOffset of segment i and
+// everything after it: segment i is truncated (or deleted outright when
+// even its header is bad), segments beyond i are deleted.
+func (l *Log) truncateFrom(i int, info *ReplayInfo) error {
+	path := l.segments[i]
+	size := func(p string) int64 {
+		if fi, err := os.Stat(p); err == nil {
+			return fi.Size()
+		}
+		return 0
+	}
+	for _, later := range l.segments[i+1:] {
+		info.DroppedBytes += size(later)
+		if err := os.Remove(later); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	if l.badOffset < int64(len(segMagic)) {
+		// The segment header itself is unusable; drop the whole file.
+		info.DroppedBytes += size(path)
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.segments = l.segments[:i]
+	} else {
+		info.DroppedBytes += size(path) - l.badOffset
+		if err := os.Truncate(path, l.badOffset); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		// Flush the truncation so a crash cannot resurrect the bad tail.
+		if f, err := os.OpenFile(path, os.O_WRONLY, 0o644); err == nil {
+			f.Sync()
+			f.Close()
+		}
+		l.segments = l.segments[:i+1]
+	}
+	l.syncDir()
+	return nil
+}
+
+// openForAppendLocked positions the writer: it opens the last surviving
+// segment for appending, or creates the first segment of an empty log.
+func (l *Log) openForAppendLocked() error {
+	if n := len(l.segments); n > 0 {
+		path := l.segments[n-1]
+		fi, err := os.Stat(path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		f, err := l.opts.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.cur, l.curPath, l.curSize = f, path, fi.Size()
+		return nil
+	}
+	return l.createSegmentLocked()
+}
+
+// createSegmentLocked starts a fresh segment and makes it current.
+func (l *Log) createSegmentLocked() error {
+	path := filepath.Join(l.dir, fmt.Sprintf("wal-%08d.seg", l.nextSeq))
+	f, err := l.opts.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(path)
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.syncs++
+	}
+	l.nextSeq++
+	if l.cur != nil {
+		l.cur.Close()
+	}
+	l.cur, l.curPath, l.curSize = f, path, int64(len(segMagic))
+	l.segments = append(l.segments, path)
+	l.syncDir()
+	return nil
+}
+
+// Append encodes r, frames it, and appends it to the current segment,
+// rotating first if the segment is full. With SyncAlways the record is
+// fsynced before Append returns: an acknowledged record survives a crash.
+// On a failed or short write the torn bytes are truncated away so the
+// segment stays a clean prefix of acknowledged records; if that rollback
+// itself fails the log marks itself broken and refuses further appends.
+func (l *Log) Append(r Record) error {
+	payload, err := encodeRecord(r)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderLen:], payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.replayed {
+		return errNotReplayed
+	}
+	if l.broken {
+		return errBroken
+	}
+	if l.cur == nil {
+		// A failed segment creation left no current segment; try again
+		// rather than crash (createSegmentLocked never discards a working
+		// one).
+		if err := l.createSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	if l.curSize+int64(len(frame)) > l.opts.SegmentBytes && l.curSize > int64(len(segMagic)) {
+		if err := l.createSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.cur.Write(frame); err != nil {
+		// Roll the torn bytes back so the segment remains a clean prefix.
+		l.rollbackLocked()
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := l.cur.Sync(); err != nil {
+			// The frame is fully written but its durability is unknown, and
+			// the caller will NOT publish the mutation — so the record must
+			// not replay either. Roll it back, then refuse further appends
+			// regardless: after a failed fsync the kernel may have dropped
+			// dirty pages and marked them clean, so no later fsync result
+			// on this file can be trusted. A restart replays what actually
+			// survived and starts from that truth.
+			l.rollbackLocked()
+			l.broken = true
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		l.syncs++
+	}
+	l.curSize += int64(len(frame))
+	l.appends++
+	l.appendBytes += uint64(len(frame))
+	return nil
+}
+
+// rollbackLocked truncates the current segment back to its last
+// acknowledged size, discarding a record that failed mid-append, and
+// fsyncs the truncation — without the sync, a machine crash could bring
+// the complete frame back from the page cache and replay a mutation the
+// client was told failed. If the truncation or its sync fails the segment
+// tail is untrustworthy and the log marks itself broken. Callers hold
+// l.mu.
+func (l *Log) rollbackLocked() {
+	if err := os.Truncate(l.curPath, l.curSize); err != nil {
+		l.broken = true
+		return
+	}
+	if err := l.cur.Sync(); err != nil {
+		l.broken = true
+	}
+}
+
+// StartSegment returns the checkpoint watermark: the sequence number of a
+// fresh segment such that every record logged before the call lives in a
+// segment below it and every record logged after lives at or beyond it.
+// When the current segment is still empty — a retry after a failed
+// checkpoint with no records in between — it IS that fresh segment and is
+// reused, so failing checkpoints do not leak one segment per attempt. On
+// error the current segment keeps appending; the checkpoint is merely
+// postponed.
+func (l *Log) StartSegment() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.replayed {
+		return 0, errNotReplayed
+	}
+	if l.cur != nil && l.curSize == int64(len(segMagic)) {
+		return segmentSeq(l.curPath)
+	}
+	seq := l.nextSeq
+	if err := l.createSegmentLocked(); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// DropBefore deletes every segment with a sequence number below seq —
+// their records are covered by the snapshot the caller just persisted. A
+// crash that interrupts the deletion is harmless: Open skips (and cleans)
+// segments below the snapshot's watermark.
+func (l *Log) DropBefore(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.replayed {
+		return errNotReplayed
+	}
+	kept := l.segments[:0]
+	for _, path := range l.segments {
+		s, err := segmentSeq(path)
+		if err != nil {
+			return err
+		}
+		if s >= seq {
+			kept = append(kept, path)
+			continue
+		}
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	l.segments = kept
+	l.syncDir()
+	l.drops++
+	return nil
+}
+
+// Sync forces an fsync of the current segment regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cur == nil {
+		return nil
+	}
+	if err := l.cur.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.syncs++
+	return nil
+}
+
+// Close releases the current segment handle. It does not fsync (Append
+// already enforced the policy); a Close-less crash loses nothing more than
+// the policy allows.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cur == nil {
+		return nil
+	}
+	err := l.cur.Close()
+	l.cur = nil
+	return err
+}
+
+// Stats returns the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Appends:     l.appends,
+		AppendBytes: l.appendBytes,
+		Syncs:       l.syncs,
+		Segments:    len(l.segments),
+		Drops:       l.drops,
+	}
+}
+
+// syncDir fsyncs the log directory (best effort) so segment creations,
+// deletions and truncations are themselves durable under SyncAlways.
+func (l *Log) syncDir() {
+	if l.opts.Sync != SyncAlways {
+		return
+	}
+	if d, err := os.Open(l.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// --- record payload codec ---
+
+// encodeRecord serializes r's payload (the framing is Append's job).
+func encodeRecord(r Record) ([]byte, error) {
+	switch r.Op {
+	case OpPut, OpAppend, OpDelete:
+	default:
+		return nil, fmt.Errorf("wal: unknown op %d", byte(r.Op))
+	}
+	if r.Name == "" {
+		return nil, errors.New("wal: empty table name")
+	}
+	if len(r.Name) > maxNameBytes {
+		return nil, fmt.Errorf("wal: table name of %d bytes exceeds the %d-byte limit", len(r.Name), maxNameBytes)
+	}
+	buf := []byte{byte(r.Op)}
+	buf = appendString(buf, r.Name)
+	if r.Op == OpDelete {
+		return buf, nil
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(r.Tuples)))
+	for _, tp := range r.Tuples {
+		if len(tp.ID) > maxStringBytes || len(tp.Group) > maxStringBytes {
+			return nil, fmt.Errorf("wal: tuple string exceeds the %d-byte limit", maxStringBytes)
+		}
+		buf = appendString(buf, tp.ID)
+		buf = appendString(buf, tp.Group)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(tp.Score))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(tp.Prob))
+	}
+	return buf, nil
+}
+
+// minTupleBytes is the smallest possible encoded tuple (two empty strings
+// plus two float64s); claimed tuple counts are checked against it so a
+// lying count cannot force a huge allocation.
+const minTupleBytes = 1 + 1 + 8 + 8
+
+// decodeRecord parses a payload produced by encodeRecord, defensively: any
+// structural violation is an error (the replayer treats it as corruption).
+func decodeRecord(payload []byte) (Record, error) {
+	d := Decoder{Buf: payload, Prefix: "wal"}
+	op := Op(d.Byte())
+	name := d.String(maxNameBytes)
+	r := Record{Op: op, Name: name}
+	switch op {
+	case OpDelete:
+	case OpPut, OpAppend:
+		n := d.Uvarint()
+		if d.Err() == nil && n > uint64(len(d.Buf)/minTupleBytes)+1 {
+			return Record{}, fmt.Errorf("wal: tuple count %d exceeds payload", n)
+		}
+		if d.Err() == nil && n > 0 {
+			r.Tuples = make([]uncertain.Tuple, 0, n)
+		}
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			tp := uncertain.Tuple{
+				ID:    d.String(maxStringBytes),
+				Group: d.String(maxStringBytes),
+				Score: math.Float64frombits(d.Uint64()),
+				Prob:  math.Float64frombits(d.Uint64()),
+			}
+			if d.Err() == nil {
+				r.Tuples = append(r.Tuples, tp)
+			}
+		}
+	default:
+		return Record{}, fmt.Errorf("wal: unknown op %d", byte(op))
+	}
+	if err := d.Err(); err != nil {
+		return Record{}, err
+	}
+	if name == "" {
+		return Record{}, errors.New("wal: empty table name")
+	}
+	if len(d.Buf) != 0 {
+		return Record{}, fmt.Errorf("wal: %d trailing payload bytes", len(d.Buf))
+	}
+	return r, nil
+}
+
+// AppendString appends a uvarint length prefix and the bytes of s — the
+// string framing shared by the WAL record codec and the snapshot file
+// codec (internal/persist).
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// appendString is the package-internal alias kept for the encoder's
+// readability.
+func appendString(buf []byte, s string) []byte { return AppendString(buf, s) }
+
+// Decoder reads a length-prefixed binary payload sequentially, latching
+// the first error: once anything fails, every further read is a no-op and
+// Err reports the cause. Shared by the WAL record codec and the snapshot
+// file codec so both formats reject hostile input identically; Prefix
+// names the format in error messages.
+type Decoder struct {
+	Buf    []byte
+	Prefix string
+	err    error
+}
+
+// Err returns the first error any read latched, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Fail latches a formatted error if none is latched yet.
+func (d *Decoder) Fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(d.Prefix+": "+format, args...)
+	}
+}
+
+// Byte consumes one byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.Buf) < 1 {
+		d.Fail("truncated payload")
+		return 0
+	}
+	b := d.Buf[0]
+	d.Buf = d.Buf[1:]
+	return b
+}
+
+// Uvarint consumes one unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.Buf)
+	if n <= 0 {
+		d.Fail("bad uvarint")
+		return 0
+	}
+	d.Buf = d.Buf[n:]
+	return v
+}
+
+// Uint64 consumes one little-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.Buf) < 8 {
+		d.Fail("truncated payload")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.Buf)
+	d.Buf = d.Buf[8:]
+	return v
+}
+
+// String consumes one length-prefixed string of at most limit bytes. The
+// limit check also caps what a hostile length prefix can allocate.
+func (d *Decoder) String(limit int) string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(limit) || n > uint64(len(d.Buf)) {
+		d.Fail("string of %d bytes exceeds payload or limit", n)
+		return ""
+	}
+	s := string(d.Buf[:n])
+	d.Buf = d.Buf[n:]
+	return s
+}

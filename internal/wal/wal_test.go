@@ -1,0 +1,458 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"probtopk/internal/uncertain"
+)
+
+// open opens dir and replays it into a record slice, failing the test on
+// environmental errors.
+func open(t *testing.T, dir string, opts Options) (*Log, []Record, ReplayInfo) {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	info, err := l.Replay(func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, recs, info
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{Op: OpPut, Name: "fleet", Tuples: []uncertain.Tuple{
+			{ID: "a", Score: 80, Prob: 0.9},
+			{ID: "b", Score: 70, Prob: 0.4, Group: "lane3"},
+		}},
+		{Op: OpAppend, Name: "fleet", Tuples: []uncertain.Tuple{
+			{ID: "c", Score: 65, Prob: 0.5, Group: "lane3"},
+		}},
+		{Op: OpPut, Name: "radar", Tuples: nil},
+		{Op: OpDelete, Name: "radar"},
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs, info := open(t, dir, Options{})
+	if len(recs) != 0 || info.Records != 0 {
+		t.Fatalf("fresh log replayed %v", recs)
+	}
+	want := sampleRecords()
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Appends != 4 || st.Segments != 1 || st.Syncs == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	l.Close()
+
+	_, got, info := open(t, t.TempDir(), Options{})
+	if len(got) != 0 {
+		t.Fatalf("unrelated dir replayed %v", got)
+	}
+	l2, got, info := open(t, dir, Options{})
+	defer l2.Close()
+	if info.Truncated || info.Records != len(want) {
+		t.Fatalf("replay info = %+v", info)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed %+v, want %+v", got, want)
+	}
+	// The reopened log keeps appending where the old one stopped.
+	if err := l2.Append(Record{Op: OpDelete, Name: "fleet"}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	_, got, _ = open(t, dir, Options{})
+	if len(got) != len(want)+1 || got[len(got)-1].Op != OpDelete {
+		t.Fatalf("after reopen-append, replayed %d records", len(got))
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := open(t, dir, Options{SegmentBytes: 128, Sync: SyncNever})
+	for i := 0; i < 20; i++ {
+		if err := l.Append(sampleRecords()[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected rotation, stats = %+v", st)
+	}
+	l.Close()
+	_, got, info := open(t, dir, Options{})
+	if len(got) != 20 || info.Segments != st.Segments || info.Truncated {
+		t.Fatalf("replayed %d records over %d segments (truncated=%v)", len(got), info.Segments, info.Truncated)
+	}
+}
+
+func TestCheckpointTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := open(t, dir, Options{})
+	for _, r := range sampleRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The checkpoint sequence: start a fresh segment (the watermark), then
+	// drop everything below it.
+	seq, err := l.StartSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Op: OpDelete, Name: "x"}); err != nil {
+		t.Fatal(err) // lands at/beyond the watermark
+	}
+	if err := l.DropBefore(seq); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Segments != 1 || st.Drops != 1 {
+		t.Fatalf("stats after drop = %+v", st)
+	}
+	l.Close()
+	// Records beyond the watermark replay; records before it are gone.
+	_, got, _ := open(t, dir, Options{})
+	if len(got) != 1 || got[0].Name != "x" {
+		t.Fatalf("replayed %+v after checkpoint truncation", got)
+	}
+}
+
+// TestMinSegmentSkipsCoveredSegments covers the crash window between a
+// checkpoint's snapshot rename and its segment deletion: segments below
+// the watermark must be skipped (and cleaned), never replayed, and a
+// fresh log must never number new segments below the watermark.
+func TestMinSegmentSkipsCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := open(t, dir, Options{})
+	if err := l.Append(sampleRecords()[0]); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.StartSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Op: OpDelete, Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close() // crash before DropBefore: the covered segment survives
+
+	l2, got, _ := open(t, dir, Options{MinSegment: seq})
+	if len(got) != 1 || got[0].Name != "x" {
+		t.Fatalf("replayed %+v, want only the post-watermark record", got)
+	}
+	if remaining, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg")); len(remaining) != 1 {
+		t.Fatalf("covered segment not cleaned: %v", remaining)
+	}
+	l2.Close()
+
+	// Even with every segment gone, a new segment must clear the watermark.
+	empty := t.TempDir()
+	l3, _, _ := open(t, empty, Options{MinSegment: 7})
+	if err := l3.Append(sampleRecords()[0]); err != nil {
+		t.Fatal(err)
+	}
+	l3.Close()
+	seg := lastSegment(t, empty)
+	if s, err := segmentSeq(seg); err != nil || s < 7 {
+		t.Fatalf("new segment %q numbered below the watermark", seg)
+	}
+	_, got, _ = open(t, empty, Options{MinSegment: 7})
+	if len(got) != 1 {
+		t.Fatalf("post-watermark record lost: %v", got)
+	}
+}
+
+// lastSegment returns the newest segment file of dir.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no segments in %s", dir)
+	}
+	return matches[len(matches)-1]
+}
+
+func TestTornTailIsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := open(t, dir, Options{})
+	for _, r := range sampleRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	seg := lastSegment(t, dir)
+	clean, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tear := range []struct {
+		name string
+		data []byte
+	}{
+		{"partial frame header", append(append([]byte{}, clean...), 0x07, 0x00)},
+		{"partial payload", append(append([]byte{}, clean...), 0x40, 0, 0, 0, 1, 2, 3, 4, 9, 9)},
+		{"garbage", append(append([]byte{}, clean...), bytes.Repeat([]byte{0xff}, 31)...)},
+	} {
+		t.Run(tear.name, func(t *testing.T) {
+			if err := os.WriteFile(seg, tear.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l, got, info := open(t, dir, Options{})
+			l.Close()
+			if !info.Truncated || info.DroppedBytes == 0 {
+				t.Fatalf("info = %+v, want truncation", info)
+			}
+			if len(got) != len(sampleRecords()) {
+				t.Fatalf("replayed %d records, want %d", len(got), len(sampleRecords()))
+			}
+			// The truncation is physical: a second replay is clean.
+			l2, got2, info2 := open(t, dir, Options{})
+			l2.Close()
+			if info2.Truncated || len(got2) != len(got) {
+				t.Fatalf("second replay info = %+v", info2)
+			}
+		})
+	}
+}
+
+func TestBadCRCTruncatesRestOfLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := open(t, dir, Options{SegmentBytes: 64, Sync: SyncNever})
+	for i := 0; i < 10; i++ {
+		if err := l.Append(sampleRecords()[3]); err != nil { // small deletes
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("want >= 3 segments, stats %+v", st)
+	}
+	l.Close()
+	// Flip one payload byte in the FIRST segment: everything from that
+	// record on — including whole later segments — must be dropped.
+	matches, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(segMagic)+frameHeaderLen] ^= 0xff // first payload byte of record 0
+	if err := os.WriteFile(matches[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, got, info := open(t, dir, Options{})
+	defer l2.Close()
+	if !info.Truncated || len(got) != 0 {
+		t.Fatalf("replayed %d records, info %+v", len(got), info)
+	}
+	if remaining, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg")); len(remaining) != 1 {
+		t.Fatalf("later segments not deleted: %v", remaining)
+	}
+	// The log is usable again.
+	if err := l2.Append(sampleRecords()[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyErrorTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := open(t, dir, Options{})
+	for _, r := range sampleRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	info, err := l2.Replay(func(r Record) error {
+		n++
+		if n == 3 {
+			return errors.New("rejected")
+		}
+		return nil
+	})
+	l2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Truncated || info.Records != 2 {
+		t.Fatalf("info = %+v, want 2 records then truncation", info)
+	}
+	_, got, info := open(t, dir, Options{})
+	if info.Truncated || len(got) != 2 {
+		t.Fatalf("after truncation replayed %d (info %+v)", len(got), info)
+	}
+}
+
+func TestAppendBeforeReplayRejected(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(sampleRecords()[0]); !errors.Is(err, errNotReplayed) {
+		t.Fatalf("append before replay: %v", err)
+	}
+}
+
+func TestEncodeRejectsBadRecords(t *testing.T) {
+	cases := []Record{
+		{Op: 0, Name: "x"},
+		{Op: OpPut, Name: ""},
+		{Op: OpDelete, Name: string(bytes.Repeat([]byte{'a'}, maxNameBytes+1))},
+	}
+	for _, r := range cases {
+		if _, err := encodeRecord(r); err == nil {
+			t.Errorf("encodeRecord(%+v) succeeded", r)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	payload, err := encodeRecord(Record{Op: OpDelete, Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeRecord(append(payload, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if rec, err := decodeRecord(payload); err != nil || rec.Name != "x" {
+		t.Fatalf("decodeRecord = %+v, %v", rec, err)
+	}
+}
+
+// failFile fails every write after budget bytes, simulating a disk that
+// dies mid-record (the full harness lives in internal/persist/crashtest).
+type failFile struct {
+	f        *os.File
+	budget   *int64
+	failSync bool
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (w *failFile) Write(p []byte) (int, error) {
+	if *w.budget <= 0 {
+		return 0, errInjected
+	}
+	if int64(len(p)) <= *w.budget {
+		*w.budget -= int64(len(p))
+		return w.f.Write(p)
+	}
+	n, _ := w.f.Write(p[:*w.budget])
+	*w.budget = 0
+	return n, errInjected
+}
+func (w *failFile) Sync() error {
+	if w.failSync {
+		return errInjected
+	}
+	return w.f.Sync()
+}
+func (w *failFile) Close() error { return w.f.Close() }
+
+func TestFailedWriteRollsBackTornBytes(t *testing.T) {
+	dir := t.TempDir()
+	budget := int64(1 << 20)
+	opts := Options{
+		Sync: SyncNever,
+		OpenFile: func(path string, flag int, perm os.FileMode) (File, error) {
+			f, err := os.OpenFile(path, flag, perm)
+			if err != nil {
+				return nil, err
+			}
+			return &failFile{f: f, budget: &budget}, nil
+		},
+	}
+	l, _, _ := open(t, dir, opts)
+	if err := l.Append(sampleRecords()[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Allow exactly 5 more bytes: the next append tears mid-frame, errors,
+	// and must be rolled back so the acknowledged prefix stays clean.
+	budget = 5
+	if err := l.Append(sampleRecords()[1]); !errors.Is(err, errInjected) {
+		t.Fatalf("torn append returned %v", err)
+	}
+	budget = 0
+	if err := l.Append(sampleRecords()[1]); !errors.Is(err, errInjected) {
+		t.Fatalf("failed append returned %v", err)
+	}
+	l.Close()
+	_, got, info := open(t, dir, Options{})
+	if info.Truncated {
+		t.Fatalf("rollback left torn bytes: %+v", info)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], sampleRecords()[0]) {
+		t.Fatalf("recovered %+v", got)
+	}
+}
+
+// TestFailedSyncRollsBackWrittenRecord: when the frame is fully written
+// but the fsync fails, the caller will NOT publish the mutation — so the
+// record must not replay either, or a restart would apply a mutation the
+// client was told failed.
+func TestFailedSyncRollsBackWrittenRecord(t *testing.T) {
+	dir := t.TempDir()
+	budget := int64(1 << 20)
+	ff := &failFile{budget: &budget}
+	opts := Options{
+		Sync: SyncAlways,
+		OpenFile: func(path string, flag int, perm os.FileMode) (File, error) {
+			f, err := os.OpenFile(path, flag, perm)
+			if err != nil {
+				return nil, err
+			}
+			ff.f = f
+			return ff, nil
+		},
+	}
+	l, _, _ := open(t, dir, opts)
+	if err := l.Append(sampleRecords()[0]); err != nil {
+		t.Fatal(err)
+	}
+	ff.failSync = true
+	if err := l.Append(sampleRecords()[1]); !errors.Is(err, errInjected) {
+		t.Fatalf("append with failing sync returned %v", err)
+	}
+	ff.failSync = false
+	// After a failed fsync the disk state is unknowable (the kernel may
+	// have dropped the dirty pages), so the log refuses further appends
+	// until a restart replays what actually survived.
+	if err := l.Append(sampleRecords()[2]); !errors.Is(err, errBroken) {
+		t.Fatalf("append after failed sync returned %v, want broken log", err)
+	}
+	l.Close()
+	l2, got, info := open(t, dir, Options{})
+	if info.Truncated {
+		t.Fatalf("sync rollback left torn bytes: %+v", info)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], sampleRecords()[0]) {
+		t.Fatalf("recovered %+v, want only the acknowledged record", got)
+	}
+	// The reopened log works again.
+	if err := l2.Append(sampleRecords()[2]); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+}
