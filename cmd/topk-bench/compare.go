@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"probtopk/internal/bench"
+)
+
+// defaultTolerance is the allowed relative slowdown before -compare fails:
+// a series may be up to 30% slower than the baseline (CI runner noise)
+// before the gate trips. defaultFloor is the absolute slack in
+// milliseconds a difference must additionally clear — see compareFigures.
+const (
+	defaultTolerance = 0.30
+	defaultFloor     = 0.05
+)
+
+// loadFigures decodes one BENCH_*.json snapshot (the array topk-bench
+// -json emits).
+func loadFigures(path string) ([]*bench.Figure, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var figs []*bench.Figure
+	if err := json.Unmarshal(data, &figs); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return figs, nil
+}
+
+// seriesMedian is the median Y of a series (the benchmark figures plot
+// latencies in milliseconds, so lower is better). The median, not the
+// mean: the figures sample microsecond-scale operations whose noise is
+// one-sided (GC pauses, cold caches inflate a few samples), and a gate on
+// the mean would trip on a single outlier.
+func seriesMedian(s bench.Series) (float64, bool) {
+	if len(s.Y) == 0 {
+		return 0, false
+	}
+	ys := append([]float64(nil), s.Y...)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2], true
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2, true
+}
+
+// compareFigures checks every baseline series against the fresh run: a
+// series whose median exceeds the baseline median by more than tolerance
+// AND by more than the absolute floor — or a figure/series the fresh run
+// no longer produces — is a regression. The floor exists because the
+// microsecond-scale series (cache hits, in-memory appends) drift tens of
+// microseconds between runs on shared CI hardware whatever the build does;
+// a sub-floor difference is noise, while any regression worth gating on
+// clears a 0.05 ms floor easily. It writes a per-series report to w and
+// returns the regression messages.
+func compareFigures(w io.Writer, oldFigs, newFigs []*bench.Figure, tolerance, floor float64) []string {
+	newByID := make(map[string]*bench.Figure, len(newFigs))
+	for _, f := range newFigs {
+		newByID[f.ID] = f
+	}
+	var regressions []string
+	fmt.Fprintf(w, "%-14s %-28s %12s %12s %8s\n", "figure", "series", "base median", "new median", "ratio")
+	for _, of := range oldFigs {
+		nf, ok := newByID[of.ID]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("figure %q missing from the new snapshot", of.ID))
+			continue
+		}
+		newByName := make(map[string]bench.Series, len(nf.Series))
+		for _, s := range nf.Series {
+			newByName[s.Name] = s
+		}
+		for _, os := range of.Series {
+			oldMed, ok := seriesMedian(os)
+			if !ok {
+				continue // empty baseline series constrains nothing
+			}
+			ns, ok := newByName[os.Name]
+			if !ok {
+				regressions = append(regressions, fmt.Sprintf("%s: series %q missing from the new snapshot", of.ID, os.Name))
+				continue
+			}
+			newMed, ok := seriesMedian(ns)
+			if !ok {
+				regressions = append(regressions, fmt.Sprintf("%s: series %q is empty in the new snapshot", of.ID, os.Name))
+				continue
+			}
+			ratio := 0.0
+			if oldMed > 0 {
+				ratio = newMed / oldMed
+			}
+			verdict := ""
+			if oldMed > 0 && newMed > oldMed*(1+tolerance) && newMed-oldMed > floor {
+				verdict = "  REGRESSION"
+				regressions = append(regressions, fmt.Sprintf(
+					"%s / %s: %.4g -> %.4g (%.0f%% over the baseline, tolerance %.0f%%)",
+					of.ID, os.Name, oldMed, newMed, (ratio-1)*100, tolerance*100))
+			}
+			fmt.Fprintf(w, "%-14s %-28s %12.4g %12.4g %7.2fx%s\n",
+				of.ID, os.Name, oldMed, newMed, ratio, verdict)
+		}
+	}
+	return regressions
+}
+
+// runCompare is the -compare entry point: old and new are BENCH_*.json
+// paths; a non-nil error means the gate failed.
+func runCompare(oldPath, newPath string, tolerance, floor float64) error {
+	oldFigs, err := loadFigures(oldPath)
+	if err != nil {
+		return err
+	}
+	newFigs, err := loadFigures(newPath)
+	if err != nil {
+		return err
+	}
+	regressions := compareFigures(os.Stdout, oldFigs, newFigs, tolerance, floor)
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark regression(s):\n  %s",
+			len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("no regressions beyond %.0f%% (and %.3g ms) against %s\n", tolerance*100, floor, oldPath)
+	return nil
+}

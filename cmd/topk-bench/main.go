@@ -22,6 +22,20 @@
 //	topk-bench -fig 3,9,13
 //	topk-bench -fig 8 -csv
 //	topk-bench -fig serving -json
+//
+// # Benchmark-regression gate
+//
+// -compare checks a fresh JSON snapshot against a baseline and exits
+// non-zero when any series' MEDIAN is more than -tolerance (default 0.30
+// = 30%) slower AND the difference clears the -floor noise floor (default
+// 0.05 ms) — the CI gate that keeps the serving/mutation/durability
+// figures from silently regressing. Compare snapshots from the same
+// machine: against a baseline generated on different hardware the ratios
+// measure the hardware (CI regenerates the baseline from the base commit
+// on the same runner):
+//
+//	topk-bench -fig serving,mutation,durability -json > BENCH_new.json
+//	topk-bench -compare -tolerance 0.30 BENCH_baseline.json BENCH_new.json
 package main
 
 import (
@@ -37,8 +51,22 @@ func main() {
 	fig := flag.String("fig", "all", "comma-separated figure numbers (3, 8, 9, 10, 11, 12, 13, 14, 15, 16), 'serving', 'mutation', 'durability', or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of ASCII charts")
 	jsonOut := flag.Bool("json", false, "emit one JSON array of figure objects instead of ASCII charts")
+	compare := flag.Bool("compare", false, "compare two BENCH_*.json snapshots (old new) and fail on regression")
+	tolerance := flag.Float64("tolerance", defaultTolerance, "allowed relative slowdown per series before -compare fails")
+	floor := flag.Float64("floor", defaultFloor, "absolute slack in ms a -compare difference must also exceed (noise floor for µs-scale series)")
 	flag.Parse()
 
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "topk-bench: -compare needs two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *tolerance, *floor); err != nil {
+			fmt.Fprintln(os.Stderr, "topk-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *csv && *jsonOut {
 		fmt.Fprintln(os.Stderr, "topk-bench: -csv and -json are mutually exclusive")
 		os.Exit(1)

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -123,5 +125,85 @@ func TestCollectMutation(t *testing.T) {
 		if len(s.X) == 0 || len(s.X) != len(s.Y) {
 			t.Fatalf("series %q: %d/%d points", s.Name, len(s.X), len(s.Y))
 		}
+	}
+}
+
+// compareFixtures builds a baseline/new figure pair where `factor` scales
+// every new Y value.
+func compareFixtures(factor float64) (oldFigs, newFigs []*bench.Figure) {
+	mk := func(scale float64) []*bench.Figure {
+		return []*bench.Figure{{
+			ID:    "durability",
+			Title: "t",
+			Series: []bench.Series{
+				{Name: "append wal (ms)", X: []float64{0, 1, 2}, Y: []float64{1 * scale, 2 * scale, 3 * scale}},
+				{Name: "append in-memory (ms)", X: []float64{0, 1, 2}, Y: []float64{0.5 * scale, 0.5 * scale, 0.5 * scale}},
+			},
+		}}
+	}
+	return mk(1), mk(factor)
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	oldFigs, newFigs := compareFixtures(1.2) // 20% slower, tolerance 30%
+	var sb strings.Builder
+	if regs := compareFigures(&sb, oldFigs, newFigs, 0.30, 0.05); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if !strings.Contains(sb.String(), "durability") {
+		t.Fatalf("report missing figure id:\n%s", sb.String())
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	oldFigs, newFigs := compareFixtures(1.5) // 50% slower
+	var sb strings.Builder
+	regs := compareFigures(&sb, oldFigs, newFigs, 0.30, 0.05)
+	if len(regs) != 2 { // both series regressed
+		t.Fatalf("regressions = %v", regs)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("report missing REGRESSION marker:\n%s", sb.String())
+	}
+}
+
+func TestCompareFailsOnMissingFigureOrSeries(t *testing.T) {
+	oldFigs, newFigs := compareFixtures(1)
+	newFigs[0].Series = newFigs[0].Series[:1] // drop one series
+	if regs := compareFigures(&strings.Builder{}, oldFigs, newFigs, 0.30, 0.05); len(regs) != 1 ||
+		!strings.Contains(regs[0], "missing") {
+		t.Fatalf("regs = %v", regs)
+	}
+	if regs := compareFigures(&strings.Builder{}, oldFigs, nil, 0.30, 0.05); len(regs) != 1 ||
+		!strings.Contains(regs[0], "missing") {
+		t.Fatalf("regs = %v", regs)
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldFigs, newFigs := compareFixtures(1.05)
+	write := func(name string, figs []*bench.Figure) string {
+		path := filepath.Join(dir, name)
+		var sb strings.Builder
+		if err := bench.WriteJSON(&sb, figs); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath, newPath := write("old.json", oldFigs), write("new.json", newFigs)
+	if err := runCompare(oldPath, newPath, 0.30, 0.05); err != nil {
+		t.Fatalf("within tolerance: %v", err)
+	}
+	_, slow := compareFixtures(2)
+	slowPath := write("slow.json", slow)
+	if err := runCompare(oldPath, slowPath, 0.30, 0.05); err == nil {
+		t.Fatal("2x regression passed the gate")
+	}
+	if err := runCompare(oldPath, filepath.Join(dir, "nope.json"), 0.30, 0.05); err == nil {
+		t.Fatal("missing file passed the gate")
 	}
 }

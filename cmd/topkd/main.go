@@ -21,8 +21,17 @@
 // snapshot + WAL. -fsync=false trades crash-durability of the most recent
 // mutations for much faster writes. -load runs after recovery, so a loaded
 // CSV replaces a recovered table of the same name (and is itself logged).
-// See the package documentation of internal/server (or the repository
-// README) for the endpoint reference and recovery semantics.
+//
+// -shards N (default GOMAXPROCS, capped at 256) splits the serving stack
+// N ways by table name: the registry, the mutation/durability mutex and
+// the WAL (one segment sequence per shard under -data-dir); the
+// prepared-query cache is split into N partitions too (routed by table
+// identity rather than name). Mutations of tables on different shards
+// never serialize; queries are lock-free either way and unaffected. A
+// -data-dir written under a different shard count (including by a
+// pre-sharding build) is migrated in place at boot. See the package
+// documentation of internal/server (or the repository README) for the
+// endpoint reference and recovery semantics.
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -53,11 +63,14 @@ func main() {
 		"fsync every logged mutation (with -data-dir); false is faster but a crash may lose the newest acknowledged mutations")
 	checkpointEvery := flag.Int("checkpoint-every", 256,
 		"checkpoint hosted tables into the snapshot file and truncate the WAL after this many logged mutations (0 = never)")
+	shards := flag.Int("shards", min(runtime.GOMAXPROCS(0), persist.MaxShards),
+		"shard the serving stack (registry, mutation mutex, WAL, prepared cache) this many ways by table name; 1 disables sharding")
 	flag.Parse()
 
 	srv, _, err := buildServer(config{
 		answerCache: *answerCache, engineCache: *engineCache,
 		dataDir: *dataDir, fsync: *fsync, checkpointEvery: *checkpointEvery,
+		shards: *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topkd:", err)
@@ -85,6 +98,7 @@ type config struct {
 	dataDir         string
 	fsync           bool
 	checkpointEvery int
+	shards          int
 }
 
 // buildServer opens the durability backend (when configured), recovers and
@@ -99,6 +113,7 @@ func buildServer(cfg config) (*server.Server, *persist.Manager, error) {
 		man, tables, err := persist.Open(cfg.dataDir, persist.Options{
 			Fsync:           cfg.fsync,
 			CheckpointEvery: cfg.checkpointEvery,
+			Shards:          cfg.shards,
 		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("opening -data-dir %s: %v", cfg.dataDir, err)
@@ -115,6 +130,7 @@ func buildServer(cfg config) (*server.Server, *persist.Manager, error) {
 	srv := server.New(server.Config{
 		AnswerCacheSize: cfg.answerCache,
 		EngineCacheSize: cfg.engineCache,
+		Shards:          cfg.shards,
 		Durability:      durable,
 	})
 	names := make([]string, 0, len(recovered))

@@ -107,6 +107,25 @@
 // randomized mutate/checkpoint/crash/recover interleavings and asserts
 // recovered tables answer bit-identically to the pre-crash oracle.
 //
+// # Sharding
+//
+// topkd -shards N (default GOMAXPROCS) splits the serving stack N ways by
+// table name — shard = fnv32a(name) % N (persist.ShardOf) routes the
+// registry slice, the mutation/durability mutex and the WAL segment
+// sequence (wal-sNN-%08d.seg); the prepared-query cache is split into N
+// partitions of its own, routed by table identity (NewEngineSharded). So
+// durable mutations of tables on different shards — clone, validate, log,
+// fsync — proceed in parallel instead of serializing behind one global
+// mutex. Queries are unaffected:
+// they were already lock-free over immutable snapshots, and answers are
+// byte-identical at any shard count. The snapshot file (format v2)
+// records one checkpoint watermark per shard; a data directory written
+// under a different shard count — including by a pre-sharding build
+// (format v1) — is migrated in place at boot, atomically: the directory
+// is readable by exactly one layout at every crash point.
+// BenchmarkAppendDurableSharded tracks the aggregate durable-append
+// throughput gain, and GET /debug/stats reports per-shard counters.
+//
 // # Quick start
 //
 //	table := probtopk.NewTable()

@@ -61,6 +61,17 @@ func NewEngineWithCache(cacheSize int) *Engine {
 	return &Engine{e: engine.New(cacheSize)}
 }
 
+// NewEngineSharded returns an engine whose prepared-table cache is split
+// into shards independently locked partitions, routed by table identity,
+// with the cacheSize budget divided evenly across them. Serving layers
+// that shard tables (internal/server with -shards) pass their shard count
+// so cache traffic for unrelated tables never contends on one mutex;
+// results are identical to an unpartitioned engine. shards < 1 means one
+// partition; cacheSize <= 0 disables caching.
+func NewEngineSharded(cacheSize, shards int) *Engine {
+	return &Engine{e: engine.NewPartitioned(cacheSize, shards)}
+}
+
 // defaultEngine backs the package-level query functions.
 var defaultEngine = NewEngine()
 
@@ -80,6 +91,10 @@ type EngineStats struct {
 	Hits, Misses, Evictions uint64
 	// Entries is the current number of cached prepared tables.
 	Entries int
+	// PartitionEntries is the per-partition entry count of a sharded
+	// engine's cache (length 1 for an unsharded one, nil with caching
+	// disabled).
+	PartitionEntries []int
 	// Queries counts the main-algorithm distribution computations the
 	// engine has run (each member of a batch counts once); QueryTime is
 	// their cumulative wall-clock time. A serving layer exports these to
@@ -93,7 +108,8 @@ func (e *Engine) CacheStats() EngineStats {
 	s := e.e.Stats()
 	return EngineStats{
 		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Entries: s.Entries,
-		Queries: s.Queries, QueryTime: time.Duration(s.QueryNanos),
+		PartitionEntries: s.PartEntries,
+		Queries:          s.Queries, QueryTime: time.Duration(s.QueryNanos),
 	}
 }
 

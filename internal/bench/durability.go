@@ -13,8 +13,15 @@ import (
 	"probtopk/internal/synth"
 )
 
-// durabilityAppends is how many appends each durability series measures.
-const durabilityAppends = 30
+// durabilityAppends is how many appends each durability series measures,
+// and durabilityWarmup how many run untimed first (segment creation, lazy
+// allocations and cold caches land there, not in the figure). The sample
+// count matters: the bench-compare CI gate trips on the series MEDIAN, so
+// it must be stable across runs of the same build.
+const (
+	durabilityAppends = 100
+	durabilityWarmup  = 10
+)
 
 // FigDurability measures what the durable log adds to the serving path's
 // append latency: the in-memory baseline, the WAL without fsync, and the
@@ -78,8 +85,8 @@ func FigDurability() (*Figure, error) {
 		}
 		series := Series{Name: md.name}
 		var total float64
-		for i := 0; i < durabilityAppends; i++ {
-			body := fmt.Sprintf(`{"tuples": [{"id": "d%d-%d", "score": 50.5, "prob": 0.5}]}`, mi, i)
+		for i := -durabilityWarmup; i < durabilityAppends; i++ {
+			body := fmt.Sprintf(`{"tuples": [{"id": "d%d-%d", "score": 50.5, "prob": 0.5}]}`, mi, i+durabilityWarmup)
 			start := time.Now()
 			w := httptest.NewRecorder()
 			srv.ServeHTTP(w, httptest.NewRequest("POST", "/tables/dur/tuples", strings.NewReader(body)))
@@ -89,6 +96,9 @@ func FigDurability() (*Figure, error) {
 					cleanup()
 				}
 				return nil, fmt.Errorf("bench append: status %d: %s", w.Code, w.Body.String())
+			}
+			if i < 0 {
+				continue // warmup, untimed
 			}
 			series.X = append(series.X, float64(i))
 			series.Y = append(series.Y, ms)

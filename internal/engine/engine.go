@@ -42,9 +42,26 @@ import (
 const DefaultCacheSize = 64
 
 // Engine is a reusable query engine with a bounded LRU cache of prepared
-// snapshots. The zero value is not usable; construct with New.
+// snapshots, split into one or more independently locked partitions. The
+// zero value is not usable; construct with New or NewPartitioned.
 type Engine struct {
-	cacheCap int
+	cacheCap int // total budget across partitions; <= 0 disables caching
+	parts    []*cachePart
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
+	queries    atomic.Uint64
+	queryNanos atomic.Uint64
+}
+
+// cachePart is one independently locked slice of the prepared-snapshot
+// cache. Entries are routed by table identity (Snapshot.Owner), so all
+// snapshots of one table live in one partition — the byOwner supersede
+// index stays sound — while unrelated tables stop contending on one lock.
+type cachePart struct {
+	cap int
 
 	mu sync.Mutex
 	// byID indexes every cached entry by its snapshot identity — the sound
@@ -55,13 +72,6 @@ type Engine struct {
 	// superseded one instead of letting it age out of the LRU.
 	byOwner map[uint64]*list.Element
 	lru     *list.List // front = most recently used
-
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
-
-	queries    atomic.Uint64
-	queryNanos atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -71,22 +81,51 @@ type cacheEntry struct {
 }
 
 // New returns an Engine whose prepared-snapshot cache holds up to cacheSize
-// entries. cacheSize <= 0 disables caching: every query prepares afresh
-// (scratch pooling and batching still apply), which is the configuration
-// benchmarks use as the uncached baseline.
+// entries in a single partition. cacheSize <= 0 disables caching: every
+// query prepares afresh (scratch pooling and batching still apply), which
+// is the configuration benchmarks use as the uncached baseline.
 func New(cacheSize int) *Engine {
-	return &Engine{
-		cacheCap: cacheSize,
-		byID:     make(map[uint64]*list.Element),
-		byOwner:  make(map[uint64]*list.Element),
-		lru:      list.New(),
+	return NewPartitioned(cacheSize, 1)
+}
+
+// NewPartitioned returns an Engine whose prepared-snapshot cache is split
+// into parts independently locked partitions, routed by table identity.
+// The cacheSize budget is divided evenly (rounded up) across partitions;
+// cacheSize <= 0 disables caching entirely, parts < 1 means one partition.
+// Sharded serving layers pass their shard count so preparation-cache
+// traffic for unrelated tables never meets on one mutex.
+func NewPartitioned(cacheSize, parts int) *Engine {
+	if parts < 1 {
+		parts = 1
 	}
+	e := &Engine{cacheCap: cacheSize}
+	if cacheSize <= 0 {
+		return e
+	}
+	per := (cacheSize + parts - 1) / parts
+	for i := 0; i < parts; i++ {
+		e.parts = append(e.parts, &cachePart{
+			cap:     per,
+			byID:    make(map[uint64]*list.Element),
+			byOwner: make(map[uint64]*list.Element),
+			lru:     list.New(),
+		})
+	}
+	return e
+}
+
+// part routes a table identity to its cache partition.
+func (e *Engine) part(owner uint64) *cachePart {
+	return e.parts[owner%uint64(len(e.parts))]
 }
 
 // Stats is a snapshot of the engine's cache and query counters.
 type Stats struct {
 	Hits, Misses, Evictions uint64
 	Entries                 int
+	// PartEntries is the current entry count of each cache partition
+	// (length 1 for an unpartitioned engine, nil with caching disabled).
+	PartEntries []int
 	// Queries counts the distribution computations the engine has run
 	// (each member of a batch counts once); QueryNanos is their cumulative
 	// wall-clock time in nanoseconds. Together they give the mean DP cost a
@@ -97,17 +136,21 @@ type Stats struct {
 
 // Stats returns a snapshot of the cache counters.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	n := e.lru.Len()
-	e.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Hits:       e.hits.Load(),
 		Misses:     e.misses.Load(),
 		Evictions:  e.evictions.Load(),
-		Entries:    n,
 		Queries:    e.queries.Load(),
 		QueryNanos: e.queryNanos.Load(),
 	}
+	for _, p := range e.parts {
+		p.mu.Lock()
+		n := p.lru.Len()
+		p.mu.Unlock()
+		st.PartEntries = append(st.PartEntries, n)
+		st.Entries += n
+	}
+	return st
 }
 
 // recordQueries adds n computed queries taking d to the latency counters.
@@ -136,14 +179,15 @@ func (e *Engine) PrepareSnapshot(s *uncertain.Snapshot) (*uncertain.Prepared, er
 		return s.Prepare()
 	}
 	id := s.ID()
-	e.mu.Lock()
-	if el, ok := e.byID[id]; ok {
-		e.lru.MoveToFront(el)
-		e.mu.Unlock()
+	p := e.part(s.Owner())
+	p.mu.Lock()
+	if el, ok := p.byID[id]; ok {
+		p.lru.MoveToFront(el)
+		p.mu.Unlock()
 		e.hits.Add(1)
 		return el.Value.(*cacheEntry).prep, nil
 	}
-	e.mu.Unlock()
+	p.mu.Unlock()
 	e.misses.Add(1)
 	// Prepare outside the lock: sorting a large snapshot must not block
 	// concurrent cache hits. A racing prepare of the same snapshot does
@@ -152,51 +196,53 @@ func (e *Engine) PrepareSnapshot(s *uncertain.Snapshot) (*uncertain.Prepared, er
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	e.insertLocked(&cacheEntry{id: id, owner: s.Owner(), prep: prep})
-	e.mu.Unlock()
+	p.mu.Lock()
+	e.evictions.Add(p.insertLocked(&cacheEntry{id: id, owner: s.Owner(), prep: prep}))
+	p.mu.Unlock()
 	return prep, nil
 }
 
-// insertLocked adds ent to the cache. A newer snapshot of the same owner
-// supersedes that owner's previous entry, which is dropped eagerly (it is
-// unreachable through the table; a holder of the old snapshot re-prepares).
-// An OLDER snapshot arriving late — a slow query racing a mutation — is
-// cached by ID without disturbing the owner index, so it never shadows the
-// current state's entry. Callers hold e.mu.
-func (e *Engine) insertLocked(ent *cacheEntry) {
-	if el, ok := e.byID[ent.id]; ok {
+// insertLocked adds ent to the partition, returning how many entries the
+// LRU bound evicted. A newer snapshot of the same owner supersedes that
+// owner's previous entry, which is dropped eagerly (it is unreachable
+// through the table; a holder of the old snapshot re-prepares). An OLDER
+// snapshot arriving late — a slow query racing a mutation — is cached by
+// ID without disturbing the owner index, so it never shadows the current
+// state's entry. Callers hold p.mu.
+func (p *cachePart) insertLocked(ent *cacheEntry) (evicted uint64) {
+	if el, ok := p.byID[ent.id]; ok {
 		// A racing prepare of the same snapshot beat us; keep the resident
 		// entry (identical contents) fresh.
-		e.lru.MoveToFront(el)
-		return
+		p.lru.MoveToFront(el)
+		return 0
 	}
 	ownerIndexed := true
-	if el, ok := e.byOwner[ent.owner]; ok {
+	if el, ok := p.byOwner[ent.owner]; ok {
 		if el.Value.(*cacheEntry).id < ent.id {
-			e.removeLocked(el)
+			p.removeLocked(el)
 		} else {
 			ownerIndexed = false
 		}
 	}
-	el := e.lru.PushFront(ent)
-	e.byID[ent.id] = el
+	el := p.lru.PushFront(ent)
+	p.byID[ent.id] = el
 	if ownerIndexed {
-		e.byOwner[ent.owner] = el
+		p.byOwner[ent.owner] = el
 	}
-	for e.lru.Len() > e.cacheCap {
-		e.removeLocked(e.lru.Back())
-		e.evictions.Add(1)
+	for p.lru.Len() > p.cap {
+		p.removeLocked(p.lru.Back())
+		evicted++
 	}
+	return evicted
 }
 
-// removeLocked unlinks el from every index. Callers hold e.mu.
-func (e *Engine) removeLocked(el *list.Element) {
+// removeLocked unlinks el from every index. Callers hold p.mu.
+func (p *cachePart) removeLocked(el *list.Element) {
 	ent := el.Value.(*cacheEntry)
-	e.lru.Remove(el)
-	delete(e.byID, ent.id)
-	if cur, ok := e.byOwner[ent.owner]; ok && cur == el {
-		delete(e.byOwner, ent.owner)
+	p.lru.Remove(el)
+	delete(p.byID, ent.id)
+	if cur, ok := p.byOwner[ent.owner]; ok && cur == el {
+		delete(p.byOwner, ent.owner)
 	}
 }
 
@@ -204,24 +250,31 @@ func (e *Engine) removeLocked(el *list.Element) {
 // the engine's reference to it. (Entries for t's older snapshots were
 // already dropped when the newer one was cached.) A nil table is a no-op.
 func (e *Engine) Invalidate(t *uncertain.Table) {
-	if t == nil {
+	if t == nil || e.cacheCap <= 0 {
 		return
 	}
-	e.mu.Lock()
-	if el, ok := e.byOwner[t.Identity()]; ok {
-		e.removeLocked(el)
+	p := e.part(t.Identity())
+	p.mu.Lock()
+	if el, ok := p.byOwner[t.Identity()]; ok {
+		p.removeLocked(el)
 	}
-	e.mu.Unlock()
+	p.mu.Unlock()
 }
 
 // InvalidateSnapshot drops the cache entry for the snapshot with the given
-// identity, if present.
+// identity, if present. Only the snapshot ID is known, not its owner, so
+// every partition is checked — the operation is rare (explicit cache
+// release), the partitions few.
 func (e *Engine) InvalidateSnapshot(id uint64) {
-	e.mu.Lock()
-	if el, ok := e.byID[id]; ok {
-		e.removeLocked(el)
+	for _, p := range e.parts {
+		p.mu.Lock()
+		if el, ok := p.byID[id]; ok {
+			p.removeLocked(el)
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
 	}
-	e.mu.Unlock()
 }
 
 // Distribution answers one main-algorithm query over t, using the cached

@@ -1,6 +1,7 @@
 package crashtest
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 	"os"
@@ -16,6 +17,11 @@ import (
 // crashIterations is how many randomized mutate/checkpoint/crash/recover
 // interleavings the property test drives (the acceptance bar is 1000+).
 const crashIterations = 1000
+
+// crashN overrides the iteration count; the nightly workflow passes
+// -crashtest.n=10000 for a run too slow for PR CI.
+var crashN = flag.Int("crashtest.n", 0,
+	"override the crash property test's interleaving count (0 = the built-in default)")
 
 // model is the in-memory oracle: the acknowledged state of every table.
 type model map[string][]uncertain.Tuple
@@ -46,9 +52,12 @@ func tableOf(tuples []uncertain.Tuple) *probtopk.Table {
 	return tab
 }
 
-// genTuples returns 1–3 fresh valid tuples for table name, keeping every
-// ME group's mass under 1 however many land in it (each group member
-// carries 0.2 and groups are per-batch unique-ish across ≤ 20 ops).
+// genTuples returns 1–3 fresh valid tuples for table name. ME group names
+// are derived from the serial (g<serial/4>), so at most four members —
+// 0.2 probability each, 0.8 total — can ever share a group however the
+// tuples are distributed across puts and appends; accumulated appends can
+// therefore never push a group's mass past 1 and invalidate the oracle's
+// own state.
 func genTuples(rng *rand.Rand, serial *int) []uncertain.Tuple {
 	n := 1 + rng.Intn(3)
 	out := make([]uncertain.Tuple, 0, n)
@@ -60,7 +69,7 @@ func genTuples(rng *rand.Rand, serial *int) []uncertain.Tuple {
 			Prob:  0.05 + 0.9*rng.Float64(),
 		}
 		if rng.Intn(3) == 0 {
-			tp.Group = fmt.Sprintf("g%d", rng.Intn(3))
+			tp.Group = fmt.Sprintf("g%d", *serial/4)
 			tp.Prob = 0.2
 		}
 		out = append(out, tp)
@@ -68,10 +77,11 @@ func genTuples(rng *rand.Rand, serial *int) []uncertain.Tuple {
 	return out
 }
 
-// newestSegment returns the newest WAL segment and its size, or "" if none.
-func newestSegment(t *testing.T, dir string) (string, int64) {
+// newestShardSegment returns the newest WAL segment of one shard's log and
+// its size, or "" if the shard has none.
+func newestShardSegment(t *testing.T, dir string, shard int) (string, int64) {
 	t.Helper()
-	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	matches, err := filepath.Glob(filepath.Join(dir, fmt.Sprintf("wal-s%02d-*.seg", shard)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,6 +94,21 @@ func newestSegment(t *testing.T, dir string) (string, int64) {
 		t.Fatal(err)
 	}
 	return path, fi.Size()
+}
+
+// anyShardTail returns the NEWEST segment of a randomly chosen shard that
+// has one, or "". Garbage surgery must land on a shard's tail: bytes
+// after the acknowledged records of the newest segment model a torn next
+// write, while garbage inside an OLDER segment would (correctly) truncate
+// everything after it — acknowledged records the oracle still expects.
+func anyShardTail(t *testing.T, dir string, shards int, rng *rand.Rand) string {
+	t.Helper()
+	for _, shard := range rng.Perm(shards) {
+		if path, size := newestShardSegment(t, dir, shard); path != "" && size > 0 {
+			return path
+		}
+	}
+	return ""
 }
 
 // queryIdentical asserts the recovered table answers TopKDistribution and
@@ -115,26 +140,36 @@ func queryIdentical(t *testing.T, iter int, name string, recovered, oracle *prob
 }
 
 // TestCrashRecoveryProperty drives randomized interleavings of mutations,
-// checkpoints and crashes through the durability layer. Crashes are
-// injected three ways: a write budget that dies mid-record (FailingFile),
-// garbage appended to the WAL tail (a torn next record), and a truncation
+// checkpoints and crashes through the durability layer, under 1, 2 or 4
+// WAL shards — and recovers under a possibly DIFFERENT shard count, so
+// every interleaving also exercises the in-place layout migration. Crashes
+// are injected three ways: a write budget that dies mid-record
+// (FailingFile — including mid-checkpoint, i.e. between two shards'
+// checkpoint segments being started and the snapshot committing), garbage
+// appended to a shard's WAL tail (a torn next record), and a truncation
 // inside the last acknowledged record's frame (a record the crash tore
-// before it was durable — the oracle then forgets that op too). After every
-// crash, recovery must reproduce the oracle exactly: same tables, same
-// tuples, and query answers that are bit-identical.
+// before it was durable — the oracle then forgets that op too). After
+// every crash, recovery must reproduce the oracle exactly: same tables,
+// same tuples, and query answers that are bit-identical.
 func TestCrashRecoveryProperty(t *testing.T) {
 	iterations := crashIterations
 	if testing.Short() {
 		iterations = 200
 	}
+	if *crashN > 0 {
+		iterations = *crashN
+	}
 	base := t.TempDir()
+	shardCounts := []int{1, 2, 4}
 	for iter := 0; iter < iterations; iter++ {
 		rng := rand.New(rand.NewSource(int64(iter) * 7919))
 		dir := filepath.Join(base, fmt.Sprintf("it%04d", iter))
+		shards := shardCounts[rng.Intn(len(shardCounts))]
 
 		opts := persist.Options{
 			Fsync:        iter%10 == 0, // mostly off: content survives either way, fsync paths still covered
 			SegmentBytes: int64(512 + rng.Intn(2048)),
+			Shards:       shards,
 		}
 		var budget *Budget
 		if iter%2 == 1 {
@@ -144,8 +179,9 @@ func TestCrashRecoveryProperty(t *testing.T) {
 
 		m, recovered, err := persist.Open(dir, opts)
 		if err != nil {
-			// The injected budget can die during Open itself; that is a
-			// crash before any op — recovery below must yield nothing.
+			// The injected budget can die during Open itself — which now
+			// includes writing the initial sharded layout; that is a crash
+			// before any op, and recovery below must yield nothing.
 			if budget == nil || !budget.Tripped() {
 				t.Fatalf("iter %d: open: %v", iter, err)
 			}
@@ -163,6 +199,17 @@ func TestCrashRecoveryProperty(t *testing.T) {
 		var tailBefore, tailAfter int64
 		var beforeLastOp model
 		tailValid := false
+		track := func(name string, prev model, do func() error) {
+			shard := persist.ShardOf(name, shards)
+			path0, size0 := newestShardSegment(t, dir, shard)
+			if err := do(); err != nil {
+				crashed = true
+				return
+			}
+			path1, size1 := newestShardSegment(t, dir, shard)
+			beforeLastOp, tailPath, tailBefore, tailAfter = prev, path1, size0, size1
+			tailValid = path0 == path1 && size1 > size0
+		}
 
 		steps := 3 + rng.Intn(8)
 		for s := 0; s < steps && !crashed; s++ {
@@ -175,47 +222,33 @@ func TestCrashRecoveryProperty(t *testing.T) {
 			switch op := rng.Intn(10); {
 			case op < 2 && len(names) > 0 && m != nil: // checkpoint
 				if err := m.Checkpoint(oracle.snapshots()); err != nil {
+					// The budget can trip after some shards' checkpoint
+					// segments started but before the snapshot committed —
+					// the "between two shards' checkpoints" crash. Nothing
+					// acknowledged may be lost either way.
 					crashed = true
 				}
 				tailValid = false
 			case op < 5 || len(names) == 0: // put (create or replace)
 				name := fmt.Sprintf("tab%d", rng.Intn(3))
 				tuples := genTuples(rng, &serial)
-				prev := oracle.clone()
-				path0, size0 := newestSegment(t, dir)
-				if err := m.LogPut(name, tuples); err != nil {
-					crashed = true
-					break
+				track(name, oracle.clone(), func() error { return m.LogPut(name, tuples) })
+				if !crashed {
+					oracle[name] = append([]uncertain.Tuple(nil), tuples...)
 				}
-				path1, size1 := newestSegment(t, dir)
-				beforeLastOp, tailPath, tailBefore, tailAfter = prev, path1, size0, size1
-				tailValid = path0 == path1 && size1 > size0
-				oracle[name] = append([]uncertain.Tuple(nil), tuples...)
 			case op < 8: // append
 				name := pick()
 				tuples := genTuples(rng, &serial)
-				prev := oracle.clone()
-				path0, size0 := newestSegment(t, dir)
-				if err := m.LogAppend(name, tuples); err != nil {
-					crashed = true
-					break
+				track(name, oracle.clone(), func() error { return m.LogAppend(name, tuples) })
+				if !crashed {
+					oracle[name] = append(oracle[name], tuples...)
 				}
-				path1, size1 := newestSegment(t, dir)
-				beforeLastOp, tailPath, tailBefore, tailAfter = prev, path1, size0, size1
-				tailValid = path0 == path1 && size1 > size0
-				oracle[name] = append(oracle[name], tuples...)
 			default: // delete
 				name := pick()
-				prev := oracle.clone()
-				path0, size0 := newestSegment(t, dir)
-				if err := m.LogDelete(name); err != nil {
-					crashed = true
-					break
+				track(name, oracle.clone(), func() error { return m.LogDelete(name) })
+				if !crashed {
+					delete(oracle, name)
 				}
-				path1, size1 := newestSegment(t, dir)
-				beforeLastOp, tailPath, tailBefore, tailAfter = prev, path1, size0, size1
-				tailValid = path0 == path1 && size1 > size0
-				delete(oracle, name)
 			}
 		}
 		if m != nil {
@@ -224,8 +257,8 @@ func TestCrashRecoveryProperty(t *testing.T) {
 
 		// Crash surgery on the dead process's files.
 		switch mode := rng.Intn(3); {
-		case mode == 1: // torn next record: garbage after the acknowledged tail
-			if path, size := newestSegment(t, dir); path != "" && size > 0 {
+		case mode == 1: // torn next record: garbage after an acknowledged tail
+			if path := anyShardTail(t, dir, shards, rng); path != "" {
 				f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 				if err != nil {
 					t.Fatal(err)
@@ -243,8 +276,10 @@ func TestCrashRecoveryProperty(t *testing.T) {
 			oracle = beforeLastOp // that op was never durable
 		}
 
-		// Recover with a healthy process and compare against the oracle.
-		m2, tables, err := persist.Open(dir, persist.Options{})
+		// Recover with a healthy process — under a possibly different
+		// shard count, so recovery regularly IS a live migration — and
+		// compare against the oracle.
+		m2, tables, err := persist.Open(dir, persist.Options{Shards: shardCounts[rng.Intn(len(shardCounts))]})
 		if err != nil {
 			t.Fatalf("iter %d: recovery: %v", iter, err)
 		}
@@ -267,5 +302,66 @@ func TestCrashRecoveryProperty(t *testing.T) {
 		}
 		m2.Close()
 		os.RemoveAll(dir) // keep the tempdir small across 1000 iterations
+	}
+}
+
+// TestCrashBetweenShardCheckpoints pins the exact window the sharded
+// checkpoint opens: shard 0's post-checkpoint segment has been started
+// (BeginShardCheckpoint) but the process dies before the other shards
+// begin and before the snapshot commits. Every record of every shard —
+// including ones logged to shard 0 after its Begin — must survive
+// recovery.
+func TestCrashBetweenShardCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	m, _, err := persist.Open(dir, persist.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tables spread over all four shards.
+	want := model{}
+	serial := 0
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 16; i++ {
+		name := fmt.Sprintf("tab%02d", i)
+		tuples := genTuples(rng, &serial)
+		if err := m.LogPut(name, tuples); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = append([]uncertain.Tuple(nil), tuples...)
+	}
+	if _, err := m.BeginShardCheckpoint(0); err != nil {
+		t.Fatal(err)
+	}
+	// One more record lands on shard 0 AFTER its checkpoint segment
+	// started; the snapshot never commits.
+	post := genTuples(rng, &serial)
+	postName := ""
+	for i := 0; postName == ""; i++ {
+		if name := fmt.Sprintf("late%d", i); persist.ShardOf(name, 4) == 0 {
+			postName = name
+		}
+	}
+	if err := m.LogPut(postName, post); err != nil {
+		t.Fatal(err)
+	}
+	want[postName] = append([]uncertain.Tuple(nil), post...)
+	m.Close() // crash between two shards' checkpoints
+
+	m2, tables, err := persist.Open(dir, persist.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if len(tables) != len(want) {
+		t.Fatalf("recovered %d tables, want %d", len(tables), len(want))
+	}
+	for name, tuples := range want {
+		tab, ok := tables[name]
+		if !ok {
+			t.Fatalf("lost table %q", name)
+		}
+		if !reflect.DeepEqual(tab.Tuples(), tuples) {
+			t.Fatalf("table %q = %v, want %v", name, tab.Tuples(), tuples)
+		}
 	}
 }

@@ -3,7 +3,9 @@ package persist
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"probtopk/internal/uncertain"
@@ -11,7 +13,8 @@ import (
 )
 
 // Options tune a Manager. The zero value fsyncs nothing, never
-// auto-checkpoints, and uses the default WAL segment size.
+// auto-checkpoints, runs one WAL shard, and uses the default WAL segment
+// size.
 type Options struct {
 	// Fsync makes every logged mutation (and every checkpoint) fsync before
 	// it is acknowledged. Off, the OS flushes when it likes: a crash may
@@ -19,17 +22,34 @@ type Options struct {
 	// yields a clean earlier state.
 	Fsync bool
 	// CheckpointEvery marks a checkpoint as due after this many logged
-	// records. <= 0 means checkpoints happen only when the caller asks.
+	// records (summed across shards). <= 0 means checkpoints happen only
+	// when the caller asks.
 	CheckpointEvery int
 	// SegmentBytes is the WAL segment-rotation threshold; 0 = the WAL
 	// default.
 	SegmentBytes int64
+	// Shards is the number of independent WAL shards; <= 0 means 1 (the
+	// unsharded behavior). Mutations are routed to shard
+	// ShardOf(tableName, Shards), each shard owns its own segment files
+	// (wal-sNN-%08d.seg) and its own lock, so durable mutations of tables
+	// on different shards never serialize against each other. Open adopts
+	// the directory's layout to this count, migrating in place when they
+	// differ (see Open).
+	Shards int
 	// OpenFile opens files for writing (WAL segments and staged
 	// snapshots). nil means os.OpenFile; tests inject failures here.
 	OpenFile func(path string, flag int, perm os.FileMode) (wal.File, error)
 }
 
-// Stats is a snapshot of a Manager's counters for /debug/stats.
+// ShardStats is one WAL shard's slice of a Manager's counters.
+type ShardStats struct {
+	WAL                    wal.Stats
+	RecordsSinceCheckpoint int
+}
+
+// Stats is a snapshot of a Manager's counters for /debug/stats. The WAL
+// and RecordsSinceCheckpoint fields aggregate across shards; Shards breaks
+// them down per shard.
 type Stats struct {
 	WAL                    wal.Stats
 	RecordsSinceCheckpoint int
@@ -41,26 +61,38 @@ type Stats struct {
 	// ReplayedRecords and ReplayTruncated describe the boot-time recovery.
 	ReplayedRecords int
 	ReplayTruncated bool
+	Shards          []ShardStats
+}
+
+// managerShard is one WAL shard: its log and the count of records logged
+// to it since the last checkpoint. The log carries its own mutex; since is
+// atomic, so logging to one shard never touches another shard's state.
+type managerShard struct {
+	log   *wal.Log
+	since atomic.Int64
 }
 
 // Manager is the durability backend for a table registry: it logs every
-// mutation to the WAL before the caller publishes it, and checkpoints the
-// full registry into a snapshot file, truncating the WAL behind it. A
-// Manager is safe for concurrent use, but the caller must still order
-// logging before publication per mutation (internal/server holds its
-// durability mutex across both).
+// mutation to the table's WAL shard before the caller publishes it, and
+// checkpoints the full registry into a snapshot file, truncating every
+// shard's WAL behind it. A Manager is safe for concurrent use — mutations
+// of tables on different shards proceed in parallel — but the caller must
+// still order logging before publication per mutation (internal/server
+// holds a per-shard durability mutex across both).
 type Manager struct {
-	dir  string
-	opts Options
+	dir     string
+	opts    Options
+	nshards int
+	lock    *os.File // held flock on the data dir; nil on non-unix
+	shards  []*managerShard
+	replay  wal.ReplayInfo
 
-	mu                  sync.Mutex
-	log                 *wal.Log
-	lock                *os.File // held flock on the data dir; nil on non-unix
-	since               int      // records logged since the last checkpoint
-	checkpoints         uint64
-	checkpointErrors    uint64
-	lastCheckpointNanos int64
-	replay              wal.ReplayInfo
+	// ckptMu serializes checkpoints against each other (appends never take
+	// it).
+	ckptMu              sync.Mutex
+	checkpoints         atomic.Uint64
+	checkpointErrors    atomic.Uint64
+	lastCheckpointNanos atomic.Int64
 }
 
 // Open recovers the durable state of dir — the checkpoint snapshot plus
@@ -68,24 +100,47 @@ type Manager struct {
 // recovered tables. The returned tables are freshly built: their
 // identities and snapshot IDs are process-unique and have nothing to do
 // with any pre-crash process's (identities are re-minted on every boot).
+//
+// When the directory's on-disk layout does not match opts.Shards — a
+// format-v1 directory written by an unsharded build, a fresh directory, or
+// a shard-count change — Open migrates it in place: the committed old
+// layout is replayed in full, a fresh format-v2 snapshot of the recovered
+// state is written atomically (the commit point), and only then are the
+// old layout's files removed. A crash before the snapshot rename leaves
+// the old layout fully intact; a crash after it leaves stale files the
+// next Open deletes without replaying. At no point is the directory
+// readable by neither layout.
 func Open(dir string, opts Options) (*Manager, map[string]*uncertain.Table, error) {
+	nshards := opts.Shards
+	if nshards <= 0 {
+		nshards = 1
+	}
+	if nshards > MaxShards {
+		return nil, nil, fmt.Errorf("persist: %d shards exceeds the limit of %d", opts.Shards, MaxShards)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("persist: %w", err)
 	}
 	// One live process per data dir: a second writer would interleave
-	// frames into the shared segment and delete segments the first still
+	// frames into the shared segments and delete segments the first still
 	// counts on at checkpoint.
 	lock, err := lockDataDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
+	m := &Manager{dir: dir, opts: opts, nshards: nshards, lock: lock}
 	fail := func(err error) (*Manager, map[string]*uncertain.Table, error) {
+		for _, sh := range m.shards {
+			if sh != nil && sh.log != nil {
+				sh.log.Close()
+			}
+		}
 		if lock != nil {
 			lock.Close()
 		}
 		return nil, nil, err
 	}
-	state, walSeq, err := readSnapshotFile(dir)
+	state, meta, err := readSnapshotFile(dir)
 	if err != nil {
 		return fail(err)
 	}
@@ -94,25 +149,32 @@ func Open(dir string, opts Options) (*Manager, map[string]*uncertain.Table, erro
 			return fail(fmt.Errorf("persist: snapshot table %q: %w", name, err))
 		}
 	}
-	sync := wal.SyncNever
-	if opts.Fsync {
-		sync = wal.SyncAlways
-	}
-	log, err := wal.Open(dir, wal.Options{
-		Sync:         sync,
-		SegmentBytes: opts.SegmentBytes,
-		// The snapshot's watermark: segments below it are already folded
-		// into state; replaying them would double-apply (they survive only
-		// when a crash interrupted the previous checkpoint's cleanup).
-		MinSegment: walSeq,
-		OpenFile:   opts.OpenFile,
-	})
-	if err != nil {
-		return fail(err)
-	}
-	info, err := log.Replay(func(r wal.Record) error { return applyRecord(state, r) })
-	if err != nil {
-		log.Close()
+	apply := func(r wal.Record) error { return applyRecord(state, r) }
+	if meta.version == FormatVersion && meta.shards == nshards {
+		// The layout matches: open each shard's log at its watermark and
+		// replay the records behind it.
+		for i := 0; i < nshards; i++ {
+			log, err := wal.Open(dir, m.walOptions(shardPrefix(i), meta.wms[i]))
+			if err != nil {
+				return fail(err)
+			}
+			sh := &managerShard{log: log}
+			m.shards = append(m.shards, sh)
+			info, err := log.Replay(apply)
+			if err != nil {
+				return fail(err)
+			}
+			sh.since.Store(int64(info.Records))
+			m.mergeReplay(info)
+		}
+		// Stale files a crashed migration left behind — legacy unprefixed
+		// segments, or shards beyond this layout's count — are fully
+		// covered by the snapshot that committed the migration; delete,
+		// never replay.
+		if err := removeStaleLayouts(dir, nshards); err != nil {
+			return fail(err)
+		}
+	} else if err := m.migrate(state, meta, apply); err != nil {
 		return fail(err)
 	}
 	tables := make(map[string]*uncertain.Table, len(state))
@@ -123,8 +185,170 @@ func Open(dir string, opts Options) (*Manager, map[string]*uncertain.Table, erro
 		}
 		tables[name] = tab
 	}
-	m := &Manager{dir: dir, opts: opts, log: log, lock: lock, since: info.Records, replay: info}
 	return m, tables, nil
+}
+
+// walOptions builds one shard log's options.
+func (m *Manager) walOptions(prefix string, minSegment uint64) wal.Options {
+	sync := wal.SyncNever
+	if m.opts.Fsync {
+		sync = wal.SyncAlways
+	}
+	return wal.Options{
+		Sync:         sync,
+		SegmentBytes: m.opts.SegmentBytes,
+		MinSegment:   minSegment,
+		Prefix:       prefix,
+		OpenFile:     m.opts.OpenFile,
+	}
+}
+
+// mergeReplay folds one shard's replay info into the aggregate.
+func (m *Manager) mergeReplay(info wal.ReplayInfo) {
+	m.replay.Records += info.Records
+	m.replay.Segments += info.Segments
+	m.replay.Truncated = m.replay.Truncated || info.Truncated
+	m.replay.DroppedBytes += info.DroppedBytes
+}
+
+// migrate converts dir from the committed layout described by meta (a
+// format-v1 directory, a fresh one, or a different shard count) to
+// m.nshards format-v2 shards. state holds the snapshot's tables and is
+// extended in place with every replayed WAL record.
+//
+// The commit point is the atomic snapshot rename inside
+// writeSnapshotFile: before it the old layout is untouched (this boot's
+// fresh segments are empty and harmless); after it the old layout's
+// remaining files are all below the new snapshot's watermarks — deleted
+// here, or by the next Open if we crash first.
+func (m *Manager) migrate(state map[string][]uncertain.Tuple, meta snapMeta, apply func(wal.Record) error) error {
+	// 1. Replay the committed old layout in full. Records of one table all
+	// live in one old shard's log (ShardOf is deterministic), so replaying
+	// the old logs in index order applies every table's history in order.
+	oldShards := 0 // shard-prefixed logs of the old layout (0: legacy/fresh)
+	var oldLogs []*wal.Log
+	adopted := 0 // oldLogs[:adopted] have been handed to m.shards
+	defer func() {
+		// Old logs the new layout does not adopt — shard indices at or
+		// beyond nshards, or everything after a mid-migration error — are
+		// closed here whether the migration commits or fails (the fd must
+		// not leak across the crashtest's thousand injected failures).
+		for i := adopted; i < len(oldLogs); i++ {
+			oldLogs[i].Close()
+		}
+	}()
+	if meta.version == FormatVersion {
+		oldShards = meta.shards
+		for i := 0; i < oldShards; i++ {
+			log, err := wal.Open(m.dir, m.walOptions(shardPrefix(i), meta.wms[i]))
+			if err != nil {
+				return err
+			}
+			oldLogs = append(oldLogs, log)
+			info, err := log.Replay(apply)
+			if err != nil {
+				return err
+			}
+			m.mergeReplay(info)
+		}
+	} else {
+		// A v1 snapshot's single watermark, or no snapshot at all (a
+		// legacy pre-checkpoint directory, or a fresh one).
+		var legacyWM uint64
+		if meta.version == formatV1 {
+			legacyWM = meta.wms[0]
+		}
+		log, err := wal.Open(m.dir, m.walOptions(wal.DefaultPrefix, legacyWM))
+		if err != nil {
+			return err
+		}
+		info, err := log.Replay(apply)
+		log.Close()
+		if err != nil {
+			return err
+		}
+		m.mergeReplay(info)
+	}
+	// 2. Open the new layout's logs and start each one's post-snapshot
+	// segment. Shard indices shared with the old layout reuse the already
+	// replayed log (same prefix, same files); StartSegment places the
+	// watermark above every old segment. Fresh indices may still hold
+	// empty segments from an earlier crashed migration — replaying them
+	// applies nothing, and StartSegment reuses an empty current segment.
+	wms := make([]uint64, m.nshards)
+	for i := 0; i < m.nshards; i++ {
+		var log *wal.Log
+		if i < oldShards {
+			log = oldLogs[i]
+			adopted = i + 1
+		} else {
+			var err error
+			log, err = wal.Open(m.dir, m.walOptions(shardPrefix(i), 0))
+			if err != nil {
+				return err
+			}
+			info, err := log.Replay(apply)
+			if err != nil {
+				log.Close()
+				return err
+			}
+			m.mergeReplay(info)
+		}
+		m.shards = append(m.shards, &managerShard{log: log})
+		wm, err := log.StartSegment()
+		if err != nil {
+			return err
+		}
+		wms[i] = wm
+	}
+	// 3. Commit: the recovered state becomes a v2 snapshot under the new
+	// shard count. Counts as a checkpoint, so since stays zero.
+	if err := writeSnapshotFile(m.dir, state, m.nshards, wms, m.openFunc()); err != nil {
+		return err
+	}
+	// 4. Only now is the old layout garbage. Drop reused shards' segments
+	// below their new watermarks and delete legacy/out-of-range files (the
+	// deferred cleanup closes the unadopted logs' handles).
+	for i := 0; i < m.nshards && i < oldShards; i++ {
+		if err := oldLogs[i].DropBefore(wms[i]); err != nil {
+			return err
+		}
+	}
+	return removeStaleLayouts(m.dir, m.nshards)
+}
+
+// removeStaleLayouts deletes segment files the committed snapshot's layout
+// disowns: legacy unprefixed wal-%08d.seg files and shard-prefixed files
+// with a shard index at or beyond nshards. Callers only invoke it once a
+// snapshot covering those files' records has committed.
+func removeStaleLayouts(dir string, nshards int) error {
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	for _, path := range matches {
+		base := filepath.Base(path)
+		stale := false
+		if shard, ok := parseShardSegment(base); ok {
+			stale = shard >= nshards
+		} else if _, ok := wal.SeqFromName(base, wal.DefaultPrefix); ok {
+			stale = true
+		}
+		if stale {
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("persist: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// openFunc resolves the file-open hook.
+func (m *Manager) openFunc() openFunc {
+	if m.opts.OpenFile != nil {
+		return m.opts.OpenFile
+	}
+	return defaultOpen
 }
 
 // applyRecord folds one WAL record into the recovered state. Any rejection
@@ -162,8 +386,14 @@ func applyRecord(state map[string][]uncertain.Tuple, r wal.Record) error {
 }
 
 // ReplayInfo describes the boot-time recovery (how many records were
-// replayed, and whether a torn tail was truncated).
+// replayed across all shards, and whether a torn tail was truncated).
 func (m *Manager) ReplayInfo() wal.ReplayInfo { return m.replay }
+
+// Shards returns the manager's WAL shard count.
+func (m *Manager) Shards() int { return m.nshards }
+
+// ShardOf returns the WAL shard that owns the named table's records.
+func (m *Manager) ShardOf(name string) int { return ShardOf(name, m.nshards) }
 
 // LogPut logs a create-or-replace of name with the given full contents.
 // The record is durable (per the fsync policy) when LogPut returns nil;
@@ -183,96 +413,140 @@ func (m *Manager) LogDelete(name string) error {
 }
 
 func (m *Manager) logRecord(r wal.Record) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err := m.log.Append(r); err != nil {
+	sh := m.shards[m.ShardOf(r.Name)]
+	if err := sh.log.Append(r); err != nil {
 		return err
 	}
-	m.since++
+	sh.since.Add(1)
 	return nil
 }
 
-// CheckpointDue reports whether enough records have accumulated since the
-// last checkpoint to warrant one (per Options.CheckpointEvery).
+// CheckpointDue reports whether enough records have accumulated across all
+// shards since the last checkpoint to warrant one (per
+// Options.CheckpointEvery).
 func (m *Manager) CheckpointDue() bool {
 	if m.opts.CheckpointEvery <= 0 {
 		return false
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.since >= m.opts.CheckpointEvery
+	var since int64
+	for _, sh := range m.shards {
+		since += sh.since.Load()
+	}
+	return since >= int64(m.opts.CheckpointEvery)
 }
 
-// Checkpoint persists the given full registry state — every hosted table's
-// current snapshot — into the snapshot file and truncates the WAL behind
-// it. The caller must guarantee states reflects every mutation it has
-// logged (internal/server holds its durability mutex across the gather and
-// this call).
-//
-// The sequence is crash-safe at every boundary: first a fresh WAL segment
-// is started and its sequence number becomes the snapshot's watermark;
-// then the snapshot is staged, fsynced and renamed; only then are the
-// segments below the watermark deleted. A crash before the rename leaves
-// the old snapshot and the full WAL (nothing lost, checkpoint postponed);
-// a crash after it leaves stale pre-watermark segments that recovery
-// skips and cleans — never double-applies. On error nothing acknowledged
-// is lost either.
-func (m *Manager) Checkpoint(states map[string]*uncertain.Snapshot) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// BeginShardCheckpoint starts shard's post-checkpoint segment and returns
+// its sequence number — the shard's watermark in the snapshot a following
+// CompleteCheckpoint writes. Every record logged to the shard before this
+// call lands below the watermark and MUST be reflected in the states
+// passed to CompleteCheckpoint; internal/server guarantees that by holding
+// the shard's durability mutex across this call and the gathering of the
+// shard's published states. On error the shard keeps appending to its
+// current segment; the checkpoint is merely postponed.
+func (m *Manager) BeginShardCheckpoint(shard int) (uint64, error) {
+	seq, err := m.shards[shard].log.StartSegment()
+	if err != nil {
+		m.checkpointErrors.Add(1)
+		return 0, err
+	}
+	return seq, nil
+}
+
+// CompleteCheckpoint persists states — every hosted table's current
+// snapshot, gathered per shard behind the watermarks wms returned by
+// BeginShardCheckpoint — into the snapshot file, then truncates every
+// shard's WAL below its watermark. The write is atomic (tmp + fsync +
+// rename); a crash at any boundary loses nothing: before the rename the
+// old snapshot and the full WALs survive, after it the stale pre-watermark
+// segments are skipped and cleaned by the next Open, never double-applied.
+func (m *Manager) CompleteCheckpoint(states map[string]*uncertain.Snapshot, wms []uint64) error {
+	if len(wms) != m.nshards {
+		return fmt.Errorf("persist: %d watermarks for %d shards", len(wms), m.nshards)
+	}
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
 	start := time.Now()
 	tables := make(map[string][]uncertain.Tuple, len(states))
 	for name, snap := range states {
 		tables[name] = snap.Tuples()
 	}
-	open := m.opts.OpenFile
-	if open == nil {
-		open = defaultOpen
-	}
-	seq, err := m.log.StartSegment()
-	if err != nil {
-		m.checkpointErrors++
+	if err := writeSnapshotFile(m.dir, tables, m.nshards, wms, m.openFunc()); err != nil {
+		m.checkpointErrors.Add(1)
 		return err
 	}
-	if err := writeSnapshotFile(m.dir, tables, seq, open); err != nil {
-		m.checkpointErrors++
-		return err
+	for i, sh := range m.shards {
+		if err := sh.log.DropBefore(wms[i]); err != nil {
+			m.checkpointErrors.Add(1)
+			return err
+		}
+		// Records logged between BeginShardCheckpoint and here live above
+		// the watermark and stay in the WAL, but resetting to zero only
+		// delays the next auto-checkpoint by that handful of records —
+		// their durability is unaffected.
+		sh.since.Store(0)
 	}
-	if err := m.log.DropBefore(seq); err != nil {
-		m.checkpointErrors++
-		return err
-	}
-	m.since = 0
-	m.checkpoints++
-	m.lastCheckpointNanos = time.Since(start).Nanoseconds()
+	m.checkpoints.Add(1)
+	m.lastCheckpointNanos.Store(time.Since(start).Nanoseconds())
 	return nil
+}
+
+// Checkpoint persists the given full registry state in one call: it begins
+// a checkpoint on every shard and completes it with the gathered states.
+// Callers must guarantee states reflects every mutation they have logged
+// on ANY shard (single-threaded callers and tests do trivially;
+// internal/server instead drives the Begin/Complete pair itself, holding
+// each shard's durability mutex only while that shard is gathered).
+func (m *Manager) Checkpoint(states map[string]*uncertain.Snapshot) error {
+	wms := make([]uint64, m.nshards)
+	for i := range wms {
+		wm, err := m.BeginShardCheckpoint(i)
+		if err != nil {
+			return err
+		}
+		wms[i] = wm
+	}
+	return m.CompleteCheckpoint(states, wms)
 }
 
 // Stats returns the manager's counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return Stats{
-		WAL:                    m.log.Stats(),
-		RecordsSinceCheckpoint: m.since,
-		Checkpoints:            m.checkpoints,
-		CheckpointErrors:       m.checkpointErrors,
-		LastCheckpointNanos:    m.lastCheckpointNanos,
-		ReplayedRecords:        m.replay.Records,
-		ReplayTruncated:        m.replay.Truncated,
+	st := Stats{
+		Checkpoints:         m.checkpoints.Load(),
+		CheckpointErrors:    m.checkpointErrors.Load(),
+		LastCheckpointNanos: m.lastCheckpointNanos.Load(),
+		ReplayedRecords:     m.replay.Records,
+		ReplayTruncated:     m.replay.Truncated,
+		Shards:              make([]ShardStats, len(m.shards)),
 	}
+	for i, sh := range m.shards {
+		ss := ShardStats{
+			WAL:                    sh.log.Stats(),
+			RecordsSinceCheckpoint: int(sh.since.Load()),
+		}
+		st.Shards[i] = ss
+		st.WAL.Appends += ss.WAL.Appends
+		st.WAL.AppendBytes += ss.WAL.AppendBytes
+		st.WAL.Syncs += ss.WAL.Syncs
+		st.WAL.Segments += ss.WAL.Segments
+		st.WAL.Drops += ss.WAL.Drops
+		st.RecordsSinceCheckpoint += ss.RecordsSinceCheckpoint
+	}
+	return st
 }
 
-// Close releases the WAL handle and the data-dir lock. It does not flush
+// Close releases the WAL handles and the data-dir lock. It does not flush
 // beyond the configured policy: closing is equivalent to a crash, which is
 // exactly the guarantee recovery is tested against.
 func (m *Manager) Close() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	err := m.log.Close()
+	var first error
+	for _, sh := range m.shards {
+		if err := sh.log.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	if m.lock != nil {
 		m.lock.Close() // releases the flock
 		m.lock = nil
 	}
-	return err
+	return first
 }

@@ -1,0 +1,269 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"probtopk/internal/persist/crashtest"
+	"probtopk/internal/uncertain"
+)
+
+// goldenTables is the state the v1 golden fixture recovers to (checkpoint
+// plus its WAL's put/append/delete).
+func goldenTables() map[string][]uncertain.Tuple {
+	return map[string][]uncertain.Tuple{
+		"fleet": {
+			{ID: "car1", Score: 80, Prob: 0.9},
+			{ID: "car2", Score: 70, Prob: 0.4, Group: "lane3"},
+			{ID: "car3", Score: 65, Prob: 0.5, Group: "lane3"},
+			{ID: "car4", Score: 90, Prob: 0.7},
+		},
+		"sensors": {
+			{ID: "s1", Score: 99.5, Prob: 0.25},
+			{ID: "s2", Score: 88, Prob: 0.5, Group: "pair"},
+			{ID: "s3", Score: 77, Prob: 0.5, Group: "pair"},
+		},
+	}
+}
+
+// checkTables asserts the recovered tables match want exactly.
+func checkTables(t *testing.T, tables map[string]*uncertain.Table, want map[string][]uncertain.Tuple) {
+	t.Helper()
+	if len(tables) != len(want) {
+		t.Fatalf("recovered tables %v, want %v", keys(tables), keys(want))
+	}
+	for name, tuples := range want {
+		tab, ok := tables[name]
+		if !ok {
+			t.Fatalf("missing table %q", name)
+		}
+		if !reflect.DeepEqual(tab.Tuples(), tuples) {
+			t.Fatalf("table %q = %v, want %v", name, tab.Tuples(), tuples)
+		}
+	}
+}
+
+// walFiles lists the segment files of dir, sorted.
+func walFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range matches {
+		matches[i] = filepath.Base(m)
+	}
+	sort.Strings(matches)
+	return matches
+}
+
+// TestGoldenV1UpgradesInPlace is the golden v1→v2 upgrade gate: opening
+// the frozen format-v1 fixture must recover its tables, rewrite the
+// directory as format v2 — byte-identical to the checked-in golden-v2
+// fixture — and remove the legacy layout. A second open takes the
+// non-migrating path and serves the same tables.
+func TestGoldenV1UpgradesInPlace(t *testing.T) {
+	dir := goldenDir(t)
+	m, tables, err := Open(dir, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := m.ReplayInfo(); info.Truncated || info.Records != 3 {
+		t.Fatalf("replay info = %+v", info)
+	}
+	checkTables(t, tables, goldenTables())
+	m.Close()
+
+	// The directory is now exactly the golden-v2 fixture: the migrated
+	// snapshot and one empty shard-0 segment at the watermark.
+	if got := walFiles(t, dir); !reflect.DeepEqual(got, []string{"wal-s00-00000001.seg"}) {
+		t.Fatalf("post-migration segments = %v", got)
+	}
+	gotSnap, err := os.ReadFile(filepath.Join(dir, SnapshotFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSnap, err := os.ReadFile(filepath.Join("testdata", "golden-v2", SnapshotFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSnap, wantSnap) {
+		t.Fatalf("migrated snapshot differs from the golden-v2 fixture (%d vs %d bytes)", len(gotSnap), len(wantSnap))
+	}
+
+	m2, tables, err := Open(dir, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if info := m2.ReplayInfo(); info.Truncated || info.Records != 0 {
+		t.Fatalf("second open replayed %+v, want nothing (all checkpointed)", info)
+	}
+	checkTables(t, tables, goldenTables())
+}
+
+// TestGoldenV2Fixture pins the v2 format the way TestGoldenFixture pins
+// v1: the checked-in golden-v2 bytes must decode to exactly this state
+// forever.
+func TestGoldenV2Fixture(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden-v2", SnapshotFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, meta, err := decodeTables(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.version != 2 || meta.shards != 1 || !reflect.DeepEqual(meta.wms, []uint64{1}) {
+		t.Fatalf("golden-v2 meta = %+v", meta)
+	}
+	if !reflect.DeepEqual(state, goldenTables()) {
+		t.Fatalf("golden-v2 state = %v", state)
+	}
+}
+
+// TestMigrationAcrossShardCounts drives the same directory through 1 → 4
+// → 2 shards with mutations in every life: recovery must carry the full
+// state across every reshard, and each life's mutations must land in its
+// own layout's shard logs.
+func TestMigrationAcrossShardCounts(t *testing.T) {
+	dir := t.TempDir()
+	want := map[string][]uncertain.Tuple{}
+	tuple := func(i int) uncertain.Tuple {
+		return uncertain.Tuple{ID: fmt.Sprintf("t%d", i), Score: float64(10 + i), Prob: 0.5}
+	}
+	serial := 0
+	for life, shards := range []int{1, 4, 2} {
+		m, tables, err := Open(dir, Options{Shards: shards})
+		if err != nil {
+			t.Fatalf("life %d (shards=%d): %v", life, shards, err)
+		}
+		if m.Shards() != shards {
+			t.Fatalf("life %d: Shards() = %d, want %d", life, m.Shards(), shards)
+		}
+		checkTables(t, tables, want)
+		// Mutate a handful of tables chosen to spread across shards.
+		for i := 0; i < 6; i++ {
+			name := fmt.Sprintf("tab%d", i)
+			serial++
+			tp := tuple(serial)
+			if _, ok := want[name]; !ok {
+				if err := m.LogPut(name, []uncertain.Tuple{tp}); err != nil {
+					t.Fatal(err)
+				}
+				want[name] = []uncertain.Tuple{tp}
+			} else {
+				if err := m.LogAppend(name, []uncertain.Tuple{tp}); err != nil {
+					t.Fatal(err)
+				}
+				want[name] = append(want[name], tp)
+			}
+		}
+		m.Close()
+		// Every segment on disk belongs to the current layout.
+		for _, base := range walFiles(t, dir) {
+			shard, ok := parseShardSegment(base)
+			if !ok || shard >= shards {
+				t.Fatalf("life %d (shards=%d): stray segment %q", life, shards, base)
+			}
+		}
+	}
+	// A final healthy open under yet another count sees everything.
+	m, tables, err := Open(dir, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	checkTables(t, tables, want)
+}
+
+// TestMigrationCrashSweep injects a write failure at every byte offset of
+// the v1→4-shard migration and asserts the invariant the bugfix demands:
+// whatever the crash point, the directory stays readable — by the old
+// layout before the snapshot commit, by the new one after — and recovers
+// exactly the golden tables. No budget may leave it readable by neither
+// version.
+func TestMigrationCrashSweep(t *testing.T) {
+	// A zero-budget open fails before writing anything; generous budgets
+	// cover every boundary: four 8-byte segment magics, then the staged
+	// snapshot (~200 bytes), written in that order.
+	for budget := int64(0); budget <= 300; budget += 5 {
+		dir := goldenDir(t)
+		b := crashtest.NewBudget(budget)
+		m, tables, err := Open(dir, Options{Shards: 4, OpenFile: b.OpenFile})
+		if err == nil {
+			// Enough budget: the migration committed in full.
+			checkTables(t, tables, goldenTables())
+			m.Close()
+		} else if !b.Tripped() {
+			t.Fatalf("budget %d: open failed without tripping: %v", budget, err)
+		}
+		// The recovery after the crash must always see the golden state,
+		// whichever side of the commit point the crash fell on.
+		m2, tables, err := Open(dir, Options{Shards: 4})
+		if err != nil {
+			t.Fatalf("budget %d: post-crash recovery failed: %v", budget, err)
+		}
+		checkTables(t, tables, goldenTables())
+		m2.Close()
+	}
+}
+
+// TestMigrationCrashAfterCommitCleansLegacy covers the window between the
+// migration's snapshot rename and its deletion of the old layout: restore
+// the legacy segment after a completed migration and recovery must ignore
+// and remove it — replaying it would double-apply every record.
+func TestMigrationCrashAfterCommitCleansLegacy(t *testing.T) {
+	dir := goldenDir(t)
+	legacy, err := os.ReadFile(filepath.Join(dir, "wal-00000002.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	// The crash left the committed v2 snapshot AND the legacy segment.
+	if err := os.WriteFile(filepath.Join(dir, "wal-00000002.seg"), legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m2, tables, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if info := m2.ReplayInfo(); info.Records != 0 {
+		t.Fatalf("legacy leftovers replayed: %+v", info)
+	}
+	checkTables(t, tables, goldenTables())
+	if _, err := os.Stat(filepath.Join(dir, "wal-00000002.seg")); !os.IsNotExist(err) {
+		t.Fatal("legacy segment not cleaned after committed migration")
+	}
+}
+
+// TestShardRouting pins ShardOf's contract: deterministic, in range, and
+// collectively covering every shard for small counts (the CI smoke and
+// benchmarks rely on finding names for each shard).
+func TestShardRouting(t *testing.T) {
+	if got := ShardOf("anything", 1); got != 0 {
+		t.Fatalf("ShardOf(_, 1) = %d", got)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		seen := make(map[int]bool)
+		for i := 0; i < 64*shards; i++ {
+			s := ShardOf(fmt.Sprintf("table%d", i), shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("ShardOf out of range: %d of %d", s, shards)
+			}
+			seen[s] = true
+		}
+		if len(seen) != shards {
+			t.Fatalf("%d shards: only %d reached", shards, len(seen))
+		}
+	}
+}

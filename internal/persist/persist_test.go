@@ -28,12 +28,13 @@ func sampleState() map[string][]uncertain.Tuple {
 
 func TestSnapshotRoundTrip(t *testing.T) {
 	want := sampleState()
-	got, walSeq, err := decodeTables(encodeTables(want, 42))
+	got, meta, err := decodeTables(encodeTables(want, 3, []uint64{42, 7, 9}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if walSeq != 42 {
-		t.Fatalf("walSeq = %d, want 42", walSeq)
+	if meta.version != FormatVersion || meta.shards != 3 ||
+		!reflect.DeepEqual(meta.wms, []uint64{42, 7, 9}) {
+		t.Fatalf("meta = %+v", meta)
 	}
 	if len(got) != len(want) {
 		t.Fatalf("decoded %d tables, want %d", len(got), len(want))
@@ -52,14 +53,15 @@ func TestSnapshotRoundTrip(t *testing.T) {
 }
 
 func TestSnapshotEncodingIsDeterministic(t *testing.T) {
-	a, b := encodeTables(sampleState(), 3), encodeTables(sampleState(), 3)
+	a := encodeTables(sampleState(), 2, []uint64{3, 5})
+	b := encodeTables(sampleState(), 2, []uint64{3, 5})
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("two encodings of the same state differ")
 	}
 }
 
 func TestSnapshotDecodeRejectsCorruption(t *testing.T) {
-	clean := encodeTables(sampleState(), 3)
+	clean := encodeTables(sampleState(), 1, []uint64{3})
 	cases := map[string][]byte{
 		"empty":         {},
 		"short":         clean[:10],
@@ -93,17 +95,17 @@ func flip(data []byte, i int) []byte {
 
 func TestWriteReadSnapshotFile(t *testing.T) {
 	dir := t.TempDir()
-	// Missing file reads as an empty checkpoint.
-	got, walSeq, err := readSnapshotFile(dir)
-	if err != nil || len(got) != 0 || walSeq != 0 {
-		t.Fatalf("missing file: %v, %d, %v", got, walSeq, err)
+	// Missing file reads as an empty checkpoint with version 0.
+	got, meta, err := readSnapshotFile(dir)
+	if err != nil || len(got) != 0 || meta.version != 0 {
+		t.Fatalf("missing file: %v, %+v, %v", got, meta, err)
 	}
-	if err := writeSnapshotFile(dir, sampleState(), 5, defaultOpen); err != nil {
+	if err := writeSnapshotFile(dir, sampleState(), 1, []uint64{5}, defaultOpen); err != nil {
 		t.Fatal(err)
 	}
-	got, walSeq, err = readSnapshotFile(dir)
-	if err != nil || walSeq != 5 {
-		t.Fatalf("read back walSeq %d, %v", walSeq, err)
+	got, meta, err = readSnapshotFile(dir)
+	if err != nil || meta.shards != 1 || meta.wms[0] != 5 {
+		t.Fatalf("read back meta %+v, %v", meta, err)
 	}
 	if !reflect.DeepEqual(got["fleet"], sampleState()["fleet"]) {
 		t.Fatalf("read back %v", got["fleet"])
@@ -113,7 +115,7 @@ func TestWriteReadSnapshotFile(t *testing.T) {
 		t.Fatalf("staging file left behind: %v", err)
 	}
 	// Overwrite with different contents replaces atomically.
-	if err := writeSnapshotFile(dir, map[string][]uncertain.Tuple{"solo": {{ID: "x", Score: 1, Prob: 0.5}}}, 6, defaultOpen); err != nil {
+	if err := writeSnapshotFile(dir, map[string][]uncertain.Tuple{"solo": {{ID: "x", Score: 1, Prob: 0.5}}}, 1, []uint64{6}, defaultOpen); err != nil {
 		t.Fatal(err)
 	}
 	got, _, err = readSnapshotFile(dir)

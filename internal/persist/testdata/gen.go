@@ -4,11 +4,17 @@
 //
 //	go run internal/persist/testdata/gen.go
 //
-// from the repository root. It writes the golden snapshot + WAL pair under
-// internal/persist/testdata/golden/ (the format-regression gate: today's
-// readers must decode these bytes forever) and the seed corpus under
-// internal/persist/testdata/fuzz/FuzzReplayWAL/. Regenerating is only
-// legitimate alongside a deliberate, versioned format change.
+// from the repository root. It writes the format-v2 golden under
+// internal/persist/testdata/golden-v2/ — the byte-exact result of
+// migrating the frozen format-v1 golden in place — and the seed corpus
+// under internal/persist/testdata/fuzz/FuzzReplayWAL/.
+//
+// The format-v1 golden under internal/persist/testdata/golden/ is FROZEN:
+// it was written by the last format-v1 build and no current code path can
+// produce those bytes again. It must never be regenerated or edited —
+// it is the proof that today's readers still decode yesterday's files.
+// Regenerating golden-v2 is only legitimate alongside a deliberate,
+// versioned format change.
 package main
 
 import (
@@ -25,52 +31,54 @@ import (
 func main() {
 	root := filepath.Join("internal", "persist", "testdata")
 	golden := filepath.Join(root, "golden")
+	goldenV2 := filepath.Join(root, "golden-v2")
 	corpus := filepath.Join(root, "fuzz", "FuzzReplayWAL")
-	for _, dir := range []string{golden, corpus} {
+	for _, dir := range []string{goldenV2, corpus} {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	// The checkpoint: two tables, one with ME groups, one independent-only,
-	// built through the real Manager so the fixture is exactly what a
-	// checkpoint writes.
-	fleet := uncertain.NewTable().
-		AddIndependent("car1", 80, 0.9).
-		AddExclusive("car2", "lane3", 70, 0.4).
-		AddExclusive("car3", "lane3", 65, 0.5)
-	radar := uncertain.NewTable().
-		AddIndependent("r1", 12.5, 0.125).
-		AddIndependent("r2", -3, 1)
-	snapDir, err := os.MkdirTemp("", "snapgen")
+	// golden-v2: the byte-exact result of persist.Open migrating a copy of
+	// the frozen v1 golden in place with one shard. The migration replays
+	// the v1 WAL into the state and commits it as a v2 snapshot plus one
+	// empty shard-0 segment at the watermark.
+	migDir, err := os.MkdirTemp("", "goldengen")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(snapDir)
-	man, _, err := persist.Open(snapDir, persist.Options{})
+	defer os.RemoveAll(migDir)
+	entries, err := os.ReadDir(golden)
 	if err != nil {
 		log.Fatal(err)
 	}
-	err = man.Checkpoint(map[string]*uncertain.Snapshot{
-		"fleet": fleet.Snapshot(),
-		"radar": radar.Snapshot(),
-	})
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(golden, e.Name()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(migDir, e.Name()), data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	man, _, err := persist.Open(migDir, persist.Options{Shards: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	man.Close()
-	snap, err := os.ReadFile(filepath.Join(snapDir, persist.SnapshotFileName))
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := os.WriteFile(filepath.Join(golden, persist.SnapshotFileName), snap, 0o644); err != nil {
-		log.Fatal(err)
+	for _, name := range []string{persist.SnapshotFileName, "wal-s00-00000001.seg"} {
+		data, err := os.ReadFile(filepath.Join(migDir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(goldenV2, name), data, 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
 
-	// The WAL on top of it: a put, an append, and a delete, exercising all
-	// three ops and group-carrying tuples. The segment is named at the
-	// snapshot's watermark (the checkpoint above leaves walSeq=2) so the
-	// reader replays it instead of skipping it as checkpoint-covered.
+	// Fuzz seeds: the golden v1 WAL segment, a torn tail, and a lone
+	// magic. Built through the real writer (the record codec is
+	// format-stable across v1 and v2).
 	seg := buildSegment([]wal.Record{
 		{Op: wal.OpPut, Name: "sensors", Tuples: []uncertain.Tuple{
 			{ID: "s1", Score: 99.5, Prob: 0.25},
@@ -82,14 +90,6 @@ func main() {
 		}},
 		{Op: wal.OpDelete, Name: "radar"},
 	})
-	if err := os.WriteFile(filepath.Join(golden, "wal-00000002.seg"), seg, 0o644); err != nil {
-		log.Fatal(err)
-	}
-	if err := os.Remove(filepath.Join(golden, "wal-00000001.seg")); err != nil && !os.IsNotExist(err) {
-		log.Fatal(err)
-	}
-
-	// Fuzz seeds: the golden segment, a torn tail, and a lone magic.
 	seeds := map[string][]byte{
 		"golden-segment": seg,
 		"torn-tail":      seg[:len(seg)-7],

@@ -434,28 +434,46 @@ type LatencyJSON struct {
 	TotalNs uint64 `json:"totalNs"`
 }
 
-// DurabilityJSON mirrors the WAL and checkpoint counters on /debug/stats;
-// present only when the server runs with a durability backend.
-type DurabilityJSON struct {
+// DurabilityShardJSON is one WAL shard's slice of the durability counters.
+type DurabilityShardJSON struct {
+	Shard                  int    `json:"shard"`
 	WALRecords             uint64 `json:"walRecords"`
 	WALBytes               uint64 `json:"walBytes"`
 	WALSyncs               uint64 `json:"walSyncs"`
 	WALSegments            int    `json:"walSegments"`
 	RecordsSinceCheckpoint int    `json:"recordsSinceCheckpoint"`
-	Checkpoints            uint64 `json:"checkpoints"`
-	CheckpointErrors       uint64 `json:"checkpointErrors"`
-	LastCheckpointNs       int64  `json:"lastCheckpointNs"`
-	ReplayedRecords        int    `json:"replayedRecords"`
-	ReplayTruncated        bool   `json:"replayTruncated,omitempty"`
+}
+
+// DurabilityJSON mirrors the WAL and checkpoint counters on /debug/stats;
+// present only when the server runs with a durability backend. The
+// top-level WAL figures aggregate across shards; Shards breaks them down.
+type DurabilityJSON struct {
+	WALRecords             uint64                `json:"walRecords"`
+	WALBytes               uint64                `json:"walBytes"`
+	WALSyncs               uint64                `json:"walSyncs"`
+	WALSegments            int                   `json:"walSegments"`
+	RecordsSinceCheckpoint int                   `json:"recordsSinceCheckpoint"`
+	Checkpoints            uint64                `json:"checkpoints"`
+	CheckpointErrors       uint64                `json:"checkpointErrors"`
+	LastCheckpointNs       int64                 `json:"lastCheckpointNs"`
+	ReplayedRecords        int                   `json:"replayedRecords"`
+	ReplayTruncated        bool                  `json:"replayTruncated,omitempty"`
+	Shards                 []DurabilityShardJSON `json:"shards,omitempty"`
 }
 
 // StatsResponse is the body of GET /debug/stats.
 type StatsResponse struct {
 	Tables int `json:"tables"`
+	// Shards is the serving stack's shard count (registry, mutation
+	// mutexes, WAL shards, prepared-cache partitions).
+	Shards int `json:"shards"`
 	// AnswerCache counts derived-answer (encoded JSON) cache traffic.
 	AnswerCache CacheStatsJSON `json:"answerCache"`
 	// PreparedCache counts the engine's prepared-table cache traffic.
 	PreparedCache CacheStatsJSON `json:"preparedCache"`
+	// PreparedCachePartitions is the per-partition entry count of the
+	// prepared cache.
+	PreparedCachePartitions []int `json:"preparedCachePartitions,omitempty"`
 	// EngineQueries aggregates the DP computations the engine ran.
 	EngineQueries LatencyJSON `json:"engineQueries"`
 	// CachedQueries / ComputedQueries split served query requests by

@@ -114,9 +114,9 @@ func (s *Server) createTable(name string, tab *probtopk.Table) (*tableState, boo
 }
 
 // installTable validates tab and publishes it under name. With logIt on a
-// durable server, the put record is appended to the WAL before the
-// registry swap, under the durability mutex that orders the log's serial
-// history against publication.
+// durable server, the put record is appended to the table's WAL shard
+// before the registry swap, under the shard's durability mutex that orders
+// that shard's serial log history against publication.
 func (s *Server) installTable(name string, tab *probtopk.Table, logIt bool) (*tableState, bool, error) {
 	if err := checkTableName(name); err != nil {
 		return nil, false, err
@@ -129,13 +129,14 @@ func (s *Server) installTable(name string, tab *probtopk.Table, logIt bool) (*ta
 	}
 	var published, replaced *tableState
 	if s.durable != nil && logIt {
-		s.durMu.Lock()
+		shard := s.shardOf(name)
+		s.durMu[shard].Lock()
 		if err := s.durable.LogPut(name, tab.Tuples()); err != nil {
-			s.durMu.Unlock()
+			s.durMu[shard].Unlock()
 			return nil, false, &durabilityError{err}
 		}
 		published, replaced = s.reg.put(name, tab)
-		s.durMu.Unlock()
+		s.durMu[shard].Unlock()
 	} else {
 		published, replaced = s.reg.put(name, tab)
 	}
@@ -178,30 +179,47 @@ func (s *Server) writeMutationError(w http.ResponseWriter, err error) {
 }
 
 // maybeCheckpoint checkpoints the registry when enough mutations have
-// accumulated. It holds the durability mutex across gathering the
-// registry's published states and the checkpoint itself, so the persisted
-// snapshot reflects every logged record and the WAL truncation behind it
-// can never drop a record the snapshot missed. Mutations of other tables
-// wait; queries are unaffected.
+// accumulated, one shard at a time: for each shard it holds that shard's
+// durability mutex just long enough to start the shard's post-checkpoint
+// WAL segment (the watermark) and gather the shard's published states — so
+// the persisted snapshot reflects every record below the watermark and the
+// truncation behind it can never drop a record the snapshot missed — then
+// moves on. Mutations only ever wait for their own shard's short gather
+// window, never for the snapshot write; queries are unaffected throughout.
 func (s *Server) maybeCheckpoint() {
 	if s.durable == nil || !s.durable.CheckpointDue() {
 		return
 	}
-	s.durMu.Lock()
-	defer s.durMu.Unlock()
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
 	if !s.durable.CheckpointDue() { // a racing mutation already checkpointed
 		return
 	}
 	states := make(map[string]*probtopk.Snapshot)
-	for _, name := range s.reg.names() {
-		if st, ok := s.reg.load(name); ok {
-			states[name] = st.snap
+	wms := make([]uint64, s.nshards)
+	for shard := 0; shard < s.nshards; shard++ {
+		s.durMu[shard].Lock()
+		wm, err := s.durable.BeginShardCheckpoint(shard)
+		if err != nil {
+			s.durMu[shard].Unlock()
+			// Nothing is lost: every shard's WAL still holds every record
+			// and the old snapshot is intact. Retried after the next
+			// mutation; segments already started are reused then.
+			log.Printf("server: checkpoint failed (will retry): %v", err)
+			return
 		}
+		wms[shard] = wm
+		// Every record logged to this shard is also published while we
+		// hold its mutex (log-before-publish runs under it), so the
+		// gathered snapshots cover everything below the watermark.
+		for _, name := range s.reg.shardNames(shard) {
+			if st, ok := s.reg.load(name); ok {
+				states[name] = st.snap
+			}
+		}
+		s.durMu[shard].Unlock()
 	}
-	if err := s.durable.Checkpoint(states); err != nil {
-		// Nothing is lost: the WAL still holds every record and the old
-		// snapshot is intact. The checkpoint is retried after the next
-		// mutation.
+	if err := s.durable.CompleteCheckpoint(states, wms); err != nil {
 		log.Printf("server: checkpoint failed (will retry): %v", err)
 	}
 }
@@ -258,22 +276,23 @@ func (s *Server) handleDeleteTable(w http.ResponseWriter, r *http.Request) {
 	var st *tableState
 	var ok bool
 	if s.durable != nil {
-		// Log before removing, under the durability mutex: every mutation
-		// holds it, so the existence check cannot go stale between the log
-		// append and the removal.
-		s.durMu.Lock()
+		// Log before removing, under the table's shard durability mutex:
+		// every mutation of this shard holds it, so the existence check
+		// cannot go stale between the log append and the removal.
+		shard := s.shardOf(name)
+		s.durMu[shard].Lock()
 		if _, ok = s.reg.load(name); !ok {
-			s.durMu.Unlock()
+			s.durMu[shard].Unlock()
 			writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 			return
 		}
 		if err := s.durable.LogDelete(name); err != nil {
-			s.durMu.Unlock()
+			s.durMu[shard].Unlock()
 			s.writeMutationError(w, &durabilityError{err})
 			return
 		}
 		st, ok = s.reg.remove(name)
-		s.durMu.Unlock()
+		s.durMu[shard].Unlock()
 	} else {
 		st, ok = s.reg.remove(name)
 	}
@@ -298,16 +317,20 @@ func (s *Server) handleAppendTuples(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("no tuples to append"))
 		return
 	}
-	// Lock order on a durable server: durMu, then the entry's mutation
-	// lock — the same order the put path takes through reg.put, so the two
-	// can never deadlock. Queries take neither.
+	// Lock order on a durable server: the table's shard durability mutex,
+	// then the entry's mutation lock — the same order the put path takes
+	// through reg.put, so the two can never deadlock (no path ever holds
+	// two shards' mutexes at once). Queries take neither. Appends to
+	// tables on different shards hold different mutexes: their clones,
+	// validations and WAL fsyncs all proceed in parallel.
+	shard := s.shardOf(name)
 	if s.durable != nil {
-		s.durMu.Lock()
+		s.durMu[shard].Lock()
 	}
 	e, old, ok := s.reg.acquireMutate(name)
 	if !ok {
 		if s.durable != nil {
-			s.durMu.Unlock()
+			s.durMu[shard].Unlock()
 		}
 		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 		return
@@ -315,7 +338,7 @@ func (s *Server) handleAppendTuples(w http.ResponseWriter, r *http.Request) {
 	unlock := func() {
 		e.mu.Unlock()
 		if s.durable != nil {
-			s.durMu.Unlock()
+			s.durMu[shard].Unlock()
 		}
 	}
 	// Append onto a clone and validate the whole candidate, so a bad batch

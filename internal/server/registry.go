@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"probtopk"
+	"probtopk/internal/persist"
 )
 
 // maxTableNameLen bounds registry names so they stay usable as cache keys
@@ -32,17 +33,43 @@ type tableEntry struct {
 	state atomic.Pointer[tableState]
 }
 
-// registry maps names to hosted tables. The registry lock only guards the
-// map; per-table state is published through each entry's atomic pointer, so
-// a query on one table never blocks anything — not mutations of the same
-// table, not other tables.
-type registry struct {
+// registryShard is one slice of the name→table map with its own lock.
+// Names are routed by persist.ShardOf — the same hash that picks a durable
+// mutation's WAL shard — so a table's map entry, its durability mutex and
+// its WAL segments all live on one shard and mutations of tables on
+// different shards share no lock at all.
+type registryShard struct {
 	mu     sync.RWMutex
 	tables map[string]*tableEntry
 }
 
-func newRegistry() *registry {
-	return &registry{tables: make(map[string]*tableEntry)}
+// registry maps names to hosted tables, split across one or more shards.
+// Each shard's lock only guards its map; per-table state is published
+// through each entry's atomic pointer, so a query on one table never
+// blocks anything — not mutations of the same table, not other tables.
+type registry struct {
+	shards []*registryShard
+}
+
+func newRegistry(shards int) *registry {
+	if shards < 1 {
+		shards = 1
+	}
+	r := &registry{shards: make([]*registryShard, shards)}
+	for i := range r.shards {
+		r.shards[i] = &registryShard{tables: make(map[string]*tableEntry)}
+	}
+	return r
+}
+
+// shardIndex routes a table name to its shard.
+func (r *registry) shardIndex(name string) int {
+	return persist.ShardOf(name, len(r.shards))
+}
+
+// shard returns the shard owning name.
+func (r *registry) shard(name string) *registryShard {
+	return r.shards[r.shardIndex(name)]
 }
 
 // checkTableName validates a registry name: non-empty, bounded, and limited
@@ -68,9 +95,10 @@ func checkTableName(name string) error {
 
 // entry returns the tableEntry for name.
 func (r *registry) entry(name string) (*tableEntry, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	e, ok := r.tables[name]
+	sh := r.shard(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.tables[name]
 	return e, ok
 }
 
@@ -111,17 +139,18 @@ func (r *registry) acquireMutate(name string) (*tableEntry, *tableState, bool) {
 // the caller can release cache entries derived from it).
 func (r *registry) put(name string, tab *probtopk.Table) (published, replaced *tableState) {
 	st := &tableState{tab: tab, snap: tab.Snapshot()}
+	sh := r.shard(name)
 	for {
-		r.mu.Lock()
-		e, ok := r.tables[name]
+		sh.mu.Lock()
+		e, ok := sh.tables[name]
 		if !ok {
 			e = &tableEntry{}
 			e.state.Store(st)
-			r.tables[name] = e
-			r.mu.Unlock()
+			sh.tables[name] = e
+			sh.mu.Unlock()
 			return st, nil
 		}
-		r.mu.Unlock()
+		sh.mu.Unlock()
 		// Replace under the entry's mutation lock (serializing against
 		// appends), then re-check the entry is still registered: a
 		// concurrent delete may have orphaned it, and swapping onto an
@@ -145,33 +174,52 @@ func (r *registry) put(name string, tab *probtopk.Table) (published, replaced *t
 // in-flight queries over the removed table finish against the immutable
 // state they already hold.
 func (r *registry) remove(name string) (*tableState, bool) {
-	r.mu.Lock()
-	e, ok := r.tables[name]
+	sh := r.shard(name)
+	sh.mu.Lock()
+	e, ok := sh.tables[name]
 	if ok {
-		delete(r.tables, name)
+		delete(sh.tables, name)
 	}
-	r.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return nil, false
 	}
 	return e.state.Load(), true
 }
 
-// names returns the sorted table names.
+// names returns every hosted table name, sorted.
 func (r *registry) names() []string {
-	r.mu.RLock()
-	out := make([]string, 0, len(r.tables))
-	for n := range r.tables {
+	var out []string
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for n := range sh.tables {
+			out = append(out, n)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shardNames returns the names hosted on one shard (unsorted).
+func (r *registry) shardNames(shard int) []string {
+	sh := r.shards[shard]
+	sh.mu.RLock()
+	out := make([]string, 0, len(sh.tables))
+	for n := range sh.tables {
 		out = append(out, n)
 	}
-	r.mu.RUnlock()
-	sort.Strings(out)
+	sh.mu.RUnlock()
 	return out
 }
 
 // len returns the number of hosted tables.
 func (r *registry) len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.tables)
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		n += len(sh.tables)
+		sh.mu.RUnlock()
+	}
+	return n
 }

@@ -63,6 +63,21 @@
 // snapshot identities are process-unique, so recovered tables carry fresh
 // ones and no cache entry from a previous life can ever be resurrected.
 // GET /debug/stats exposes WAL and checkpoint counters.
+//
+// # Sharding
+//
+// Config.Shards splits the serving stack N ways: the registry map, the
+// mutation/durability mutex and the WAL (one segment sequence per shard)
+// are sharded by table name (shard = persist.ShardOf(name, N), fnv32a),
+// and the engine's prepared cache is split into N partitions of its own,
+// routed by table identity — a different key, so a cache partition does
+// not correspond to a registry shard. A mutation holds only its own
+// shard's durability mutex across clone+validate+log+publish, so durable
+// mutations of tables on different shards never serialize against each
+// other; a checkpoint visits shards one at a time and writes the snapshot
+// file with no mutation lock held. Queries hold no lock at any shard
+// count and answers are byte-identical. GET /debug/stats breaks the WAL
+// and cache counters down per shard.
 package server
 
 import (
@@ -85,7 +100,7 @@ const DefaultAnswerCacheSize = 1024
 const maxBodyBytes = 32 << 20
 
 // Config tunes a Server. The zero value serves with the default cache
-// sizes and no durability.
+// sizes, one shard, and no durability.
 type Config struct {
 	// AnswerCacheSize bounds the derived-answer cache: 0 means
 	// DefaultAnswerCacheSize, negative disables the cache (every query
@@ -94,12 +109,22 @@ type Config struct {
 	// EngineCacheSize bounds the engine's prepared-table cache: 0 means
 	// probtopk.DefaultEngineCacheSize, negative disables it.
 	EngineCacheSize int
+	// Shards splits the serving stack N ways: the registry map and the
+	// mutation/durability mutex by table name (persist.ShardOf), and the
+	// engine's prepared cache into N identity-routed partitions. Mutations
+	// — durable or not — of tables on different shards never serialize
+	// against each other; queries are lock-free regardless and are
+	// unaffected. <= 1 means one shard (the historical behavior). When
+	// Durability is set the manager's shard count wins — the on-disk
+	// layout is the truth — and this field is ignored.
+	Shards int
 	// Durability, when non-nil, makes every table mutation durable: the
-	// mutation is appended to the write-ahead log (fsynced per the
+	// mutation is appended to the table's WAL shard (fsynced per the
 	// manager's policy) BEFORE the new state is published, so a mutation
 	// the client saw acknowledged survives a restart. A mutation that
 	// cannot be logged is rejected with 503 and leaves the served state
 	// untouched. Recovered tables are installed at boot with RestoreTable.
+	// The server adopts the manager's shard count.
 	Durability *persist.Manager
 }
 
@@ -128,18 +153,32 @@ type Server struct {
 	start  time.Time
 
 	// durable, when non-nil, is the WAL+snapshot backend every mutation
-	// logs to before publishing. durMu orders logging against publication
-	// across ALL tables — the log is one serial history — and checkpoints
-	// hold it across gathering the registry state and truncating the WAL,
+	// logs to before publishing. durMu[s] orders logging against
+	// publication for the tables of shard s — each shard's log is its own
+	// serial history — and a checkpoint holds it while gathering that
+	// shard's states after starting the shard's post-checkpoint segment,
 	// so a checkpoint can never truncate a logged-but-unpublished record.
-	// Queries never touch either.
+	// Mutations of tables on different shards hold different mutexes and
+	// proceed in parallel; queries never touch any of them. Without a
+	// durability backend the mutexes are unused (publication is just the
+	// atomic swap under the entry lock), but nshards still shards the
+	// registry map and the engine's cache partitions.
 	durable *persist.Manager
-	durMu   sync.Mutex
+	nshards int
+	durMu   []sync.Mutex
+	// ckptMu serializes whole checkpoints (never held by mutations).
+	ckptMu sync.Mutex
 
 	cached      latency // queries answered by the derived-answer cache
 	computed    latency // queries that ran the engine
 	queryErrors atomic.Uint64
 }
+
+// shardOf routes a table name to its shard index.
+func (s *Server) shardOf(name string) int { return persist.ShardOf(name, s.nshards) }
+
+// Shards returns the server's shard count.
+func (s *Server) Shards() int { return s.nshards }
 
 // New returns a Server ready to serve.
 func New(cfg Config) *Server {
@@ -151,13 +190,25 @@ func New(cfg Config) *Server {
 	if engineCap == 0 {
 		engineCap = probtopk.DefaultEngineCacheSize
 	}
+	nshards := cfg.Shards
+	if nshards < 1 {
+		nshards = 1
+	}
+	if cfg.Durability != nil {
+		// The on-disk layout decides: the manager routes records with its
+		// own shard count, and the per-shard durability mutex must cover
+		// exactly the tables whose records it orders.
+		nshards = cfg.Durability.Shards()
+	}
 	s := &Server{
-		engine:  probtopk.NewEngineWithCache(engineCap),
-		reg:     newRegistry(),
+		engine:  probtopk.NewEngineSharded(engineCap, nshards),
+		reg:     newRegistry(nshards),
 		cache:   anscache.New(answerCap),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		durable: cfg.Durability,
+		nshards: nshards,
+		durMu:   make([]sync.Mutex, nshards),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/stats", s.handleStats)
@@ -238,9 +289,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ReplayedRecords:        st.ReplayedRecords,
 			ReplayTruncated:        st.ReplayTruncated,
 		}
+		for i, ss := range st.Shards {
+			dur.Shards = append(dur.Shards, DurabilityShardJSON{
+				Shard:      i,
+				WALRecords: ss.WAL.Appends, WALBytes: ss.WAL.AppendBytes,
+				WALSyncs: ss.WAL.Syncs, WALSegments: ss.WAL.Segments,
+				RecordsSinceCheckpoint: ss.RecordsSinceCheckpoint,
+			})
+		}
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Durability: dur,
+		Shards:     s.nshards,
 		Tables:     s.reg.len(),
 		AnswerCache: CacheStatsJSON{
 			Hits: ans.Hits, Misses: ans.Misses, Evictions: ans.Evictions,
@@ -250,10 +310,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Hits: eng.Hits, Misses: eng.Misses, Evictions: eng.Evictions,
 			Entries: eng.Entries,
 		},
-		EngineQueries:   LatencyJSON{Count: eng.Queries, TotalNs: uint64(eng.QueryTime)},
-		CachedQueries:   s.cached.json(),
-		ComputedQueries: s.computed.json(),
-		QueryErrors:     s.queryErrors.Load(),
-		UptimeSeconds:   time.Since(s.start).Seconds(),
+		PreparedCachePartitions: eng.PartitionEntries,
+		EngineQueries:           LatencyJSON{Count: eng.Queries, TotalNs: uint64(eng.QueryTime)},
+		CachedQueries:           s.cached.json(),
+		ComputedQueries:         s.computed.json(),
+		QueryErrors:             s.queryErrors.Load(),
+		UptimeSeconds:           time.Since(s.start).Seconds(),
 	})
 }

@@ -46,6 +46,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"probtopk/internal/uncertain"
@@ -54,6 +55,12 @@ import (
 // segMagic opens every segment file; the trailing "01" is the format
 // version. Readers reject segments with any other magic.
 const segMagic = "PTKWAL01"
+
+// DefaultPrefix is the segment-name prefix of an unsharded log
+// (wal-%08d.seg). Sharded deployments give each shard's log its own prefix
+// (internal/persist uses wal-sNN-), so many logs share one directory
+// without touching each other's files.
+const DefaultPrefix = "wal-"
 
 // frameHeaderLen is the fixed per-record framing overhead: payload length
 // and payload CRC32C.
@@ -146,6 +153,12 @@ type Options struct {
 	// replaying them would double-apply their records). 0 means replay
 	// everything.
 	MinSegment uint64
+	// Prefix is the segment-name prefix: this log owns exactly the files
+	// named Prefix + zero-padded sequence number + ".seg". Empty means
+	// DefaultPrefix. Files in the directory that merely share the prefix
+	// but don't match the pattern (a sharded sibling's wal-s03-…seg under
+	// the plain wal- prefix) are ignored, never replayed or deleted.
+	Prefix string
 	// OpenFile opens segment files for writing. nil means os.OpenFile.
 	// Replay always reads through the real filesystem; the hook exists so
 	// tests can inject write failures (see internal/persist/crashtest).
@@ -219,6 +232,9 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
 	}
+	if opts.Prefix == "" {
+		opts.Prefix = DefaultPrefix
+	}
 	if opts.OpenFile == nil {
 		opts.OpenFile = func(path string, flag int, perm os.FileMode) (File, error) {
 			return os.OpenFile(path, flag, perm)
@@ -227,7 +243,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	matches, err := filepath.Glob(filepath.Join(dir, opts.Prefix+"*.seg"))
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -237,9 +253,11 @@ func Open(dir string, opts Options) (*Log, error) {
 	// watermark and skipped by the next boot.
 	l := &Log{dir: dir, opts: opts, nextSeq: max(1, opts.MinSegment)}
 	for _, path := range matches {
-		seq, err := segmentSeq(path)
-		if err != nil {
-			return nil, err
+		seq, ok := SeqFromName(filepath.Base(path), opts.Prefix)
+		if !ok {
+			// Shares the prefix but not the pattern: another log's file
+			// (wal-s03-…seg under the plain wal- prefix). Not ours.
+			continue
 		}
 		if seq < opts.MinSegment {
 			// Checkpointed leftovers from a crash mid-drop.
@@ -256,10 +274,38 @@ func Open(dir string, opts Options) (*Log, error) {
 	return l, nil
 }
 
-// segmentSeq parses a segment path's sequence number.
-func segmentSeq(path string) (uint64, error) {
-	var seq uint64
-	if _, err := fmt.Sscanf(filepath.Base(path), "wal-%d.seg", &seq); err != nil {
+// SeqFromName parses the sequence number of a segment file named
+// prefix + digits + ".seg". ok is false when base belongs to a different
+// namespace sharing the directory — callers skip those files rather than
+// treating them as corruption.
+func SeqFromName(base, prefix string) (seq uint64, ok bool) {
+	digits, found := strings.CutPrefix(base, prefix)
+	if !found {
+		return 0, false
+	}
+	digits, found = strings.CutSuffix(digits, ".seg")
+	if !found || digits == "" {
+		return 0, false
+	}
+	for i := 0; i < len(digits); i++ {
+		c := digits[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if seq > (math.MaxUint64-d)/10 {
+			return 0, false
+		}
+		seq = seq*10 + d
+	}
+	return seq, true
+}
+
+// segmentSeq parses a segment path's sequence number under this log's
+// prefix; the path comes from l.segments, so it always matches.
+func (l *Log) segmentSeq(path string) (uint64, error) {
+	seq, ok := SeqFromName(filepath.Base(path), l.opts.Prefix)
+	if !ok {
 		return 0, fmt.Errorf("wal: unparseable segment name %q", filepath.Base(path))
 	}
 	return seq, nil
@@ -412,7 +458,7 @@ func (l *Log) openForAppendLocked() error {
 
 // createSegmentLocked starts a fresh segment and makes it current.
 func (l *Log) createSegmentLocked() error {
-	path := filepath.Join(l.dir, fmt.Sprintf("wal-%08d.seg", l.nextSeq))
+	path := filepath.Join(l.dir, fmt.Sprintf("%s%08d.seg", l.opts.Prefix, l.nextSeq))
 	f, err := l.opts.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
@@ -538,7 +584,7 @@ func (l *Log) StartSegment() (uint64, error) {
 		return 0, errNotReplayed
 	}
 	if l.cur != nil && l.curSize == int64(len(segMagic)) {
-		return segmentSeq(l.curPath)
+		return l.segmentSeq(l.curPath)
 	}
 	seq := l.nextSeq
 	if err := l.createSegmentLocked(); err != nil {
@@ -559,7 +605,7 @@ func (l *Log) DropBefore(seq uint64) error {
 	}
 	kept := l.segments[:0]
 	for _, path := range l.segments {
-		s, err := segmentSeq(path)
+		s, err := l.segmentSeq(path)
 		if err != nil {
 			return err
 		}

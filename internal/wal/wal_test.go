@@ -170,7 +170,7 @@ func TestMinSegmentSkipsCoveredSegments(t *testing.T) {
 	}
 	l3.Close()
 	seg := lastSegment(t, empty)
-	if s, err := segmentSeq(seg); err != nil || s < 7 {
+	if s, ok := SeqFromName(filepath.Base(seg), DefaultPrefix); !ok || s < 7 {
 		t.Fatalf("new segment %q numbered below the watermark", seg)
 	}
 	_, got, _ = open(t, empty, Options{MinSegment: 7})
