@@ -12,9 +12,11 @@
 // Besides the paper's numbered figures, the special figures "serving"
 // (HTTP serving path, cold vs derived-answer cache hit), "mutation"
 // (append latency uncontended vs under concurrent slow queries — the
-// snapshot-isolation guarantee) and "durability" (append latency in-memory
-// vs WAL vs WAL+fsync — the price of each durability level) measure this
-// build's serving stack; they are not part of -fig all.
+// snapshot-isolation guarantee), "dynamic" (mid-rank push cost of the
+// suffix-era flat slice vs the O(log n) dynamic prepared index) and
+// "durability" (append latency in-memory vs WAL vs WAL+fsync — the price of
+// each durability level) measure this build's serving stack; they are not
+// part of -fig all.
 //
 // Usage:
 //
@@ -48,7 +50,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figure numbers (3, 8, 9, 10, 11, 12, 13, 14, 15, 16), 'serving', 'mutation', 'durability', or 'all'")
+	fig := flag.String("fig", "all", "comma-separated figure numbers (3, 8, 9, 10, 11, 12, 13, 14, 15, 16), 'serving', 'mutation', 'dynamic', 'durability', or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of ASCII charts")
 	jsonOut := flag.Bool("json", false, "emit one JSON array of figure objects instead of ASCII charts")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json snapshots (old new) and fail on regression")
@@ -142,6 +144,8 @@ func collect(spec string) ([]*bench.Figure, error) {
 			err = one(bench.FigServing())
 		case "mutation":
 			err = one(bench.FigMutation())
+		case "dynamic":
+			err = one(bench.FigDynamic())
 		case "durability":
 			err = one(bench.FigDurability())
 		default:

@@ -101,6 +101,21 @@ type EngineStats struct {
 	// track the mean dynamic-programming cost.
 	Queries   uint64
 	QueryTime time.Duration
+	// ViewPrepares counts cache misses served by materializing a snapshot's
+	// attached dynamic-index view (reusing the index's unchanged rank
+	// prefix) instead of sorting from scratch.
+	ViewPrepares uint64
+	// IndexMutations, IndexMemoHits, IndexSuffixRebuilds, IndexFullRebuilds
+	// and IndexViewRebuilds surface the process-wide dynamic-index
+	// maintenance counters (every uncertain.Index in the process reports
+	// there): O(log n) mutations applied, materializations answered from the
+	// memo, suffix-reusing rebuilds, from-scratch rebuilds, and
+	// materializations performed by frozen views.
+	IndexMutations      uint64
+	IndexMemoHits       uint64
+	IndexSuffixRebuilds uint64
+	IndexFullRebuilds   uint64
+	IndexViewRebuilds   uint64
 }
 
 // CacheStats returns a snapshot of the engine's cache counters.
@@ -110,6 +125,11 @@ func (e *Engine) CacheStats() EngineStats {
 		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Entries: s.Entries,
 		PartitionEntries: s.PartEntries,
 		Queries:          s.Queries, QueryTime: time.Duration(s.QueryNanos),
+		ViewPrepares:   s.ViewPrepares,
+		IndexMutations: s.Index.Mutations, IndexMemoHits: s.Index.MemoHits,
+		IndexSuffixRebuilds: s.Index.SuffixMaterializations,
+		IndexFullRebuilds:   s.Index.FullMaterializations,
+		IndexViewRebuilds:   s.Index.ViewMaterializations,
 	}
 }
 

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"probtopk/internal/stream"
+	"probtopk/internal/uncertain"
+)
+
+// dynamicPushes is how many pushes each dynamic-index series measures, and
+// dynamicWarmup how many run untimed first.
+const (
+	dynamicPushes = 200
+	dynamicWarmup = 20
+)
+
+// flatWindow reimplements the retired suffix-era window maintenance as the
+// benchmark baseline: the canonical rank order lived in a flat slice, so a
+// mid-rank push paid an O(n) memmove for the eviction and another for the
+// insert, before the next query re-prepared the rank suffix below the
+// change. The dynamic index replaces this with O(log n) treap work.
+type flatWindow struct {
+	capacity int
+	seq      uint64
+	arrival  []flatEntry
+	ranked   []flatEntry
+}
+
+type flatEntry struct {
+	seq   uint64
+	tuple uncertain.Tuple
+}
+
+func flatBefore(a, b flatEntry) bool {
+	if a.tuple.Score != b.tuple.Score {
+		return a.tuple.Score > b.tuple.Score
+	}
+	if a.tuple.Prob != b.tuple.Prob {
+		return a.tuple.Prob > b.tuple.Prob
+	}
+	return a.seq < b.seq
+}
+
+// fill bulk-loads the window (sorting once), so figure setup does not pay
+// the O(n²) cost of n incremental fills.
+func (w *flatWindow) fill(tuples []uncertain.Tuple) {
+	for _, t := range tuples {
+		w.seq++
+		w.arrival = append(w.arrival, flatEntry{seq: w.seq, tuple: t})
+	}
+	w.ranked = append([]flatEntry(nil), w.arrival...)
+	sort.Slice(w.ranked, func(i, j int) bool { return flatBefore(w.ranked[i], w.ranked[j]) })
+}
+
+func (w *flatWindow) push(t uncertain.Tuple) {
+	if len(w.arrival) == w.capacity {
+		old := w.arrival[0]
+		copy(w.arrival, w.arrival[1:])
+		w.arrival = w.arrival[:len(w.arrival)-1]
+		pos := sort.Search(len(w.ranked), func(i int) bool { return !flatBefore(w.ranked[i], old) })
+		for pos < len(w.ranked) && w.ranked[pos].seq != old.seq {
+			pos++
+		}
+		copy(w.ranked[pos:], w.ranked[pos+1:])
+		w.ranked = w.ranked[:len(w.ranked)-1]
+	}
+	w.seq++
+	e := flatEntry{seq: w.seq, tuple: t}
+	w.arrival = append(w.arrival, e)
+	pos := sort.Search(len(w.ranked), func(i int) bool { return flatBefore(e, w.ranked[i]) })
+	w.ranked = append(w.ranked, flatEntry{})
+	copy(w.ranked[pos+1:], w.ranked[pos:])
+	w.ranked[pos] = e
+}
+
+// dynamicTuples pre-generates the window fill plus the measured pushes, with
+// uniform random scores so each push lands mid-rank on average.
+func dynamicTuples(n, pushes int) (fill, push []uncertain.Tuple) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func(i int) uncertain.Tuple {
+		return uncertain.Tuple{ID: fmt.Sprintf("t%d", i), Score: rng.Float64() * float64(n), Prob: 0.5}
+	}
+	for i := 0; i < n; i++ {
+		fill = append(fill, mk(i))
+	}
+	for i := 0; i < pushes; i++ {
+		push = append(push, mk(n+i))
+	}
+	return fill, push
+}
+
+func medianOf(ys []float64) float64 {
+	if len(ys) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), ys...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// FigDynamic measures the tentpole of the fully dynamic prepared index: the
+// per-push cost of maintaining the canonical §3.4 rank order of a sliding
+// window when pushes land mid-rank, comparing the retired suffix-era flat
+// slice (O(n) memmove per push) against the dynamic treap index (O(log n)
+// structural work). It is not a figure from the paper; request it with
+// `topk-bench -fig dynamic`, typically alongside -json so the bench-compare
+// gate can watch the dynamic series for regressions.
+func FigDynamic() (*Figure, error) {
+	var allSeries []Series
+	var notes []string
+	for _, n := range []int{10_000, 100_000} {
+		fill, pushes := dynamicTuples(n, dynamicWarmup+dynamicPushes)
+
+		fw := &flatWindow{capacity: n}
+		fw.fill(fill)
+		suffix := Series{Name: fmt.Sprintf("push suffix-era n=%d (ms)", n)}
+		for i, t := range pushes {
+			start := time.Now()
+			fw.push(t)
+			ms := float64(time.Since(start).Nanoseconds()) / 1e6
+			if i < dynamicWarmup {
+				continue
+			}
+			suffix.X = append(suffix.X, float64(i-dynamicWarmup))
+			suffix.Y = append(suffix.Y, ms)
+		}
+
+		w, err := stream.NewWindow(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range fill {
+			if _, err := w.Push(t); err != nil {
+				return nil, err
+			}
+		}
+		dyn := Series{Name: fmt.Sprintf("push dynamic index n=%d (ms)", n)}
+		for i, t := range pushes {
+			start := time.Now()
+			if _, err := w.Push(t); err != nil {
+				return nil, err
+			}
+			ms := float64(time.Since(start).Nanoseconds()) / 1e6
+			if i < dynamicWarmup {
+				continue
+			}
+			dyn.X = append(dyn.X, float64(i-dynamicWarmup))
+			dyn.Y = append(dyn.Y, ms)
+		}
+
+		ms, md := medianOf(suffix.Y), medianOf(dyn.Y)
+		speed := 0.0
+		if md > 0 {
+			speed = ms / md
+		}
+		notes = append(notes, fmt.Sprintf(
+			"n=%d: median push %.4f ms suffix-era vs %.4f ms dynamic (%.0fx)", n, ms, md, speed))
+		allSeries = append(allSeries, suffix, dyn)
+	}
+	return &Figure{
+		ID:     "dynamic",
+		Title:  "Mid-rank push cost: suffix-era O(n) slice vs O(log n) dynamic index",
+		Series: allSeries,
+		Notes: append(notes,
+			"suffix-era = retired flat-slice maintenance (memmove per eviction and insert)",
+			"dynamic = uncertain.Index treap push (the current stream.Window path)"),
+	}, nil
+}

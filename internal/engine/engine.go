@@ -54,6 +54,11 @@ type Engine struct {
 
 	queries    atomic.Uint64
 	queryNanos atomic.Uint64
+
+	// viewPrepares counts cache misses that were served by materializing the
+	// snapshot's attached dynamic-index view (suffix reuse, shared memo)
+	// instead of a from-scratch sort.
+	viewPrepares atomic.Uint64
 }
 
 // cachePart is one independently locked slice of the prepared-snapshot
@@ -132,16 +137,25 @@ type Stats struct {
 	// serving layer can export.
 	Queries    uint64
 	QueryNanos uint64
+	// ViewPrepares counts cache misses served from a snapshot's attached
+	// dynamic-index view instead of a from-scratch sort.
+	ViewPrepares uint64
+	// Index aggregates the dynamic-index maintenance counters
+	// (uncertain.IndexTotals) across the whole process — every index behind
+	// this engine's snapshots reports there, whoever owns it.
+	Index uncertain.IndexStats
 }
 
 // Stats returns a snapshot of the cache counters.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Hits:       e.hits.Load(),
-		Misses:     e.misses.Load(),
-		Evictions:  e.evictions.Load(),
-		Queries:    e.queries.Load(),
-		QueryNanos: e.queryNanos.Load(),
+		Hits:         e.hits.Load(),
+		Misses:       e.misses.Load(),
+		Evictions:    e.evictions.Load(),
+		Queries:      e.queries.Load(),
+		QueryNanos:   e.queryNanos.Load(),
+		ViewPrepares: e.viewPrepares.Load(),
+		Index:        uncertain.IndexTotals(),
 	}
 	for _, p := range e.parts {
 		p.mu.Lock()
@@ -171,12 +185,30 @@ func (e *Engine) Prepare(t *uncertain.Table) (*uncertain.Prepared, error) {
 	return e.PrepareSnapshot(t.Snapshot())
 }
 
+// prepareContents builds the Prepared form of s, preferring its attached
+// dynamic-index view — which reuses the index's unchanged rank prefix and
+// shares the owner's memoized Prepared — over a from-scratch sort.
+func (e *Engine) prepareContents(s *uncertain.Snapshot) (*uncertain.Prepared, error) {
+	if v := s.IndexView(); v != nil && v.Len() == s.Len() {
+		prep, err := v.Materialize()
+		if err == nil {
+			e.viewPrepares.Add(1)
+			return prep, nil
+		}
+		// Invalid contents: fall through so the error comes from the same
+		// validation path (and with the same wording) as uncached prepares.
+	}
+	return s.Prepare()
+}
+
 // PrepareSnapshot returns the Prepared form of s, keyed by its identity:
-// from cache on a repeat, prepared and cached otherwise.
+// from cache on a repeat, prepared and cached otherwise. A snapshot carrying
+// a dynamic-index view (published by a mutate path that maintains an
+// uncertain.Index) is materialized from the view instead of re-sorted.
 func (e *Engine) PrepareSnapshot(s *uncertain.Snapshot) (*uncertain.Prepared, error) {
 	if e.cacheCap <= 0 {
 		e.misses.Add(1)
-		return s.Prepare()
+		return e.prepareContents(s)
 	}
 	id := s.ID()
 	p := e.part(s.Owner())
@@ -192,7 +224,7 @@ func (e *Engine) PrepareSnapshot(s *uncertain.Snapshot) (*uncertain.Prepared, er
 	// Prepare outside the lock: sorting a large snapshot must not block
 	// concurrent cache hits. A racing prepare of the same snapshot does
 	// redundant work but stays correct (the first insert wins).
-	prep, err := s.Prepare()
+	prep, err := e.prepareContents(s)
 	if err != nil {
 		return nil, err
 	}

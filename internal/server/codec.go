@@ -461,6 +461,27 @@ type DurabilityJSON struct {
 	Shards                 []DurabilityShardJSON `json:"shards,omitempty"`
 }
 
+// DynamicIndexJSON mirrors the process-wide dynamic-index counters on
+// /debug/stats: how table mutations and snapshot preparations resolved
+// against the per-table uncertain.Index structures.
+type DynamicIndexJSON struct {
+	// Mutations counts O(log n) index mutations (tuple inserts/deletes).
+	Mutations uint64 `json:"mutations"`
+	// ViewPrepares counts engine preparations served by materializing a
+	// snapshot's attached index view instead of sorting from scratch.
+	ViewPrepares uint64 `json:"viewPrepares"`
+	// MemoHits counts materializations answered from an index's memo with no
+	// rebuild at all.
+	MemoHits uint64 `json:"memoHits"`
+	// SuffixRebuilds / FullRebuilds split owner materializations by whether
+	// the unchanged rank prefix of a previous prepared form was reused.
+	SuffixRebuilds uint64 `json:"suffixRebuilds"`
+	FullRebuilds   uint64 `json:"fullRebuilds"`
+	// ViewRebuilds counts materializations performed by frozen views
+	// (typically the engine preparing a just-mutated table's snapshot).
+	ViewRebuilds uint64 `json:"viewRebuilds"`
+}
+
 // StatsResponse is the body of GET /debug/stats.
 type StatsResponse struct {
 	Tables int `json:"tables"`
@@ -476,6 +497,8 @@ type StatsResponse struct {
 	PreparedCachePartitions []int `json:"preparedCachePartitions,omitempty"`
 	// EngineQueries aggregates the DP computations the engine ran.
 	EngineQueries LatencyJSON `json:"engineQueries"`
+	// DynamicIndex surfaces the dynamic prepared-index maintenance counters.
+	DynamicIndex DynamicIndexJSON `json:"dynamicIndex"`
 	// CachedQueries / ComputedQueries split served query requests by
 	// whether the derived-answer cache answered them.
 	CachedQueries   LatencyJSON `json:"cachedQueries"`

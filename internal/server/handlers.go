@@ -127,6 +127,10 @@ func (s *Server) installTable(name string, tab *probtopk.Table, logIt bool) (*ta
 	if err := checkUniqueIDs(tab); err != nil {
 		return nil, false, err
 	}
+	// Build the published state — snapshot plus dynamic index — outside the
+	// durability critical section; the WAL append below only serializes the
+	// cheap registry swap.
+	st, idx := newTableState(tab)
 	var published, replaced *tableState
 	if s.durable != nil && logIt {
 		shard := s.shardOf(name)
@@ -135,10 +139,10 @@ func (s *Server) installTable(name string, tab *probtopk.Table, logIt bool) (*ta
 			s.durMu[shard].Unlock()
 			return nil, false, &durabilityError{err}
 		}
-		published, replaced = s.reg.put(name, tab)
+		published, replaced = s.reg.put(name, st, idx)
 		s.durMu[shard].Unlock()
 	} else {
-		published, replaced = s.reg.put(name, tab)
+		published, replaced = s.reg.put(name, st, idx)
 	}
 	s.cache.InvalidateTable(name)
 	if replaced != nil {
@@ -372,6 +376,28 @@ func (s *Server) handleAppendTuples(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	next := &tableState{tab: candidate, snap: candidate.Snapshot()}
+	// Extend the table's live dynamic index with the appended tuples —
+	// O(log n) each, wherever they land in the rank order — and attach its
+	// frozen view to the new snapshot, so the engine's next preparation
+	// re-derives only the rank suffix below the lowest insertion instead of
+	// sorting the whole table. The index's sequence numbers follow arrival
+	// order, so its canonical tie-breaking is identical to Prepare's stable
+	// sort of the snapshot.
+	if e.idx != nil {
+		indexed := true
+		for _, tp := range appended {
+			if _, err := e.idx.Insert(tp); err != nil {
+				// Unreachable for a validated candidate; drop the (now
+				// partially updated) index rather than serve a divergent one.
+				e.idx = nil
+				indexed = false
+				break
+			}
+		}
+		if indexed {
+			next.snap.SetIndexView(e.idx.Freeze())
+		}
+	}
 	e.state.Store(next)
 	unlock()
 	s.cache.InvalidateTable(name) // reclaims the old snapshot's entries

@@ -8,6 +8,7 @@ import (
 
 	"probtopk"
 	"probtopk/internal/persist"
+	"probtopk/internal/uncertain"
 )
 
 // maxTableNameLen bounds registry names so they stay usable as cache keys
@@ -31,6 +32,27 @@ type tableState struct {
 type tableEntry struct {
 	mu    sync.Mutex // held by mutations; never by queries
 	state atomic.Pointer[tableState]
+	// idx is the table's live dynamic index, maintained across mutations
+	// under mu (never touched by queries): appends insert into it in O(log n)
+	// instead of abandoning the previous prepared order, and each published
+	// snapshot carries its frozen view so the engine materializes the
+	// prepared form from the index — reusing the unchanged rank prefix —
+	// rather than sorting from scratch. nil only if index construction failed
+	// (defensive; validated tables always index cleanly), in which case
+	// queries fall back to the sort-based Prepare.
+	idx *uncertain.Index
+}
+
+// newTableState publishes tab as an immutable state with a freshly built
+// dynamic index: the returned snapshot carries the index's frozen view.
+func newTableState(tab *probtopk.Table) (*tableState, *uncertain.Index) {
+	st := &tableState{tab: tab, snap: tab.Snapshot()}
+	idx, err := uncertain.NewIndexOf(tab.Tuples())
+	if err != nil {
+		return st, nil
+	}
+	st.snap.SetIndexView(idx.Freeze())
+	return st, idx
 }
 
 // registryShard is one slice of the name→table map with its own lock.
@@ -134,17 +156,18 @@ func (r *registry) acquireMutate(name string) (*tableEntry, *tableState, bool) {
 	}
 }
 
-// put installs tab under name, replacing any previous table. It returns the
-// newly published state and the replaced one (nil if the name is new, so
-// the caller can release cache entries derived from it).
-func (r *registry) put(name string, tab *probtopk.Table) (published, replaced *tableState) {
-	st := &tableState{tab: tab, snap: tab.Snapshot()}
+// put installs the pre-built state (and its dynamic index) under name,
+// replacing any previous table. It returns the newly published state and the
+// replaced one (nil if the name is new, so the caller can release cache
+// entries derived from it). The state and index come from newTableState,
+// built by the caller outside the registry locks.
+func (r *registry) put(name string, st *tableState, idx *uncertain.Index) (published, replaced *tableState) {
 	sh := r.shard(name)
 	for {
 		sh.mu.Lock()
 		e, ok := sh.tables[name]
 		if !ok {
-			e = &tableEntry{}
+			e = &tableEntry{idx: idx}
 			e.state.Store(st)
 			sh.tables[name] = e
 			sh.mu.Unlock()
@@ -164,6 +187,7 @@ func (r *registry) put(name string, tab *probtopk.Table) (published, replaced *t
 			continue
 		}
 		replaced = e.state.Load()
+		e.idx = idx
 		e.state.Store(st)
 		e.mu.Unlock()
 		return st, replaced

@@ -312,9 +312,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		PreparedCachePartitions: eng.PartitionEntries,
 		EngineQueries:           LatencyJSON{Count: eng.Queries, TotalNs: uint64(eng.QueryTime)},
-		CachedQueries:           s.cached.json(),
-		ComputedQueries:         s.computed.json(),
-		QueryErrors:             s.queryErrors.Load(),
-		UptimeSeconds:           time.Since(s.start).Seconds(),
+		DynamicIndex: DynamicIndexJSON{
+			Mutations:      eng.IndexMutations,
+			ViewPrepares:   eng.ViewPrepares,
+			MemoHits:       eng.IndexMemoHits,
+			SuffixRebuilds: eng.IndexSuffixRebuilds,
+			FullRebuilds:   eng.IndexFullRebuilds,
+			ViewRebuilds:   eng.IndexViewRebuilds,
+		},
+		CachedQueries:   s.cached.json(),
+		ComputedQueries: s.computed.json(),
+		QueryErrors:     s.queryErrors.Load(),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
 	})
 }

@@ -520,3 +520,64 @@ func ExampleServer() {
 	// 201
 	// 200
 }
+
+// TestAppendReusesDynamicIndex exercises the mutate path's dynamic-index
+// wiring: every published snapshot carries a frozen index view, appends
+// extend the table's live index instead of abandoning the prepared order,
+// the engine prepares post-append snapshots from the view, and the answers
+// stay byte-identical to a table uploaded whole.
+func TestAppendReusesDynamicIndex(t *testing.T) {
+	s := newSoldierServer(t)
+	st, ok := s.reg.load("s")
+	if !ok || st.snap.IndexView() == nil {
+		t.Fatal("published snapshot must carry the dynamic-index view")
+	}
+	before := getStats(t, s).DynamicIndex
+
+	query := `{"k": 2, "exact": true}`
+	mustStatus(t, do(t, s, "POST", "/tables/s/topk", query), http.StatusOK)
+
+	appendBody := `{"tuples": [
+		{"id": "T8", "score": 90, "prob": 0.5},
+		{"id": "T9", "score": 10, "prob": 0.09, "group": "soldier3"}
+	]}`
+	mustStatus(t, do(t, s, "POST", "/tables/s/tuples", appendBody), http.StatusOK)
+	st2, ok := s.reg.load("s")
+	if !ok || st2.snap.IndexView() == nil {
+		t.Fatal("post-append snapshot must carry the dynamic-index view")
+	}
+	if st2.snap.IndexView() == st.snap.IndexView() {
+		t.Fatal("append must freeze a fresh view")
+	}
+	got := mustStatus(t, do(t, s, "POST", "/tables/s/topk", query), http.StatusOK)
+
+	after := getStats(t, s).DynamicIndex
+	if d := after.Mutations - before.Mutations; d < 2 {
+		t.Fatalf("append of 2 tuples recorded %d index mutations", d)
+	}
+	if after.ViewPrepares <= before.ViewPrepares {
+		t.Fatalf("queries must prepare through the snapshot's index view: %+v -> %+v", before, after)
+	}
+	if after.ViewRebuilds <= before.ViewRebuilds {
+		t.Fatalf("expected at least one view materialization: %+v -> %+v", before, after)
+	}
+
+	// Oracle: the same 9 tuples uploaded in one shot answer identically.
+	oracle := New(Config{})
+	all := `{"tuples": [
+		{"id": "T1", "score": 49, "prob": 0.4},
+		{"id": "T2", "score": 60, "prob": 0.4, "group": "soldier2"},
+		{"id": "T3", "score": 110, "prob": 0.4, "group": "soldier3"},
+		{"id": "T4", "score": 80, "prob": 0.3, "group": "soldier2"},
+		{"id": "T5", "score": 56, "prob": 1.0},
+		{"id": "T6", "score": 58, "prob": 0.5, "group": "soldier3"},
+		{"id": "T7", "score": 125, "prob": 0.3, "group": "soldier2"},
+		{"id": "T8", "score": 90, "prob": 0.5},
+		{"id": "T9", "score": 10, "prob": 0.09, "group": "soldier3"}
+	]}`
+	mustStatus(t, do(t, oracle, "PUT", "/tables/s", all), http.StatusCreated)
+	want := mustStatus(t, do(t, oracle, "POST", "/tables/s/topk", query), http.StatusOK)
+	if got != want {
+		t.Fatalf("append-path answer differs from whole-upload answer:\n%s\nvs\n%s", got, want)
+	}
+}

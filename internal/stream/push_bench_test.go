@@ -1,0 +1,144 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"probtopk/internal/uncertain"
+)
+
+// suffixWindow reimplements the pre-dynamic-index window maintenance as the
+// benchmark baseline: the canonical rank order lived in a flat slice, so a
+// mid-rank push paid an O(n) memmove on insert and another on eviction
+// (before the query then re-prepared the whole rank suffix below the change).
+// The dynamic index replaces this with O(log n) structural work per push.
+type suffixWindow struct {
+	capacity int
+	seq      int64
+	arrival  []sentry
+	ranked   []sentry
+}
+
+type sentry struct {
+	seq   int64
+	tuple uncertain.Tuple
+}
+
+func canonBefore(a, b sentry) bool {
+	if a.tuple.Score != b.tuple.Score {
+		return a.tuple.Score > b.tuple.Score
+	}
+	if a.tuple.Prob != b.tuple.Prob {
+		return a.tuple.Prob > b.tuple.Prob
+	}
+	return a.seq < b.seq
+}
+
+func (w *suffixWindow) push(t uncertain.Tuple) {
+	if len(w.arrival) == w.capacity {
+		old := w.arrival[0]
+		copy(w.arrival, w.arrival[1:])
+		w.arrival = w.arrival[:len(w.arrival)-1]
+		pos := sort.Search(len(w.ranked), func(i int) bool { return !canonBefore(w.ranked[i], old) })
+		for pos < len(w.ranked) && w.ranked[pos].seq != old.seq {
+			pos++
+		}
+		copy(w.ranked[pos:], w.ranked[pos+1:])
+		w.ranked = w.ranked[:len(w.ranked)-1]
+	}
+	w.seq++
+	e := sentry{seq: w.seq, tuple: t}
+	w.arrival = append(w.arrival, e)
+	pos := sort.Search(len(w.ranked), func(i int) bool { return canonBefore(e, w.ranked[i]) })
+	w.ranked = append(w.ranked, sentry{})
+	copy(w.ranked[pos+1:], w.ranked[pos:])
+	w.ranked[pos] = e
+}
+
+// benchTuples pre-generates a full window plus the pushes, with uniform
+// random scores so each push lands mid-rank on average.
+func benchTuples(n, pushes int) (fill, push []uncertain.Tuple) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func(i int) uncertain.Tuple {
+		return uncertain.Tuple{ID: fmt.Sprintf("t%d", i), Score: rng.Float64() * float64(n), Prob: 0.5}
+	}
+	for i := 0; i < n; i++ {
+		fill = append(fill, mk(i))
+	}
+	for i := 0; i < pushes; i++ {
+		push = append(push, mk(n+i))
+	}
+	return fill, push
+}
+
+// BenchmarkPushMidRank measures the per-push structural cost of maintaining
+// the canonical rank order at window size n when pushes land mid-rank:
+// the old suffix-era flat slice (O(n) memmove) against the dynamic index
+// (O(log n) treap work). This is the tentpole's headline number; the
+// bench-compare CI gate watches the dynamic variants via the topk-bench
+// "dynamic" figure.
+func BenchmarkPushMidRank(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		fill, push := benchTuples(n, 4096)
+		b.Run(fmt.Sprintf("n=%d/suffix", n), func(b *testing.B) {
+			w := &suffixWindow{capacity: n}
+			for _, t := range fill {
+				w.push(t)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.push(push[i%len(push)])
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/dynamic", n), func(b *testing.B) {
+			w, err := NewWindow(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, t := range fill {
+				if _, err := w.Push(t); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Push(push[i%len(push)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPushMidRankThenQuery includes the lazy materialization a query
+// pays after each push, for the end-to-end push+query cycle. Both designs
+// re-derive the rank suffix below the change (the dynamic index reuses the
+// same PrepareSorted), so the gap here is the structural maintenance that
+// the flat slice adds on top.
+func BenchmarkPushMidRankThenQuery(b *testing.B) {
+	for _, n := range []int{10_000} {
+		fill, push := benchTuples(n, 4096)
+		b.Run(fmt.Sprintf("n=%d/dynamic", n), func(b *testing.B) {
+			w, err := NewWindow(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, t := range fill {
+				if _, err := w.Push(t); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Push(push[i%len(push)]); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.Prepared(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -4,16 +4,17 @@
 // uncertain tuples is maintained, and the top-k score distribution (and
 // c-Typical-Topk answers) of the window contents can be queried at any time.
 //
-// The window maintains its prepared (rank-ordered, §3.4) state
-// incrementally. Each Push binary-inserts the new tuple into the canonical
-// order and removes the evicted one, both O(log W + W); the derived
-// uncertain.Prepared structure is rebuilt lazily at the next query, and only
-// from the first rank position that changed — the shared higher-ranked
-// prefix is reused ("suffix re-prepare"). When a push or eviction changes
-// ME-group membership the window conservatively falls back to a full
-// (sort-free) rebuild. Repeated queries over an unchanged window reuse the
-// cached Prepared outright, so a query costs exactly one run of the paper's
-// dynamic program, with pooled scratch.
+// The window maintains its prepared (rank-ordered, §3.4) state in a fully
+// dynamic uncertain.Index: each Push inserts the new tuple and deletes the
+// evicted one with O(log W) structural work, wherever in the rank order the
+// change lands — there is no O(W) memmove and no ME-group full-rebuild
+// fallback any more. The flat uncertain.Prepared form the DP consumes is
+// materialized lazily at the next query, re-deriving only the rank suffix
+// below the lowest position that changed (the index reuses PrepareSorted,
+// the batch path, so the result is bit-identical to preparing the window
+// contents from scratch). Repeated queries over an unchanged window reuse
+// the memoized Prepared outright, so a query costs exactly one run of the
+// paper's dynamic program, with pooled scratch.
 //
 // ME groups are supported with the window-native semantics that a group's
 // constraint binds among the members currently inside the window; evicted
@@ -25,7 +26,6 @@ package stream
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"probtopk/internal/core"
 	"probtopk/internal/pmf"
@@ -36,63 +36,44 @@ import (
 // for concurrent use.
 type Window struct {
 	capacity int
-	seq      int64
-	// tuples in arrival order (oldest first).
+	// arrival holds the live tuples in arrival order, each with the
+	// sequence number identifying it inside idx. It grows by append until
+	// the window fills, then becomes a ring with the oldest tuple at head —
+	// eviction must be O(1), not an O(W) shift, or it would dominate the
+	// index's O(log W) structural work.
 	arrival []entry
-	// the same tuples in canonical §3.4 rank order: descending (score,
-	// probability), remaining ties by arrival. Maintained incrementally.
-	ranked []entry
-
-	// prep is the cached Prepared built from ranked; nil when never built or
-	// after an ME-group membership change. dirtyFrom is the lowest rank
-	// position touched since prep was built (-1 = clean); needFull forces a
-	// full rebuild at the next query.
-	prep      *uncertain.Prepared
-	dirtyFrom int
-	needFull  bool
+	head    int
+	// idx maintains the canonical §3.4 rank order dynamically; it owns the
+	// memoized Prepared and the rebuild counters.
+	idx *uncertain.Index
 
 	// frozen memoizes the snapshot published by Freeze; nil after any Push,
 	// so an unchanged window keeps handing out one identity (and the engine
 	// cache keeps hitting), mirroring Table.Snapshot's copy-on-write.
 	frozen *uncertain.Snapshot
-
-	// scratch buffer reused for the tuple slice handed to PrepareSorted.
-	buf []uncertain.Tuple
-
-	stats WindowStats
 }
 
 type entry struct {
-	seq   int64
+	seq   uint64
 	tuple uncertain.Tuple
 }
 
-// WindowStats counts how queries obtained their prepared state, for
-// observability and tests of the incremental maintenance.
+// WindowStats counts the window's dynamic-index maintenance, for
+// observability and tests of the incremental machinery. It is a rename of
+// the index's own counters into the window's vocabulary.
 type WindowStats struct {
-	// CachedQueries is the number of queries that reused the cached
+	// CachedQueries is the number of queries that reused the memoized
 	// Prepared without any rebuild (no pushes since the last query).
 	CachedQueries int
-	// SuffixRebuilds is the number of rebuilds that reused the unchanged
-	// higher-ranked prefix.
+	// SuffixRebuilds is the number of materializations that reused the
+	// unchanged higher-ranked prefix of the previous Prepared.
 	SuffixRebuilds int
-	// FullRebuilds is the number of rebuilds from scratch (first build, or
-	// after ME-group membership changed).
+	// FullRebuilds is the number of materializations from scratch (only the
+	// first successful build — ME churn no longer forces one).
 	FullRebuilds int
-}
-
-// canonBefore reports whether a precedes b in the canonical prepared order:
-// descending score, then descending probability, then arrival order. The
-// sequence tie-break makes the order total and identical to Prepare's stable
-// sort of the arrival-order table.
-func canonBefore(a, b entry) bool {
-	if a.tuple.Score != b.tuple.Score {
-		return a.tuple.Score > b.tuple.Score
-	}
-	if a.tuple.Prob != b.tuple.Prob {
-		return a.tuple.Prob > b.tuple.Prob
-	}
-	return a.seq < b.seq
+	// PolylogMutations is the number of index mutations (inserts and
+	// evictions), each costing O(log W) structural work.
+	PolylogMutations int
 }
 
 // NewWindow creates a sliding window holding the most recent capacity
@@ -101,7 +82,7 @@ func NewWindow(capacity int) (*Window, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("stream: window capacity must be ≥ 1, got %d", capacity)
 	}
-	return &Window{capacity: capacity, dirtyFrom: -1}, nil
+	return &Window{capacity: capacity, idx: uncertain.NewIndex()}, nil
 }
 
 // Len returns the number of tuples currently in the window.
@@ -111,12 +92,13 @@ func (w *Window) Len() int { return len(w.arrival) }
 func (w *Window) Capacity() int { return w.capacity }
 
 // Stats returns the prepared-state maintenance counters.
-func (w *Window) Stats() WindowStats { return w.stats }
-
-// markDirty records that rank positions at or beyond pos changed.
-func (w *Window) markDirty(pos int) {
-	if w.dirtyFrom < 0 || pos < w.dirtyFrom {
-		w.dirtyFrom = pos
+func (w *Window) Stats() WindowStats {
+	st := w.idx.Stats()
+	return WindowStats{
+		CachedQueries:    int(st.MemoHits),
+		SuffixRebuilds:   int(st.SuffixMaterializations),
+		FullRebuilds:     int(st.FullMaterializations),
+		PolylogMutations: int(st.Mutations),
 	}
 }
 
@@ -126,50 +108,25 @@ func (w *Window) markDirty(pos int) {
 // validation happens against the *current window contents* at query time,
 // since a group's in-window mass changes as members are evicted.
 func (w *Window) Push(t uncertain.Tuple) (evicted *uncertain.Tuple, err error) {
-	if err := uncertain.CheckTuple(t); err != nil {
+	seq, err := w.idx.Insert(t)
+	if err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
 	if len(w.arrival) == w.capacity {
-		old := w.arrival[0]
-		copy(w.arrival, w.arrival[1:])
-		w.arrival = w.arrival[:len(w.arrival)-1]
-		w.removeRanked(old)
-		if old.tuple.Group != "" {
-			w.needFull = true
-		}
+		old := w.arrival[w.head]
+		w.idx.Delete(old.seq)
+		w.arrival[w.head] = entry{seq: seq, tuple: t}
+		w.head = (w.head + 1) % w.capacity
 		evicted = &old.tuple
-	}
-	w.seq++
-	e := entry{seq: w.seq, tuple: t}
-	w.arrival = append(w.arrival, e)
-	w.insertRanked(e)
-	if t.Group != "" {
-		w.needFull = true
+	} else {
+		w.arrival = append(w.arrival, entry{seq: seq, tuple: t})
 	}
 	w.frozen = nil
 	return evicted, nil
 }
 
-// insertRanked binary-inserts e into the canonical order.
-func (w *Window) insertRanked(e entry) {
-	pos := sort.Search(len(w.ranked), func(i int) bool { return canonBefore(e, w.ranked[i]) })
-	w.ranked = append(w.ranked, entry{})
-	copy(w.ranked[pos+1:], w.ranked[pos:])
-	w.ranked[pos] = e
-	w.markDirty(pos)
-}
-
-// removeRanked removes the entry with e's sequence number from the canonical
-// order.
-func (w *Window) removeRanked(e entry) {
-	pos := sort.Search(len(w.ranked), func(i int) bool { return !canonBefore(w.ranked[i], e) })
-	for pos < len(w.ranked) && w.ranked[pos].seq != e.seq {
-		pos++ // canonBefore is total, so this only skips float-equal twins
-	}
-	copy(w.ranked[pos:], w.ranked[pos+1:])
-	w.ranked = w.ranked[:len(w.ranked)-1]
-	w.markDirty(pos)
-}
+// at returns the i-th live tuple in arrival order (0 = oldest).
+func (w *Window) at(i int) entry { return w.arrival[(w.head+i)%len(w.arrival)] }
 
 // ErrEmptyWindow is returned when a query runs against an empty window.
 var ErrEmptyWindow = errors.New("stream: empty window")
@@ -181,8 +138,8 @@ func (w *Window) Table() (*uncertain.Table, error) {
 		return nil, ErrEmptyWindow
 	}
 	t := uncertain.NewTable()
-	for _, e := range w.arrival {
-		t.Add(e.tuple)
+	for i := 0; i < len(w.arrival); i++ {
+		t.Add(w.at(i).tuple)
 	}
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("stream: window contents invalid: %w", err)
@@ -191,41 +148,19 @@ func (w *Window) Table() (*uncertain.Table, error) {
 }
 
 // Prepared returns the prepared form of the current window contents,
-// maintained incrementally: clean state is returned as-is; otherwise the
-// rank suffix from the first changed position is re-prepared (or everything,
-// after ME-group membership changed). Group-mass validation runs on every
-// rebuild, so an overfull in-window group surfaces here.
+// materialized from the dynamic index: clean state is returned as-is
+// (the same *Prepared pointer, preserving its memoized unit decomposition),
+// otherwise only the rank suffix below the lowest changed position is
+// re-derived. Group-mass validation runs on every rebuild, so an overfull
+// in-window group surfaces here.
 func (w *Window) Prepared() (*uncertain.Prepared, error) {
-	if len(w.ranked) == 0 {
+	if len(w.arrival) == 0 {
 		return nil, ErrEmptyWindow
 	}
-	if w.prep != nil && !w.needFull && w.dirtyFrom < 0 {
-		w.stats.CachedQueries++
-		return w.prep, nil
-	}
-	w.buf = w.buf[:0]
-	for _, e := range w.ranked {
-		w.buf = append(w.buf, e.tuple)
-	}
-	var (
-		prev *uncertain.Prepared
-		from int
-	)
-	if w.prep != nil && !w.needFull && w.dirtyFrom >= 0 {
-		prev, from = w.prep, w.dirtyFrom
-	}
-	prep, err := uncertain.PrepareSorted(w.buf, prev, from)
+	prep, err := w.idx.Materialize()
 	if err != nil {
 		return nil, fmt.Errorf("stream: window contents invalid: %w", err)
 	}
-	if prev != nil {
-		w.stats.SuffixRebuilds++
-	} else {
-		w.stats.FullRebuilds++
-	}
-	w.prep = prep
-	w.dirtyFrom = -1
-	w.needFull = false
 	return prep, nil
 }
 
@@ -286,34 +221,36 @@ func Series(window *Window, streamTuples []uncertain.Tuple, k int, params core.P
 
 // Snapshot lists the window contents in rank (score, probability) order,
 // useful for debugging and display.
-func (w *Window) Snapshot() []uncertain.Tuple {
-	out := make([]uncertain.Tuple, len(w.ranked))
-	for i, e := range w.ranked {
-		out[i] = e.tuple
-	}
-	return out
-}
+func (w *Window) Snapshot() []uncertain.Tuple { return w.idx.Tuples() }
 
 // Freeze publishes the current window contents as an immutable
-// uncertain.Snapshot (in rank order). The window is single-owner, but the
-// returned snapshot is not: it can be queried through an Engine from any
-// goroutine — and cached under its identity — while the owner keeps
-// pushing. An unchanged window returns the same snapshot on every call
-// (so engine caches keep hitting); a Push clears the memo and the next
-// Freeze mints a fresh identity. The frozen contents are validated so an
-// overfull in-window ME group surfaces here, like at query time.
+// uncertain.Snapshot (in rank order), with the window's frozen IndexView
+// attached: the index's tree is persistent, so freezing is O(1) structural
+// work plus one walk to list the tuples — no re-preparation — and an engine
+// that later needs the Prepared form materializes it from the view (sharing
+// the window's own memo when the window was already materialized).
+//
+// The window is single-owner, but the returned snapshot is not: it can be
+// queried through an Engine from any goroutine — and cached under its
+// identity — while the owner keeps pushing. An unchanged window returns the
+// same snapshot on every call (so engine caches keep hitting); a Push clears
+// the memo and the next Freeze mints a fresh identity. The frozen contents
+// are validated, so an overfull in-window ME group surfaces here, like at
+// query time.
 func (w *Window) Freeze() (*uncertain.Snapshot, error) {
-	if len(w.ranked) == 0 {
+	if len(w.arrival) == 0 {
 		return nil, ErrEmptyWindow
 	}
 	if w.frozen != nil {
 		return w.frozen, nil
 	}
+	view := w.idx.Freeze()
 	// Snapshot() already builds a private slice; hand it over outright.
 	snap := uncertain.OwnSnapshot(w.Snapshot())
 	if err := snap.Validate(); err != nil {
 		return nil, fmt.Errorf("stream: window contents invalid: %w", err)
 	}
+	snap.SetIndexView(view)
 	w.frozen = snap
 	return snap, nil
 }

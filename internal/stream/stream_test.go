@@ -9,6 +9,7 @@ import (
 	"probtopk/internal/core"
 	"probtopk/internal/fixtures"
 	"probtopk/internal/pmf"
+	"probtopk/internal/typical"
 	"probtopk/internal/uncertain"
 	"probtopk/internal/worlds"
 )
@@ -171,10 +172,10 @@ func TestSlidingCrossCheck(t *testing.T) {
 }
 
 // TestIncrementalMatchesFullPrepare: property-style cross-check of the
-// window's incremental prepared-state maintenance (suffix re-prepare,
-// ME-triggered full rebuilds, cached reuse) against preparing the
-// materialised window table from scratch at every step. Distributions must
-// be bit-identical, and the prepared structures must agree position by
+// window's dynamic-index maintenance (polylog mutations, suffix
+// materialization, memoized reuse) against preparing the materialised window
+// table from scratch at every step. Distributions and c-Typical-Topk answers
+// must be bit-identical, and the prepared structures must agree position by
 // position.
 func TestIncrementalMatchesFullPrepare(t *testing.T) {
 	for _, tc := range []struct {
@@ -244,18 +245,37 @@ func TestIncrementalMatchesFullPrepare(t *testing.T) {
 						t.Fatalf("step %d line %d: %+v vs %+v", step, i, a, b)
 					}
 				}
+				if res.Dist.Len() >= 2 {
+					ta, err := typical.Select(res.Dist, 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tb, err := typical.Select(full.Dist, 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ta.Cost != tb.Cost || len(ta.Scores) != len(tb.Scores) {
+						t.Fatalf("step %d: typical answers differ: %+v vs %+v", step, ta, tb)
+					}
+					for i := range ta.Scores {
+						if ta.Scores[i] != tb.Scores[i] {
+							t.Fatalf("step %d: typical scores differ: %v vs %v", step, ta.Scores, tb.Scores)
+						}
+					}
+				}
 			}
 			stats := w.Stats()
-			if tc.groupFrac == 0 {
-				if stats.FullRebuilds != 1 {
-					t.Fatalf("independent stream: %d full rebuilds, want only the first (stats %+v)",
-						stats.FullRebuilds, stats)
-				}
-				if stats.SuffixRebuilds == 0 {
-					t.Fatalf("independent stream never took the suffix path: %+v", stats)
-				}
-			} else if stats.FullRebuilds <= 1 {
-				t.Fatalf("ME churn should force full rebuilds: %+v", stats)
+			// The dynamic index never needs a from-scratch rebuild after the
+			// first successful materialization — not even under ME-group
+			// churn, which used to force one.
+			if stats.FullRebuilds != 1 {
+				t.Fatalf("%d full rebuilds, want only the first (stats %+v)", stats.FullRebuilds, stats)
+			}
+			if stats.SuffixRebuilds == 0 {
+				t.Fatalf("never took the suffix path: %+v", stats)
+			}
+			if stats.PolylogMutations == 0 {
+				t.Fatalf("mutations not counted: %+v", stats)
 			}
 		})
 	}
@@ -361,5 +381,60 @@ func TestFreezeMemoized(t *testing.T) {
 	}
 	if s1.Len() != 4 || s3.Len() != 5 || s3.Tuple(0).ID != "new" {
 		t.Fatalf("frozen contents wrong: s1 len %d, s3 %+v", s1.Len(), s3.Tuples()[:1])
+	}
+}
+
+// TestFreezeCarriesIndexView: Freeze attaches the window's dynamic-index
+// view to the published snapshot, so downstream consumers (the engine) can
+// materialize the Prepared form from the index — and when the window was
+// already queried, they share the window's own memoized Prepared.
+func TestFreezeCarriesIndexView(t *testing.T) {
+	w, _ := NewWindow(8)
+	for i := 0; i < 6; i++ {
+		if _, err := w.Push(uncertain.Tuple{ID: fmt.Sprintf("t%d", i), Score: float64(i % 3), Prob: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prep, err := w.Prepared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := w.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := snap.IndexView()
+	if v == nil {
+		t.Fatal("frozen snapshot carries no index view")
+	}
+	if v.Len() != snap.Len() {
+		t.Fatalf("view len %d != snapshot len %d", v.Len(), snap.Len())
+	}
+	vp, err := v.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp != prep {
+		t.Fatal("materialized-window view should share the window's memoized Prepared")
+	}
+	// The view and the snapshot describe the same contents even though the
+	// owner keeps mutating after the freeze.
+	for i := 0; i < 20; i++ {
+		if _, err := w.Push(uncertain.Tuple{ID: "later", Score: 99, Prob: 0.9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp, err := snap.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Len() != vp.Len() {
+		t.Fatalf("view len %d != snapshot prepare len %d", vp.Len(), sp.Len())
+	}
+	for i := range sp.Tuples {
+		a, b := sp.Tuples[i], vp.Tuples[i]
+		if a.ID != b.ID || a.Score != b.Score || a.Prob != b.Prob || a.Group != b.Group || a.Lead != b.Lead {
+			t.Fatalf("position %d: view %+v vs snapshot %+v", i, b, a)
+		}
 	}
 }

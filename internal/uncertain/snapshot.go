@@ -31,6 +31,12 @@ type Snapshot struct {
 	// tuples is frozen: it aliases the owning table's append-only storage
 	// with its capacity clamped, so neither side can ever write through it.
 	tuples []Tuple
+	// view is an advisory accelerator: a frozen IndexView over the same
+	// contents, attached once by whoever maintains a dynamic Index for the
+	// table (the sliding window, the server's mutate path). Consumers that
+	// need the Prepared form may materialize from it — sharing the index's
+	// suffix-reuse and memoized Prepared — instead of sorting from scratch.
+	view atomic.Pointer[IndexView]
 }
 
 // NewSnapshot freezes a copy of the given tuples (in insertion order) as a
@@ -93,5 +99,23 @@ func (s *Snapshot) Table() *Table {
 // Prepare validates and sorts the frozen contents, returning the derived
 // structure the query algorithms need — the snapshot-native form of the
 // package-level Prepare. It never mutates the snapshot and is safe to call
-// concurrently.
+// concurrently. Consumers that cache preparations (the engine) should try
+// IndexView first.
 func (s *Snapshot) Prepare() (*Prepared, error) { return prepareTuples(s.tuples) }
+
+// SetIndexView attaches a frozen dynamic-index view over the same contents
+// as an advisory accelerator; see Snapshot.view. It is set-once: the first
+// caller wins and later calls are no-ops, so a published snapshot's view
+// never changes. A view whose length disagrees with the snapshot is refused.
+func (s *Snapshot) SetIndexView(v *IndexView) {
+	if v == nil || v.Len() != len(s.tuples) {
+		return
+	}
+	s.view.CompareAndSwap(nil, v)
+}
+
+// IndexView returns the attached dynamic-index view, or nil. The view holds
+// the same tuples as the snapshot (in canonical rank order rather than
+// insertion order — query answers are identical either way), so a consumer
+// may materialize its Prepared form from the view instead of re-sorting.
+func (s *Snapshot) IndexView() *IndexView { return s.view.Load() }

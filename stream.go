@@ -13,12 +13,14 @@ import (
 // recent tuples; TopKDistribution answers the paper's query over the current
 // contents.
 //
-// The window maintains its prepared (rank-ordered) state incrementally:
-// every Push updates the canonical order in place, and the next query
-// re-prepares only the rank suffix below the highest position that changed
-// (falling back to a full rebuild when ME-group membership changes).
-// Repeated queries over an unchanged window reuse the prepared state
-// outright. Not safe for concurrent use.
+// The window maintains its rank order in a fully dynamic prepared index:
+// every Push inserts the new tuple and deletes the evicted one with O(log W)
+// structural work, wherever in the rank order they land — ME-group churn no
+// longer forces a full rebuild. The flat prepared form the query consumes is
+// materialized lazily, re-deriving only the rank suffix below the lowest
+// changed position, and repeated queries over an unchanged window reuse it
+// outright; answers are bit-identical to preparing the window contents from
+// scratch. Not safe for concurrent use.
 type Stream struct {
 	w *stream.Window
 }
@@ -58,6 +60,34 @@ func (s *Stream) Tuples() []Tuple { return s.w.Snapshot() }
 // preparation under the snapshot's identity. This is the bridge from the
 // streaming window to the concurrent serving layer.
 func (s *Stream) Freeze() (*Snapshot, error) { return s.w.Freeze() }
+
+// StreamStats counts a Stream's dynamic-index maintenance: how pushes and
+// queries resolved against the incrementally maintained prepared state.
+type StreamStats struct {
+	// CachedQueries is the number of queries that reused the memoized
+	// prepared state without any rebuild (no pushes since the last query).
+	CachedQueries int
+	// SuffixRebuilds is the number of materializations that reused the
+	// unchanged higher-ranked prefix of the previous prepared state.
+	SuffixRebuilds int
+	// FullRebuilds is the number of materializations from scratch (only the
+	// first successful build — ME churn no longer forces one).
+	FullRebuilds int
+	// PolylogMutations is the number of index mutations (inserts and
+	// evictions), each costing O(log W) structural work.
+	PolylogMutations int
+}
+
+// Stats returns the window's prepared-state maintenance counters.
+func (s *Stream) Stats() StreamStats {
+	st := s.w.Stats()
+	return StreamStats{
+		CachedQueries:    st.CachedQueries,
+		SuffixRebuilds:   st.SuffixRebuilds,
+		FullRebuilds:     st.FullRebuilds,
+		PolylogMutations: st.PolylogMutations,
+	}
+}
 
 // TopKDistribution computes the top-k score distribution of the current
 // window contents; options as in the package-level TopKDistribution,
