@@ -18,9 +18,13 @@
 // a write-ahead log under that directory before it is acknowledged, the
 // hosted tables are periodically checkpointed into a snapshot file (see
 // -checkpoint-every), and a restart recovers every table by replaying
-// snapshot + WAL. -fsync=false trades crash-durability of the most recent
-// mutations for much faster writes. -load runs after recovery, so a loaded
-// CSV replaces a recovered table of the same name (and is itself logged).
+// snapshot + WAL. -fsync selects the durability policy: "always" (the
+// default) fsyncs every mutation before acknowledging it; "batch" keeps
+// that guarantee but group-commits, so concurrent mutations of one shard
+// share fsyncs (see -max-batch-delay); "never" trades crash-durability of
+// the most recent mutations for much faster writes. -load runs after
+// recovery, so a loaded CSV replaces a recovered table of the same name
+// (and is itself logged).
 //
 // -shards N (default GOMAXPROCS, capped at 256) splits the serving stack
 // N ways by table name: the registry, the mutation/durability mutex and
@@ -44,6 +48,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"probtopk"
 	"probtopk/internal/persist"
@@ -59,8 +64,10 @@ func main() {
 		"prepared-table cache entries (0 = default, negative = disabled)")
 	dataDir := flag.String("data-dir", "",
 		"directory for durable state (WAL + snapshot checkpoints); empty = in-memory only")
-	fsync := flag.Bool("fsync", true,
-		"fsync every logged mutation (with -data-dir); false is faster but a crash may lose the newest acknowledged mutations")
+	fsync := flag.String("fsync", "always",
+		"durability policy with -data-dir: always (fsync every mutation), batch (group-commit: same guarantee, concurrent mutations share fsyncs), never (faster; a crash may lose the newest acknowledged mutations); true/false are aliases for always/never")
+	maxBatchDelay := flag.Duration("max-batch-delay", 0,
+		"with -fsync=batch: how long a group commit lingers collecting more mutations to share its fsync (0 = batch only what queued during the previous fsync)")
 	checkpointEvery := flag.Int("checkpoint-every", 256,
 		"checkpoint hosted tables into the snapshot file and truncate the WAL after this many logged mutations (0 = never)")
 	shards := flag.Int("shards", min(runtime.GOMAXPROCS(0), persist.MaxShards),
@@ -69,8 +76,9 @@ func main() {
 
 	srv, _, err := buildServer(config{
 		answerCache: *answerCache, engineCache: *engineCache,
-		dataDir: *dataDir, fsync: *fsync, checkpointEvery: *checkpointEvery,
-		shards: *shards,
+		dataDir: *dataDir, fsync: *fsync, maxBatchDelay: *maxBatchDelay,
+		checkpointEvery: *checkpointEvery,
+		shards:          *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topkd:", err)
@@ -96,9 +104,26 @@ type config struct {
 	answerCache     int
 	engineCache     int
 	dataDir         string
-	fsync           bool
+	fsync           string
+	maxBatchDelay   time.Duration
 	checkpointEvery int
 	shards          int
+}
+
+// parseFsync maps the -fsync flag to the persist fsync/batch pair. The
+// boolean spellings stay accepted: -fsync=false scripts predate the batch
+// policy.
+func parseFsync(v string) (fsync, batch bool, err error) {
+	switch strings.ToLower(v) {
+	case "always", "true", "1":
+		return true, false, nil
+	case "batch":
+		return true, true, nil
+	case "never", "false", "0":
+		return false, false, nil
+	default:
+		return false, false, fmt.Errorf("bad -fsync value %q (want always, batch or never)", v)
+	}
 }
 
 // buildServer opens the durability backend (when configured), recovers and
@@ -110,8 +135,14 @@ func buildServer(cfg config) (*server.Server, *persist.Manager, error) {
 	var durable *persist.Manager
 	var recovered map[string]*probtopk.Table
 	if cfg.dataDir != "" {
+		fsync, batch, err := parseFsync(cfg.fsync)
+		if err != nil {
+			return nil, nil, err
+		}
 		man, tables, err := persist.Open(cfg.dataDir, persist.Options{
-			Fsync:           cfg.fsync,
+			Fsync:           fsync,
+			BatchFsync:      batch,
+			MaxBatchDelay:   cfg.maxBatchDelay,
 			CheckpointEvery: cfg.checkpointEvery,
 			Shards:          cfg.shards,
 		})

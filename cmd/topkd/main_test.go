@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"strings"
 
@@ -84,13 +85,81 @@ func TestLoadTablesErrors(t *testing.T) {
 	}
 }
 
+func TestParseFsync(t *testing.T) {
+	cases := []struct {
+		in           string
+		fsync, batch bool
+	}{
+		{"always", true, false}, {"true", true, false}, {"1", true, false},
+		{"ALWAYS", true, false},
+		{"batch", true, true}, {"Batch", true, true},
+		{"never", false, false}, {"false", false, false}, {"0", false, false},
+	}
+	for _, c := range cases {
+		fsync, batch, err := parseFsync(c.in)
+		if err != nil || fsync != c.fsync || batch != c.batch {
+			t.Errorf("parseFsync(%q) = %v, %v, %v; want %v, %v", c.in, fsync, batch, err, c.fsync, c.batch)
+		}
+	}
+	if _, _, err := parseFsync("sometimes"); err == nil {
+		t.Error("parseFsync(\"sometimes\") should error")
+	}
+	if _, _, err := buildServer(config{dataDir: t.TempDir(), fsync: "sometimes"}); err == nil {
+		t.Error("buildServer should reject a bad -fsync value")
+	}
+}
+
+// TestBatchedRestartRecoversTables boots the daemon with -fsync=batch,
+// mutates, and checks the next life (under -fsync=always, to prove the
+// on-disk format is policy-independent) serves the same data.
+func TestBatchedRestartRecoversTables(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{dataDir: filepath.Join(dir, "data"), fsync: "batch",
+		maxBatchDelay: 2 * time.Millisecond, checkpointEvery: 0}
+
+	srv1, man1, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := httptest.NewRequest("PUT", "/tables/fleet", strings.NewReader(fleetCSV))
+	put.Header.Set("Content-Type", "text/csv")
+	w := httptest.NewRecorder()
+	srv1.ServeHTTP(w, put)
+	if w.Code != 201 {
+		t.Fatalf("put: %d %s", w.Code, w.Body.String())
+	}
+	w = httptest.NewRecorder()
+	srv1.ServeHTTP(w, httptest.NewRequest("POST", "/tables/fleet/tuples",
+		strings.NewReader(`{"tuples": [{"id": "car4", "score": 90, "prob": 0.7}]}`)))
+	if w.Code != 200 {
+		t.Fatalf("append: %d %s", w.Code, w.Body.String())
+	}
+	man1.Close()
+
+	cfg.fsync = "always"
+	srv2, man2, err := buildServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer man2.Close()
+	var info server.TableInfo
+	w = httptest.NewRecorder()
+	srv2.ServeHTTP(w, httptest.NewRequest("GET", "/tables/fleet", nil))
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Tuples != 4 {
+		t.Fatalf("batched mutations lost across restart: %+v", info)
+	}
+}
+
 // TestRestartRecoversTables drives the daemon's real boot sequence
 // (buildServer) twice over one data directory: mutations served by the
 // first life must be answered identically by the second, and -load must
 // still override a recovered table by name.
 func TestRestartRecoversTables(t *testing.T) {
 	dir := t.TempDir()
-	cfg := config{dataDir: filepath.Join(dir, "data"), fsync: false, checkpointEvery: 3}
+	cfg := config{dataDir: filepath.Join(dir, "data"), fsync: "never", checkpointEvery: 3}
 
 	srv1, man1, err := buildServer(cfg)
 	if err != nil {

@@ -116,9 +116,20 @@
 // appended to a segmented, CRC32C-framed write-ahead log BEFORE its new
 // snapshot is published (internal/wal), and the registry is periodically
 // checkpointed into a versioned snapshot file that truncates the WAL
-// behind it (internal/persist). -fsync (default true) makes each
-// acknowledged mutation survive a machine crash; -fsync=false is much
-// faster and still recovers a clean prefix of the history. Recovery
+// behind it (internal/persist). -fsync selects the policy: "always" (the
+// default) fsyncs each mutation before acknowledging it, so an
+// acknowledged mutation survives a machine crash; "batch" gives the SAME
+// guarantee via group commit — mutations arriving concurrently on one
+// shard share a single write+fsync, multiplying aggregate durable-append
+// throughput under concurrency, at the price of at most -max-batch-delay
+// plus one in-flight fsync of added latency (the default delay of 0 uses
+// no timer: a commit carries what queued during the previous fsync, so a
+// lone writer is unaffected). A failed group fsync rejects every mutation
+// in the batch with a 503, rolls their records back off disk and marks
+// the log broken, exactly as a failed solo fsync does; per-table ordering
+// of logged and published mutations is identical under every policy.
+// -fsync=never is much faster and still recovers a clean prefix of the
+// history. Recovery
 // replays snapshot + WAL, truncating a torn or corrupt tail cleanly
 // rather than mis-replaying it. Snapshot identities are process-unique
 // and re-minted on every boot, so recovered tables can never collide with

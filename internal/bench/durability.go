@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"probtopk/internal/persist"
@@ -111,8 +112,91 @@ func FigDurability() (*Figure, error) {
 		fig.Notes = append(fig.Notes,
 			fmt.Sprintf("%s mean: %.3f ms", strings.TrimSuffix(md.name, " (ms)"), total/durabilityAppends))
 	}
+	for _, batch := range []bool{false, true} {
+		series, note, err := durabilityConcurrent(string(upload), batch)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, *series)
+		fig.Notes = append(fig.Notes, note)
+	}
 	fig.Notes = append(fig.Notes,
 		"in-memory = no durability backend; wal = logged append, OS flushes; wal+fsync = logged and fsynced before the 200 response",
+		"8w = 8 concurrent writers on ONE shard, 4 appends each per wave, per-append aggregate latency (wave wall time / 32); wal+batch group-commits, so concurrent appends share fsyncs",
 	)
 	return fig, nil
+}
+
+// durabilityConcurrent measures the 8-writer single-shard append workload
+// that group commit exists for: 8 goroutines append concurrently to 8
+// tables that all share the one durability shard, under SyncAlways (each
+// append pays its own fsync, serialized) or SyncBatch (concurrent appends
+// share fsyncs). Each sample is one wave of 8 writers each appending 4
+// records back to back — deep enough that the batcher reaches its steady
+// state inside the wave — reported as aggregate per-append latency, so the
+// batch/always ratio of the series medians is the group-commit throughput
+// gain the CI gate protects.
+func durabilityConcurrent(upload string, batch bool) (*Series, string, error) {
+	const writers, perWriter = 8, 4
+	name := "append wal+fsync 8w (ms)"
+	if batch {
+		name = "append wal+batch 8w (ms)"
+	}
+	dir, err := os.MkdirTemp("", "topk-bench-durability")
+	if err != nil {
+		return nil, "", err
+	}
+	defer os.RemoveAll(dir)
+	man, _, err := persist.Open(dir, persist.Options{Fsync: true, BatchFsync: batch, Shards: 1})
+	if err != nil {
+		return nil, "", err
+	}
+	defer man.Close()
+	srv := server.New(server.Config{AnswerCacheSize: -1, Shards: 1, Durability: man})
+	names := make([]string, writers)
+	for w := range names {
+		names[w] = fmt.Sprintf("dur%d", w)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("PUT", "/tables/"+names[w], strings.NewReader(upload)))
+		if rec.Code != 201 {
+			return nil, "", fmt.Errorf("bench upload: status %d", rec.Code)
+		}
+	}
+	series := &Series{Name: name}
+	var total float64
+	for i := -durabilityWarmup; i < durabilityAppends; i++ {
+		codes := make([]int, writers)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := 0; j < perWriter; j++ {
+					body := fmt.Sprintf(`{"tuples": [{"id": "c%d-%d-%d", "score": 50.5, "prob": 0.5}]}`,
+						w, i+durabilityWarmup, j)
+					rec := httptest.NewRecorder()
+					srv.ServeHTTP(rec, httptest.NewRequest("POST", "/tables/"+names[w]+"/tuples", strings.NewReader(body)))
+					if codes[w] = rec.Code; rec.Code != 200 {
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		ms := float64(time.Since(start).Microseconds()) / 1000 / (writers * perWriter)
+		for _, code := range codes {
+			if code != 200 {
+				return nil, "", fmt.Errorf("bench concurrent append: status %d", code)
+			}
+		}
+		if i < 0 {
+			continue // warmup, untimed
+		}
+		series.X = append(series.X, float64(i))
+		series.Y = append(series.Y, ms)
+		total += ms
+	}
+	note := fmt.Sprintf("%s mean: %.3f ms", strings.TrimSuffix(name, " (ms)"), total/durabilityAppends)
+	return series, note, nil
 }

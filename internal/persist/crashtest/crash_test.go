@@ -1,6 +1,7 @@
 package crashtest
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -12,6 +13,7 @@ import (
 	"probtopk"
 	"probtopk/internal/persist"
 	"probtopk/internal/uncertain"
+	"probtopk/internal/wal"
 )
 
 // crashIterations is how many randomized mutate/checkpoint/crash/recover
@@ -168,6 +170,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 
 		opts := persist.Options{
 			Fsync:        iter%10 == 0, // mostly off: content survives either way, fsync paths still covered
+			BatchFsync:   rng.Intn(2) == 0,
 			SegmentBytes: int64(512 + rng.Intn(2048)),
 			Shards:       shards,
 		}
@@ -363,5 +366,109 @@ func TestCrashBetweenShardCheckpoints(t *testing.T) {
 		if !reflect.DeepEqual(tab.Tuples(), tuples) {
 			t.Fatalf("table %q = %v, want %v", name, tab.Tuples(), tuples)
 		}
+	}
+}
+
+// syncFail is a wal.File whose Sync always fails; writes and closes pass
+// through.
+type syncFail struct{ f *os.File }
+
+func (s *syncFail) Write(p []byte) (int, error) { return s.f.Write(p) }
+func (s *syncFail) Sync() error                 { return ErrInjected }
+func (s *syncFail) Close() error                { return s.f.Close() }
+
+// tornDurableDir builds a data dir holding one acknowledged table whose
+// shard WAL ends in garbage — the state recovery must truncate.
+func tornDurableDir(t *testing.T) (string, []uncertain.Tuple) {
+	t.Helper()
+	dir := t.TempDir()
+	m, _, err := persist.Open(dir, persist.Options{Fsync: true, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := []uncertain.Tuple{{ID: "a", Score: 80, Prob: 0.9}}
+	if err := m.LogPut("fleet", tuples); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-s00-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no shard segments: %v %v", segs, err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xba, 0xdb, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return dir, tuples
+}
+
+// TestRecoveryTruncationFlushFailure: when recovery cannot fsync the
+// torn-tail truncation, persist.Open must fail loudly — silently
+// proceeding would serve state a crash could contradict. A later healthy
+// recovery of the same directory succeeds with the acknowledged state.
+func TestRecoveryTruncationFlushFailure(t *testing.T) {
+	dir, want := tornDurableDir(t)
+	_, _, err := persist.Open(dir, persist.Options{
+		Fsync:  true,
+		Shards: 1,
+		OpenFile: func(path string, flag int, perm os.FileMode) (wal.File, error) {
+			f, err := os.OpenFile(path, flag, perm)
+			if err != nil {
+				return nil, err
+			}
+			if flag == os.O_WRONLY {
+				// The truncation-flush open (no O_APPEND, no O_CREATE).
+				return &syncFail{f: f}, nil
+			}
+			return f, nil
+		},
+	})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("recovery with failing truncation flush returned %v, want the injected error", err)
+	}
+	m, tables, err := persist.Open(dir, persist.Options{Fsync: true, Shards: 1})
+	if err != nil {
+		t.Fatalf("healthy recovery: %v", err)
+	}
+	defer m.Close()
+	if tab := tables["fleet"]; tab == nil || !reflect.DeepEqual(tab.Tuples(), want) {
+		t.Fatalf("healthy recovery lost the acknowledged state: %+v", tables)
+	}
+}
+
+// TestRecoveryDirSyncFailure: a failed directory fsync during recovery's
+// truncation must fail persist.Open the same way.
+func TestRecoveryDirSyncFailure(t *testing.T) {
+	dir, want := tornDurableDir(t)
+	_, _, err := persist.Open(dir, persist.Options{
+		Fsync:  true,
+		Shards: 1,
+		OpenFile: func(path string, flag int, perm os.FileMode) (wal.File, error) {
+			f, err := os.OpenFile(path, flag, perm)
+			if err != nil {
+				return nil, err
+			}
+			if flag == os.O_RDONLY {
+				// Only the WAL's directory fsync opens read-only through
+				// the hook.
+				return &syncFail{f: f}, nil
+			}
+			return f, nil
+		},
+	})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("recovery with failing dir fsync returned %v, want the injected error", err)
+	}
+	m, tables, err := persist.Open(dir, persist.Options{Fsync: true, Shards: 1})
+	if err != nil {
+		t.Fatalf("healthy recovery: %v", err)
+	}
+	defer m.Close()
+	if tab := tables["fleet"]; tab == nil || !reflect.DeepEqual(tab.Tuples(), want) {
+		t.Fatalf("healthy recovery lost the acknowledged state: %+v", tables)
 	}
 }

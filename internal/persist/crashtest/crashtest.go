@@ -23,17 +23,29 @@ var ErrInjected = errors.New("crashtest: injected write failure")
 // "process": once Remaining hits zero, every further write fails, exactly
 // like a process that lost its disk. A partial write consumes the rest of
 // the budget and leaves torn bytes behind — the case recovery must
-// truncate away.
+// truncate away. LimitSyncs adds an independent fsync allowance for
+// injecting the other way a disk dies: writes land but fsyncs fail.
 type Budget struct {
 	mu        sync.Mutex
 	remaining int64
+	syncs     int64 // fsyncs still allowed; -1 = unlimited
 	tripped   bool
 }
 
-// NewBudget returns a budget allowing n written bytes.
-func NewBudget(n int64) *Budget { return &Budget{remaining: n} }
+// NewBudget returns a budget allowing n written bytes and unlimited
+// fsyncs.
+func NewBudget(n int64) *Budget { return &Budget{remaining: n, syncs: -1} }
 
-// Tripped reports whether a write has failed against this budget.
+// LimitSyncs caps the fsyncs this budget's files will perform from now
+// on: after n more successful Syncs, every further Sync (file or
+// directory) returns ErrInjected.
+func (b *Budget) LimitSyncs(n int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.syncs = n
+}
+
+// Tripped reports whether a write or fsync has failed against this budget.
 func (b *Budget) Tripped() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -76,9 +88,25 @@ func (w *FailingFile) Write(p []byte) (int, error) {
 	return n, ErrInjected
 }
 
-// Sync passes through: durability failures are injected at the write, so
+// Sync passes through unless the budget's fsync allowance (LimitSyncs) is
+// exhausted; by default durability failures are injected at the write, so
 // the acknowledged-bytes accounting in the property test stays exact.
-func (w *FailingFile) Sync() error { return w.f.Sync() }
+func (w *FailingFile) Sync() error {
+	w.budget.mu.Lock()
+	switch {
+	case w.budget.syncs < 0:
+		w.budget.mu.Unlock()
+		return w.f.Sync()
+	case w.budget.syncs == 0:
+		w.budget.tripped = true
+		w.budget.mu.Unlock()
+		return ErrInjected
+	default:
+		w.budget.syncs--
+		w.budget.mu.Unlock()
+		return w.f.Sync()
+	}
+}
 
 // Close passes through.
 func (w *FailingFile) Close() error { return w.f.Close() }

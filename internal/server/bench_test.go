@@ -336,3 +336,86 @@ func BenchmarkAppendDurableSharded(b *testing.B) {
 	b.Run("http/shards=1", func(b *testing.B) { httpRun(b, 1) })
 	b.Run(fmt.Sprintf("http/shards=%d", writers), func(b *testing.B) { httpRun(b, writers) })
 }
+
+// BenchmarkAppendDurableBatched is the acceptance benchmark for WAL group
+// commit: concurrent writers append durably to tables that all live on ONE
+// shard — the workload sharding cannot help — under SyncAlways (every
+// append pays its own fsync, serialized by the shard's durability mutex)
+// versus SyncBatch (appends queue on the shard's batcher and share fsyncs;
+// the durability mutex is held shared so writers overlap).
+//
+// With 1 writer the two policies are equivalent (every batch holds one
+// record); the gap opens with concurrency, because a batch of n concurrent
+// appends costs one fsync instead of n. The target is ≥3x aggregate
+// throughput at 8 writers, batch over always. The "http" pair is the same
+// comparison on the full serving path. Compare alongside the "durability"
+// figure of topk-bench.
+func BenchmarkAppendDurableBatched(b *testing.B) {
+	open := func(b *testing.B, batch bool) *persist.Manager {
+		b.Helper()
+		man, _, err := persist.Open(b.TempDir(), persist.Options{
+			Fsync: true, BatchFsync: batch, Shards: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return man
+	}
+
+	logRun := func(b *testing.B, writers int, batch bool) {
+		man := open(b, batch)
+		defer man.Close()
+		names := shardedTableNames(b, writers)
+		for _, name := range names {
+			if err := man.LogPut(name, []uncertain.Tuple{{ID: "base", Score: 1, Prob: 0.5}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		benchWriters(b, writers, func(w int, name string, i int) {
+			tp := uncertain.Tuple{ID: fmt.Sprintf("b%d-%d", w, i), Score: 50.5, Prob: 0.5}
+			if err := man.LogAppend(name, []uncertain.Tuple{tp}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+
+	httpRun := func(b *testing.B, writers int, batch bool) {
+		man := open(b, batch)
+		defer man.Close()
+		s := New(Config{AnswerCacheSize: -1, Shards: 1, Durability: man})
+		upload := shardedUploadBody(b)
+		names := shardedTableNames(b, writers)
+		put := func(name string) {
+			req := httptest.NewRequest("PUT", "/tables/"+name, strings.NewReader(upload))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusCreated && rec.Code != http.StatusOK {
+				b.Fatalf("put %s: %d %s", name, rec.Code, rec.Body.String())
+			}
+		}
+		for _, name := range names {
+			put(name)
+		}
+		benchWriters(b, writers, func(w int, name string, i int) {
+			if i > 0 && i%256 == 0 {
+				put(name) // keep the clone cost flat (see AppendDurableSharded)
+			}
+			body := fmt.Sprintf(`{"tuples": [{"id": "b%d-%d", "score": 50.5, "prob": 0.5}]}`, w, i)
+			req := httptest.NewRequest("POST", "/tables/"+name+"/tuples", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("append: %d %s", rec.Code, rec.Body.String())
+			}
+		})
+	}
+
+	for _, writers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("log/always/writers=%d", writers),
+			func(b *testing.B) { logRun(b, writers, false) })
+		b.Run(fmt.Sprintf("log/batch/writers=%d", writers),
+			func(b *testing.B) { logRun(b, writers, true) })
+	}
+	b.Run("http/always/writers=8", func(b *testing.B) { httpRun(b, 8, false) })
+	b.Run("http/batch/writers=8", func(b *testing.B) { httpRun(b, 8, true) })
+}

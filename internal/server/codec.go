@@ -441,6 +441,8 @@ type DurabilityShardJSON struct {
 	WALBytes               uint64 `json:"walBytes"`
 	WALSyncs               uint64 `json:"walSyncs"`
 	WALSegments            int    `json:"walSegments"`
+	WALBatches             uint64 `json:"walBatches,omitempty"`
+	WALFsyncsSaved         uint64 `json:"walFsyncsSaved,omitempty"`
 	RecordsSinceCheckpoint int    `json:"recordsSinceCheckpoint"`
 }
 
@@ -448,10 +450,18 @@ type DurabilityShardJSON struct {
 // present only when the server runs with a durability backend. The
 // top-level WAL figures aggregate across shards; Shards breaks them down.
 type DurabilityJSON struct {
-	WALRecords             uint64                `json:"walRecords"`
-	WALBytes               uint64                `json:"walBytes"`
-	WALSyncs               uint64                `json:"walSyncs"`
-	WALSegments            int                   `json:"walSegments"`
+	WALRecords  uint64 `json:"walRecords"`
+	WALBytes    uint64 `json:"walBytes"`
+	WALSyncs    uint64 `json:"walSyncs"`
+	WALSegments int    `json:"walSegments"`
+	// WALBatches / WALFsyncsSaved / WALBatchSizes describe group commits
+	// under -fsync=batch: completed batches, the fsyncs batching avoided
+	// versus one-per-record, and a power-of-two batch-size histogram
+	// (bucket i counts batches of 2^i .. 2^(i+1)-1 records).
+	WALBatches             uint64                `json:"walBatches,omitempty"`
+	WALFsyncsSaved         uint64                `json:"walFsyncsSaved,omitempty"`
+	WALBatchSizes          []uint64              `json:"walBatchSizes,omitempty"`
+	WALDirSyncErrors       uint64                `json:"walDirSyncErrors,omitempty"`
 	RecordsSinceCheckpoint int                   `json:"recordsSinceCheckpoint"`
 	Checkpoints            uint64                `json:"checkpoints"`
 	CheckpointErrors       uint64                `json:"checkpointErrors"`

@@ -6,7 +6,9 @@ import (
 	"net/http/httptest"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"probtopk/internal/persist"
 	"probtopk/internal/persist/crashtest"
@@ -255,5 +257,133 @@ func TestNonDurableServerHasNoDurabilityStats(t *testing.T) {
 	}
 	if stats.Durability != nil {
 		t.Fatalf("unexpected durability block: %+v", stats.Durability)
+	}
+}
+
+// TestBatchedDurabilitySurvivesRestart: a server on a group-commit WAL
+// (-fsync=batch) acknowledges concurrent appends, reports batch counters
+// on /debug/stats, and a successor recovers every acknowledged mutation.
+func TestBatchedDurabilitySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := persist.Options{Fsync: true, BatchFsync: true, MaxBatchDelay: 50 * time.Millisecond}
+	s1 := bootDurable(t, dir, opts)
+	names := []string{"fleet0", "fleet1", "fleet2", "fleet3"}
+	for _, name := range names {
+		if w := doReq(t, s1, "PUT", "/tables/"+name, durableFleet); w.Code != http.StatusCreated {
+			t.Fatalf("put %s: %d", name, w.Code)
+		}
+	}
+	var wg sync.WaitGroup
+	codes := make([]int, len(names))
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			w := doReq(t, s1, "POST", "/tables/"+name+"/tuples", `{"tuples": [{"id": "x", "score": 90, "prob": 0.7}]}`)
+			codes[i] = w.Code
+		}(i, name)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("batched append %d: %d", i, code)
+		}
+	}
+	var stats StatsResponse
+	w := doReq(t, s1, "GET", "/debug/stats", "")
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Durability == nil || stats.Durability.WALBatches == 0 {
+		t.Fatalf("no group commits reported: %+v", stats.Durability)
+	}
+	var hist uint64
+	for _, c := range stats.Durability.WALBatchSizes {
+		hist += c
+	}
+	if hist != stats.Durability.WALBatches {
+		t.Fatalf("batch histogram sums to %d, want %d", hist, stats.Durability.WALBatches)
+	}
+	s1.crash()
+	s2 := bootDurable(t, dir, persist.Options{})
+	for _, name := range names {
+		var info TableInfo
+		w := doReq(t, s2, "GET", "/tables/"+name, "")
+		if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Tuples != 4 {
+			t.Fatalf("recovered %s with %d tuples, want 4", name, info.Tuples)
+		}
+	}
+}
+
+// TestBatchFsyncFailure503sWholeBatch: when the shared group-commit fsync
+// fails, EVERY request in the batch gets 503 — none may be told its
+// mutation is durable — the served state stays exactly as it was, and so
+// does the durable state a successor recovers.
+func TestBatchFsyncFailure503sWholeBatch(t *testing.T) {
+	dir := t.TempDir()
+	s1 := bootDurable(t, dir, persist.Options{})
+	names := []string{"fleet0", "fleet1", "fleet2", "fleet3"}
+	for _, name := range names {
+		if w := doReq(t, s1, "PUT", "/tables/"+name, durableFleet); w.Code != http.StatusCreated {
+			t.Fatalf("put %s: %d", name, w.Code)
+		}
+	}
+	s1.crash()
+	budget := crashtest.NewBudget(1 << 20) // writes land; the fsync is what dies
+	s2 := bootDurable(t, dir, persist.Options{
+		Fsync: true, BatchFsync: true, MaxBatchDelay: 50 * time.Millisecond,
+		OpenFile: budget.OpenFile,
+	})
+	budget.LimitSyncs(0)
+	var wg sync.WaitGroup
+	codes := make([]int, len(names))
+	bodies := make([]string, len(names))
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			w := doReq(t, s2, "POST", "/tables/"+name+"/tuples", `{"tuples": [{"id": "x", "score": 90, "prob": 0.7}]}`)
+			codes[i], bodies[i] = w.Code, w.Body.String()
+		}(i, name)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("append %d in failed batch: %d %s", i, code, bodies[i])
+		}
+		if strings.Contains(bodies[i], dir) {
+			t.Fatalf("error leaks the data dir: %s", bodies[i])
+		}
+	}
+	// The log is broken: later mutations stay rejected.
+	if w := doReq(t, s2, "POST", "/tables/fleet0/tuples", `{"tuples": [{"id": "y", "score": 1, "prob": 0.5}]}`); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("append after failed batch fsync: %d", w.Code)
+	}
+	// Served state unchanged...
+	for _, name := range names {
+		var info TableInfo
+		w := doReq(t, s2, "GET", "/tables/"+name, "")
+		if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Tuples != 3 {
+			t.Fatalf("failed batch changed served table %s: %+v", name, info)
+		}
+	}
+	// ...and so is the durable state.
+	s2.crash()
+	s3 := bootDurable(t, dir, persist.Options{})
+	for _, name := range names {
+		var info TableInfo
+		w := doReq(t, s3, "GET", "/tables/"+name, "")
+		if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Tuples != 3 {
+			t.Fatalf("failed batch leaked into durable state of %s: %+v", name, info)
+		}
 	}
 }

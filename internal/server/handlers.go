@@ -324,17 +324,20 @@ func (s *Server) handleAppendTuples(w http.ResponseWriter, r *http.Request) {
 	// Lock order on a durable server: the table's shard durability mutex,
 	// then the entry's mutation lock — the same order the put path takes
 	// through reg.put, so the two can never deadlock (no path ever holds
-	// two shards' mutexes at once). Queries take neither. Appends to
-	// tables on different shards hold different mutexes: their clones,
-	// validations and WAL fsyncs all proceed in parallel.
+	// two shards' mutexes at once). Queries take neither. Appends hold the
+	// shard mutex SHARED: per-table log/publish order comes from the entry
+	// lock held across both, while appends to different tables of the same
+	// shard overlap — under a group-commit WAL their fsyncs coalesce into
+	// one (see the durMu comment in server.go). Appends to tables on
+	// different shards hold different mutexes entirely.
 	shard := s.shardOf(name)
 	if s.durable != nil {
-		s.durMu[shard].Lock()
+		s.durMu[shard].RLock()
 	}
 	e, old, ok := s.reg.acquireMutate(name)
 	if !ok {
 		if s.durable != nil {
-			s.durMu[shard].Unlock()
+			s.durMu[shard].RUnlock()
 		}
 		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 		return
@@ -342,7 +345,7 @@ func (s *Server) handleAppendTuples(w http.ResponseWriter, r *http.Request) {
 	unlock := func() {
 		e.mu.Unlock()
 		if s.durable != nil {
-			s.durMu[shard].Unlock()
+			s.durMu[shard].RUnlock()
 		}
 	}
 	// Append onto a clone and validate the whole candidate, so a bad batch

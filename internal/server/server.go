@@ -154,10 +154,17 @@ type Server struct {
 
 	// durable, when non-nil, is the WAL+snapshot backend every mutation
 	// logs to before publishing. durMu[s] orders logging against
-	// publication for the tables of shard s — each shard's log is its own
-	// serial history — and a checkpoint holds it while gathering that
-	// shard's states after starting the shard's post-checkpoint segment,
-	// so a checkpoint can never truncate a logged-but-unpublished record.
+	// publication for the tables of shard s. Appends hold it SHARED: their
+	// per-table order is already serialized by the entry's mutation lock
+	// (held across log+publish), so concurrent appends to different tables
+	// of one shard may interleave freely in the shard's log — and under a
+	// group-commit WAL (persist.Options.BatchFsync) they overlap their
+	// fsyncs instead of queueing one behind another. Put and delete hold
+	// it EXCLUSIVE (create/replace/remove races span tables), and a
+	// checkpoint holds it exclusive while gathering the shard's states
+	// after starting the shard's post-checkpoint segment — no append can
+	// be between its log write and its publish at that instant, so a
+	// checkpoint can never truncate a logged-but-unpublished record.
 	// Mutations of tables on different shards hold different mutexes and
 	// proceed in parallel; queries never touch any of them. Without a
 	// durability backend the mutexes are unused (publication is just the
@@ -165,7 +172,7 @@ type Server struct {
 	// registry map and the engine's cache partitions.
 	durable *persist.Manager
 	nshards int
-	durMu   []sync.Mutex
+	durMu   []sync.RWMutex
 	// ckptMu serializes whole checkpoints (never held by mutations).
 	ckptMu sync.Mutex
 
@@ -208,7 +215,7 @@ func New(cfg Config) *Server {
 		start:   time.Now(),
 		durable: cfg.Durability,
 		nshards: nshards,
-		durMu:   make([]sync.Mutex, nshards),
+		durMu:   make([]sync.RWMutex, nshards),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/stats", s.handleStats)
@@ -282,6 +289,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		dur = &DurabilityJSON{
 			WALRecords: st.WAL.Appends, WALBytes: st.WAL.AppendBytes,
 			WALSyncs: st.WAL.Syncs, WALSegments: st.WAL.Segments,
+			WALBatches:             st.WAL.Batches,
+			WALFsyncsSaved:         st.WAL.FsyncsSaved,
+			WALDirSyncErrors:       st.WAL.DirSyncErrors,
 			RecordsSinceCheckpoint: st.RecordsSinceCheckpoint,
 			Checkpoints:            st.Checkpoints,
 			CheckpointErrors:       st.CheckpointErrors,
@@ -289,11 +299,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ReplayedRecords:        st.ReplayedRecords,
 			ReplayTruncated:        st.ReplayTruncated,
 		}
+		if st.WAL.Batches > 0 {
+			dur.WALBatchSizes = append([]uint64(nil), st.WAL.BatchSizes[:]...)
+		}
 		for i, ss := range st.Shards {
 			dur.Shards = append(dur.Shards, DurabilityShardJSON{
 				Shard:      i,
 				WALRecords: ss.WAL.Appends, WALBytes: ss.WAL.AppendBytes,
 				WALSyncs: ss.WAL.Syncs, WALSegments: ss.WAL.Segments,
+				WALBatches:             ss.WAL.Batches,
+				WALFsyncsSaved:         ss.WAL.FsyncsSaved,
 				RecordsSinceCheckpoint: ss.RecordsSinceCheckpoint,
 			})
 		}

@@ -1,0 +1,439 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"probtopk/internal/uncertain"
+)
+
+// batchRecord returns a small distinct record for concurrent-append tests.
+func batchRecord(i int) Record {
+	return Record{Op: OpPut, Name: fmt.Sprintf("t%03d", i), Tuples: []uncertain.Tuple{
+		{ID: fmt.Sprintf("id%d", i), Score: float64(i), Prob: 0.5},
+	}}
+}
+
+// TestBatchAppendReplayRoundTrip: concurrent SyncBatch appends are all
+// acknowledged, all replayable, and actually shared fsyncs (the whole
+// point): with a linger window collecting the stragglers, 8 records must
+// cost fewer than 8 fsyncs.
+func TestBatchAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs, _ := open(t, dir, Options{Sync: SyncBatch, MaxBatchDelay: 200 * time.Millisecond})
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %v", recs)
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = l.Append(batchRecord(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if st.Appends != n {
+		t.Fatalf("Appends = %d, want %d", st.Appends, n)
+	}
+	if st.Batches == 0 || st.FsyncsSaved == 0 {
+		t.Fatalf("no group commit happened: %+v", st)
+	}
+	var sizes uint64
+	for _, c := range st.BatchSizes {
+		sizes += c
+	}
+	if sizes != st.Batches {
+		t.Fatalf("BatchSizes histogram sums to %d, want Batches = %d", sizes, st.Batches)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, info := open(t, dir, Options{})
+	if info.Truncated || len(got) != n {
+		t.Fatalf("recovered %d records (truncated=%v), want %d", len(got), info.Truncated, n)
+	}
+	names := make([]string, len(got))
+	for i, r := range got {
+		names[i] = r.Name
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		if want := fmt.Sprintf("t%03d", i); name != want {
+			t.Fatalf("recovered names %v", names)
+		}
+	}
+}
+
+// TestBatchEnqueueOrderIsLogOrder: records enqueued by one producer land
+// in the log in enqueue order even when one group commit carries them all.
+func TestBatchEnqueueOrderIsLogOrder(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := open(t, dir, Options{Sync: SyncBatch, MaxBatchDelay: 100 * time.Millisecond})
+	const n = 16
+	handles := make([]*commit, n)
+	for i := 0; i < n; i++ {
+		c, err := l.enqueue(mustFrame(t, batchRecord(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = c
+	}
+	for i, c := range handles {
+		if err := c.wait(); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	l.Close()
+	_, got, _ := open(t, dir, Options{})
+	if len(got) != n {
+		t.Fatalf("recovered %d records, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if !reflect.DeepEqual(r, batchRecord(i)) {
+			t.Fatalf("record %d out of order: %+v", i, r)
+		}
+	}
+}
+
+func mustFrame(t *testing.T, r Record) []byte {
+	t.Helper()
+	frame, err := encodeFrame(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// TestBatchRotationMidCommit: a group commit larger than a segment splits
+// across rotations, every record survives, and waiters of fully-fsynced
+// chunks are released as committed.
+func TestBatchRotationMidCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := open(t, dir, Options{Sync: SyncBatch, SegmentBytes: 128, MaxBatchDelay: 100 * time.Millisecond})
+	const n = 12
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := l.Append(batchRecord(i)); err != nil {
+				t.Errorf("append %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	l.Close()
+	_, got, info := open(t, dir, Options{})
+	if info.Truncated || len(got) != n {
+		t.Fatalf("recovered %d records (truncated=%v), want %d", len(got), info.Truncated, n)
+	}
+}
+
+// TestBatchFsyncFailureFailsWholeBatch: when the shared fsync fails, every
+// waiter in the batch gets the error (none may believe its record is
+// durable), the log is broken, and the rolled-back records do not replay.
+func TestBatchFsyncFailureFailsWholeBatch(t *testing.T) {
+	dir := t.TempDir()
+	budget := int64(1 << 20)
+	ff := &failFile{budget: &budget}
+	opts := Options{
+		Sync:          SyncBatch,
+		MaxBatchDelay: 200 * time.Millisecond,
+		OpenFile: func(path string, flag int, perm os.FileMode) (File, error) {
+			f, err := os.OpenFile(path, flag, perm)
+			if err != nil || !strings.HasSuffix(path, ".seg") {
+				return f, err
+			}
+			ff.f = f
+			return ff, nil
+		},
+	}
+	l, _, _ := open(t, dir, opts)
+	if err := l.Append(sampleRecords()[0]); err != nil {
+		t.Fatal(err)
+	}
+	ff.failSync = true
+	const n = 4
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = l.Append(batchRecord(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, errInjected) && !errors.Is(err, errBroken) {
+			t.Fatalf("append %d returned %v, want injected failure or broken log", i, err)
+		}
+	}
+	ff.failSync = false
+	if err := l.Append(batchRecord(99)); !errors.Is(err, errBroken) {
+		t.Fatalf("append after failed batch fsync returned %v, want broken log", err)
+	}
+	l.Close()
+	_, got, info := open(t, dir, Options{})
+	if info.Truncated {
+		t.Fatalf("batch rollback left torn bytes: %+v", info)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], sampleRecords()[0]) {
+		t.Fatalf("recovered %+v, want only the acknowledged record", got)
+	}
+}
+
+// TestBatchedAppendStress hammers one SyncBatch log from many goroutines
+// with rotations in play; run with -race in CI it checks the batcher's
+// synchronization, and the replay checks no acknowledged record was lost.
+func TestBatchedAppendStress(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := open(t, dir, Options{Sync: SyncBatch, SegmentBytes: 4096})
+	const writers, each = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := l.Append(batchRecord(w*each + i)); err != nil {
+					t.Errorf("writer %d append %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers of the counters keep Stats race-checked too.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				l.Stats()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if st := l.Stats(); st.Appends != writers*each {
+		t.Fatalf("Appends = %d, want %d", st.Appends, writers*each)
+	}
+	l.Close()
+	_, got, info := open(t, dir, Options{})
+	if info.Truncated || len(got) != writers*each {
+		t.Fatalf("recovered %d records (truncated=%v), want %d", len(got), info.Truncated, writers*each)
+	}
+}
+
+// TestBatchCloseResolvesQueuedAppends: Close stops the batcher only after
+// draining the ring — an already-enqueued append is committed, not leaked.
+func TestBatchCloseResolvesQueuedAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := open(t, dir, Options{Sync: SyncBatch})
+	handles := make([]*commit, 8)
+	for i := range handles {
+		c, err := l.enqueue(mustFrame(t, batchRecord(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = c
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range handles {
+		if err := c.wait(); err != nil {
+			t.Fatalf("queued commit %d failed at Close: %v", i, err)
+		}
+	}
+	if _, err := l.enqueue(mustFrame(t, batchRecord(99))); !errors.Is(err, errClosed) {
+		t.Fatalf("enqueue after Close returned %v, want closed", err)
+	}
+	_, got, _ := open(t, dir, Options{})
+	if len(got) != len(handles) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(handles))
+	}
+}
+
+// tornTailDir builds a log whose last segment ends in garbage, forcing
+// Replay into the truncation path.
+func tornTailDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	l, _, _ := open(t, dir, Options{Sync: SyncNever})
+	for _, r := range sampleRecords()[:2] {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments != 1 {
+		t.Fatalf("expected one segment, got %d", st.Segments)
+	}
+	l.Close()
+	segs, _ := os.ReadDir(dir)
+	if len(segs) != 1 {
+		t.Fatalf("expected one segment file, got %d", len(segs))
+	}
+	path := dir + "/" + segs[0].Name()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return dir
+}
+
+// syncFailFile passes writes through and fails every Sync.
+type syncFailFile struct{ f *os.File }
+
+func (s *syncFailFile) Write(p []byte) (int, error) { return s.f.Write(p) }
+func (s *syncFailFile) Sync() error                 { return errInjected }
+func (s *syncFailFile) Close() error                { return s.f.Close() }
+
+// TestTruncationFlushFailurePropagates: a failed fsync of the torn-tail
+// truncation must fail Replay — recovery silently proceeding would serve
+// state a crash could contradict (the old bug swallowed this error).
+func TestTruncationFlushFailurePropagates(t *testing.T) {
+	t.Run("sync fails", func(t *testing.T) {
+		dir := tornTailDir(t)
+		l, err := Open(dir, Options{
+			OpenFile: func(path string, flag int, perm os.FileMode) (File, error) {
+				f, err := os.OpenFile(path, flag, perm)
+				if err != nil {
+					return nil, err
+				}
+				if flag == os.O_WRONLY {
+					// The truncation-flush open (no O_APPEND, no O_CREATE).
+					return &syncFailFile{f: f}, nil
+				}
+				return f, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Replay(func(Record) error { return nil }); !errors.Is(err, errInjected) {
+			t.Fatalf("Replay with failing truncation flush returned %v, want the injected error", err)
+		}
+	})
+	t.Run("open fails", func(t *testing.T) {
+		dir := tornTailDir(t)
+		l, err := Open(dir, Options{
+			OpenFile: func(path string, flag int, perm os.FileMode) (File, error) {
+				if flag == os.O_WRONLY {
+					return nil, errInjected
+				}
+				return os.OpenFile(path, flag, perm)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Replay(func(Record) error { return nil }); !errors.Is(err, errInjected) {
+			t.Fatalf("Replay with failing truncation open returned %v, want the injected error", err)
+		}
+	})
+}
+
+// failDirOpts returns Options whose directory fsyncs fail whenever *on is
+// true; segment files are untouched.
+func failDirOpts(dir string, on *bool, base Options) Options {
+	base.OpenFile = func(path string, flag int, perm os.FileMode) (File, error) {
+		f, err := os.OpenFile(path, flag, perm)
+		if err != nil {
+			return nil, err
+		}
+		if path == dir && *on {
+			return &syncFailFile{f: f}, nil
+		}
+		return f, nil
+	}
+	return base
+}
+
+// TestDirSyncFailureSurfaces: a failed directory fsync is no longer
+// best-effort — segment creation (fresh log, rotation) and checkpoint
+// truncation report it, and Stats counts it.
+func TestDirSyncFailureSurfaces(t *testing.T) {
+	t.Run("fresh log", func(t *testing.T) {
+		dir := t.TempDir()
+		on := true
+		l, err := Open(dir, failDirOpts(dir, &on, Options{Sync: SyncAlways}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Replay(func(Record) error { return nil }); !errors.Is(err, errInjected) {
+			t.Fatalf("Replay with failing dir fsync returned %v, want the injected error", err)
+		}
+	})
+	t.Run("rotation", func(t *testing.T) {
+		dir := t.TempDir()
+		on := false
+		l, _, _ := open(t, dir, failDirOpts(dir, &on, Options{Sync: SyncAlways, SegmentBytes: 64}))
+		if err := l.Append(sampleRecords()[0]); err != nil {
+			t.Fatal(err)
+		}
+		on = true
+		if err := l.Append(sampleRecords()[1]); !errors.Is(err, errInjected) {
+			t.Fatalf("rotating append with failing dir fsync returned %v", err)
+		}
+		if st := l.Stats(); st.DirSyncErrors == 0 {
+			t.Fatalf("DirSyncErrors not counted: %+v", st)
+		}
+		// The failure postponed the rotation rather than breaking the log.
+		on = false
+		if err := l.Append(sampleRecords()[1]); err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+		_, got, info := open(t, dir, Options{})
+		if info.Truncated || len(got) != 2 {
+			t.Fatalf("recovered %d records (truncated=%v), want 2", len(got), info.Truncated)
+		}
+	})
+	t.Run("checkpoint drop", func(t *testing.T) {
+		dir := t.TempDir()
+		on := false
+		l, _, _ := open(t, dir, failDirOpts(dir, &on, Options{Sync: SyncAlways}))
+		if err := l.Append(sampleRecords()[0]); err != nil {
+			t.Fatal(err)
+		}
+		seq, err := l.StartSegment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		on = true
+		if err := l.DropBefore(seq); !errors.Is(err, errInjected) {
+			t.Fatalf("DropBefore with failing dir fsync returned %v", err)
+		}
+		if st := l.Stats(); st.DirSyncErrors == 0 {
+			t.Fatalf("DirSyncErrors not counted: %+v", st)
+		}
+	})
+}

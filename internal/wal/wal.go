@@ -34,6 +34,18 @@
 // survives a machine crash. SyncNever leaves flushing to the OS: much
 // faster, but a crash may lose the most recent acknowledged records —
 // replay still recovers a clean prefix.
+//
+// SyncBatch keeps SyncAlways's contract — an acknowledged record survives a
+// machine crash — but amortizes the fsync: Append enqueues the framed
+// record onto the log's commit ring and blocks on a commit handle; a
+// dedicated batcher goroutine drains everything queued, writes all pending
+// frames with one write+fsync, and releases every waiter in the batch at
+// once. Concurrent appenders therefore share fsyncs instead of paying one
+// each; a lone appender degenerates to SyncAlways (batches of one). A
+// failed batch fsync fails every waiter in the batch and marks the log
+// broken, exactly like a failed SyncAlways fsync — no caller ever gets an
+// error for a record that might replay, and no caller gets success for a
+// record that might not.
 package wal
 
 import (
@@ -43,11 +55,15 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"math/bits"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"probtopk/internal/uncertain"
 )
@@ -126,6 +142,11 @@ const (
 	SyncAlways SyncPolicy = iota
 	// SyncNever never fsyncs; the OS flushes when it likes.
 	SyncNever
+	// SyncBatch fsyncs like SyncAlways — every acknowledged record is
+	// durable before Append returns — but group-commits: concurrent
+	// appends queued while an fsync is in flight are flushed together by
+	// the next one. See the package comment.
+	SyncBatch
 )
 
 // File is the writable handle the log appends through. *os.File satisfies
@@ -159,10 +180,32 @@ type Options struct {
 	// but don't match the pattern (a sharded sibling's wal-s03-…seg under
 	// the plain wal- prefix) are ignored, never replayed or deleted.
 	Prefix string
-	// OpenFile opens segment files for writing. nil means os.OpenFile.
-	// Replay always reads through the real filesystem; the hook exists so
-	// tests can inject write failures (see internal/persist/crashtest).
+	// MaxBatchDelay (SyncBatch only) is how long the batcher lingers after
+	// the first record of a batch arrives, collecting more records to share
+	// its fsync. 0 adds no wait: a batch is whatever queued while the
+	// previous fsync was in flight, so batching is driven purely by
+	// concurrency. The worst-case added acknowledgement latency of an
+	// Append is MaxBatchDelay plus one fsync already in flight.
+	MaxBatchDelay time.Duration
+	// OpenFile opens the files the log syncs through: segment files for
+	// writing, the truncation flush during Replay, and the directory
+	// fsyncs. nil means os.OpenFile. Replay's record reads always go
+	// through the real filesystem; the hook exists so tests can inject
+	// write and fsync failures (see internal/persist/crashtest).
 	OpenFile func(path string, flag int, perm os.FileMode) (File, error)
+}
+
+// batchSizeBuckets sizes the Stats.BatchSizes histogram: bucket i counts
+// group commits of 2^i .. 2^(i+1)-1 records; the last bucket is open-ended.
+const batchSizeBuckets = 8
+
+// batchBucket maps a batch size (>= 1) to its histogram bucket.
+func batchBucket(n int) int {
+	b := bits.Len(uint(n)) - 1
+	if b >= batchSizeBuckets {
+		b = batchSizeBuckets - 1
+	}
+	return b
 }
 
 // Stats counts a Log's activity since Open.
@@ -177,6 +220,20 @@ type Stats struct {
 	Segments int
 	// Drops counts checkpoint truncations (DropBefore calls).
 	Drops uint64
+	// Batches counts completed group commits (SyncBatch only).
+	Batches uint64
+	// FsyncsSaved counts acknowledged records that shared another record's
+	// fsync instead of paying their own — the fsyncs SyncAlways would have
+	// issued minus the fsyncs SyncBatch actually did.
+	FsyncsSaved uint64
+	// BatchSizes is a power-of-two histogram of group-commit sizes: bucket
+	// i counts batches of 2^i .. 2^(i+1)-1 records (last bucket
+	// open-ended).
+	BatchSizes [batchSizeBuckets]uint64
+	// DirSyncErrors counts failed directory fsyncs. Any non-zero value
+	// came with an error returned to a caller; the counter exists so the
+	// failure stays visible in aggregated stats after the request is gone.
+	DirSyncErrors uint64
 }
 
 // ReplayInfo describes what Replay found.
@@ -199,23 +256,61 @@ type Log struct {
 	dir  string
 	opts Options
 
+	replayed atomic.Bool
+
 	mu       sync.Mutex
 	segments []string // absolute segment paths, replay order
 	nextSeq  uint64   // sequence number for the next new segment
 	cur      File
 	curPath  string
 	curSize  int64
-	replayed bool
 	broken   bool
 	// badOffset is where replaySegment found the first bad record; only
 	// meaningful between replaySegment and truncateFrom, both under mu.
 	badOffset int64
 
-	appends     uint64
-	appendBytes uint64
-	syncs       uint64
-	drops       uint64
+	appends       uint64
+	appendBytes   uint64
+	syncs         uint64
+	drops         uint64
+	batches       uint64
+	fsyncsSaved   uint64
+	batchSizes    [batchSizeBuckets]uint64
+	dirSyncErrors uint64
+
+	// Group-commit machinery (SyncBatch only). Append enqueues a commit
+	// handle on ring; the batcher goroutine (batchLoop, started by Replay)
+	// drains it and flushes every queued frame with shared fsyncs. ringMu
+	// serializes enqueue against Close and is never held across I/O, so
+	// the enqueue path cannot block behind an in-flight fsync (which runs
+	// under mu).
+	ring        chan *commit
+	ringMu      sync.Mutex
+	closed      atomic.Bool
+	batcherOn   bool          // batcher goroutine started; guarded by mu
+	batcherDone chan struct{} // closed when the batcher exits
 }
+
+// commit is the handle of one enqueued SyncBatch append. The batcher
+// resolves err before closing done, so wait's read is ordered after it.
+type commit struct {
+	frame []byte
+	done  chan struct{}
+	err   error
+}
+
+// wait blocks until the batcher committed or failed the record.
+func (c *commit) wait() error {
+	<-c.done
+	return c.err
+}
+
+// ringSize bounds enqueued-but-uncommitted appends; a full ring makes
+// enqueue block until the batcher drains (backpressure), it never drops.
+const ringSize = 1024
+
+// maxBatchRecords caps how many records one group commit flushes.
+const maxBatchRecords = 1024
 
 // errNotReplayed is returned by Append/Reset before Replay has run.
 var errNotReplayed = errors.New("wal: log not replayed yet")
@@ -223,6 +318,9 @@ var errNotReplayed = errors.New("wal: log not replayed yet")
 // errBroken is returned once a failed write could not be rolled back; the
 // segment tail is untrustworthy and the log refuses further appends.
 var errBroken = errors.New("wal: log broken by an unrecoverable write failure")
+
+// errClosed is returned by a SyncBatch Append that raced Close.
+var errClosed = errors.New("wal: log closed")
 
 // Open scans dir (creating it if needed) for existing segments, deleting
 // any below the MinSegment watermark (their records are covered by a
@@ -252,6 +350,10 @@ func Open(dir string, opts Options) (*Log, error) {
 	// it is gone, or a fresh segment would be numbered below the snapshot's
 	// watermark and skipped by the next boot.
 	l := &Log{dir: dir, opts: opts, nextSeq: max(1, opts.MinSegment)}
+	if opts.Sync == SyncBatch {
+		l.ring = make(chan *commit, ringSize)
+		l.batcherDone = make(chan struct{})
+	}
 	for _, path := range matches {
 		seq, ok := SeqFromName(filepath.Base(path), opts.Prefix)
 		if !ok {
@@ -319,7 +421,7 @@ func (l *Log) segmentSeq(path string) (uint64, error) {
 func (l *Log) Replay(apply func(Record) error) (ReplayInfo, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.replayed {
+	if l.replayed.Load() {
 		return ReplayInfo{}, errors.New("wal: already replayed")
 	}
 	var info ReplayInfo
@@ -339,7 +441,11 @@ func (l *Log) Replay(apply func(Record) error) (ReplayInfo, error) {
 	if err := l.openForAppendLocked(); err != nil {
 		return info, err
 	}
-	l.replayed = true
+	l.replayed.Store(true)
+	if l.opts.Sync == SyncBatch {
+		l.batcherOn = true
+		go l.batchLoop()
+	}
 	return info, nil
 }
 
@@ -427,14 +533,25 @@ func (l *Log) truncateFrom(i int, info *ReplayInfo) error {
 			return fmt.Errorf("wal: %w", err)
 		}
 		// Flush the truncation so a crash cannot resurrect the bad tail.
-		if f, err := os.OpenFile(path, os.O_WRONLY, 0o644); err == nil {
-			f.Sync()
+		// A failure here must fail the whole recovery: proceeding would
+		// serve state a crash could contradict (the truncated-away tail
+		// coming back and replaying records the recovered state never
+		// saw). The file is opened through the OpenFile hook so tests can
+		// inject exactly that failure.
+		f, err := l.opts.OpenFile(path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: flush truncation: %w", err)
+		}
+		if err := f.Sync(); err != nil {
 			f.Close()
+			return fmt.Errorf("wal: flush truncation: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("wal: flush truncation: %w", err)
 		}
 		l.segments = l.segments[:i+1]
 	}
-	l.syncDir()
-	return nil
+	return l.syncDirLocked()
 }
 
 // openForAppendLocked positions the writer: it opens the last surviving
@@ -468,7 +585,7 @@ func (l *Log) createSegmentLocked() error {
 		os.Remove(path)
 		return fmt.Errorf("wal: %w", err)
 	}
-	if l.opts.Sync == SyncAlways {
+	if l.opts.Sync != SyncNever {
 		if err := f.Sync(); err != nil {
 			f.Close()
 			os.Remove(path)
@@ -476,38 +593,71 @@ func (l *Log) createSegmentLocked() error {
 		}
 		l.syncs++
 	}
+	// The directory entry must be durable before any acknowledged record
+	// lands in the file: a crash after a failed (formerly best-effort)
+	// directory fsync could lose the whole just-created segment, records
+	// and all. Fail the segment creation instead; the current segment (if
+	// any) keeps appending and the caller's operation reports the error.
+	if err := l.syncDirLocked(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
 	l.nextSeq++
 	if l.cur != nil {
 		l.cur.Close()
 	}
 	l.cur, l.curPath, l.curSize = f, path, int64(len(segMagic))
 	l.segments = append(l.segments, path)
-	l.syncDir()
 	return nil
 }
 
 // Append encodes r, frames it, and appends it to the current segment,
 // rotating first if the segment is full. With SyncAlways the record is
 // fsynced before Append returns: an acknowledged record survives a crash.
-// On a failed or short write the torn bytes are truncated away so the
-// segment stays a clean prefix of acknowledged records; if that rollback
-// itself fails the log marks itself broken and refuses further appends.
+// With SyncBatch the record is enqueued for the batcher and Append blocks
+// until the group commit carrying it has fsynced — same contract, shared
+// fsyncs. On a failed or short write the torn bytes are truncated away so
+// the segment stays a clean prefix of acknowledged records; if that
+// rollback itself fails the log marks itself broken and refuses further
+// appends.
 func (l *Log) Append(r Record) error {
-	payload, err := encodeRecord(r)
+	frame, err := encodeFrame(r)
 	if err != nil {
 		return err
 	}
+	if l.opts.Sync == SyncBatch {
+		c, err := l.enqueue(frame)
+		if err != nil {
+			return err
+		}
+		return c.wait()
+	}
+	return l.appendNow(frame)
+}
+
+// encodeFrame serializes r and wraps it in the length+CRC frame Append
+// writes; it runs outside any lock.
+func encodeFrame(r Record) ([]byte, error) {
+	payload, err := encodeRecord(r)
+	if err != nil {
+		return nil, err
+	}
 	if len(payload) > maxRecordBytes {
-		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
+		return nil, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
 	}
 	frame := make([]byte, frameHeaderLen+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
 	copy(frame[frameHeaderLen:], payload)
+	return frame, nil
+}
 
+// appendNow is the unbatched append path (SyncAlways / SyncNever).
+func (l *Log) appendNow(frame []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if !l.replayed {
+	if !l.replayed.Load() {
 		return errNotReplayed
 	}
 	if l.broken {
@@ -552,6 +702,175 @@ func (l *Log) Append(r Record) error {
 	return nil
 }
 
+// enqueue hands a framed record to the batcher and returns its commit
+// handle. It deliberately does not touch l.mu — the batcher holds that
+// across its write+fsync — so an appender is never blocked behind an
+// in-flight fsync; it blocks only in wait, on the fsync that carries its
+// own record (or, when the ring is full, on backpressure).
+func (l *Log) enqueue(frame []byte) (*commit, error) {
+	if !l.replayed.Load() {
+		return nil, errNotReplayed
+	}
+	c := &commit{frame: frame, done: make(chan struct{})}
+	l.ringMu.Lock()
+	if l.closed.Load() {
+		l.ringMu.Unlock()
+		return nil, errClosed
+	}
+	l.ring <- c
+	l.ringMu.Unlock()
+	return c, nil
+}
+
+// batchLoop is the batcher goroutine: it runs from Replay until Close
+// closes the ring, turning each wave of queued records into one group
+// commit.
+func (l *Log) batchLoop() {
+	defer close(l.batcherDone)
+	for first := range l.ring {
+		l.commitBatch(l.gatherBatch(first))
+	}
+}
+
+// gatherBatch collects the records that will share the next group commit:
+// everything already queued, plus — when MaxBatchDelay is set — whatever
+// more arrives within that window.
+func (l *Log) gatherBatch(first *commit) []*commit {
+	batch := append(make([]*commit, 0, 16), first)
+	if d := l.opts.MaxBatchDelay; d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		for len(batch) < maxBatchRecords {
+			select {
+			case c, ok := <-l.ring:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, c)
+			case <-timer.C:
+				return batch
+			}
+		}
+		return batch
+	}
+	drain := func() bool { // false once the ring has been closed
+		for len(batch) < maxBatchRecords {
+			select {
+			case c, ok := <-l.ring:
+				if !ok {
+					return false
+				}
+				batch = append(batch, c)
+			default:
+				return true
+			}
+		}
+		return true
+	}
+	if drain() && len(batch) < maxBatchRecords {
+		// Releasing the previous batch has just made its waiters runnable,
+		// and their next records arrive microseconds behind `first`; without
+		// this yield the batcher would commit `first` alone and fragment the
+		// cohort into size-1 batches. A timer cannot fill this gap — Go
+		// timers do not fire reliably under ~1ms, a hundred times the cost
+		// of one Gosched.
+		runtime.Gosched()
+		drain()
+	}
+	return batch
+}
+
+// commitBatch writes every frame of batch with as few fsyncs as possible —
+// one per segment touched — and resolves each waiter. A chunk whose fsync
+// succeeded is durable even when a later chunk fails: its waiters are
+// released as committed, so an error never reaches a caller whose record
+// will replay, and (via rollback of the failing chunk) success never
+// reaches a caller whose record won't.
+func (l *Log) commitBatch(batch []*commit) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken {
+		failCommits(batch, errBroken)
+		return
+	}
+	syncs := 0
+	rest := batch
+	for len(rest) > 0 {
+		if l.cur == nil {
+			if err := l.createSegmentLocked(); err != nil {
+				failCommits(rest, err)
+				return
+			}
+		}
+		// Pack the longest prefix of rest that fits the current segment;
+		// a fresh segment always takes at least one record (a single
+		// oversized frame goes in alone, as in the unbatched path).
+		n, total := 0, int64(0)
+		for _, c := range rest {
+			fl := int64(len(c.frame))
+			if n > 0 && l.curSize+total+fl > l.opts.SegmentBytes {
+				break
+			}
+			if n == 0 && l.curSize+fl > l.opts.SegmentBytes && l.curSize > int64(len(segMagic)) {
+				break
+			}
+			n, total = n+1, total+fl
+		}
+		if n == 0 {
+			if err := l.createSegmentLocked(); err != nil {
+				failCommits(rest, err)
+				return
+			}
+			continue
+		}
+		chunk := rest[:n]
+		buf := make([]byte, 0, total)
+		for _, c := range chunk {
+			buf = append(buf, c.frame...)
+		}
+		if _, err := l.cur.Write(buf); err != nil {
+			// Truncate the torn bytes so the segment stays a clean prefix
+			// of acknowledged records, then fail every waiter from this
+			// chunk on (their frames are the ones rolled back).
+			l.rollbackLocked()
+			failCommits(rest, fmt.Errorf("wal: append: %w", err))
+			return
+		}
+		if err := l.cur.Sync(); err != nil {
+			// The chunk is written but its durability is unknown, and
+			// every waiter in it will be told failure — so none of its
+			// records may replay. Roll the whole chunk back and mark the
+			// log broken: after a failed fsync the kernel may have dropped
+			// dirty pages and marked them clean, so no later fsync result
+			// on this file can be trusted (see the unbatched path).
+			l.rollbackLocked()
+			l.broken = true
+			failCommits(rest, fmt.Errorf("wal: sync: %w", err))
+			return
+		}
+		l.syncs++
+		syncs++
+		l.curSize += total
+		l.appends += uint64(n)
+		l.appendBytes += uint64(total)
+		for _, c := range chunk {
+			close(c.done) // err stays nil: committed and durable
+		}
+		rest = rest[n:]
+	}
+	l.batches++
+	l.fsyncsSaved += uint64(len(batch) - syncs)
+	l.batchSizes[batchBucket(len(batch))]++
+}
+
+// failCommits resolves every still-waiting handle in cs with err.
+func failCommits(cs []*commit, err error) {
+	for _, c := range cs {
+		c.err = err
+		close(c.done)
+	}
+}
+
 // rollbackLocked truncates the current segment back to its last
 // acknowledged size, discarding a record that failed mid-append, and
 // fsyncs the truncation — without the sync, a machine crash could bring
@@ -580,7 +899,7 @@ func (l *Log) rollbackLocked() {
 func (l *Log) StartSegment() (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if !l.replayed {
+	if !l.replayed.Load() {
 		return 0, errNotReplayed
 	}
 	if l.cur != nil && l.curSize == int64(len(segMagic)) {
@@ -600,7 +919,7 @@ func (l *Log) StartSegment() (uint64, error) {
 func (l *Log) DropBefore(seq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if !l.replayed {
+	if !l.replayed.Load() {
 		return errNotReplayed
 	}
 	kept := l.segments[:0]
@@ -618,9 +937,12 @@ func (l *Log) DropBefore(seq uint64) error {
 		}
 	}
 	l.segments = kept
-	l.syncDir()
 	l.drops++
-	return nil
+	// Surface a failed directory fsync to the checkpoint path: the
+	// deletions may not be durable, and the caller counts the checkpoint
+	// as errored rather than silently complete. (Resurrected segments
+	// below the watermark are cleaned at the next Open either way.)
+	return l.syncDirLocked()
 }
 
 // Sync forces an fsync of the current segment regardless of policy.
@@ -637,10 +959,26 @@ func (l *Log) Sync() error {
 	return nil
 }
 
-// Close releases the current segment handle. It does not fsync (Append
-// already enforced the policy); a Close-less crash loses nothing more than
-// the policy allows.
+// Close releases the current segment handle. Under SyncBatch it first
+// stops the batcher: records already enqueued are still group-committed
+// (their waiters resolve normally) and an Append racing Close gets an
+// error, never silence. It does not fsync beyond that (Append already
+// enforced the policy); a Close-less crash loses nothing more than the
+// policy allows.
 func (l *Log) Close() error {
+	if l.opts.Sync == SyncBatch {
+		l.ringMu.Lock()
+		if !l.closed.Swap(true) {
+			close(l.ring)
+		}
+		l.ringMu.Unlock()
+		l.mu.Lock()
+		started := l.batcherOn
+		l.mu.Unlock()
+		if started {
+			<-l.batcherDone
+		}
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.cur == nil {
@@ -656,24 +994,41 @@ func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return Stats{
-		Appends:     l.appends,
-		AppendBytes: l.appendBytes,
-		Syncs:       l.syncs,
-		Segments:    len(l.segments),
-		Drops:       l.drops,
+		Appends:       l.appends,
+		AppendBytes:   l.appendBytes,
+		Syncs:         l.syncs,
+		Segments:      len(l.segments),
+		Drops:         l.drops,
+		Batches:       l.batches,
+		FsyncsSaved:   l.fsyncsSaved,
+		BatchSizes:    l.batchSizes,
+		DirSyncErrors: l.dirSyncErrors,
 	}
 }
 
-// syncDir fsyncs the log directory (best effort) so segment creations,
-// deletions and truncations are themselves durable under SyncAlways.
-func (l *Log) syncDir() {
-	if l.opts.Sync != SyncAlways {
-		return
+// syncDirLocked fsyncs the log directory so segment creations, deletions
+// and truncations are themselves durable under a syncing policy (it is a
+// no-op under SyncNever). Failures are counted in Stats.DirSyncErrors and
+// returned: on the create/rotate/checkpoint paths a lost directory entry
+// can lose a whole acknowledged segment, so the caller must fail loudly
+// rather than proceed. The directory is opened through the OpenFile hook
+// so tests can inject failures. Callers hold l.mu.
+func (l *Log) syncDirLocked() error {
+	if l.opts.Sync == SyncNever {
+		return nil
 	}
-	if d, err := os.Open(l.dir); err == nil {
-		d.Sync()
+	d, err := l.opts.OpenFile(l.dir, os.O_RDONLY, 0)
+	if err != nil {
+		l.dirSyncErrors++
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	if err := d.Sync(); err != nil {
 		d.Close()
+		l.dirSyncErrors++
+		return fmt.Errorf("wal: sync dir: %w", err)
 	}
+	d.Close()
+	return nil
 }
 
 // --- record payload codec ---

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"probtopk/internal/uncertain"
@@ -420,8 +421,10 @@ func TestFailedSyncRollsBackWrittenRecord(t *testing.T) {
 		Sync: SyncAlways,
 		OpenFile: func(path string, flag int, perm os.FileMode) (File, error) {
 			f, err := os.OpenFile(path, flag, perm)
-			if err != nil {
-				return nil, err
+			if err != nil || !strings.HasSuffix(path, ".seg") {
+				// Directory-fsync opens pass through untouched; this test
+				// injects failures into the segment file only.
+				return f, err
 			}
 			ff.f = f
 			return ff, nil
