@@ -13,10 +13,11 @@
 // (HTTP serving path, cold vs derived-answer cache hit), "mutation"
 // (append latency uncontended vs under concurrent slow queries — the
 // snapshot-isolation guarantee), "dynamic" (mid-rank push cost of the
-// suffix-era flat slice vs the O(log n) dynamic prepared index) and
+// suffix-era flat slice vs the O(log n) dynamic prepared index),
 // "durability" (append latency in-memory vs WAL vs WAL+fsync — the price of
-// each durability level) measure this build's serving stack; they are not
-// part of -fig all.
+// each durability level) and "dpkernel" (per-cell cost of the DP's fused
+// combine+coalesce kernel, in µs) measure this build's serving stack; they
+// are not part of -fig all.
 //
 // Usage:
 //
@@ -44,19 +45,53 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"probtopk/internal/bench"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figure numbers (3, 8, 9, 10, 11, 12, 13, 14, 15, 16), 'serving', 'mutation', 'dynamic', 'durability', or 'all'")
+	fig := flag.String("fig", "all", "comma-separated figure numbers (3, 8, 9, 10, 11, 12, 13, 14, 15, 16), 'serving', 'mutation', 'dynamic', 'durability', 'dpkernel', or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of ASCII charts")
 	jsonOut := flag.Bool("json", false, "emit one JSON array of figure objects instead of ASCII charts")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json snapshots (old new) and fail on regression")
 	tolerance := flag.Float64("tolerance", defaultTolerance, "allowed relative slowdown per series before -compare fails")
 	floor := flag.Float64("floor", defaultFloor, "absolute slack in ms a -compare difference must also exceed (noise floor for µs-scale series)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the figure run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the figure run to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topk-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "topk-bench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "topk-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "topk-bench:", err)
+			}
+		}()
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -148,6 +183,8 @@ func collect(spec string) ([]*bench.Figure, error) {
 			err = one(bench.FigDynamic())
 		case "durability":
 			err = one(bench.FigDurability())
+		case "dpkernel":
+			err = one(bench.FigDPKernel())
 		default:
 			err = fmt.Errorf("unknown figure %q", tok)
 		}

@@ -72,6 +72,8 @@ func main() {
 		"checkpoint hosted tables into the snapshot file and truncate the WAL after this many logged mutations (0 = never)")
 	shards := flag.Int("shards", min(runtime.GOMAXPROCS(0), persist.MaxShards),
 		"shard the serving stack (registry, mutation mutex, WAL, prepared cache) this many ways by table name; 1 disables sharding")
+	pprofOn := flag.Bool("pprof", false,
+		"mount net/http/pprof profiling handlers under /debug/pprof/ (exposes internals; off by default)")
 	flag.Parse()
 
 	srv, _, err := buildServer(config{
@@ -79,6 +81,7 @@ func main() {
 		dataDir: *dataDir, fsync: *fsync, maxBatchDelay: *maxBatchDelay,
 		checkpointEvery: *checkpointEvery,
 		shards:          *shards,
+		pprof:           *pprofOn,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topkd:", err)
@@ -108,6 +111,7 @@ type config struct {
 	maxBatchDelay   time.Duration
 	checkpointEvery int
 	shards          int
+	pprof           bool
 }
 
 // parseFsync maps the -fsync flag to the persist fsync/batch pair. The
@@ -163,6 +167,7 @@ func buildServer(cfg config) (*server.Server, *persist.Manager, error) {
 		EngineCacheSize: cfg.engineCache,
 		Shards:          cfg.shards,
 		Durability:      durable,
+		EnablePprof:     cfg.pprof,
 	})
 	names := make([]string, 0, len(recovered))
 	for name := range recovered {

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"probtopk/internal/pmf"
+)
+
+// dpKernelLineCounts are the per-distribution line counts the kernel is
+// timed at: the small/typical/large regimes of the DP's intermediate
+// distributions (the default line cap is 200).
+var dpKernelLineCounts = []int{16, 64, 256}
+
+// dpKernelDist builds one sorted L-line input distribution shaped like a DP
+// intermediate: strictly increasing scores, per-line masses, and (when
+// tracked) representative vectors of a few tuples with boundary
+// annotations. Vectors are heap-allocated so the timed kernel's arena can
+// reset freely between calls.
+func dpKernelDist(rng *rand.Rand, lines int, tracked bool) *pmf.Dist {
+	ls := make([]pmf.Line, lines)
+	score := rng.Float64()
+	for i := range ls {
+		score += 0.1 + rng.Float64()
+		ls[i] = pmf.Line{Score: score, Prob: 0.001 + rng.Float64()/float64(lines)}
+		if tracked {
+			var v *pmf.Vector
+			for d := 0; d < 3; d++ {
+				v = &pmf.Vector{Tuple: rng.Intn(200), Next: v}
+			}
+			ls[i].Vec = v
+			ls[i].VecProb = ls[i].Prob * rng.Float64()
+			ls[i].VecBound = score - rng.Float64()
+		}
+	}
+	return pmf.FromLines(ls)
+}
+
+// dpKernelMeasure times one GridCombiner.Combine call — the DP's per-cell
+// kernel — over L-line skip and take inputs with the output capped at L
+// lines (so the grid path engages, as in the steady-state DP where the
+// intermediates sit at the cap). Returns µs per call.
+func dpKernelMeasure(lines int, tracked bool) float64 {
+	rng := rand.New(rand.NewSource(int64(lines)))
+	skip := dpKernelDist(rng, lines, tracked)
+	take := dpKernelDist(rng, lines, tracked)
+	branches := []pmf.TakeBranch{{Shift: 42.5, Factor: 0.6, Tuple: 7}}
+	var skipTrue func(float64) float64
+	var ar pmf.VectorArena
+	g := pmf.GridCombiner{}
+	if tracked {
+		g.Arena = &ar
+		skipTrue = func(bound float64) float64 { return 0.9 }
+	}
+	dst := pmf.New()
+	run := func(reps int) time.Duration {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			ar.Reset() // dst is fully rewritten below; its old nodes are dead
+			dst = g.Combine(dst, skip, 0.4, take, branches, lines, pmf.CoalescePlainAverage, tracked, skipTrue)
+		}
+		return time.Since(start)
+	}
+	run(50) // warm the combiner's cell buffers and dst's capacity
+	reps := 200_000 / lines
+	best := run(reps)
+	// Three samples, keep the fastest: the per-call cost is deterministic,
+	// so the minimum is the signal and anything above it is scheduler/GC
+	// noise.
+	for i := 0; i < 2; i++ {
+		if d := run(reps); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(reps) / 1e3
+}
+
+// FigDPKernel measures the per-cell cost of the fused combine+coalesce
+// kernel — the instruction-level hot loop everything else multiplies — at
+// growing line counts, with and without vector tracking. Units are µs per
+// Combine call (not ms like the serving figures), so the -compare floor is
+// three orders of magnitude tighter here: exactly what a microbenchmark of
+// a branch-free inner loop wants.
+func FigDPKernel() (*Figure, error) {
+	tracked := Series{Name: "tracked vectors (µs/op)"}
+	untracked := Series{Name: "untracked (µs/op)"}
+	for _, lines := range dpKernelLineCounts {
+		tracked.X = append(tracked.X, float64(lines))
+		tracked.Y = append(tracked.Y, dpKernelMeasure(lines, true))
+		untracked.X = append(untracked.X, float64(lines))
+		untracked.Y = append(untracked.Y, dpKernelMeasure(lines, false))
+	}
+	return &Figure{
+		ID:     "dpkernel",
+		Title:  "DP per-cell kernel: GridCombiner.Combine µs/op vs line count",
+		Series: []Series{tracked, untracked},
+		Notes: []string{
+			"one call = grid-coalescing merge of L-line skip and take inputs capped at L output lines",
+			fmt.Sprintf("line counts %v; best of 3 batches; vectors heap-built, kernel uses an arena", dpKernelLineCounts),
+			"µs units (serving figures use ms): the compare floor bites at 50ns here",
+		},
+	}, nil
+}

@@ -51,8 +51,14 @@ type Params struct {
 	MaxStates int
 	// Parallelism is the number of goroutines the main algorithm may use to
 	// process dynamic-programming units concurrently (they are independent;
-	// the per-unit distributions merge deterministically in unit order).
-	// Values below 2 mean serial execution.
+	// the per-unit distributions merge deterministically in unit order, so
+	// the result is bit-identical to serial execution).
+	//
+	// 0 auto-tunes: queries whose estimated DP work (scan depth × K) is
+	// large enough fan out over min(GOMAXPROCS, units) workers, small
+	// queries run serially (worker hand-off would cost more than it saves).
+	// 1 or negative forces serial execution; values ≥ 2 set the worker
+	// count explicitly.
 	Parallelism int
 }
 

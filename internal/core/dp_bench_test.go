@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"probtopk/internal/synth"
+	"probtopk/internal/uncertain"
+)
+
+// BenchmarkColdK10 is the dynamic program in isolation — the serving
+// figure's cold k=10 point minus HTTP and JSON — on the synthetic Seed-1
+// workload. The SoA+arena kernels hold a cold query at a few thousand
+// allocations, and a regression here shows up long before the serving gate
+// trips.
+func BenchmarkColdK10(b *testing.B) {
+	tab, err := synth.Generate(synth.Config{Seed: 1}.WithDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := uncertain.Prepare(tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := Params{K: 10, Threshold: 0.001, MaxLines: 200, TrackVectors: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Distribution(p, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -68,9 +69,10 @@ func DistributionScratch(p *uncertain.Prepared, params Params, s *Scratch) (*Res
 	units := p.UnitsPrefix(n)
 	res.Units = len(units)
 	var perUnit []*pmf.Dist
-	if params.Parallelism > 1 && len(units) > 1 {
-		perUnit = runUnitsParallel(p, units, params, &res.Cells)
+	if workers := dpWorkers(params, len(units), n); workers > 1 {
+		perUnit = runUnitsParallel(p, units, params, workers, &res.Cells)
 	} else {
+		s.grid.Arena = &s.arena
 		perUnit = make([]*pmf.Dist, len(units))
 		for i, u := range units {
 			perUnit[i] = runUnitDP(buildUnitRows(p, u), params, s, &res.Cells)
@@ -95,38 +97,103 @@ func DistributionScratch(p *uncertain.Prepared, params Params, s *Scratch) (*Res
 	if params.TrackVectors {
 		res.Dist.NormalizeVectors()
 	}
+	// The DP allocated its vector nodes from the scratch arena; the result
+	// outlives this call, so copy its surviving vectors (at most
+	// MaxLines × k nodes — a sliver of what the DP churned) out of the arena
+	// before the arena is recycled for the next query.
+	res.Dist.DetachVectors()
+	s.arena.Reset()
 	return res, nil
+}
+
+// autoParallelWork is the minimum DP work estimate (scan depth × k,
+// proportional to the cell count) above which Parallelism == 0 fans out.
+// Below it a query completes in well under a millisecond, and goroutine
+// hand-off plus per-worker scratch traffic outweigh the concurrency win.
+const autoParallelWork = 512
+
+// dpWorkers resolves Params.Parallelism to a worker count: ≥ 2 is an
+// explicit fan-out, 1 or negative forces serial, and 0 auto-tunes — serial
+// for small queries (work below autoParallelWork), otherwise one worker per
+// processor, never more than one per unit.
+func dpWorkers(params Params, units, scanDepth int) int {
+	w := params.Parallelism
+	if w == 0 {
+		if scanDepth*params.K < autoParallelWork {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > units {
+		w = units
+	}
+	if w < 2 {
+		return 1
+	}
+	return w
 }
 
 // runUnitsParallel fans the independent unit DPs out over a bounded worker
 // pool. Results are collected by unit index, so the merged distribution is
 // identical to the serial one; cell counts are accumulated atomically.
-func runUnitsParallel(p *uncertain.Prepared, units []uncertain.Unit, params Params, cells *int) []*pmf.Dist {
-	workers := params.Parallelism
-	if workers > len(units) {
-		workers = len(units)
-	}
+//
+// Each worker owns a pooled Scratch whose arena backs the vector nodes of
+// the units it runs, so every per-unit result is detached from that arena
+// (a ≤ MaxLines × k copy) before the worker releases the Scratch.
+func runUnitsParallel(p *uncertain.Prepared, units []uncertain.Unit, params Params, workers int, cells *int) []*pmf.Dist {
 	perUnit := make([]*pmf.Dist, len(units))
 	var counted int64
-	next := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			ws := GetScratch()
-			defer PutScratch(ws)
-			local := 0
-			for i := range next {
-				perUnit[i] = runUnitDP(buildUnitRows(p, units[i]), params, ws, &local)
+	worker := func(claim func() int) {
+		defer wg.Done()
+		ws := GetScratch()
+		defer PutScratch(ws)
+		ws.grid.Arena = &ws.arena
+		local := 0
+		for {
+			i := claim()
+			if i < 0 {
+				break
 			}
-			atomic.AddInt64(&counted, int64(local))
-		}()
+			d := runUnitDP(buildUnitRows(p, units[i]), params, ws, &local)
+			d.DetachVectors()
+			perUnit[i] = d
+		}
+		ws.arena.Reset()
+		atomic.AddInt64(&counted, int64(local))
 	}
-	for i := range units {
-		next <- i
+	if len(units) > 4*workers {
+		// Many units per worker: a shared atomic cursor is cheaper than
+		// channel hand-off at this grain.
+		cursor := int64(-1)
+		claim := func() int {
+			if i := int(atomic.AddInt64(&cursor, 1)); i < len(units) {
+				return i
+			}
+			return -1
+		}
+		for w := 0; w < workers; w++ {
+			go worker(claim)
+		}
+	} else {
+		// Buffered to capacity: the producer below never blocks handing out
+		// unit indices.
+		next := make(chan int, len(units))
+		for i := range units {
+			next <- i
+		}
+		close(next)
+		claim := func() int {
+			if i, ok := <-next; ok {
+				return i
+			}
+			return -1
+		}
+		for w := 0; w < workers; w++ {
+			go worker(claim)
+		}
 	}
-	close(next)
 	wg.Wait()
 	*cells += int(counted)
 	return perUnit
@@ -209,12 +276,16 @@ func runUnitDP(rows []row, params Params, s *Scratch, cells *int) *pmf.Dist {
 		}
 		return s.getDist()
 	}
+	// One closure for the whole unit: binding r.skipTrue per row would
+	// allocate a method value (a copy of the row) on every iteration.
+	var cur *row
+	var adjust func(float64) float64
+	if params.TrackVectors {
+		adjust = func(bound float64) float64 { return cur.skipTrue(bound) }
+	}
 	for i := len(rows) - 1; i >= 0; i-- {
-		r := rows[i]
-		var adjust func(float64) float64
-		if params.TrackVectors {
-			adjust = r.skipTrue
-		}
+		cur = &rows[i]
+		r := cur
 		for j := k; j >= 1; j-- {
 			var take *pmf.Dist
 			if j == 1 {

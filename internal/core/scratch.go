@@ -25,6 +25,12 @@ type Scratch struct {
 	co   pmf.Coalescer
 	free []*pmf.Dist
 	exit *pmf.Dist
+	// arena backs every vector node the DP allocates for one query
+	// (grid.Arena points at it while a query runs). DistributionScratch
+	// detaches the surviving vectors from the result and resets the arena
+	// before returning, so the hundreds of thousands of intermediate nodes
+	// per query never reach the garbage collector.
+	arena pmf.VectorArena
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}

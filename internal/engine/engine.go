@@ -397,7 +397,7 @@ func (e *Engine) BatchPrepared(p *uncertain.Prepared, base core.Params, queries 
 				params := base
 				params.K = queries[i].K
 				params.Threshold = queries[i].Threshold
-				params.Parallelism = 0 // the batch is the parallelism
+				params.Parallelism = 1 // serial DP: the batch is the parallelism
 				start := time.Now()
 				results[i], errs[i] = core.DistributionScratch(p, params, s)
 				e.recordQueries(1, time.Since(start))

@@ -1,7 +1,5 @@
 package pmf
 
-import "container/heap"
-
 // CoalesceMode selects how the score of a merged line pair is chosen.
 type CoalesceMode int
 
@@ -34,16 +32,16 @@ func (d *Dist) Coalesce(maxLines int, mode CoalesceMode) int {
 // must not be used concurrently.
 type Coalescer struct {
 	prev, next, ver []int
-	h               gapHeap
+	h               []gapEntry
 }
 
 // Coalesce applies the closest-pair strategy to d in place; see
 // Dist.Coalesce for semantics.
 func (c *Coalescer) Coalesce(d *Dist, maxLines int, mode CoalesceMode) int {
-	if maxLines <= 0 || len(d.lines) <= maxLines {
+	if maxLines <= 0 || len(d.scores) <= maxLines {
 		return 0
 	}
-	merges := len(d.lines) - maxLines
+	merges := len(d.scores) - maxLines
 	if maxLines == 1 && mode == CoalesceWeightedAverage {
 		d.coalesceToOne()
 		return merges
@@ -55,12 +53,16 @@ func (c *Coalescer) Coalesce(d *Dist, maxLines int, mode CoalesceMode) int {
 // coalesceToOne collapses everything into a single mass-weighted line.
 func (d *Dist) coalesceToOne() {
 	var mass, wsum KahanSum
-	best := d.lines[0]
-	for _, l := range d.lines {
-		mass.Add(l.Prob)
-		wsum.Add(l.Score * l.Prob)
-		if l.VecProb > best.VecProb {
-			best = l
+	for i, p := range d.probs {
+		mass.Add(p)
+		wsum.Add(d.scores[i] * p)
+	}
+	best := 0
+	if d.hasVec {
+		for i, vp := range d.vprobs {
+			if vp > d.vprobs[best] {
+				best = i
+			}
 		}
 	}
 	m := mass.Sum()
@@ -68,8 +70,12 @@ func (d *Dist) coalesceToOne() {
 	if m > 0 {
 		score = wsum.Sum() / m
 	}
-	d.lines = d.lines[:1]
-	d.lines[0] = Line{Score: score, Prob: m, Vec: best.Vec, VecProb: best.VecProb, VecBound: best.VecBound}
+	if d.hasVec {
+		d.vecs[0], d.vprobs[0], d.vbounds[0] = d.vecs[best], d.vprobs[best], d.vbounds[best]
+		d.vecs, d.vprobs, d.vbounds = d.vecs[:1], d.vprobs[:1], d.vbounds[:1]
+	}
+	d.scores, d.probs = d.scores[:1], d.probs[:1]
+	d.scores[0], d.probs[0] = score, m
 }
 
 // gapEntry is a candidate pair of adjacent live lines in the coalescing
@@ -80,18 +86,53 @@ type gapEntry struct {
 	lv, rv      int     // node versions at push time (for lazy invalidation)
 }
 
-type gapHeap []gapEntry
+// siftDown restores the min-heap property below index i.
+func siftDown(h []gapEntry, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h[r].gap < h[l].gap {
+			m = r
+		}
+		if h[i].gap <= h[m].gap {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
 
-func (h gapHeap) Len() int            { return len(h) }
-func (h gapHeap) Less(i, j int) bool  { return h[i].gap < h[j].gap }
-func (h gapHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *gapHeap) Push(x interface{}) { *h = append(*h, x.(gapEntry)) }
-func (h *gapHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// hpush adds an entry to the gap heap. Hand-rolled (vs container/heap) so
+// entries never round-trip through an interface value: the DP coalesces at
+// every cell and the per-Pop box was a measurable slice of total allocation.
+func (c *Coalescer) hpush(e gapEntry) {
+	h := append(c.h, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].gap <= h[i].gap {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	c.h = h
+}
+
+// hpop removes and returns the minimum-gap entry. The heap must be non-empty.
+func (c *Coalescer) hpop() gapEntry {
+	h := c.h
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	siftDown(h, 0)
+	c.h = h
+	return top
 }
 
 // grow resizes the scratch buffers to hold n nodes without reallocating on
@@ -101,7 +142,7 @@ func (c *Coalescer) grow(n int) {
 		c.prev = make([]int, n)
 		c.next = make([]int, n)
 		c.ver = make([]int, n)
-		c.h = make(gapHeap, 0, 2*n)
+		c.h = make([]gapEntry, 0, 2*n)
 	}
 	c.prev = c.prev[:n]
 	c.next = c.next[:n]
@@ -119,62 +160,83 @@ func (c *Coalescer) grow(n int) {
 // over a doubly-linked list, with lazy invalidation by node version.
 // O((n + merges) log n).
 func (c *Coalescer) run(d *Dist, maxLines int, mode CoalesceMode) {
-	n := len(d.lines)
-	lines := d.lines
+	n := len(d.scores)
+	scores := d.scores
+	probs := d.probs[:n]
+	hasVec := d.hasVec
+	var vecs []*Vector
+	var vprobs, vbounds []float64
+	if hasVec {
+		vecs, vprobs, vbounds = d.vecs[:n], d.vprobs[:n], d.vbounds[:n]
+	}
 	c.grow(n)
 	prev, next, ver := c.prev, c.next, c.ver
 	alive := n
 	for i := 0; i+1 < n; i++ {
-		c.h = append(c.h, gapEntry{left: i, right: i + 1, gap: lines[i+1].Score - lines[i].Score})
+		c.h = append(c.h, gapEntry{left: i, right: i + 1, gap: scores[i+1] - scores[i]})
 	}
-	heap.Init(&c.h)
+	for i := len(c.h)/2 - 1; i >= 0; i-- {
+		siftDown(c.h, i)
+	}
 	for alive > maxLines {
-		e := heap.Pop(&c.h).(gapEntry)
+		e := c.hpop()
 		if ver[e.left] != e.lv || ver[e.right] != e.rv {
 			continue // stale entry
 		}
-		l, r := &lines[e.left], &lines[e.right]
+		l, r := e.left, e.right
 		var score float64
 		switch mode {
 		case CoalesceWeightedAverage:
-			if m := l.Prob + r.Prob; m > 0 {
-				score = (l.Score*l.Prob + r.Score*r.Prob) / m
+			if m := probs[l] + probs[r]; m > 0 {
+				score = (scores[l]*probs[l] + scores[r]*probs[r]) / m
 			} else {
-				score = (l.Score + r.Score) / 2
+				score = (scores[l] + scores[r]) / 2
 			}
 		default:
-			score = (l.Score + r.Score) / 2
+			score = (scores[l] + scores[r]) / 2
 		}
-		l.Prob += r.Prob
-		if r.VecProb > l.VecProb {
-			l.Vec, l.VecProb, l.VecBound = r.Vec, r.VecProb, r.VecBound
+		probs[l] += probs[r]
+		if hasVec && vprobs[r] > vprobs[l] {
+			vecs[l], vprobs[l], vbounds[l] = vecs[r], vprobs[r], vbounds[r]
 		}
-		l.Score = score
-		ver[e.left]++
-		ver[e.right]++ // tombstone
+		scores[l] = score
+		ver[l]++
+		ver[r]++ // tombstone
 		// Unlink right.
-		nr := next[e.right]
-		next[e.left] = nr
+		nr := next[r]
+		next[l] = nr
 		if nr >= 0 {
-			prev[nr] = e.left
+			prev[nr] = l
 		}
 		alive--
 		// Push refreshed gaps around the merged node.
-		if p := prev[e.left]; p >= 0 {
-			heap.Push(&c.h, gapEntry{left: p, right: e.left,
-				gap: lines[e.left].Score - lines[p].Score, lv: ver[p], rv: ver[e.left]})
+		if p := prev[l]; p >= 0 {
+			c.hpush(gapEntry{left: p, right: l, gap: scores[l] - scores[p], lv: ver[p], rv: ver[l]})
 		}
-		if nx := next[e.left]; nx >= 0 {
-			heap.Push(&c.h, gapEntry{left: e.left, right: nx,
-				gap: lines[nx].Score - lines[e.left].Score, lv: ver[e.left], rv: ver[nx]})
+		if nx := next[l]; nx >= 0 {
+			c.hpush(gapEntry{left: l, right: nx, gap: scores[nx] - scores[l], lv: ver[l], rv: ver[nx]})
 		}
 	}
-	out := d.lines[:0]
+	// Compact the surviving lines in list order.
+	w := 0
 	for i := 0; i != -1; i = next[i] {
-		out = append(out, lines[i])
+		scores[w] = scores[i]
+		probs[w] = probs[i]
+		if hasVec {
+			vecs[w] = vecs[i]
+			vprobs[w] = vprobs[i]
+			vbounds[w] = vbounds[i]
+		}
+		w++
+	}
+	d.scores = scores[:w]
+	d.probs = probs[:w]
+	if hasVec {
+		d.vecs = vecs[:w]
+		d.vprobs = vprobs[:w]
+		d.vbounds = vbounds[:w]
 	}
 	// Plain averaging can reorder scores only in pathological equal-score
 	// cases; restore the sorted invariant defensively.
-	d.lines = out
 	d.sortByScore()
 }

@@ -45,43 +45,64 @@ func Combine(skip *Dist, skipFactor float64, take *Dist, branches []TakeBranch, 
 // cell, so recycling the previous generation's distributions removes the
 // dominant allocation cost.
 func CombineInto(dst *Dist, skip *Dist, skipFactor float64, take *Dist, branches []TakeBranch, trackVectors bool, skipTrue func(bound float64) float64) *Dist {
-	type source struct {
-		lines  []Line
-		pos    int
-		shift  float64
-		factor float64
-		tuple  int // -1 for the skip source
+	return combineInto(dst, skip, skipFactor, take, branches, trackVectors, skipTrue, nil)
+}
+
+// mergeSrc is one already-sorted input stream of the N-way merge: a view of a
+// source distribution's arrays plus the shift/scale of its branch.
+type mergeSrc struct {
+	scores  []float64
+	probs   []float64
+	vecs    []*Vector
+	vprobs  []float64
+	vbounds []float64
+	pos     int
+	shift   float64
+	factor  float64
+	tuple   int // -1 for the skip source
+	hasVec  bool
+}
+
+// asSrc views d through branch (shift, factor, tuple).
+func (d *Dist) asSrc(shift, factor float64, tuple int) mergeSrc {
+	s := mergeSrc{
+		scores: d.scores, probs: d.probs,
+		shift: shift, factor: factor, tuple: tuple, hasVec: d.hasVec,
 	}
-	var srcs []source
-	if skip != nil && len(skip.lines) > 0 && skipFactor > 0 {
-		srcs = append(srcs, source{lines: skip.lines, factor: skipFactor, tuple: -1})
+	if d.hasVec {
+		s.vecs, s.vprobs, s.vbounds = d.vecs, d.vprobs, d.vbounds
 	}
-	if take != nil && len(take.lines) > 0 {
+	return s
+}
+
+// combineInto is the exact (non-coalescing) merge kernel. Vector nodes are
+// allocated from ar when non-nil, from the heap otherwise.
+func combineInto(dst *Dist, skip *Dist, skipFactor float64, take *Dist, branches []TakeBranch, trackVectors bool, skipTrue func(bound float64) float64, ar *VectorArena) *Dist {
+	var buf [8]mergeSrc
+	srcs := buf[:0]
+	if skip != nil && len(skip.scores) > 0 && skipFactor > 0 {
+		srcs = append(srcs, skip.asSrc(0, skipFactor, -1))
+	}
+	if take != nil && len(take.scores) > 0 {
 		for _, b := range branches {
 			if b.Factor > 0 {
-				srcs = append(srcs, source{lines: take.lines, shift: b.Shift, factor: b.Factor, tuple: b.Tuple})
+				srcs = append(srcs, take.asSrc(b.Shift, b.Factor, b.Tuple))
 			}
 		}
 	}
+	out := dst
+	if out == nil {
+		out = New()
+	}
+	out.reset(trackVectors)
 	if len(srcs) == 0 {
-		if dst != nil {
-			dst.lines = dst.lines[:0]
-			return dst
-		}
-		return New()
+		return out
 	}
 	total := 0
 	for i := range srcs {
-		total += len(srcs[i].lines)
+		total += len(srcs[i].scores)
 	}
-	out := dst
-	if out == nil {
-		out = &Dist{lines: make([]Line, 0, total)}
-	} else if cap(out.lines) < total {
-		out.lines = make([]Line, 0, total)
-	} else {
-		out.lines = out.lines[:0]
-	}
+	out.ensureCap(total)
 	// Shifting by a constant preserves score order, so each source is sorted;
 	// repeatedly pull the source with the smallest current score. The number
 	// of sources is small (1 + group size), so a linear min scan is fine.
@@ -90,10 +111,10 @@ func CombineInto(dst *Dist, skip *Dist, skipFactor float64, take *Dist, branches
 		var bestScore float64
 		for i := range srcs {
 			s := &srcs[i]
-			if s.pos >= len(s.lines) {
+			if s.pos >= len(s.scores) {
 				continue
 			}
-			sc := s.lines[s.pos].Score + s.shift
+			sc := s.scores[s.pos] + s.shift
 			if best == -1 || sc < bestScore {
 				best, bestScore = i, sc
 			}
@@ -102,32 +123,40 @@ func CombineInto(dst *Dist, skip *Dist, skipFactor float64, take *Dist, branches
 			break
 		}
 		s := &srcs[best]
-		in := s.lines[s.pos]
+		p := s.pos
 		s.pos++
-		l := Line{Score: in.Score + s.shift, Prob: in.Prob * s.factor}
-		if trackVectors {
-			if s.tuple >= 0 {
-				// Take: the tuple's own probability is the exact factor for
-				// the vector probability too. A take onto an empty vector is
-				// the vector's last (deepest) member and fixes the boundary.
-				l.Vec = in.Vec.Prepend(s.tuple)
-				l.VecProb = in.VecProb * s.factor
-				if in.Vec == nil {
-					l.VecBound = s.shift
-				} else {
-					l.VecBound = in.VecBound
-				}
+		prob := s.probs[p] * s.factor
+		if !trackVectors {
+			out.appendLine(bestScore, prob)
+			continue
+		}
+		var vec *Vector
+		var vp, vb float64
+		if s.tuple >= 0 {
+			// Take: the tuple's own probability is the exact factor for the
+			// vector probability too. A take onto an empty vector is the
+			// vector's last (deepest) member and fixes the boundary.
+			var inVec *Vector
+			var inVP float64
+			if s.hasVec {
+				inVec, inVP, vb = s.vecs[p], s.vprobs[p], s.vbounds[p]
+			}
+			vec = ar.Prepend(inVec, s.tuple)
+			vp = inVP * s.factor
+			if inVec == nil {
+				vb = s.shift
+			}
+		} else {
+			if s.hasVec {
+				vec, vp, vb = s.vecs[p], s.vprobs[p], s.vbounds[p]
+			}
+			if skipTrue != nil {
+				vp *= skipTrue(vb)
 			} else {
-				l.Vec = in.Vec
-				l.VecBound = in.VecBound
-				if skipTrue != nil {
-					l.VecProb = in.VecProb * skipTrue(in.VecBound)
-				} else {
-					l.VecProb = in.VecProb * s.factor
-				}
+				vp *= s.factor
 			}
 		}
-		out.appendCombine(l)
+		out.appendLineVec(bestScore, prob, vec, vp, vb)
 	}
 	return out
 }
@@ -135,30 +164,31 @@ func CombineInto(dst *Dist, skip *Dist, skipFactor float64, take *Dist, branches
 // Merge unions two distributions (both scaled by 1), combining equal scores.
 // Used to merge per-unit final distributions in the ME-handling algorithm.
 func Merge(a, b *Dist) *Dist {
-	if a == nil || len(a.lines) == 0 {
+	if a == nil || len(a.scores) == 0 {
 		if b == nil {
 			return New()
 		}
 		return b.Clone()
 	}
-	if b == nil || len(b.lines) == 0 {
+	if b == nil || len(b.scores) == 0 {
 		return a.Clone()
 	}
-	out := &Dist{lines: make([]Line, 0, len(a.lines)+len(b.lines))}
+	out := &Dist{hasVec: a.hasVec || b.hasVec}
+	out.ensureCap(len(a.scores) + len(b.scores))
 	i, j := 0, 0
-	for i < len(a.lines) || j < len(b.lines) {
+	for i < len(a.scores) || j < len(b.scores) {
 		switch {
-		case i >= len(a.lines):
-			out.appendCombine(b.lines[j])
+		case i >= len(a.scores):
+			out.appendCombine(b.Line(j))
 			j++
-		case j >= len(b.lines):
-			out.appendCombine(a.lines[i])
+		case j >= len(b.scores):
+			out.appendCombine(a.Line(i))
 			i++
-		case a.lines[i].Score <= b.lines[j].Score:
-			out.appendCombine(a.lines[i])
+		case a.scores[i] <= b.scores[j]:
+			out.appendCombine(a.Line(i))
 			i++
 		default:
-			out.appendCombine(b.lines[j])
+			out.appendCombine(b.Line(j))
 			j++
 		}
 	}
@@ -176,8 +206,7 @@ func MergeAll(ds []*Dist) *Dist {
 	}
 	work := append([]*Dist(nil), ds...)
 	for len(work) > 1 {
-		next := work[:0:len(work)]
-		var merged []*Dist
+		merged := work[:0]
 		for i := 0; i < len(work); i += 2 {
 			if i+1 < len(work) {
 				merged = append(merged, Merge(work[i], work[i+1]))
@@ -185,7 +214,6 @@ func MergeAll(ds []*Dist) *Dist {
 				merged = append(merged, work[i])
 			}
 		}
-		_ = next
 		work = merged
 	}
 	return work[0]
@@ -194,8 +222,8 @@ func MergeAll(ds []*Dist) *Dist {
 // Shift returns a copy of d with every score moved by delta.
 func (d *Dist) Shift(delta float64) *Dist {
 	c := d.Clone()
-	for i := range c.lines {
-		c.lines[i].Score += delta
+	for i := range c.scores {
+		c.scores[i] += delta
 	}
 	return c
 }
@@ -206,14 +234,35 @@ func (d *Dist) Scale(f float64) *Dist {
 		return New()
 	}
 	c := d.Clone()
-	for i := range c.lines {
-		c.lines[i].Prob *= f
-		c.lines[i].VecProb *= f
+	for i := range c.probs {
+		c.probs[i] *= f
+	}
+	for i := range c.vprobs {
+		c.vprobs[i] *= f
 	}
 	return c
 }
 
+// distSorter co-sorts all parallel arrays by score.
+type distSorter struct{ d *Dist }
+
+func (s distSorter) Len() int           { return len(s.d.scores) }
+func (s distSorter) Less(i, j int) bool { return s.d.scores[i] < s.d.scores[j] }
+func (s distSorter) Swap(i, j int) {
+	d := s.d
+	d.scores[i], d.scores[j] = d.scores[j], d.scores[i]
+	d.probs[i], d.probs[j] = d.probs[j], d.probs[i]
+	if d.hasVec {
+		d.vecs[i], d.vecs[j] = d.vecs[j], d.vecs[i]
+		d.vprobs[i], d.vprobs[j] = d.vprobs[j], d.vprobs[i]
+		d.vbounds[i], d.vbounds[j] = d.vbounds[j], d.vbounds[i]
+	}
+}
+
 // sortByScore re-sorts lines after an operation that may break order.
 func (d *Dist) sortByScore() {
-	sort.Slice(d.lines, func(i, j int) bool { return d.lines[i].Score < d.lines[j].Score })
+	if sort.Float64sAreSorted(d.scores) {
+		return
+	}
+	sort.Stable(distSorter{d})
 }

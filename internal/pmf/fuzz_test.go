@@ -1,0 +1,143 @@
+package pmf
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzStream turns the fuzz input into a deterministic value stream,
+// wrapping around when exhausted so short inputs still build full cases.
+type fuzzStream struct {
+	data []byte
+	pos  int
+}
+
+func (s *fuzzStream) next() byte {
+	if len(s.data) == 0 {
+		return 0
+	}
+	v := s.data[s.pos%len(s.data)]
+	s.pos++
+	return v
+}
+
+func (s *fuzzStream) f64() float64 { return float64(s.next()) / 255 }
+
+// fuzzDist builds a sorted distribution and its AoS mirror from the stream.
+func (s *fuzzStream) dist(n int, withVecs bool) (*Dist, []Line) {
+	d := New()
+	var ref []Line
+	score := s.f64() * 10
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if s.next()%4 == 0 {
+				// exact tie with the previous line
+			} else {
+				score += 1e-3 + s.f64()*2
+			}
+		}
+		l := Line{Score: score, Prob: 0.01 + s.f64()}
+		if withVecs && s.next()%5 > 0 {
+			var v *Vector
+			for depth := int(s.next() % 3); depth >= 0; depth-- {
+				v = &Vector{Tuple: int(s.next() % 50), Next: v}
+			}
+			l.Vec = v
+			l.VecProb = s.f64() * l.Prob
+			l.VecBound = score - s.f64()
+		}
+		d.appendCombine(l)
+		ref = refAppendCombine(ref, l)
+	}
+	return d, ref
+}
+
+func linesMass(ls []Line) float64 {
+	var k KahanSum
+	for _, l := range ls {
+		k.Add(l.Prob)
+	}
+	return k.Sum()
+}
+
+// FuzzCombineCoalesce drives the fused grid kernel, the exact merge and the
+// closest-pair coalescer over inputs decoded from the fuzz data and checks
+// them against the retired AoS reference plus the structural invariants:
+// sorted output, positive masses, and conservation of total probability
+// mass (Σ out = skipFactor·mass(skip) + Σ_b factor_b·mass(take)).
+func FuzzCombineCoalesce(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70})
+	f.Add([]byte("tracked weighted skiptrue me-groups and exact ties \x03\x07\x1f"))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 0, 0, 0, 255, 255, 128})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := &fuzzStream{data: data}
+		flags := s.next()
+		trackVectors := flags&1 != 0
+		weighted := flags&2 != 0
+		useSkipTrue := flags&4 != 0
+		mode := CoalescePlainAverage
+		if weighted {
+			mode = CoalesceWeightedAverage
+		}
+		var skipTrue func(float64) float64
+		if useSkipTrue {
+			skipTrue = func(b float64) float64 { return 0.55 + 0.4*math.Sin(b) }
+		}
+		nSkip := int(s.next() % 48)
+		nTake := int(s.next() % 48)
+		nBranch := 1 + int(s.next()%6)
+		maxLines := int(s.next()) % 40 // 0 exercises the unlimited/exact path
+		skipFactor := s.f64()
+		skipD, skipRef := s.dist(nSkip, trackVectors)
+		takeD, takeRef := s.dist(nTake, trackVectors)
+		branches := make([]TakeBranch, nBranch)
+		rem := 1.0
+		for i := range branches {
+			fac := s.f64() * rem * 0.8
+			rem -= fac
+			branches[i] = TakeBranch{Shift: s.f64() * 20, Factor: fac, Tuple: 100 + i}
+		}
+
+		check := func(label string, got *Dist, want []Line) {
+			t.Helper()
+			diffLines(t, label, got, want, trackVectors)
+			sc := got.Scores()
+			for i := 1; i < len(sc); i++ {
+				if sc[i] < sc[i-1] {
+					t.Fatalf("%s: scores out of order at %d: %v > %v", label, i, sc[i-1], sc[i])
+				}
+			}
+			for i, p := range got.Probs() {
+				if p <= 0 {
+					t.Fatalf("%s: non-positive mass %v at line %d", label, p, i)
+				}
+			}
+		}
+
+		wantMass := skipFactor * linesMass(skipRef)
+		for _, b := range branches {
+			wantMass += b.Factor * linesMass(takeRef)
+		}
+
+		got := Combine(skipD, skipFactor, takeD, branches, trackVectors, skipTrue)
+		check("Combine", got, refCombine(skipRef, skipFactor, takeRef, branches, trackVectors, skipTrue))
+		if m := got.TotalMass(); math.Abs(m-wantMass) > 1e-9*math.Max(1, wantMass) {
+			t.Fatalf("Combine: mass %v, inputs carry %v", m, wantMass)
+		}
+
+		var g GridCombiner
+		got = g.Combine(nil, skipD, skipFactor, takeD, branches, maxLines, mode, trackVectors, skipTrue)
+		check("GridCombiner.Combine", got,
+			refGridCombine(skipRef, skipFactor, takeRef, branches, maxLines, mode, trackVectors, skipTrue))
+		if m := got.TotalMass(); math.Abs(m-wantMass) > 1e-9*math.Max(1, wantMass) {
+			t.Fatalf("GridCombiner.Combine: mass %v, inputs carry %v", m, wantMass)
+		}
+
+		if limit := 1 + int(s.next()%8); got.Len() > limit {
+			ref := refCoalesce(got.Lines(), limit, mode)
+			got.Coalesce(limit, mode)
+			check("Coalesce", got, ref)
+		}
+	})
+}

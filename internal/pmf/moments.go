@@ -8,7 +8,7 @@ import "math"
 // changes off this directly (e.g. Figure 16's drift toward lower scores).
 // Returns NaN for empty or zero-variance distributions.
 func (d *Dist) Skewness() float64 {
-	if len(d.lines) == 0 {
+	if len(d.scores) == 0 {
 		return math.NaN()
 	}
 	mu := d.Mean()
@@ -17,10 +17,11 @@ func (d *Dist) Skewness() float64 {
 		return math.NaN()
 	}
 	var num, den KahanSum
-	for _, l := range d.lines {
-		z := (l.Score - mu) / sigma
-		num.Add(z * z * z * l.Prob)
-		den.Add(l.Prob)
+	probs := d.probs[:len(d.scores)]
+	for i, sc := range d.scores {
+		z := (sc - mu) / sigma
+		num.Add(z * z * z * probs[i])
+		den.Add(probs[i])
 	}
 	if den.Sum() == 0 {
 		return math.NaN()
@@ -32,7 +33,7 @@ func (d *Dist) Skewness() float64 {
 // (zero for a normal distribution): positive values mean heavier tails.
 // Returns NaN for empty or zero-variance distributions.
 func (d *Dist) ExcessKurtosis() float64 {
-	if len(d.lines) == 0 {
+	if len(d.scores) == 0 {
 		return math.NaN()
 	}
 	mu := d.Mean()
@@ -41,10 +42,11 @@ func (d *Dist) ExcessKurtosis() float64 {
 		return math.NaN()
 	}
 	var num, den KahanSum
-	for _, l := range d.lines {
-		z := (l.Score - mu) / sigma
-		num.Add(z * z * z * z * l.Prob)
-		den.Add(l.Prob)
+	probs := d.probs[:len(d.scores)]
+	for i, sc := range d.scores {
+		z := (sc - mu) / sigma
+		num.Add(z * z * z * z * probs[i])
+		den.Add(probs[i])
 	}
 	if den.Sum() == 0 {
 		return math.NaN()
@@ -58,7 +60,7 @@ func (d *Dist) ExcessKurtosis() float64 {
 // has about 2^(n·H) members, which is why the single most probable outcome
 // is atypical. Returns NaN for empty distributions.
 func (d *Dist) Entropy() float64 {
-	if len(d.lines) == 0 {
+	if len(d.scores) == 0 {
 		return math.NaN()
 	}
 	mass := d.TotalMass()
@@ -66,10 +68,10 @@ func (d *Dist) Entropy() float64 {
 		return math.NaN()
 	}
 	var h KahanSum
-	for _, l := range d.lines {
-		p := l.Prob / mass
-		if p > 0 {
-			h.Add(-p * math.Log2(p))
+	for _, p := range d.probs {
+		pp := p / mass
+		if pp > 0 {
+			h.Add(-pp * math.Log2(pp))
 		}
 	}
 	return h.Sum()

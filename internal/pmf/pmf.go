@@ -9,6 +9,25 @@
 // coalescing strategy (§3.2.1), histogram views at arbitrary bucket widths,
 // and the summary statistics (mean, variance, quantiles, expected minimum
 // distance) needed for c-Typical-Topk and for the empirical study.
+//
+// # Memory layout
+//
+// Dist stores its lines as a structure of arrays: scores and probabilities
+// live in two dense []float64 slices, and the vector-tracking annotations
+// (representative vector, its probability and boundary score) live in three
+// side-arrays that exist only when vectors are tracked. The dynamic
+// program's hot kernels (Combine, GridCombiner.Combine, Coalescer) stream
+// the score/prob arrays with tight scalar loops — 16 bytes per line through
+// the cache instead of the 40 an array-of-structs layout would drag — and
+// touch the vector side-arrays in separate passes only when a query tracks
+// vectors. The Line struct remains the interchange format: Lines()/Line(i)
+// materialize it for readers, FromLines accepts it from producers.
+//
+// Representative-vector nodes are bump-allocated from a VectorArena during
+// a DP run (the per-line Prepend was the dominant allocation of the whole
+// query path) and copied out into ordinary heap storage by
+// Dist.DetachVectors before the arena is recycled, so finished results
+// never alias scratch memory.
 package pmf
 
 import (
@@ -23,14 +42,29 @@ import (
 const Eps = 1e-9
 
 // sameScore reports whether a and b are equal within Eps (relative to their
-// magnitude, with an absolute floor of Eps).
+// magnitude, with an absolute floor of Eps). Written with plain compares —
+// no math.Abs/math.Max calls — because every kernel's append path runs it
+// once per output line.
 func sameScore(a, b float64) bool {
-	d := math.Abs(a - b)
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
 	if d <= Eps {
 		return true
 	}
-	m := math.Max(math.Abs(a), math.Abs(b))
-	return d <= Eps*m
+	aa := a
+	if aa < 0 {
+		aa = -aa
+	}
+	bb := b
+	if bb < 0 {
+		bb = -bb
+	}
+	if bb > aa {
+		aa = bb
+	}
+	return d <= Eps*aa
 }
 
 // Vector is a persistent (immutable, structurally shared) list of tuple
@@ -69,7 +103,8 @@ func (v *Vector) Slice() []int {
 	return s
 }
 
-// Line is one atom of a discrete score distribution.
+// Line is one atom of a discrete score distribution, the interchange format
+// between Dist's internal structure-of-arrays layout and its callers.
 type Line struct {
 	// Score is the total score of the top-k vectors aggregated in this line.
 	Score float64
@@ -93,11 +128,20 @@ type Line struct {
 }
 
 // Dist is a discrete distribution over total scores: lines sorted by
-// ascending score with no two lines closer than Eps. The zero value is an
-// empty (all-mass-zero) distribution, which is the identity for Merge and the
-// annihilator produced by blocked exit points (the paper's "(0, 0)" cells).
+// ascending score with no two lines closer than Eps, stored as parallel
+// arrays. The zero value is an empty (all-mass-zero) distribution, which is
+// the identity for Merge and the annihilator produced by blocked exit points
+// (the paper's "(0, 0)" cells).
 type Dist struct {
-	lines []Line
+	scores []float64
+	probs  []float64
+	// Vector side-arrays. hasVec marks them live; when false they are dead
+	// storage kept only for capacity reuse and every annotation reads as the
+	// zero Line fields. When true all three have the same length as scores.
+	vecs    []*Vector
+	vprobs  []float64
+	vbounds []float64
+	hasVec  bool
 }
 
 // New returns an empty distribution.
@@ -105,13 +149,17 @@ func New() *Dist { return &Dist{} }
 
 // Point returns the single-line distribution {(score, prob)}.
 func Point(score, prob float64) *Dist {
-	return &Dist{lines: []Line{{Score: score, Prob: prob}}}
+	return &Dist{scores: []float64{score}, probs: []float64{prob}}
 }
 
 // PointVec returns a single-line distribution carrying a representative
 // vector.
 func PointVec(score, prob float64, vec *Vector, vecProb float64) *Dist {
-	return &Dist{lines: []Line{{Score: score, Prob: prob, Vec: vec, VecProb: vecProb}}}
+	return &Dist{
+		scores: []float64{score}, probs: []float64{prob},
+		vecs: []*Vector{vec}, vprobs: []float64{vecProb}, vbounds: []float64{0},
+		hasVec: true,
+	}
 }
 
 // FromLines builds a distribution from arbitrary lines: they are sorted,
@@ -125,67 +173,202 @@ func FromLines(lines []Line) *Dist {
 		}
 	}
 	sort.Slice(ls, func(i, j int) bool { return ls[i].Score < ls[j].Score })
-	d := &Dist{lines: make([]Line, 0, len(ls))}
+	d := &Dist{scores: make([]float64, 0, len(ls)), probs: make([]float64, 0, len(ls))}
 	for _, l := range ls {
 		d.appendCombine(l)
 	}
 	return d
 }
 
-// appendCombine appends l to the (already sorted) line slice, combining it
+// enableVec switches the vector side-arrays on, zero-filling them to the
+// current line count.
+func (d *Dist) enableVec() {
+	if d.hasVec {
+		return
+	}
+	d.hasVec = true
+	n := len(d.scores)
+	d.vecs = growZero(d.vecs, n)
+	d.vprobs = growZeroF(d.vprobs, n)
+	d.vbounds = growZeroF(d.vbounds, n)
+}
+
+func growZero(s []*Vector, n int) []*Vector {
+	if cap(s) < n {
+		return make([]*Vector, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func growZeroF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// reset truncates d to zero lines, configuring the vector side-arrays for
+// the given tracking mode while keeping all storage for reuse.
+func (d *Dist) reset(trackVectors bool) {
+	d.scores = d.scores[:0]
+	d.probs = d.probs[:0]
+	d.vecs = d.vecs[:0]
+	d.vprobs = d.vprobs[:0]
+	d.vbounds = d.vbounds[:0]
+	d.hasVec = trackVectors
+}
+
+// ensureCap makes sure n lines can be appended without reallocating
+// mid-kernel. Call on an empty (just-reset) distribution.
+func (d *Dist) ensureCap(n int) {
+	if cap(d.scores) < n {
+		d.scores = make([]float64, 0, n)
+	}
+	if cap(d.probs) < n {
+		d.probs = make([]float64, 0, n)
+	}
+	if !d.hasVec {
+		return
+	}
+	if cap(d.vecs) < n {
+		d.vecs = make([]*Vector, 0, n)
+	}
+	if cap(d.vprobs) < n {
+		d.vprobs = make([]float64, 0, n)
+	}
+	if cap(d.vbounds) < n {
+		d.vbounds = make([]float64, 0, n)
+	}
+}
+
+// appendCombine appends l to the (already sorted) distribution, combining it
 // with the last line when their scores match within Eps.
 func (d *Dist) appendCombine(l Line) {
-	n := len(d.lines)
-	if n > 0 && sameScore(d.lines[n-1].Score, l.Score) {
-		last := &d.lines[n-1]
-		last.Prob += l.Prob
-		if l.VecProb > last.VecProb {
-			last.Vec = l.Vec
-			last.VecProb = l.VecProb
-			last.VecBound = l.VecBound
+	if !d.hasVec && (l.Vec != nil || l.VecProb != 0 || l.VecBound != 0) {
+		d.enableVec()
+	}
+	n := len(d.scores)
+	if n > 0 && sameScore(d.scores[n-1], l.Score) {
+		d.probs[n-1] += l.Prob
+		if d.hasVec && l.VecProb > d.vprobs[n-1] {
+			d.vecs[n-1] = l.Vec
+			d.vprobs[n-1] = l.VecProb
+			d.vbounds[n-1] = l.VecBound
 		}
 		return
 	}
-	d.lines = append(d.lines, l)
+	d.scores = append(d.scores, l.Score)
+	d.probs = append(d.probs, l.Prob)
+	if d.hasVec {
+		d.vecs = append(d.vecs, l.Vec)
+		d.vprobs = append(d.vprobs, l.VecProb)
+		d.vbounds = append(d.vbounds, l.VecBound)
+	}
+}
+
+// appendLine is appendCombine for a bare (score, prob) line on a
+// distribution whose vector side-arrays are off — the untracked kernels'
+// fast path.
+func (d *Dist) appendLine(score, prob float64) {
+	n := len(d.scores)
+	if n > 0 && sameScore(d.scores[n-1], score) {
+		d.probs[n-1] += prob
+		return
+	}
+	d.scores = append(d.scores, score)
+	d.probs = append(d.probs, prob)
+}
+
+// appendLineVec is appendCombine for a fully annotated line on a
+// distribution whose vector side-arrays are on.
+func (d *Dist) appendLineVec(score, prob float64, vec *Vector, vecProb, vecBound float64) {
+	n := len(d.scores)
+	if n > 0 && sameScore(d.scores[n-1], score) {
+		d.probs[n-1] += prob
+		if vecProb > d.vprobs[n-1] {
+			d.vecs[n-1] = vec
+			d.vprobs[n-1] = vecProb
+			d.vbounds[n-1] = vecBound
+		}
+		return
+	}
+	d.scores = append(d.scores, score)
+	d.probs = append(d.probs, prob)
+	d.vecs = append(d.vecs, vec)
+	d.vprobs = append(d.vprobs, vecProb)
+	d.vbounds = append(d.vbounds, vecBound)
 }
 
 // Len returns the number of lines.
-func (d *Dist) Len() int { return len(d.lines) }
+func (d *Dist) Len() int { return len(d.scores) }
 
-// Lines returns a copy of the underlying lines, sorted by ascending score.
+// Lines returns a copy of the distribution as lines, sorted by ascending
+// score.
 func (d *Dist) Lines() []Line {
-	out := make([]Line, len(d.lines))
-	copy(out, d.lines)
+	out := make([]Line, len(d.scores))
+	for i := range d.scores {
+		out[i] = d.Line(i)
+	}
 	return out
 }
 
 // Line returns the i-th line (ascending score order).
-func (d *Dist) Line(i int) Line { return d.lines[i] }
+func (d *Dist) Line(i int) Line {
+	l := Line{Score: d.scores[i], Prob: d.probs[i]}
+	if d.hasVec {
+		l.Vec = d.vecs[i]
+		l.VecProb = d.vprobs[i]
+		l.VecBound = d.vbounds[i]
+	}
+	return l
+}
 
-// Clone returns a deep copy of the line slice (vectors are shared, they are
-// immutable).
+// Scores returns the line scores in ascending order as a read-only view of
+// the distribution's internal storage: callers must not modify it, and it is
+// invalidated by any mutation of d.
+func (d *Dist) Scores() []float64 { return d.scores }
+
+// Probs returns the line probabilities (parallel to Scores) as a read-only
+// view with the same aliasing caveats.
+func (d *Dist) Probs() []float64 { return d.probs }
+
+// Clone returns a deep copy of the line storage (vectors are shared, they
+// are immutable).
 func (d *Dist) Clone() *Dist {
-	c := &Dist{lines: make([]Line, len(d.lines))}
-	copy(c.lines, d.lines)
+	c := &Dist{
+		scores: append([]float64(nil), d.scores...),
+		probs:  append([]float64(nil), d.probs...),
+		hasVec: d.hasVec,
+	}
+	if d.hasVec {
+		c.vecs = append([]*Vector(nil), d.vecs...)
+		c.vprobs = append([]float64(nil), d.vprobs...)
+		c.vbounds = append([]float64(nil), d.vbounds...)
+	}
 	return c
 }
 
 // IsEmpty reports whether the distribution has no mass.
-func (d *Dist) IsEmpty() bool { return len(d.lines) == 0 }
+func (d *Dist) IsEmpty() bool { return len(d.scores) == 0 }
 
 // Reset empties d in place, keeping the line storage for reuse but clearing
-// it so recycled distributions do not pin vector nodes of earlier queries.
+// the vector pointers so recycled distributions do not pin vector nodes of
+// earlier queries.
 func (d *Dist) Reset() {
-	clear(d.lines)
-	d.lines = d.lines[:0]
+	clear(d.vecs)
+	d.reset(false)
 }
 
 // TotalMass returns the sum of all line probabilities using compensated
 // (Kahan) summation.
 func (d *Dist) TotalMass() float64 {
 	var s KahanSum
-	for _, l := range d.lines {
-		s.Add(l.Prob)
+	for _, p := range d.probs {
+		s.Add(p)
 	}
 	return s.Sum()
 }
@@ -201,8 +384,8 @@ func (d *Dist) Normalize() {
 		return
 	}
 	inv := 1 / m
-	for i := range d.lines {
-		d.lines[i].Prob *= inv
+	for i := range d.probs {
+		d.probs[i] *= inv
 	}
 }
 
@@ -210,13 +393,14 @@ func (d *Dist) Normalize() {
 // unnormalized the conditional mean (given the event the distribution covers)
 // is returned. Returns NaN for an empty distribution.
 func (d *Dist) Mean() float64 {
-	if len(d.lines) == 0 {
+	if len(d.scores) == 0 {
 		return math.NaN()
 	}
 	var num, den KahanSum
-	for _, l := range d.lines {
-		num.Add(l.Score * l.Prob)
-		den.Add(l.Prob)
+	probs := d.probs[:len(d.scores)]
+	for i, s := range d.scores {
+		num.Add(s * probs[i])
+		den.Add(probs[i])
 	}
 	if den.Sum() == 0 {
 		return math.NaN()
@@ -227,15 +411,16 @@ func (d *Dist) Mean() float64 {
 // Variance returns the variance of the score under d (conditional on the
 // covered event if unnormalized). Returns NaN for an empty distribution.
 func (d *Dist) Variance() float64 {
-	if len(d.lines) == 0 {
+	if len(d.scores) == 0 {
 		return math.NaN()
 	}
 	mu := d.Mean()
 	var num, den KahanSum
-	for _, l := range d.lines {
-		dd := l.Score - mu
-		num.Add(dd * dd * l.Prob)
-		den.Add(l.Prob)
+	probs := d.probs[:len(d.scores)]
+	for i, s := range d.scores {
+		dd := s - mu
+		num.Add(dd * dd * probs[i])
+		den.Add(probs[i])
 	}
 	if den.Sum() == 0 {
 		return math.NaN()
@@ -248,23 +433,23 @@ func (d *Dist) StdDev() float64 { return math.Sqrt(d.Variance()) }
 
 // Min returns the smallest score with positive mass (NaN when empty).
 func (d *Dist) Min() float64 {
-	if len(d.lines) == 0 {
+	if len(d.scores) == 0 {
 		return math.NaN()
 	}
-	return d.lines[0].Score
+	return d.scores[0]
 }
 
 // Max returns the largest score with positive mass (NaN when empty).
 func (d *Dist) Max() float64 {
-	if len(d.lines) == 0 {
+	if len(d.scores) == 0 {
 		return math.NaN()
 	}
-	return d.lines[len(d.lines)-1].Score
+	return d.scores[len(d.scores)-1]
 }
 
 // Span returns Max − Min (0 when empty or single-line).
 func (d *Dist) Span() float64 {
-	if len(d.lines) < 2 {
+	if len(d.scores) < 2 {
 		return 0
 	}
 	return d.Max() - d.Min()
@@ -274,11 +459,11 @@ func (d *Dist) Span() float64 {
 // unnormalized distributions if conditional semantics are wanted).
 func (d *Dist) CDF(x float64) float64 {
 	var s KahanSum
-	for _, l := range d.lines {
-		if l.Score > x && !sameScore(l.Score, x) {
+	for i, sc := range d.scores {
+		if sc > x && !sameScore(sc, x) {
 			break
 		}
-		s.Add(l.Prob)
+		s.Add(d.probs[i])
 	}
 	return s.Sum()
 }
@@ -286,12 +471,12 @@ func (d *Dist) CDF(x float64) float64 {
 // TailProb returns Pr(S > x).
 func (d *Dist) TailProb(x float64) float64 {
 	var s KahanSum
-	for i := len(d.lines) - 1; i >= 0; i-- {
-		l := d.lines[i]
-		if l.Score < x || sameScore(l.Score, x) {
+	for i := len(d.scores) - 1; i >= 0; i-- {
+		sc := d.scores[i]
+		if sc < x || sameScore(sc, x) {
 			break
 		}
-		s.Add(l.Prob)
+		s.Add(d.probs[i])
 	}
 	return s.Sum()
 }
@@ -300,18 +485,18 @@ func (d *Dist) TailProb(x float64) float64 {
 // the distribution as conditional (quantiles of the covered event). Returns
 // NaN when empty or q outside [0,1].
 func (d *Dist) Quantile(q float64) float64 {
-	if len(d.lines) == 0 || q < 0 || q > 1 {
+	if len(d.scores) == 0 || q < 0 || q > 1 {
 		return math.NaN()
 	}
 	target := q * d.TotalMass()
 	var s KahanSum
-	for _, l := range d.lines {
-		s.Add(l.Prob)
+	for i, p := range d.probs {
+		s.Add(p)
 		if s.Sum() >= target {
-			return l.Score
+			return d.scores[i]
 		}
 	}
-	return d.lines[len(d.lines)-1].Score
+	return d.scores[len(d.scores)-1]
 }
 
 // Median returns Quantile(0.5) — the weighted median, which minimizes the
@@ -322,32 +507,35 @@ func (d *Dist) Median() float64 { return d.Quantile(0.5) }
 // MaxProbLine returns the line with the largest probability mass (the mode).
 // ok is false when the distribution is empty.
 func (d *Dist) MaxProbLine() (Line, bool) {
-	if len(d.lines) == 0 {
+	if len(d.scores) == 0 {
 		return Line{}, false
 	}
-	best := d.lines[0]
-	for _, l := range d.lines[1:] {
-		if l.Prob > best.Prob {
-			best = l
+	best := 0
+	for i, p := range d.probs {
+		if p > d.probs[best] {
+			best = i
 		}
 	}
-	return best, true
+	return d.Line(best), true
 }
 
 // MaxVecProbLine returns the line whose representative vector has the largest
 // vector probability; this is the U-Topk answer when vectors are tracked
 // exactly (coalescing preserves the max since merges keep the better vector).
 func (d *Dist) MaxVecProbLine() (Line, bool) {
-	if len(d.lines) == 0 {
+	if len(d.scores) == 0 {
 		return Line{}, false
 	}
-	best := d.lines[0]
-	for _, l := range d.lines[1:] {
-		if l.VecProb > best.VecProb {
-			best = l
+	if !d.hasVec {
+		return d.Line(0), true
+	}
+	best := 0
+	for i, vp := range d.vprobs {
+		if vp > d.vprobs[best] {
+			best = i
 		}
 	}
-	return best, true
+	return d.Line(best), true
 }
 
 // ExpectedMinDistance returns E[min_i |S − points[i]|] under d, the
@@ -355,25 +543,25 @@ func (d *Dist) MaxVecProbLine() (Line, bool) {
 // when unnormalized). points need not be sorted. Returns NaN when d is empty
 // or points is empty.
 func (d *Dist) ExpectedMinDistance(points []float64) float64 {
-	if len(d.lines) == 0 || len(points) == 0 {
+	if len(d.scores) == 0 || len(points) == 0 {
 		return math.NaN()
 	}
 	ps := append([]float64(nil), points...)
 	sort.Float64s(ps)
 	var num, den KahanSum
 	j := 0
-	for _, l := range d.lines {
-		for j+1 < len(ps) && ps[j+1] <= l.Score {
+	for i, sc := range d.scores {
+		for j+1 < len(ps) && ps[j+1] <= sc {
 			j++
 		}
-		best := math.Abs(l.Score - ps[j])
+		best := math.Abs(sc - ps[j])
 		if j+1 < len(ps) {
-			if alt := math.Abs(ps[j+1] - l.Score); alt < best {
+			if alt := math.Abs(ps[j+1] - sc); alt < best {
 				best = alt
 			}
 		}
-		num.Add(best * l.Prob)
-		den.Add(l.Prob)
+		num.Add(best * d.probs[i])
+		den.Add(d.probs[i])
 	}
 	if den.Sum() == 0 {
 		return math.NaN()
@@ -386,7 +574,7 @@ func (d *Dist) ExpectedMinDistance(points []float64) float64 {
 // (each is normalized first). It is the test metric for the accuracy loss of
 // line coalescing. Returns NaN if either is empty.
 func (d *Dist) Wasserstein1(o *Dist) float64 {
-	if len(d.lines) == 0 || len(o.lines) == 0 {
+	if len(d.scores) == 0 || len(o.scores) == 0 {
 		return math.NaN()
 	}
 	md, mo := d.TotalMass(), o.TotalMass()
@@ -397,24 +585,24 @@ func (d *Dist) Wasserstein1(o *Dist) float64 {
 	var w KahanSum
 	var cd, co float64
 	i, j := 0, 0
-	prev := math.Min(d.lines[0].Score, o.lines[0].Score)
-	for i < len(d.lines) || j < len(o.lines) {
+	prev := math.Min(d.scores[0], o.scores[0])
+	for i < len(d.scores) || j < len(o.scores) {
 		var x float64
 		switch {
-		case i >= len(d.lines):
-			x = o.lines[j].Score
-		case j >= len(o.lines):
-			x = d.lines[i].Score
+		case i >= len(d.scores):
+			x = o.scores[j]
+		case j >= len(o.scores):
+			x = d.scores[i]
 		default:
-			x = math.Min(d.lines[i].Score, o.lines[j].Score)
+			x = math.Min(d.scores[i], o.scores[j])
 		}
 		w.Add(math.Abs(cd/md-co/mo) * (x - prev))
-		for i < len(d.lines) && d.lines[i].Score <= x {
-			cd += d.lines[i].Prob
+		for i < len(d.scores) && d.scores[i] <= x {
+			cd += d.probs[i]
 			i++
 		}
-		for j < len(o.lines) && o.lines[j].Score <= x {
-			co += o.lines[j].Prob
+		for j < len(o.scores) && o.scores[j] <= x {
+			co += o.probs[j]
 			j++
 		}
 		prev = x
@@ -435,17 +623,17 @@ func (d *Dist) Histogram(width float64) []Bucket {
 	if width <= 0 {
 		panic("pmf: histogram width must be positive")
 	}
-	if len(d.lines) == 0 {
+	if len(d.scores) == 0 {
 		return nil
 	}
 	var out []Bucket
-	for _, l := range d.lines {
-		lo := math.Floor(l.Score/width) * width
+	for i, sc := range d.scores {
+		lo := math.Floor(sc/width) * width
 		if n := len(out); n > 0 && out[n-1].Lo == lo {
-			out[n-1].Prob += l.Prob
+			out[n-1].Prob += d.probs[i]
 			continue
 		}
-		out = append(out, Bucket{Lo: lo, Hi: lo + width, Prob: l.Prob})
+		out = append(out, Bucket{Lo: lo, Hi: lo + width, Prob: d.probs[i]})
 	}
 	return out
 }
@@ -456,8 +644,10 @@ func (d *Dist) Histogram(width float64) []Bucket {
 // relative to plain rows; one pass over the final lines restores the
 // presentation invariant. Probabilities are untouched.
 func (d *Dist) NormalizeVectors() {
-	for i := range d.lines {
-		v := d.lines[i].Vec
+	if !d.hasVec {
+		return
+	}
+	for i, v := range d.vecs {
 		if v == nil || v.Next == nil {
 			continue
 		}
@@ -470,18 +660,58 @@ func (d *Dist) NormalizeVectors() {
 		for j := len(s) - 1; j >= 0; j-- {
 			nv = nv.Prepend(s[j])
 		}
-		d.lines[i].Vec = nv
+		d.vecs[i] = nv
+	}
+}
+
+// DetachVectors rebuilds every representative vector into one freshly
+// allocated node block owned by d. The dynamic program allocates its
+// intermediate vector nodes from a recycled VectorArena; a result that
+// outlives the query must detach before the arena is reset. Sharing between
+// lines is not preserved (final vectors have at most k nodes each, so the
+// copy is tiny compared to the DP that produced them).
+func (d *Dist) DetachVectors() {
+	if !d.hasVec {
+		return
+	}
+	total := 0
+	for _, v := range d.vecs {
+		total += v.Len()
+	}
+	if total == 0 {
+		return
+	}
+	nodes := make([]Vector, total)
+	next := 0
+	for i, v := range d.vecs {
+		if v == nil {
+			continue
+		}
+		head := &nodes[next]
+		cur := head
+		for {
+			next++
+			cur.Tuple = v.Tuple
+			v = v.Next
+			if v == nil {
+				cur.Next = nil
+				break
+			}
+			cur.Next = &nodes[next]
+			cur = cur.Next
+		}
+		d.vecs[i] = head
 	}
 }
 
 // String renders a short human-readable summary.
 func (d *Dist) String() string {
-	if len(d.lines) == 0 {
+	if len(d.scores) == 0 {
 		return "pmf{empty}"
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "pmf{n=%d mass=%.6g span=[%.6g,%.6g] mean=%.6g}",
-		len(d.lines), d.TotalMass(), d.Min(), d.Max(), d.Mean())
+		len(d.scores), d.TotalMass(), d.Min(), d.Max(), d.Mean())
 	return b.String()
 }
 

@@ -1,0 +1,78 @@
+package pmf
+
+// arenaChunkNodes is the nodes-per-chunk granularity of a VectorArena:
+// 4096 × 24 bytes ≈ 96 KiB per chunk.
+const arenaChunkNodes = 4096
+
+// maxArenaChunks bounds how many chunks a Reset arena keeps for reuse
+// (≈ 48 MiB). A pathological query can still grow past this while running;
+// the excess is released at the next Reset.
+const maxArenaChunks = 512
+
+// VectorArena is a chunked slab allocator for Vector nodes. The dynamic
+// program allocates hundreds of thousands of short-lived vector nodes per
+// query — the single dominant allocation source — and all of them die
+// together when the query's final distribution is detached
+// (Dist.DetachVectors). Allocating them from a recycled slab removes that
+// traffic from the garbage collector entirely.
+//
+// A nil *VectorArena is valid and falls back to heap allocation, so kernels
+// take an arena unconditionally. An arena is not safe for concurrent use;
+// the per-query Scratch owns one.
+//
+// Safety: nodes allocated from an arena are invalidated by Reset. Any
+// distribution that outlives the arena's owner must call DetachVectors
+// first. Arena nodes may only point (via Next) at nodes of the same arena or
+// at nil — the DP builds every vector from nil upward within one query, so
+// this holds by construction.
+type VectorArena struct {
+	chunks [][]Vector // every chunk ever allocated (recycled by Reset)
+	used   int        // chunks[:used] are in use; cur is chunks[used-1]
+	cur    []Vector   // active chunk, len = nodes handed out from it
+}
+
+// Prepend returns a node with the given tuple and next pointer: from the
+// arena when a is non-nil, from the heap otherwise.
+func (a *VectorArena) Prepend(next *Vector, tuple int) *Vector {
+	if a == nil {
+		return &Vector{Tuple: tuple, Next: next}
+	}
+	cur := a.cur
+	if len(cur) == cap(cur) {
+		cur = a.nextChunk()
+	}
+	n := len(cur)
+	cur = cur[:n+1]
+	a.cur = cur
+	v := &cur[n]
+	v.Tuple = tuple
+	v.Next = next
+	return v
+}
+
+// nextChunk advances to a fresh (possibly recycled) chunk.
+func (a *VectorArena) nextChunk() []Vector {
+	if a.used < len(a.chunks) {
+		c := a.chunks[a.used][:0]
+		a.used++
+		return c
+	}
+	c := make([]Vector, 0, arenaChunkNodes)
+	a.chunks = append(a.chunks, c)
+	a.used++
+	return c
+}
+
+// Reset invalidates every node handed out so far and makes their storage
+// available for reuse. Stale node contents are not zeroed: they only ever
+// point within the arena, so they cannot pin foreign memory.
+func (a *VectorArena) Reset() {
+	if a == nil {
+		return
+	}
+	if len(a.chunks) > maxArenaChunks {
+		a.chunks = a.chunks[:maxArenaChunks]
+	}
+	a.used = 0
+	a.cur = nil
+}

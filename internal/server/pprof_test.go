@@ -1,0 +1,25 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+func TestPprofGated(t *testing.T) {
+	get := func(s *Server, path string) int {
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		return w.Code
+	}
+	off := New(Config{})
+	if code := get(off, "/debug/pprof/"); code != 404 {
+		t.Errorf("pprof disabled: GET /debug/pprof/ = %d, want 404", code)
+	}
+	on := New(Config{EnablePprof: true})
+	if code := get(on, "/debug/pprof/"); code != 200 {
+		t.Errorf("pprof enabled: GET /debug/pprof/ = %d, want 200", code)
+	}
+	if code := get(on, "/debug/pprof/heap"); code != 200 {
+		t.Errorf("pprof enabled: GET /debug/pprof/heap = %d, want 200", code)
+	}
+}

@@ -84,6 +84,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -126,6 +127,12 @@ type Config struct {
 	// untouched. Recovered tables are installed at boot with RestoreTable.
 	// The server adopts the manager's shard count.
 	Durability *persist.Manager
+	// EnablePprof mounts the net/http/pprof profiling handlers under
+	// /debug/pprof/ (index, cmdline, profile, symbol, trace and the named
+	// runtime profiles). Off by default: the handlers expose internals and
+	// a CPU profile pauses nothing but costs cycles, so production
+	// deployments opt in explicitly (topkd -pprof).
+	EnablePprof bool
 }
 
 // latency is a lock-free (count, total duration) pair.
@@ -232,6 +239,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /tables/{name}/typical", s.handleTypical)
 	s.mux.HandleFunc("GET /tables/{name}/baseline/{semantic}", s.handleBaseline)
 	s.mux.HandleFunc("POST /tables/{name}/baseline/{semantic}", s.handleBaseline)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", httppprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", httppprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", httppprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", httppprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", httppprof.Trace)
+	}
 	return s
 }
 

@@ -100,7 +100,9 @@ type Options struct {
 	Normalize bool
 	// Parallelism lets the main algorithm process its independent
 	// dynamic-programming units on up to this many goroutines. The result is
-	// bit-identical to serial execution. Values below 2 mean serial.
+	// bit-identical to serial execution. The zero value auto-tunes: large
+	// queries fan out over min(GOMAXPROCS, units) workers, small ones run
+	// serially. 1 or negative forces serial; ≥ 2 sets the count explicitly.
 	Parallelism int
 }
 
