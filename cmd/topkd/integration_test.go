@@ -1,0 +1,316 @@
+package main
+
+// Two-process integration tests: a real leader and a real follower topkd,
+// driven over HTTP and the replication port, with kill -9, SIGSTOP and
+// SIGTERM — the failure modes the replication design promises to survive.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"probtopk/internal/server"
+)
+
+// buildTopkd compiles the daemon binary once per test run.
+func buildTopkd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "topkd")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// topkdProc is one running daemon process with its parsed listen addresses.
+type topkdProc struct {
+	cmd      *exec.Cmd
+	addr     string // HTTP address
+	replAddr string // replication address ("" unless -repl-addr)
+	exited   chan error
+
+	mu  sync.Mutex
+	log bytes.Buffer
+}
+
+func (p *topkdProc) logs() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.log.String()
+}
+
+// startTopkd launches the binary and waits for its "listening on" line
+// (and, when expectRepl, its "replicating on" line).
+func startTopkd(t *testing.T, bin string, expectRepl bool, args ...string) *topkdProc {
+	t.Helper()
+	p := &topkdProc{cmd: exec.Command(bin, args...), exited: make(chan error, 1)}
+	stderr, err := p.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", bin, err)
+	}
+	addrCh := make(chan string, 1)
+	replCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			p.log.WriteString(line + "\n")
+			p.mu.Unlock()
+			if _, after, ok := strings.Cut(line, "topkd: listening on "); ok {
+				select {
+				case addrCh <- after:
+				default:
+				}
+			}
+			if _, after, ok := strings.Cut(line, "topkd: replicating on "); ok {
+				select {
+				case replCh <- after:
+				default:
+				}
+			}
+		}
+		p.exited <- p.cmd.Wait()
+	}()
+	t.Cleanup(func() {
+		p.cmd.Process.Kill()
+		select {
+		case <-p.exited:
+		case <-time.After(5 * time.Second):
+		}
+	})
+	wait := func(ch chan string, what string) string {
+		select {
+		case v := <-ch:
+			return v
+		case err := <-p.exited:
+			t.Fatalf("topkd exited before %s: %v\n%s", what, err, p.logs())
+		case <-time.After(20 * time.Second):
+			t.Fatalf("timed out waiting for %s\n%s", what, p.logs())
+		}
+		return ""
+	}
+	if expectRepl {
+		p.replAddr = wait(replCh, "replication address")
+	}
+	p.addr = wait(addrCh, "listen address")
+	return p
+}
+
+func httpDo(t *testing.T, method, url, contentType, body string) (int, string, http.Header) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	client := &http.Client{Timeout: 15 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b), resp.Header
+}
+
+func procStats(t *testing.T, p *topkdProc) server.StatsResponse {
+	t.Helper()
+	code, body, _ := httpDo(t, "GET", "http://"+p.addr+"/debug/stats", "", "")
+	if code != 200 {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	var st server.StatsResponse
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("stats body: %v\n%s", err, body)
+	}
+	return st
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestLeaderFollowerProcesses is the end-to-end replication scenario:
+// leader with tables and live writes, follower catches up and serves
+// byte-identical answers, survives kill -9 and re-syncs, keeps serving
+// while the leader is SIGSTOPped, refuses writes with the leader's
+// address, and the leader shuts down cleanly on SIGTERM.
+func TestLeaderFollowerProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-process test")
+	}
+	bin := buildTopkd(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+
+	leader := startTopkd(t, bin, true,
+		"-addr=127.0.0.1:0", "-data-dir="+dataDir, "-repl-addr=127.0.0.1:0",
+		"-fsync=batch", "-max-batch-delay=1ms", "-shards=2", "-checkpoint-every=32")
+
+	for _, name := range []string{"fleet", "radar"} {
+		code, body, _ := httpDo(t, "PUT", "http://"+leader.addr+"/tables/"+name, "text/csv", fleetCSV)
+		if code != 201 {
+			t.Fatalf("put %s: %d %s", name, code, body)
+		}
+	}
+
+	follower := startTopkd(t, bin, false, "-addr=127.0.0.1:0", "-follow="+leader.replAddr)
+	waitUntil(t, "follower connect and initial sync", func() bool {
+		st := procStats(t, follower)
+		return st.Replication != nil && st.Replication.Connected &&
+			st.Replication.AppliedRecords >= 2
+	})
+
+	// Staleness is on /debug/stats: one entry per leader WAL shard, with
+	// positions and age. Leader positions arrive with the first heartbeat.
+	waitUntil(t, "heartbeat to carry leader positions", func() bool {
+		st := procStats(t, follower)
+		if st.Replication == nil || len(st.Replication.Shards) != 2 {
+			return false
+		}
+		for _, sh := range st.Replication.Shards {
+			if sh.LeaderSeg == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	st := procStats(t, follower)
+	if st.Replication.Role != "follower" || st.Replication.Leader != leader.replAddr {
+		t.Fatalf("replication block = %+v", st.Replication)
+	}
+	if lst := procStats(t, leader); lst.Replication == nil || lst.Replication.Role != "leader" || lst.Replication.Followers != 1 {
+		t.Fatalf("leader replication block = %+v", lst.Replication)
+	}
+
+	// Queries answer byte-identically on both processes.
+	topk := func(p *topkdProc, table string) string {
+		code, body, _ := httpDo(t, "GET", "http://"+p.addr+"/tables/"+table+"/topk?k=2", "", "")
+		if code != 200 {
+			t.Fatalf("topk on %s: %d %s", p.addr, code, body)
+		}
+		return body
+	}
+	waitUntil(t, "identical /topk", func() bool { return topk(leader, "fleet") == topk(follower, "fleet") })
+
+	// Writes on the follower: 403 naming the leader.
+	code, body, hdr := httpDo(t, "POST", "http://"+follower.addr+"/tables/fleet/tuples",
+		"application/json", `{"tuples":[{"id":"nope","score":1,"prob":0.5}]}`)
+	if code != 403 || !strings.Contains(body, leader.replAddr) {
+		t.Fatalf("follower write = %d %s", code, body)
+	}
+	if got := hdr.Get("X-Topk-Leader"); got != leader.replAddr {
+		t.Fatalf("X-Topk-Leader = %q, want %q", got, leader.replAddr)
+	}
+
+	// kill -9 the follower mid-stream: writes keep flowing on the leader.
+	stop := make(chan struct{})
+	var wrote sync.WaitGroup
+	wrote.Add(1)
+	go func() {
+		defer wrote.Done()
+		client := &http.Client{Timeout: 15 * time.Second}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			body := fmt.Sprintf(`{"tuples":[{"id":"live-%d","score":%d,"prob":0.5}]}`, i, 500+i)
+			resp, err := client.Post("http://"+leader.addr+"/tables/fleet/tuples",
+				"application/json", strings.NewReader(body))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	follower.cmd.Process.Kill() // SIGKILL, no goodbye
+	<-follower.exited
+	time.Sleep(100 * time.Millisecond) // leader keeps committing without it
+	close(stop)
+	wrote.Wait()
+
+	// A fresh follower process re-syncs everything it missed.
+	catchUpStart := time.Now()
+	follower2 := startTopkd(t, bin, false, "-addr=127.0.0.1:0", "-follow="+leader.replAddr)
+	waitUntil(t, "restarted follower to catch up", func() bool {
+		st := procStats(t, follower2)
+		if st.Replication == nil || !st.Replication.Connected {
+			return false
+		}
+		return topk(leader, "fleet") == topk(follower2, "fleet") &&
+			topk(leader, "radar") == topk(follower2, "radar")
+	})
+	st2 := procStats(t, follower2)
+	t.Logf("cold follower caught up in %v (%d records applied, %d resets)",
+		time.Since(catchUpStart).Round(time.Millisecond),
+		st2.Replication.AppliedRecords, st2.Replication.Resets)
+	lstats := procStats(t, leader)
+	fstats := procStats(t, follower2)
+	if lstats.Tables != fstats.Tables {
+		t.Fatalf("table counts diverge: leader %d, follower %d", lstats.Tables, fstats.Tables)
+	}
+
+	// SIGSTOP the leader: follower reads never touch it, so queries keep
+	// answering at full speed from local snapshots.
+	if err := leader.cmd.Process.Signal(syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		topk(follower2, "fleet")
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("follower query took %s with the leader stalled", d)
+		}
+	}
+	if err := leader.cmd.Process.Signal(syscall.SIGCONT); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGTERM the leader: graceful drain, clean exit.
+	if err := leader.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-leader.exited:
+		if err != nil {
+			t.Fatalf("leader exit after SIGTERM: %v\n%s", err, leader.logs())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("leader did not exit after SIGTERM\n%s", leader.logs())
+	}
+}

@@ -12,6 +12,8 @@
 //	topkd -addr :8080
 //	topkd -addr :8080 -load 'data/*.csv'
 //	topkd -addr :8080 -data-dir /var/lib/topkd
+//	topkd -addr :8080 -data-dir /var/lib/topkd -repl-addr :8081
+//	topkd -addr :8090 -follow leader-host:8081
 //
 // Each file matched by -load is served as a table named after its base name
 // (data/fleet.csv → "fleet"). With -data-dir, every mutation is appended to
@@ -36,22 +38,51 @@
 // pre-sharding build) is migrated in place at boot. See the package
 // documentation of internal/server (or the repository README) for the
 // endpoint reference and recovery semantics.
+//
+// # Replication
+//
+// -repl-addr (requires -data-dir) additionally serves the committed WAL
+// stream to followers: every mutation that has been acknowledged durable —
+// and only those — is shipped, in commit order. -follow <leader-repl-addr>
+// starts a read-only follower instead: it keeps no local data directory,
+// resyncs its full state from the leader on connect, applies the stream
+// into its own registry, and serves queries from local snapshots — a
+// follower query never touches the leader. Write endpoints on a follower
+// answer 403 naming the leader. Per-shard staleness (applied vs leader
+// committed position, bytes behind, seconds since the last applied record)
+// is on GET /debug/stats. A follower that loses its leader reconnects with
+// jittered exponential backoff and resumes — or resyncs, when the leader
+// has checkpointed past its position — automatically.
+//
+// # Shutdown
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight requests (up to -shutdown-timeout, then forcibly closes), then
+// closes replication and the durability backend, so every acknowledged
+// mutation is on disk (per the fsync policy) before the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"probtopk"
 	"probtopk/internal/persist"
+	"probtopk/internal/repl"
 	"probtopk/internal/server"
 )
 
@@ -74,29 +105,26 @@ func main() {
 		"shard the serving stack (registry, mutation mutex, WAL, prepared cache) this many ways by table name; 1 disables sharding")
 	pprofOn := flag.Bool("pprof", false,
 		"mount net/http/pprof profiling handlers under /debug/pprof/ (exposes internals; off by default)")
+	replAddr := flag.String("repl-addr", "",
+		"serve the committed WAL stream to followers on this address (requires -data-dir)")
+	follow := flag.String("follow", "",
+		"run as a read-only follower of the leader at this replication address (excludes -data-dir, -load and -repl-addr)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
+		"how long SIGINT/SIGTERM waits for in-flight requests before closing their connections")
 	flag.Parse()
 
-	srv, _, err := buildServer(config{
+	err := run(config{
+		addr: *addr, load: *load,
 		answerCache: *answerCache, engineCache: *engineCache,
 		dataDir: *dataDir, fsync: *fsync, maxBatchDelay: *maxBatchDelay,
 		checkpointEvery: *checkpointEvery,
 		shards:          *shards,
 		pprof:           *pprofOn,
+		replAddr:        *replAddr,
+		follow:          *follow,
+		shutdownTimeout: *shutdownTimeout,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "topkd:", err)
-		os.Exit(1)
-	}
-	names, err := loadTables(srv, *load)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "topkd:", err)
-		os.Exit(1)
-	}
-	for _, name := range names {
-		log.Printf("topkd: serving table %q", name)
-	}
-	log.Printf("topkd: listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fmt.Fprintln(os.Stderr, "topkd:", err)
 		os.Exit(1)
 	}
@@ -104,6 +132,8 @@ func main() {
 
 // config is the daemon's resolved flag set.
 type config struct {
+	addr            string
+	load            string
 	answerCache     int
 	engineCache     int
 	dataDir         string
@@ -112,6 +142,198 @@ type config struct {
 	checkpointEvery int
 	shards          int
 	pprof           bool
+	replAddr        string
+	follow          string
+	shutdownTimeout time.Duration
+}
+
+// validate rejects flag combinations with no coherent meaning.
+func (cfg config) validate() error {
+	if cfg.follow != "" {
+		if cfg.dataDir != "" {
+			return errors.New("-follow and -data-dir are mutually exclusive: a follower replicates the leader's durable state and keeps none of its own")
+		}
+		if cfg.load != "" {
+			return errors.New("-follow and -load are mutually exclusive: a follower is read-only and serves the leader's tables")
+		}
+		if cfg.replAddr != "" {
+			return errors.New("-follow and -repl-addr are mutually exclusive: chained replication is not supported")
+		}
+	}
+	if cfg.replAddr != "" && cfg.dataDir == "" {
+		return errors.New("-repl-addr requires -data-dir: followers catch up from the leader's WAL segments and checkpoint")
+	}
+	return nil
+}
+
+// run is the daemon's whole life: build, listen, serve, shut down. Split
+// from main (and from the flag values) so tests can drive real daemon
+// lifecycles in-process.
+func run(cfg config) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	srv, durable, err := buildServer(cfg)
+	if err != nil {
+		return err
+	}
+	d := &daemon{httpSrv: newHTTPServer(srv), timeout: cfg.shutdownTimeout}
+	if durable != nil {
+		d.closeManager = durable.Close
+	}
+
+	names, err := loadTables(srv, cfg.load)
+	if err != nil {
+		d.Shutdown() // release the data-dir lock and WAL
+		return err
+	}
+	for _, name := range names {
+		log.Printf("topkd: serving table %q", name)
+	}
+
+	switch {
+	case cfg.follow != "":
+		fol := repl.NewFollower(cfg.follow, srv)
+		srv.SetReplicationStats(followerStats(fol))
+		go fol.Run()
+		d.closeRepl = fol.Close
+		log.Printf("topkd: following leader at %s (read-only)", cfg.follow)
+	case cfg.replAddr != "":
+		ld := repl.NewLeader(durable)
+		ln, err := net.Listen("tcp", cfg.replAddr)
+		if err != nil {
+			d.Shutdown()
+			return fmt.Errorf("replication listen: %v", err)
+		}
+		srv.SetReplicationStats(leaderStats(ld))
+		go func() {
+			if err := ld.Serve(ln); err != nil {
+				log.Printf("topkd: replication listener failed: %v", err)
+			}
+		}()
+		d.closeRepl = func() { ld.Close() }
+		log.Printf("topkd: replicating on %s", ln.Addr())
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		d.Shutdown()
+		return err
+	}
+	log.Printf("topkd: listening on %s", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- d.httpSrv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-serveErr:
+		d.Shutdown() // the listener died on its own; still close cleanly
+		return err
+	case s := <-sig:
+		log.Printf("topkd: received %v, draining (up to %s)", s, d.timeout)
+		return d.Shutdown()
+	}
+}
+
+// newHTTPServer wraps the handler in an http.Server with the slow-client
+// protections a bare ListenAndServe never gets: a header read timeout (a
+// connection cannot hold a goroutine by trickling its request line) and an
+// idle timeout for keep-alive connections.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+// daemon owns the orderly teardown: drain HTTP first (in-flight mutations
+// may still need the WAL), then stop replication, then close the
+// durability backend. Shutdown is idempotent and safe from any goroutine —
+// whoever loses the race simply observes the first caller's result.
+type daemon struct {
+	httpSrv      *http.Server
+	timeout      time.Duration
+	closeRepl    func()
+	closeManager func() error
+
+	once sync.Once
+	err  error
+}
+
+// Shutdown runs the teardown exactly once and returns its error.
+func (d *daemon) Shutdown() error {
+	d.once.Do(func() {
+		if d.httpSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), d.timeout)
+			if err := d.httpSrv.Shutdown(ctx); err != nil {
+				// Drain deadline hit: cut the stragglers' connections.
+				d.httpSrv.Close()
+				d.err = fmt.Errorf("drain incomplete after %s: %v", d.timeout, err)
+			}
+			cancel()
+		}
+		if d.closeRepl != nil {
+			d.closeRepl()
+		}
+		if d.closeManager != nil {
+			if err := d.closeManager(); err != nil && d.err == nil {
+				d.err = err
+			}
+		}
+	})
+	return d.err
+}
+
+// followerStats adapts a follower's status to the /debug/stats block.
+func followerStats(f *repl.Follower) func() *server.ReplicationJSON {
+	return func() *server.ReplicationJSON {
+		st := f.Status()
+		out := &server.ReplicationJSON{
+			Role:           "follower",
+			Leader:         st.LeaderAddr,
+			Connected:      st.Connected,
+			Resets:         st.Resets,
+			Reconnects:     st.Reconnects,
+			AppliedRecords: st.AppliedRecords,
+			ApplyErrors:    st.ApplyErrors,
+		}
+		now := time.Now()
+		for _, sh := range st.Shards {
+			age := 0.0
+			if !sh.LastApplied.IsZero() {
+				age = now.Sub(sh.LastApplied).Seconds()
+			}
+			out.Shards = append(out.Shards, server.ReplicationShardJSON{
+				Shard:          sh.Shard,
+				AppliedRecords: sh.AppliedRecords,
+				AppliedSeg:     sh.Applied.Seg,
+				AppliedOff:     sh.Applied.Off,
+				LeaderSeg:      sh.Leader.Seg,
+				LeaderOff:      sh.Leader.Off,
+				BehindBytes:    sh.Behind(),
+				AgeSeconds:     age,
+			})
+		}
+		return out
+	}
+}
+
+// leaderStats adapts a leader's counters to the /debug/stats block.
+func leaderStats(ld *repl.Leader) func() *server.ReplicationJSON {
+	return func() *server.ReplicationJSON {
+		st := ld.Status()
+		return &server.ReplicationJSON{
+			Role:       "leader",
+			Followers:  st.Followers,
+			Resets:     st.Resets,
+			FramesSent: st.FramesSent,
+			BytesSent:  st.BytesSent,
+		}
+	}
 }
 
 // parseFsync maps the -fsync flag to the persist fsync/batch pair. The
@@ -133,7 +355,7 @@ func parseFsync(v string) (fsync, batch bool, err error) {
 // buildServer opens the durability backend (when configured), recovers and
 // restores its tables, and returns the ready server alongside the manager
 // (nil without -data-dir; the daemon holds it for the process lifetime).
-// Split from main so the restart test exercises the daemon's real boot
+// Split from run so the restart test exercises the daemon's real boot
 // sequence, including releasing the data-dir lock between lives.
 func buildServer(cfg config) (*server.Server, *persist.Manager, error) {
 	var durable *persist.Manager
@@ -168,6 +390,7 @@ func buildServer(cfg config) (*server.Server, *persist.Manager, error) {
 		Shards:          cfg.shards,
 		Durability:      durable,
 		EnablePprof:     cfg.pprof,
+		FollowerOf:      cfg.follow,
 	})
 	names := make([]string, 0, len(recovered))
 	for name := range recovered {

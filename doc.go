@@ -158,6 +158,28 @@
 // BenchmarkAppendDurableSharded tracks the aggregate durable-append
 // throughput gain, and GET /debug/stats reports per-shard counters.
 //
+// # Replication
+//
+// topkd -repl-addr makes a durable leader stream its committed WAL
+// frames to follower processes started with topkd -follow; each
+// follower replays the stream into its own registry (internal/repl) and
+// serves the full read surface from local snapshots. Frames are tapped
+// after the fsync that acknowledges them, so a follower only ever
+// serves acknowledged-durable state — a record whose group-commit fsync
+// failed is rolled back on the leader and never shipped. Follower reads
+// never touch the leader: a stalled or dead leader leaves queries
+// answering at full speed from the last replayed state. Followers are
+// memoryless across restarts — on (re)connect the leader continues from
+// retained WAL segments or, past a checkpoint truncation, resyncs a
+// table snapshot at the checkpoint watermark plus the WAL tail — and
+// reconnect with jittered exponential backoff. Per-shard staleness
+// (records applied, position vs. the leader's committed position,
+// bytes behind, age) is reported under GET /debug/stats; client writes
+// on a follower answer 403 with an X-Topk-Leader header naming the
+// leader. The daemon also shuts down gracefully on SIGINT/SIGTERM:
+// in-flight HTTP drains under -shutdown-timeout, then replication
+// closes, then the WAL.
+//
 // # Quick start
 //
 //	table := probtopk.NewTable()

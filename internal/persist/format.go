@@ -355,5 +355,24 @@ func readSnapshotFile(dir string) (map[string][]uncertain.Tuple, snapMeta, error
 	return decodeTables(data)
 }
 
+// ReadCheckpoint loads dir's checkpoint file for replication catch-up: the
+// tables it holds, the WAL shard count it was written under, and the
+// per-shard watermarks (the first segment sequence whose records the
+// snapshot does NOT cover). Safe to call while the owning manager keeps
+// serving — checkpoints replace the file with an atomic rename, so a read
+// sees either the old complete file or the new complete file, never a
+// partial one. A missing file (possible only before the manager's first
+// Open finished migrating the directory) returns shards == 0.
+func ReadCheckpoint(dir string) (tables map[string][]uncertain.Tuple, shards int, wms []uint64, err error) {
+	tables, meta, err := readSnapshotFile(dir)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if meta.version == 0 {
+		return tables, 0, nil, nil
+	}
+	return tables, meta.shards, meta.wms, nil
+}
+
 // appendString aliases the string framing shared with the WAL codec.
 func appendString(buf []byte, s string) []byte { return wal.AppendString(buf, s) }

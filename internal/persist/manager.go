@@ -405,6 +405,33 @@ func applyRecord(state map[string][]uncertain.Tuple, r wal.Record) error {
 // replayed across all shards, and whether a torn tail was truncated).
 func (m *Manager) ReplayInfo() wal.ReplayInfo { return m.replay }
 
+// Dir returns the manager's data directory. Replication reads the
+// checkpoint file from it (ReadCheckpoint) when a follower needs a full
+// resync.
+func (m *Manager) Dir() string { return m.dir }
+
+// TapShard registers fn as shard's WAL commit tap: it observes every record
+// the shard acknowledges from now on, in log order, called post-fsync with
+// the shard log's lock held — see wal.Log.SetCommitTap for the contract (fn
+// must not block). Records committed earlier are reachable through
+// ShardSegments + wal.ReadSegmentFrames.
+func (m *Manager) TapShard(shard int, fn wal.CommitTap) {
+	m.shards[shard].log.SetCommitTap(fn)
+}
+
+// ShardSegments returns shard's retained WAL segments and committed
+// position, atomically. A concurrent checkpoint may delete listed files
+// afterwards; readers retry from a fresh listing when a file has vanished.
+func (m *Manager) ShardSegments(shard int) ([]wal.SegmentRef, wal.Pos, error) {
+	return m.shards[shard].log.SegmentsSnapshot()
+}
+
+// ShardCommitted returns the position after shard's last acknowledged
+// record.
+func (m *Manager) ShardCommitted(shard int) wal.Pos {
+	return m.shards[shard].log.CommittedPos()
+}
+
 // Shards returns the manager's WAL shard count.
 func (m *Manager) Shards() int { return m.nshards }
 

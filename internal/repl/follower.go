@@ -1,0 +1,343 @@
+package repl
+
+import (
+	"bufio"
+	"log"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probtopk/internal/persist"
+	"probtopk/internal/wal"
+)
+
+// Applier is the state machine a follower replays the leader's records
+// into. *server.Server satisfies it. Calls arrive from a single goroutine.
+// An error from ApplyPut/ApplyAppend/ApplyDelete means the local state has
+// diverged from the stream; the follower reacts by reconnecting with a
+// forced resync, so appliers should fail loudly rather than patch around
+// inconsistencies.
+type Applier interface {
+	// ApplyPut installs tuples as the table's full contents.
+	ApplyPut(name string, tuples []Tuple) error
+	// ApplyAppend appends tuples to an existing table.
+	ApplyAppend(name string, tuples []Tuple) error
+	// ApplyDelete drops the table; an unknown name is an error.
+	ApplyDelete(name string) error
+	// TableNames lists every hosted table, for resolving a shard reset
+	// into the local tables to drop.
+	TableNames() []string
+}
+
+const (
+	minBackoff = 50 * time.Millisecond
+	maxBackoff = 5 * time.Second
+	// healthySession: a session that lived this long resets the backoff, so
+	// a leader restart after a long-lived stream reconnects fast.
+	healthySession = 10 * time.Second
+	dialTimeout    = 5 * time.Second
+)
+
+// ShardStatus is one shard's replication staleness as seen by a follower.
+type ShardStatus struct {
+	Shard          int
+	AppliedRecords uint64    // records applied this process lifetime
+	Applied        wal.Pos   // position after the last applied record
+	Leader         wal.Pos   // leader's committed position (last heartbeat)
+	LastApplied    time.Time // zero until the first record lands
+}
+
+// Behind returns how far this shard lags the leader in WAL bytes: 0 when
+// caught up, a byte count within one segment, -1 when the gap spans a
+// segment rotation (byte distance across files is not meaningful).
+func (s ShardStatus) Behind() int64 {
+	if !s.Applied.Less(s.Leader) {
+		return 0
+	}
+	if s.Applied.Seg == s.Leader.Seg {
+		return s.Leader.Off - s.Applied.Off
+	}
+	return -1
+}
+
+// Status is a point-in-time snapshot of a follower's replication state.
+type Status struct {
+	LeaderAddr     string
+	Connected      bool
+	Shards         []ShardStatus
+	Resets         uint64
+	Reconnects     uint64
+	AppliedRecords uint64
+	ApplyErrors    uint64
+}
+
+// Follower maintains a replication session to the leader at addr, applying
+// the stream into app. It keeps no on-disk state: a fresh process always
+// resyncs from the leader's checkpoint, and a live one resumes from its
+// in-memory positions.
+type Follower struct {
+	addr string
+	app  Applier
+
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	started atomic.Bool
+
+	mu          sync.Mutex
+	conn        net.Conn // live connection, closed by Close to unblock reads
+	connected   bool
+	shards      int
+	pos         []wal.Pos
+	leaderPos   []wal.Pos
+	applied     []uint64
+	lastApplied []time.Time
+	forceReset  bool // next hello requests an unconditional resync
+	sessions    uint64
+	resets      uint64
+	appliedAll  uint64
+	applyErrors uint64
+}
+
+// NewFollower returns a follower for the leader at addr. Call Run (usually
+// in a goroutine) to start it and Close to stop it.
+func NewFollower(addr string, app Applier) *Follower {
+	return &Follower{
+		addr: addr,
+		app:  app,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Run drives the replication session until Close: dial, handshake, apply
+// the stream; on any error, reconnect with jittered exponential backoff.
+func (f *Follower) Run() {
+	f.started.Store(true)
+	defer close(f.done)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	backoff := minBackoff
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		began := time.Now()
+		err := f.session()
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		if err != nil {
+			log.Printf("repl: follower: %v (reconnecting)", err)
+		}
+		if time.Since(began) >= healthySession {
+			backoff = minBackoff
+		}
+		// Jitter in [0.5, 1.5) of the nominal backoff so a herd of
+		// followers does not reconnect in lockstep.
+		delay := time.Duration(float64(backoff) * (0.5 + rng.Float64()))
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(delay):
+		}
+	}
+}
+
+// Close stops the follower and waits for Run to return.
+func (f *Follower) Close() {
+	f.once.Do(func() {
+		close(f.stop)
+		f.mu.Lock()
+		if f.conn != nil {
+			f.conn.Close()
+		}
+		f.mu.Unlock()
+	})
+	if f.started.Load() {
+		<-f.done
+	}
+}
+
+// Status returns the follower's replication state.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Status{
+		LeaderAddr:     f.addr,
+		Connected:      f.connected,
+		Resets:         f.resets,
+		AppliedRecords: f.appliedAll,
+		ApplyErrors:    f.applyErrors,
+	}
+	if f.sessions > 1 {
+		st.Reconnects = f.sessions - 1
+	}
+	st.Shards = make([]ShardStatus, f.shards)
+	for i := 0; i < f.shards; i++ {
+		st.Shards[i] = ShardStatus{
+			Shard:          i,
+			AppliedRecords: f.applied[i],
+			Applied:        f.pos[i],
+			Leader:         f.leaderPos[i],
+			LastApplied:    f.lastApplied[i],
+		}
+	}
+	return st
+}
+
+// session runs one connection's lifetime: handshake, then read-and-apply
+// until an error or Close.
+func (f *Follower) session() error {
+	conn, err := net.DialTimeout("tcp", f.addr, dialTimeout)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.conn = conn
+	hello := encodeHello(0, nil)
+	if !f.forceReset && f.shards > 0 {
+		hello = encodeHello(f.shards, f.pos)
+	}
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.conn = nil
+		f.connected = false
+		f.mu.Unlock()
+		conn.Close()
+	}()
+
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := writeMagic(conn); err != nil {
+		return err
+	}
+	if err := writeMsg(conn, hello); err != nil {
+		return err
+	}
+	if err := readMagic(conn); err != nil {
+		return err
+	}
+	r := bufio.NewReaderSize(conn, 1<<16)
+	payload, err := readMsg(r)
+	if err != nil {
+		return err
+	}
+	leaderShards, err := decodeReply(payload)
+	if err != nil {
+		return err
+	}
+	conn.SetWriteDeadline(time.Time{})
+
+	f.mu.Lock()
+	if f.shards != leaderShards {
+		// New layout (first connect, or the leader was rebuilt with a
+		// different shard count): all positions start over. The leader saw
+		// a mismatched hello and will open every shard with a reset.
+		f.shards = leaderShards
+		f.pos = make([]wal.Pos, leaderShards)
+		f.leaderPos = make([]wal.Pos, leaderShards)
+		f.applied = make([]uint64, leaderShards)
+		f.lastApplied = make([]time.Time, leaderShards)
+	}
+	f.forceReset = false
+	f.connected = true
+	f.sessions++
+	f.mu.Unlock()
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(readTimeout))
+		payload, err := readMsg(r)
+		if err != nil {
+			return err
+		}
+		m, err := decodeMessage(payload, leaderShards)
+		if err != nil {
+			return err
+		}
+		switch m.kind {
+		case msgReset:
+			f.applyReset(m.shard)
+		case msgRecord, msgSnapshot:
+			if err := f.applyRecord(m); err != nil {
+				f.mu.Lock()
+				f.applyErrors++
+				f.forceReset = true
+				f.mu.Unlock()
+				return err
+			}
+		case msgAdvance:
+			f.mu.Lock()
+			if f.pos[m.shard].Less(m.pos) {
+				f.pos[m.shard] = m.pos
+			}
+			f.mu.Unlock()
+		case msgHeartbeat:
+			f.mu.Lock()
+			copy(f.leaderPos, m.heartbeat)
+			f.mu.Unlock()
+		}
+	}
+}
+
+// applyReset drops every local table belonging to shard and rewinds its
+// position; the leader follows with the shard's full contents.
+func (f *Follower) applyReset(shard int) {
+	for _, name := range f.app.TableNames() {
+		if persist.ShardOf(name, f.shards) == shard {
+			if err := f.app.ApplyDelete(name); err != nil {
+				log.Printf("repl: follower: dropping %q for shard %d reset: %v", name, shard, err)
+			}
+		}
+	}
+	f.mu.Lock()
+	f.pos[shard] = wal.Pos{}
+	f.resets++
+	f.mu.Unlock()
+}
+
+// applyRecord decodes and applies one record message, deduplicating by
+// position (catch-up and the live tap may overlap at the seam). Snapshot
+// records skip the dedup: a shard's checkpoint tables all ride at the same
+// position (the watermark), and they only ever follow a reset.
+func (f *Follower) applyRecord(m message) error {
+	f.mu.Lock()
+	cur := f.pos[m.shard]
+	f.mu.Unlock()
+	if m.kind != msgSnapshot && !cur.Less(m.pos) {
+		return nil
+	}
+	rec, err := wal.DecodeFrame(m.frame)
+	if err != nil {
+		return err
+	}
+	switch rec.Op {
+	case wal.OpPut:
+		err = f.app.ApplyPut(rec.Name, rec.Tuples)
+	case wal.OpAppend:
+		err = f.app.ApplyAppend(rec.Name, rec.Tuples)
+	case wal.OpDelete:
+		err = f.app.ApplyDelete(rec.Name)
+	}
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if f.pos[m.shard].Less(m.pos) {
+		f.pos[m.shard] = m.pos
+	}
+	f.applied[m.shard]++
+	f.appliedAll++
+	f.lastApplied[m.shard] = time.Now()
+	f.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,525 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probtopk/internal/persist"
+	"probtopk/internal/uncertain"
+	"probtopk/internal/wal"
+)
+
+// subBuffer is the per-follower, per-shard live-feed buffer. The commit tap
+// must never block, so a follower that falls this many records behind the
+// live stream is cut off and made to reconnect (it then catches up from the
+// segment files, where backpressure is harmless).
+const subBuffer = 4096
+
+// catchUpAttempts bounds the reset-and-retry loop when checkpoints keep
+// racing the catch-up reads. Each retry requires a full checkpoint cycle to
+// have completed in the middle of ours, so two is already unlikely.
+const catchUpAttempts = 5
+
+// tapMsg is one committed record as observed by the WAL tap.
+type tapMsg struct {
+	pos   wal.Pos
+	frame []byte
+}
+
+type subscriber struct{ ch chan tapMsg }
+
+// hub fans one shard's commit tap out to its subscribers without ever
+// blocking the commit path: a subscriber whose buffer is full is removed
+// and its channel closed, which the pump turns into a dropped connection.
+type hub struct {
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+}
+
+func newHub() *hub { return &hub{subs: make(map[*subscriber]struct{})} }
+
+// publish runs under the shard WAL's internal lock (wal.CommitTap
+// contract): non-blocking, no calls back into the log.
+func (h *hub) publish(pos wal.Pos, frame []byte) {
+	h.mu.Lock()
+	for s := range h.subs {
+		select {
+		case s.ch <- tapMsg{pos: pos, frame: frame}:
+		default:
+			delete(h.subs, s)
+			close(s.ch)
+		}
+	}
+	h.mu.Unlock()
+}
+
+func (h *hub) subscribe() *subscriber {
+	s := &subscriber{ch: make(chan tapMsg, subBuffer)}
+	h.mu.Lock()
+	h.subs[s] = struct{}{}
+	h.mu.Unlock()
+	return s
+}
+
+func (h *hub) unsubscribe(s *subscriber) {
+	h.mu.Lock()
+	delete(h.subs, s)
+	h.mu.Unlock()
+}
+
+// sendError marks an error from writing to the follower connection, so the
+// catch-up path can tell "the connection is dead" (fatal for this session)
+// from "the segment file went away under us" (retry with a reset).
+type sendError struct{ err error }
+
+func (e *sendError) Error() string { return e.err.Error() }
+func (e *sendError) Unwrap() error { return e.err }
+
+// connWriter is the leader's per-connection writer: buffered, with a write
+// deadline armed before every write so a wedged follower cannot hold the
+// handler goroutine forever.
+type connWriter struct {
+	conn  net.Conn
+	w     *bufio.Writer
+	bytes *atomic.Uint64
+}
+
+func (cw *connWriter) writeMsg(payload []byte) error {
+	cw.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	if err := writeMsg(cw.w, payload); err != nil {
+		return err
+	}
+	cw.bytes.Add(uint64(len(payload) + 8))
+	return nil
+}
+
+func (cw *connWriter) flush() error {
+	cw.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	return cw.w.Flush()
+}
+
+// Leader streams the manager's committed records to followers. One Leader
+// serves any number of connections; each connection gets the full shard set.
+type Leader struct {
+	man     *persist.Manager
+	nshards int
+
+	hubs []*hub
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	followers  atomic.Int64
+	framesSent atomic.Uint64
+	bytesSent  atomic.Uint64
+	resets     atomic.Uint64
+}
+
+// LeaderStatus is a point-in-time snapshot of the leader's counters.
+type LeaderStatus struct {
+	Followers  int
+	FramesSent uint64
+	BytesSent  uint64
+	Resets     uint64
+}
+
+// NewLeader registers commit taps on every shard of man and returns a
+// leader ready to Serve. Close unregisters the taps.
+func NewLeader(man *persist.Manager) *Leader {
+	ld := &Leader{
+		man:     man,
+		nshards: man.Shards(),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	ld.hubs = make([]*hub, ld.nshards)
+	for i := range ld.hubs {
+		h := newHub()
+		ld.hubs[i] = h
+		man.TapShard(i, h.publish)
+	}
+	return ld
+}
+
+// Serve accepts follower connections on ln until Close. It returns nil
+// after Close, or the first non-shutdown accept error.
+func (ld *Leader) Serve(ln net.Listener) error {
+	ld.mu.Lock()
+	if ld.closed {
+		ld.mu.Unlock()
+		ln.Close()
+		return errors.New("repl: leader is closed")
+	}
+	ld.ln = ln
+	ld.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			ld.mu.Lock()
+			closed := ld.closed
+			ld.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		ld.mu.Lock()
+		if ld.closed {
+			ld.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		ld.conns[conn] = struct{}{}
+		ld.wg.Add(1)
+		ld.mu.Unlock()
+		go func() {
+			defer ld.wg.Done()
+			ld.handleConn(conn)
+			ld.mu.Lock()
+			delete(ld.conns, conn)
+			ld.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// Close unregisters the WAL taps, stops the listener, drops every follower
+// connection and waits for their handlers to finish.
+func (ld *Leader) Close() error {
+	ld.mu.Lock()
+	if ld.closed {
+		ld.mu.Unlock()
+		return nil
+	}
+	ld.closed = true
+	ln := ld.ln
+	for c := range ld.conns {
+		c.Close()
+	}
+	ld.mu.Unlock()
+	for i := 0; i < ld.nshards; i++ {
+		ld.man.TapShard(i, nil)
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	ld.wg.Wait()
+	return nil
+}
+
+// Status returns the leader's counters.
+func (ld *Leader) Status() LeaderStatus {
+	return LeaderStatus{
+		Followers:  int(ld.followers.Load()),
+		FramesSent: ld.framesSent.Load(),
+		BytesSent:  ld.bytesSent.Load(),
+		Resets:     ld.resets.Load(),
+	}
+}
+
+// handleConn runs one follower session: handshake, per-shard catch-up from
+// checkpoint + retained segments, then the live tap with heartbeats.
+func (ld *Leader) handleConn(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	if err := readMagic(conn); err != nil {
+		log.Printf("repl: leader: rejecting %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	payload, err := readMsg(conn)
+	if err != nil {
+		log.Printf("repl: leader: handshake from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	theirShards, theirPos, err := decodeHello(payload)
+	if err != nil {
+		log.Printf("repl: leader: handshake from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	// The follower never writes again; clear the read deadline and rely on
+	// write errors (heartbeats flow constantly) to detect a dead peer.
+	conn.SetReadDeadline(time.Time{})
+
+	cw := &connWriter{conn: conn, w: bufio.NewWriterSize(conn, 1<<16), bytes: &ld.bytesSent}
+	if err := writeMagic(conn); err != nil {
+		return
+	}
+	if err := cw.writeMsg(encodeReply(ld.nshards)); err != nil {
+		return
+	}
+	if err := cw.flush(); err != nil {
+		return
+	}
+
+	// A follower from a different shard layout starts over from scratch.
+	from := make([]wal.Pos, ld.nshards)
+	if theirShards == ld.nshards {
+		copy(from, theirPos)
+	}
+
+	// Subscribe BEFORE reading the committed positions that bound catch-up,
+	// so no record can fall between the file reads and the live feed. The
+	// overlap is deduplicated by position in the steady-state loop.
+	subs := make([]*subscriber, ld.nshards)
+	for i := range subs {
+		subs[i] = ld.hubs[i].subscribe()
+	}
+	defer func() {
+		for i, s := range subs {
+			ld.hubs[i].unsubscribe(s)
+		}
+	}()
+
+	ld.followers.Add(1)
+	defer ld.followers.Add(-1)
+
+	sent := make([]wal.Pos, ld.nshards)
+	for s := 0; s < ld.nshards; s++ {
+		sp, err := ld.catchUpShard(cw, s, from[s])
+		if err != nil {
+			log.Printf("repl: leader: catch-up of %s shard %d: %v", conn.RemoteAddr(), s, err)
+			return
+		}
+		sent[s] = sp
+		// Land the follower on the committed position even when nothing
+		// was shipped (empty or already caught-up shard), so its staleness
+		// reporting starts from a real position instead of zero.
+		if err := cw.writeMsg(encodeAdvance(s, sp)); err != nil {
+			return
+		}
+	}
+	if err := cw.flush(); err != nil {
+		return
+	}
+
+	ld.streamLive(cw, subs, sent)
+}
+
+// catchUpShard brings one shard of the follower to the leader's committed
+// position, retrying with a full reset when a concurrent checkpoint
+// invalidates the files mid-read. It returns the position after the last
+// record shipped (the live stream's dedup floor).
+func (ld *Leader) catchUpShard(cw *connWriter, shard int, from wal.Pos) (wal.Pos, error) {
+	for attempt := 0; attempt < catchUpAttempts; attempt++ {
+		sent, retry, err := ld.tryCatchUp(cw, shard, from)
+		if err != nil {
+			return wal.Pos{}, err
+		}
+		if !retry {
+			return sent, nil
+		}
+		// Whatever we managed to send is about to be superseded: the next
+		// attempt opens with a reset, which wipes the shard on the follower.
+		from = wal.Pos{}
+	}
+	return wal.Pos{}, fmt.Errorf("repl: shard %d catch-up kept racing checkpoints after %d attempts", shard, catchUpAttempts)
+}
+
+// tryCatchUp makes one catch-up attempt. retry=true means a checkpoint
+// raced us (snapshot stale, or a segment vanished mid-read) and the caller
+// should start over with a reset; a non-nil err means the connection is
+// unusable or the leader's own state is unreadable.
+func (ld *Leader) tryCatchUp(cw *connWriter, shard int, from wal.Pos) (sent wal.Pos, retry bool, err error) {
+	segs, committed, err := ld.man.ShardSegments(shard)
+	if err != nil {
+		return wal.Pos{}, false, err
+	}
+	reset := from.IsZero() || committed.Less(from) || len(segs) == 0 || from.Seg < segs[0].Seq
+	if !reset {
+		// CONTINUE: everything from the follower's position is retained.
+		return ld.streamSegments(cw, shard, segs, from, committed)
+	}
+
+	// RESET: ship the checkpoint snapshot's tables for this shard, then the
+	// retained segments from the snapshot's watermark. Read the snapshot
+	// FIRST, list segments SECOND: the listing then proves whether the
+	// snapshot is current (its watermark at or above the oldest retained
+	// segment) — a checkpoint that completed in between is detected as a
+	// stale snapshot and retried, never silently skipped records.
+	tables, snapShards, wms, err := persist.ReadCheckpoint(ld.man.Dir())
+	if err != nil {
+		return wal.Pos{}, false, fmt.Errorf("reading checkpoint: %w", err)
+	}
+	if snapShards != ld.nshards {
+		// Open rewrites the checkpoint on any layout change, so this means
+		// the data directory is not the one the manager opened.
+		return wal.Pos{}, false, fmt.Errorf("checkpoint has %d shards, manager has %d", snapShards, ld.nshards)
+	}
+	wm := wms[shard]
+	segs, committed, err = ld.man.ShardSegments(shard)
+	if err != nil {
+		return wal.Pos{}, false, err
+	}
+	if len(segs) > 0 && segs[0].Seq > wm {
+		return wal.Pos{}, true, nil // snapshot already superseded
+	}
+	if err := cw.writeMsg(encodeReset(shard)); err != nil {
+		return wal.Pos{}, false, err
+	}
+	ld.resets.Add(1)
+
+	start := wal.Pos{Seg: wm, Off: wal.SegmentDataStart}
+	names := make([]string, 0, len(tables))
+	for name := range tables {
+		if persist.ShardOf(name, ld.nshards) == shard {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		frame, err := wal.EncodeFrame(wal.Record{Op: wal.OpPut, Name: name, Tuples: tables[name]})
+		if err != nil {
+			return wal.Pos{}, false, fmt.Errorf("encoding snapshot table %q: %w", name, err)
+		}
+		// Snapshot tables ride at the watermark position: anything the
+		// segments replay is strictly after it. They go as snapshot
+		// messages — all at the same position, so the follower must apply
+		// them without its duplicate-position guard.
+		if err := cw.writeMsg(encodeSnapshot(shard, start, frame)); err != nil {
+			return wal.Pos{}, false, err
+		}
+		ld.framesSent.Add(1)
+	}
+	return ld.streamSegments(cw, shard, segs, start, committed)
+}
+
+// streamSegments ships the committed frames in (start, committed] from the
+// listed segment files. A file error (vanished or truncated by a concurrent
+// checkpoint) is a retry; a connection error is fatal.
+func (ld *Leader) streamSegments(cw *connWriter, shard int, segs []wal.SegmentRef, start, committed wal.Pos) (wal.Pos, bool, error) {
+	for _, seg := range segs {
+		if seg.Seq < start.Seg || seg.Seq > committed.Seg {
+			continue
+		}
+		from := wal.SegmentDataStart
+		if seg.Seq == start.Seg {
+			from = start.Off
+		}
+		err := wal.ReadSegmentFrames(seg.Path, seg.Seq, from, committed, func(pos wal.Pos, frame []byte) error {
+			if err := cw.writeMsg(encodeRecord(shard, pos, frame)); err != nil {
+				return &sendError{err: err}
+			}
+			ld.framesSent.Add(1)
+			return nil
+		})
+		if err != nil {
+			var se *sendError
+			if errors.As(err, &se) {
+				return wal.Pos{}, false, se.err
+			}
+			return wal.Pos{}, true, nil
+		}
+	}
+	// Every committed record at listing time has been shipped; later ones
+	// are waiting in the live subscription.
+	return committed, false, nil
+}
+
+// outFrame is one live record on its way from a shard pump to the writer.
+type outFrame struct {
+	shard int
+	pos   wal.Pos
+	frame []byte
+}
+
+// streamLive forwards the live tap until the connection dies or a pump
+// overruns. sent holds the per-shard dedup floor from catch-up.
+func (ld *Leader) streamLive(cw *connWriter, subs []*subscriber, sent []wal.Pos) {
+	out := make(chan outFrame, 256)
+	overrun := make(chan int, len(subs))
+	stop := make(chan struct{})
+	var pumps sync.WaitGroup
+	defer pumps.Wait()
+	defer close(stop)
+	for i, sub := range subs {
+		pumps.Add(1)
+		go func(shard int, ch <-chan tapMsg) {
+			defer pumps.Done()
+			for {
+				select {
+				case m, ok := <-ch:
+					if !ok {
+						// The hub cut us off: this follower fell more than
+						// subBuffer records behind the commit stream.
+						select {
+						case overrun <- shard:
+						default:
+						}
+						return
+					}
+					select {
+					case out <- outFrame{shard: shard, pos: m.pos, frame: m.frame}:
+					case <-stop:
+						return
+					}
+				case <-stop:
+					return
+				}
+			}
+		}(i, sub.ch)
+	}
+
+	send := func(f outFrame) error {
+		if !sent[f.shard].Less(f.pos) {
+			return nil // already shipped during catch-up
+		}
+		if err := cw.writeMsg(encodeRecord(f.shard, f.pos, f.frame)); err != nil {
+			return err
+		}
+		sent[f.shard] = f.pos
+		ld.framesSent.Add(1)
+		return nil
+	}
+
+	ticker := time.NewTicker(heartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case f := <-out:
+			if err := send(f); err != nil {
+				return
+			}
+			// Drain whatever else is queued before paying for a flush.
+			for drained := false; !drained; {
+				select {
+				case f := <-out:
+					if err := send(f); err != nil {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			if err := cw.flush(); err != nil {
+				return
+			}
+		case <-ticker.C:
+			hb := make([]wal.Pos, ld.nshards)
+			for i := range hb {
+				hb[i] = ld.man.ShardCommitted(i)
+			}
+			if err := cw.writeMsg(encodeHeartbeat(hb)); err != nil {
+				return
+			}
+			if err := cw.flush(); err != nil {
+				return
+			}
+		case shard := <-overrun:
+			log.Printf("repl: leader: follower %s overran shard %d's live buffer; dropping it to re-sync from segments", cw.conn.RemoteAddr(), shard)
+			return
+		}
+	}
+}
+
+// Tuples is the element type the apply path traffics in; declared here so
+// follower.go's Applier doc can reference it without importing uncertain in
+// every consumer. (Type alias — identical to probtopk.Tuple.)
+type Tuple = uncertain.Tuple

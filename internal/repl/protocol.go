@@ -1,0 +1,271 @@
+// Package repl replicates a leader's committed WAL stream to read-only
+// followers over TCP.
+//
+// The leader taps every shard's WAL at the group-commit batcher
+// (wal.CommitTap), so only records whose fsync has succeeded — records the
+// leader has acknowledged to a client — ever reach the wire. A follower
+// that connects cold, or whose position is no longer retained on the
+// leader, is resynced from the leader's checkpoint snapshot plus retained
+// segments (a RESET); one that reconnects within the retained window
+// resumes from its last applied position (a CONTINUE). Either way the
+// stream then switches to the live commit tap, deduplicated by position,
+// so a record is applied at most once per session.
+//
+// Wire format. After an 8-byte magic exchange ("PTKREPL1" both ways), every
+// message is framed exactly like a WAL record: uint32 little-endian payload
+// length, uint32 little-endian CRC32C of the payload, payload. The
+// follower's hello payload carries its shard count and per-shard applied
+// positions (uvarints); the leader's reply carries its shard count. Stream
+// payloads start with a type byte:
+//
+//	reset     (1): uvarint shard — drop every local table of that shard
+//	record    (2): uvarint shard, seg, endOff, then a raw WAL frame
+//	heartbeat (3): uvarint count, then (seg, endOff) per shard — the
+//	               leader's committed positions, for staleness tracking
+//	advance   (4): uvarint shard, seg, endOff — everything at or below
+//	               this position has been shipped; sent at the end of a
+//	               shard's catch-up so an empty (or already caught-up)
+//	               shard still lands on the leader's committed position
+//	snapshot  (5): shaped like record — a checkpoint table shipped after a
+//	               reset. Applied without the position dedup (every
+//	               snapshot table of a shard rides at the same position,
+//	               the checkpoint watermark)
+//
+// The follower never writes after its hello; the leader never reads after
+// its reply. Liveness is the heartbeat (leader → follower) and the write
+// error a dead peer eventually produces (follower → leader).
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"probtopk/internal/persist"
+	"probtopk/internal/wal"
+)
+
+// protocolMagic opens both directions of a replication connection.
+const protocolMagic = "PTKREPL1"
+
+const (
+	msgReset     byte = 1
+	msgRecord    byte = 2
+	msgHeartbeat byte = 3
+	msgAdvance   byte = 4
+	msgSnapshot  byte = 5
+)
+
+// maxMsgBytes bounds what a hostile or corrupt length prefix can make the
+// receiver allocate. WAL records are capped well below this.
+const maxMsgBytes = 64 << 20
+
+const (
+	handshakeTimeout = 10 * time.Second
+	// writeTimeout bounds a single buffered write or flush on the leader; a
+	// follower that cannot drain a flush for this long is dropped (it will
+	// reconnect and catch up from segments).
+	writeTimeout = 30 * time.Second
+	// readTimeout bounds the follower's wait for the next message. The
+	// leader heartbeats every heartbeatInterval, so hitting this means the
+	// leader is gone or wedged.
+	readTimeout       = 10 * time.Second
+	heartbeatInterval = 500 * time.Millisecond
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// writeMsg frames payload onto w: length, CRC32C, bytes.
+func writeMsg(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readMsg reads one framed payload from r, verifying length bound and CRC.
+func readMsg(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxMsgBytes {
+		return nil, fmt.Errorf("repl: message of %d bytes exceeds the %d-byte limit", n, maxMsgBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, errors.New("repl: message CRC mismatch")
+	}
+	return payload, nil
+}
+
+// writeMagic sends the protocol magic raw (unframed — it IS the framing
+// bootstrap: a peer speaking anything else fails here, before any length
+// prefix is trusted).
+func writeMagic(w io.Writer) error {
+	_, err := w.Write([]byte(protocolMagic))
+	return err
+}
+
+func readMagic(r io.Reader) error {
+	buf := make([]byte, len(protocolMagic))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	if string(buf) != protocolMagic {
+		return fmt.Errorf("repl: bad protocol magic %q", buf)
+	}
+	return nil
+}
+
+// encodeHello builds the follower's hello payload: its shard count and the
+// position after the last record it applied per shard. shards == 0 requests
+// an unconditional resync (cold start, or after an apply error).
+func encodeHello(shards int, pos []wal.Pos) []byte {
+	buf := binary.AppendUvarint(nil, uint64(shards))
+	for i := 0; i < shards; i++ {
+		buf = binary.AppendUvarint(buf, pos[i].Seg)
+		buf = binary.AppendUvarint(buf, uint64(pos[i].Off))
+	}
+	return buf
+}
+
+func decodeHello(payload []byte) (int, []wal.Pos, error) {
+	d := wal.Decoder{Buf: payload, Prefix: "repl"}
+	n := d.Uvarint()
+	if d.Err() == nil && n > persist.MaxShards {
+		d.Fail("hello shard count %d exceeds %d", n, persist.MaxShards)
+	}
+	var pos []wal.Pos
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		seg := d.Uvarint()
+		off := d.Uvarint()
+		pos = append(pos, wal.Pos{Seg: seg, Off: int64(off)})
+	}
+	if err := d.Err(); err != nil {
+		return 0, nil, err
+	}
+	if len(d.Buf) != 0 {
+		return 0, nil, errors.New("repl: trailing bytes after hello")
+	}
+	return int(n), pos, nil
+}
+
+// encodeReply builds the leader's handshake reply: its shard count.
+func encodeReply(shards int) []byte {
+	return binary.AppendUvarint(nil, uint64(shards))
+}
+
+func decodeReply(payload []byte) (int, error) {
+	d := wal.Decoder{Buf: payload, Prefix: "repl"}
+	n := d.Uvarint()
+	if d.Err() == nil && (n < 1 || n > persist.MaxShards) {
+		d.Fail("leader shard count %d out of range [1, %d]", n, persist.MaxShards)
+	}
+	if err := d.Err(); err != nil {
+		return 0, err
+	}
+	if len(d.Buf) != 0 {
+		return 0, errors.New("repl: trailing bytes after handshake reply")
+	}
+	return int(n), nil
+}
+
+// message is one decoded stream payload.
+type message struct {
+	kind      byte
+	shard     int
+	pos       wal.Pos   // record: position after the frame on the leader
+	frame     []byte    // record: raw WAL frame (aliases the payload)
+	heartbeat []wal.Pos // heartbeat: leader committed positions per shard
+}
+
+func encodeReset(shard int) []byte {
+	return binary.AppendUvarint([]byte{msgReset}, uint64(shard))
+}
+
+func encodeRecord(shard int, pos wal.Pos, frame []byte) []byte {
+	return encodeFramed(msgRecord, shard, pos, frame)
+}
+
+func encodeSnapshot(shard int, pos wal.Pos, frame []byte) []byte {
+	return encodeFramed(msgSnapshot, shard, pos, frame)
+}
+
+func encodeFramed(kind byte, shard int, pos wal.Pos, frame []byte) []byte {
+	buf := binary.AppendUvarint([]byte{kind}, uint64(shard))
+	buf = binary.AppendUvarint(buf, pos.Seg)
+	buf = binary.AppendUvarint(buf, uint64(pos.Off))
+	return append(buf, frame...)
+}
+
+func encodeAdvance(shard int, pos wal.Pos) []byte {
+	buf := binary.AppendUvarint([]byte{msgAdvance}, uint64(shard))
+	buf = binary.AppendUvarint(buf, pos.Seg)
+	return binary.AppendUvarint(buf, uint64(pos.Off))
+}
+
+func encodeHeartbeat(pos []wal.Pos) []byte {
+	buf := binary.AppendUvarint([]byte{msgHeartbeat}, uint64(len(pos)))
+	for _, p := range pos {
+		buf = binary.AppendUvarint(buf, p.Seg)
+		buf = binary.AppendUvarint(buf, uint64(p.Off))
+	}
+	return buf
+}
+
+// decodeMessage parses a stream payload. m.frame and m.heartbeat alias
+// payload; shards bounds the shard indices a peer may claim.
+func decodeMessage(payload []byte, shards int) (message, error) {
+	d := wal.Decoder{Buf: payload, Prefix: "repl"}
+	var m message
+	m.kind = d.Byte()
+	switch m.kind {
+	case msgReset:
+		m.shard = int(d.Uvarint())
+	case msgRecord, msgSnapshot:
+		m.shard = int(d.Uvarint())
+		m.pos.Seg = d.Uvarint()
+		m.pos.Off = int64(d.Uvarint())
+		if d.Err() == nil {
+			m.frame = d.Buf
+			d.Buf = nil
+		}
+	case msgAdvance:
+		m.shard = int(d.Uvarint())
+		m.pos.Seg = d.Uvarint()
+		m.pos.Off = int64(d.Uvarint())
+	case msgHeartbeat:
+		n := d.Uvarint()
+		if d.Err() == nil && n > persist.MaxShards {
+			d.Fail("heartbeat shard count %d exceeds %d", n, persist.MaxShards)
+		}
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			seg := d.Uvarint()
+			off := d.Uvarint()
+			m.heartbeat = append(m.heartbeat, wal.Pos{Seg: seg, Off: int64(off)})
+		}
+	default:
+		if d.Err() == nil {
+			d.Fail("unknown message type %d", m.kind)
+		}
+	}
+	if err := d.Err(); err != nil {
+		return message{}, err
+	}
+	if m.kind != msgHeartbeat && (m.shard < 0 || m.shard >= shards) {
+		return message{}, fmt.Errorf("repl: shard %d out of range [0, %d)", m.shard, shards)
+	}
+	return m, nil
+}

@@ -1,0 +1,452 @@
+package repl
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"probtopk/internal/persist"
+	"probtopk/internal/persist/crashtest"
+	"probtopk/internal/uncertain"
+	"probtopk/internal/wal"
+)
+
+// fakeApplier is an in-memory Applier: a plain table map. It lets the
+// tests assert exactly what the replication stream delivered, independent
+// of the server's own apply semantics (covered by the daemon's tests).
+type fakeApplier struct {
+	mu     sync.Mutex
+	tables map[string][]uncertain.Tuple
+}
+
+func newFakeApplier() *fakeApplier {
+	return &fakeApplier{tables: make(map[string][]uncertain.Tuple)}
+}
+
+func (a *fakeApplier) ApplyPut(name string, tuples []uncertain.Tuple) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tables[name] = append([]uncertain.Tuple(nil), tuples...)
+	return nil
+}
+
+func (a *fakeApplier) ApplyAppend(name string, tuples []uncertain.Tuple) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.tables[name]; !ok {
+		return fmt.Errorf("append to unknown table %q", name)
+	}
+	a.tables[name] = append(a.tables[name], tuples...)
+	return nil
+}
+
+func (a *fakeApplier) ApplyDelete(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.tables[name]; !ok {
+		return fmt.Errorf("no table %q", name)
+	}
+	delete(a.tables, name)
+	return nil
+}
+
+func (a *fakeApplier) TableNames() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make([]string, 0, len(a.tables))
+	for name := range a.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// snapshot returns a deep copy with tuples sorted by ID, for
+// order-insensitive comparison (a resync ships a table's full contents in
+// snapshot order, not insertion order).
+func (a *fakeApplier) snapshot() map[string][]uncertain.Tuple {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return normalize(a.tables)
+}
+
+func normalize(tables map[string][]uncertain.Tuple) map[string][]uncertain.Tuple {
+	out := make(map[string][]uncertain.Tuple, len(tables))
+	for name, tuples := range tables {
+		cp := append([]uncertain.Tuple(nil), tuples...)
+		sort.Slice(cp, func(i, j int) bool { return cp[i].ID < cp[j].ID })
+		out[name] = cp
+	}
+	return out
+}
+
+func mkTuples(prefix string, n, from int) []uncertain.Tuple {
+	tuples := make([]uncertain.Tuple, n)
+	for i := range tuples {
+		tuples[i] = uncertain.Tuple{
+			ID:    fmt.Sprintf("%s-%04d", prefix, from+i),
+			Score: float64(100 - from - i),
+			Prob:  0.5,
+		}
+	}
+	return tuples
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// startLeader serves ld on a loopback listener and returns its address.
+func startLeader(t *testing.T, ld *Leader) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go ld.Serve(ln)
+	return ln.Addr().String()
+}
+
+func openManager(t *testing.T, dir string, opts persist.Options) *persist.Manager {
+	t.Helper()
+	man, _, err := persist.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("persist.Open: %v", err)
+	}
+	return man
+}
+
+// TestLiveReplication streams live mutations across four shards and
+// checks the follower converges to the leader's state, with sane
+// staleness reporting.
+func TestLiveReplication(t *testing.T) {
+	man := openManager(t, t.TempDir(), persist.Options{Shards: 4})
+	defer man.Close()
+	ld := NewLeader(man)
+	defer ld.Close()
+	addr := startLeader(t, ld)
+
+	app := newFakeApplier()
+	f := NewFollower(addr, app)
+	go f.Run()
+	defer f.Close()
+
+	waitFor(t, "follower connect", func() bool { return f.Status().Connected })
+
+	want := make(map[string][]uncertain.Tuple)
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("table-%d", i)
+		tuples := mkTuples(name, 5, 0)
+		if err := man.LogPut(name, tuples); err != nil {
+			t.Fatalf("LogPut(%s): %v", name, err)
+		}
+		want[name] = tuples
+	}
+	extra := mkTuples("table-3", 3, 5)
+	if err := man.LogAppend("table-3", extra); err != nil {
+		t.Fatalf("LogAppend: %v", err)
+	}
+	want["table-3"] = append(want["table-3"], extra...)
+	if err := man.LogDelete("table-7"); err != nil {
+		t.Fatalf("LogDelete: %v", err)
+	}
+	delete(want, "table-7")
+
+	wantN := normalize(want)
+	waitFor(t, "follower to converge", func() bool {
+		return reflect.DeepEqual(app.snapshot(), wantN)
+	})
+
+	// Heartbeats land the leader's committed positions; once idle, every
+	// shard must report caught up (Behind == 0), including shards that
+	// never saw a record.
+	waitFor(t, "zero staleness", func() bool {
+		st := f.Status()
+		if len(st.Shards) != 4 {
+			return false
+		}
+		for _, sh := range st.Shards {
+			if sh.Leader.IsZero() || sh.Behind() != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	st := f.Status()
+	if st.AppliedRecords == 0 || st.ApplyErrors != 0 {
+		t.Fatalf("bad counters: %+v", st)
+	}
+	if got := ld.Status(); got.Followers != 1 || got.FramesSent == 0 {
+		t.Fatalf("bad leader status: %+v", got)
+	}
+}
+
+// TestCatchUpFromSegmentsAndSnapshot connects a cold follower to a leader
+// whose history is partly checkpointed (snapshot) and partly retained WAL
+// segments, and checks the resync reproduces the exact state.
+func TestCatchUpFromSegmentsAndSnapshot(t *testing.T) {
+	man := openManager(t, t.TempDir(), persist.Options{Shards: 2})
+	defer man.Close()
+
+	state := make(map[string][]uncertain.Tuple)
+	put := func(name string, tuples []uncertain.Tuple) {
+		t.Helper()
+		if err := man.LogPut(name, tuples); err != nil {
+			t.Fatalf("LogPut(%s): %v", name, err)
+		}
+		state[name] = tuples
+	}
+	put("alpha", mkTuples("alpha", 4, 0))
+	put("beta", mkTuples("beta", 6, 0))
+
+	// Checkpoint: alpha/beta move into the snapshot, their segments drop.
+	snaps := make(map[string]*uncertain.Snapshot, len(state))
+	for name, tuples := range state {
+		snaps[name] = uncertain.NewSnapshot(tuples)
+	}
+	if err := man.Checkpoint(snaps); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	// Post-checkpoint records stay in retained segments.
+	put("gamma", mkTuples("gamma", 3, 0))
+	if err := man.LogAppend("alpha", mkTuples("alpha", 2, 4)); err != nil {
+		t.Fatalf("LogAppend: %v", err)
+	}
+	state["alpha"] = append(state["alpha"], mkTuples("alpha", 2, 4)...)
+
+	ld := NewLeader(man)
+	defer ld.Close()
+	addr := startLeader(t, ld)
+
+	app := newFakeApplier()
+	f := NewFollower(addr, app)
+	go f.Run()
+	defer f.Close()
+
+	wantN := normalize(state)
+	waitFor(t, "cold follower to catch up", func() bool {
+		return reflect.DeepEqual(app.snapshot(), wantN)
+	})
+	if st := f.Status(); st.Resets != 2 { // one reset per shard
+		t.Fatalf("Resets = %d, want 2", st.Resets)
+	}
+}
+
+// TestReconnectContinues kills the leader process (listener and
+// connections) and restarts it over the same data; the follower must
+// reconnect and resume WITHOUT a resync — its applied positions are still
+// retained — and then receive new records.
+func TestReconnectContinues(t *testing.T) {
+	dir := t.TempDir()
+	man := openManager(t, dir, persist.Options{Shards: 1})
+	defer man.Close()
+
+	ld1 := NewLeader(man)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	go ld1.Serve(ln)
+
+	app := newFakeApplier()
+	f := NewFollower(addr, app)
+	go f.Run()
+	defer f.Close()
+
+	if err := man.LogPut("tab", mkTuples("tab", 4, 0)); err != nil {
+		t.Fatalf("LogPut: %v", err)
+	}
+	waitFor(t, "initial apply", func() bool { return f.Status().AppliedRecords >= 1 })
+	resetsBefore := f.Status().Resets
+
+	ld1.Close() // drops the follower's connection and the listener
+
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	ld2 := NewLeader(man)
+	defer ld2.Close()
+	go ld2.Serve(ln2)
+
+	if err := man.LogAppend("tab", mkTuples("tab", 2, 4)); err != nil {
+		t.Fatalf("LogAppend: %v", err)
+	}
+	want := normalize(map[string][]uncertain.Tuple{"tab": mkTuples("tab", 6, 0)})
+	waitFor(t, "reconnect and resume", func() bool {
+		return reflect.DeepEqual(app.snapshot(), want)
+	})
+	st := f.Status()
+	if st.Resets != resetsBefore {
+		t.Fatalf("reconnect forced a resync: resets %d -> %d", resetsBefore, st.Resets)
+	}
+	if st.Reconnects == 0 {
+		t.Fatalf("Reconnects = 0 after a leader restart")
+	}
+}
+
+// TestFailedFsyncNeverShipped is the crash-injection check for the
+// durability boundary: a record whose batch fsync failed was never
+// acknowledged, so no follower — live at the time OR resyncing later —
+// may ever observe it.
+func TestFailedFsyncNeverShipped(t *testing.T) {
+	budget := crashtest.NewBudget(math.MaxInt64)
+	man := openManager(t, t.TempDir(), persist.Options{
+		Fsync:      true,
+		BatchFsync: true,
+		Shards:     1,
+		OpenFile:   budget.OpenFile,
+	})
+	defer man.Close()
+	ld := NewLeader(man)
+	defer ld.Close()
+	addr := startLeader(t, ld)
+
+	app := newFakeApplier()
+	f := NewFollower(addr, app)
+	go f.Run()
+	defer f.Close()
+
+	good := mkTuples("durable", 3, 0)
+	if err := man.LogPut("durable", good); err != nil {
+		t.Fatalf("LogPut: %v", err)
+	}
+	waitFor(t, "durable record to replicate", func() bool {
+		got := app.snapshot()
+		return len(got["durable"]) == 3
+	})
+
+	// From here every fsync fails: the next append's group commit fails,
+	// the record is rolled back and must never be acknowledged nor shipped.
+	budget.LimitSyncs(0)
+	if err := man.LogPut("doomed", mkTuples("doomed", 2, 0)); err == nil {
+		t.Fatalf("LogPut succeeded with failing fsync")
+	}
+
+	// The live follower must not see it (give the stream time to flush).
+	time.Sleep(250 * time.Millisecond)
+	if got := app.snapshot(); len(got) != 1 || len(got["durable"]) != 3 {
+		t.Fatalf("follower observed unacknowledged state: %v", got)
+	}
+
+	// Neither may a follower that resyncs from the leader's files.
+	app2 := newFakeApplier()
+	f2 := NewFollower(addr, app2)
+	go f2.Run()
+	defer f2.Close()
+	waitFor(t, "resync of second follower", func() bool {
+		got := app2.snapshot()
+		return len(got["durable"]) == 3
+	})
+	if got := app2.snapshot(); len(got) != 1 {
+		t.Fatalf("resynced follower observed unacknowledged state: %v", got)
+	}
+}
+
+// TestBadMagicRejected checks the leader hangs up on a client that does
+// not speak the protocol.
+func TestBadMagicRejected(t *testing.T) {
+	man := openManager(t, t.TempDir(), persist.Options{})
+	defer man.Close()
+	ld := NewLeader(man)
+	defer ld.Close()
+	addr := startLeader(t, ld)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatalf("leader answered a non-protocol client")
+	}
+}
+
+// TestProtocolRoundTrip exercises the message codec.
+func TestProtocolRoundTrip(t *testing.T) {
+	pos := []wal.Pos{{Seg: 3, Off: 1234}, {Seg: 7, Off: 8}}
+	n, got, err := decodeHello(encodeHello(2, pos))
+	if err != nil || n != 2 || !reflect.DeepEqual(got, pos) {
+		t.Fatalf("hello round trip: %d %v %v", n, got, err)
+	}
+	if n, _, err := decodeHello(encodeHello(0, nil)); err != nil || n != 0 {
+		t.Fatalf("cold hello round trip: %d %v", n, err)
+	}
+	if n, err := decodeReply(encodeReply(16)); err != nil || n != 16 {
+		t.Fatalf("reply round trip: %d %v", n, err)
+	}
+	if _, err := decodeReply(encodeReply(0)); err == nil {
+		t.Fatalf("reply accepted zero shards")
+	}
+
+	frame, err := wal.EncodeFrame(wal.Record{Op: wal.OpPut, Name: "t", Tuples: mkTuples("t", 2, 0)})
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	m, err := decodeMessage(encodeRecord(1, wal.Pos{Seg: 2, Off: 99}, frame), 4)
+	if err != nil || m.kind != msgRecord || m.shard != 1 || m.pos != (wal.Pos{Seg: 2, Off: 99}) {
+		t.Fatalf("record round trip: %+v %v", m, err)
+	}
+	if rec, err := wal.DecodeFrame(m.frame); err != nil || rec.Name != "t" || len(rec.Tuples) != 2 {
+		t.Fatalf("frame survived badly: %+v %v", rec, err)
+	}
+	if _, err := decodeMessage(encodeRecord(4, wal.Pos{}, frame), 4); err == nil {
+		t.Fatalf("record with out-of-range shard accepted")
+	}
+
+	m, err = decodeMessage(encodeReset(0), 1)
+	if err != nil || m.kind != msgReset || m.shard != 0 {
+		t.Fatalf("reset round trip: %+v %v", m, err)
+	}
+	m, err = decodeMessage(encodeAdvance(2, wal.Pos{Seg: 5, Off: 42}), 4)
+	if err != nil || m.kind != msgAdvance || m.shard != 2 || m.pos != (wal.Pos{Seg: 5, Off: 42}) {
+		t.Fatalf("advance round trip: %+v %v", m, err)
+	}
+	m, err = decodeMessage(encodeHeartbeat(pos), 4)
+	if err != nil || m.kind != msgHeartbeat || !reflect.DeepEqual(m.heartbeat, pos) {
+		t.Fatalf("heartbeat round trip: %+v %v", m, err)
+	}
+	if _, err := decodeMessage([]byte{99}, 1); err == nil {
+		t.Fatalf("unknown message type accepted")
+	}
+}
+
+// TestShardStatusBehind pins the staleness arithmetic.
+func TestShardStatusBehind(t *testing.T) {
+	cases := []struct {
+		applied, leader wal.Pos
+		want            int64
+	}{
+		{wal.Pos{Seg: 1, Off: 100}, wal.Pos{Seg: 1, Off: 100}, 0},
+		{wal.Pos{Seg: 2, Off: 50}, wal.Pos{Seg: 1, Off: 900}, 0}, // ahead of a stale heartbeat
+		{wal.Pos{Seg: 1, Off: 100}, wal.Pos{Seg: 1, Off: 164}, 64},
+		{wal.Pos{Seg: 1, Off: 100}, wal.Pos{Seg: 3, Off: 8}, -1},
+	}
+	for _, c := range cases {
+		got := ShardStatus{Applied: c.applied, Leader: c.leader}.Behind()
+		if got != c.want {
+			t.Fatalf("Behind(%v, %v) = %d, want %d", c.applied, c.leader, got, c.want)
+		}
+	}
+}

@@ -492,6 +492,55 @@ type DynamicIndexJSON struct {
 	ViewRebuilds uint64 `json:"viewRebuilds"`
 }
 
+// ReplicationShardJSON is one leader shard's staleness as seen by a
+// follower: how far its applied position trails the leader's committed
+// position, in records applied, bytes, and age.
+type ReplicationShardJSON struct {
+	Shard int `json:"shard"`
+	// AppliedRecords counts replicated records applied to this shard since
+	// the follower process started.
+	AppliedRecords uint64 `json:"appliedRecords"`
+	// AppliedSeg/AppliedOff is the follower's applied WAL position;
+	// LeaderSeg/LeaderOff is the leader's committed position from its most
+	// recent heartbeat.
+	AppliedSeg uint64 `json:"appliedSeg"`
+	AppliedOff int64  `json:"appliedOff"`
+	LeaderSeg  uint64 `json:"leaderSeg"`
+	LeaderOff  int64  `json:"leaderOff"`
+	// BehindBytes is how many committed WAL bytes the follower has not yet
+	// applied: 0 when caught up, -1 when the gap spans a segment rotation
+	// (at least one full segment behind; the exact byte count is unknown).
+	BehindBytes int64 `json:"behindBytes"`
+	// AgeSeconds is the time since this shard last applied a record (0.0
+	// when it never has).
+	AgeSeconds float64 `json:"ageSeconds"`
+}
+
+// ReplicationJSON mirrors the replication state on /debug/stats; present
+// only when the process replicates (topkd -follow or -repl-addr).
+type ReplicationJSON struct {
+	// Role is "follower" or "leader".
+	Role string `json:"role"`
+	// Leader is the leader's replication address (follower role).
+	Leader string `json:"leader,omitempty"`
+	// Connected reports a live replication session (follower role).
+	Connected bool `json:"connected,omitempty"`
+	// Followers counts currently connected followers (leader role).
+	Followers int `json:"followers,omitempty"`
+	// Resets counts full shard resyncs; Reconnects counts re-established
+	// sessions after the first.
+	Resets     uint64 `json:"resets,omitempty"`
+	Reconnects uint64 `json:"reconnects,omitempty"`
+	// AppliedRecords (follower) / FramesSent+BytesSent (leader) count
+	// replicated records.
+	AppliedRecords uint64 `json:"appliedRecords,omitempty"`
+	ApplyErrors    uint64 `json:"applyErrors,omitempty"`
+	FramesSent     uint64 `json:"framesSent,omitempty"`
+	BytesSent      uint64 `json:"bytesSent,omitempty"`
+	// Shards breaks the follower's staleness down per leader WAL shard.
+	Shards []ReplicationShardJSON `json:"shards,omitempty"`
+}
+
 // StatsResponse is the body of GET /debug/stats.
 type StatsResponse struct {
 	Tables int `json:"tables"`
@@ -519,6 +568,9 @@ type StatsResponse struct {
 	// Durability carries the WAL/checkpoint counters when the server runs
 	// with a durability backend; omitted otherwise.
 	Durability *DurabilityJSON `json:"durability,omitempty"`
+	// Replication carries the replication role and per-shard staleness when
+	// the process replicates; omitted otherwise.
+	Replication *ReplicationJSON `json:"replication,omitempty"`
 }
 
 func lineJSON(l probtopk.Line) LineJSON {

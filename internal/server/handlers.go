@@ -229,6 +229,10 @@ func (s *Server) maybeCheckpoint() {
 }
 
 func (s *Server) handlePutTable(w http.ResponseWriter, r *http.Request) {
+	if s.ReadOnly() {
+		s.readOnlyError(w)
+		return
+	}
 	name := r.PathValue("name")
 	tab, err := decodeTableBody(r)
 	if err != nil {
@@ -276,6 +280,10 @@ func (s *Server) handleGetTableCSV(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteTable(w http.ResponseWriter, r *http.Request) {
+	if s.ReadOnly() {
+		s.readOnlyError(w)
+		return
+	}
 	name := r.PathValue("name")
 	var st *tableState
 	var ok bool
@@ -311,6 +319,10 @@ func (s *Server) handleDeleteTable(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAppendTuples(w http.ResponseWriter, r *http.Request) {
+	if s.ReadOnly() {
+		s.readOnlyError(w)
+		return
+	}
 	name := r.PathValue("name")
 	req, err := decodeTuplesJSON(r.Body)
 	if err != nil {

@@ -133,6 +133,14 @@ type Config struct {
 	// a CPU profile pauses nothing but costs cycles, so production
 	// deployments opt in explicitly (topkd -pprof).
 	EnablePprof bool
+	// FollowerOf, when non-empty, is the replication address of the leader
+	// this server mirrors (topkd -follow). It puts the server in READ-ONLY
+	// mode: every mutating endpoint (table upload, append, delete) returns
+	// 403 naming the leader, while queries serve from the local registry
+	// exactly as usual — replicated state arrives through the Apply*
+	// methods, never through HTTP. Mutually exclusive with Durability (a
+	// follower's truth is the leader's WAL, not its own).
+	FollowerOf string
 }
 
 // latency is a lock-free (count, total duration) pair.
@@ -183,6 +191,13 @@ type Server struct {
 	// ckptMu serializes whole checkpoints (never held by mutations).
 	ckptMu sync.Mutex
 
+	// followerOf, when non-empty, is the leader address every rejected
+	// write points at; see Config.FollowerOf.
+	followerOf string
+	// replStats, when set, supplies the /debug/stats replication block; see
+	// SetReplicationStats.
+	replStats atomic.Pointer[func() *ReplicationJSON]
+
 	cached      latency // queries answered by the derived-answer cache
 	computed    latency // queries that ran the engine
 	queryErrors atomic.Uint64
@@ -215,14 +230,15 @@ func New(cfg Config) *Server {
 		nshards = cfg.Durability.Shards()
 	}
 	s := &Server{
-		engine:  probtopk.NewEngineSharded(engineCap, nshards),
-		reg:     newRegistry(nshards),
-		cache:   anscache.New(answerCap),
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
-		durable: cfg.Durability,
-		nshards: nshards,
-		durMu:   make([]sync.RWMutex, nshards),
+		engine:     probtopk.NewEngineSharded(engineCap, nshards),
+		reg:        newRegistry(nshards),
+		cache:      anscache.New(answerCap),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		durable:    cfg.Durability,
+		nshards:    nshards,
+		durMu:      make([]sync.RWMutex, nshards),
+		followerOf: cfg.FollowerOf,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/stats", s.handleStats)
@@ -328,9 +344,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Durability: dur,
-		Shards:     s.nshards,
-		Tables:     s.reg.len(),
+		Durability:  dur,
+		Replication: s.replicationJSON(),
+		Shards:      s.nshards,
+		Tables:      s.reg.len(),
 		AnswerCache: CacheStatsJSON{
 			Hits: ans.Hits, Misses: ans.Misses, Evictions: ans.Evictions,
 			Invalidations: ans.Invalidations, Entries: ans.Entries,

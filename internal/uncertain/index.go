@@ -389,21 +389,34 @@ func (ix *Index) Insert(t Tuple) (seq uint64, err error) {
 	}
 	ix.seq++
 	seq = ix.seq
-	rank := ix.insert(t, seq)
+	rank, err := ix.insert(t, seq)
+	if err != nil {
+		return 0, err
+	}
 	ix.mutated(rank)
 	return seq, nil
 }
 
 // insert is the raw insertion shared by Insert and Update; it returns the
-// rank the tuple landed at.
-func (ix *Index) insert(t Tuple, seq uint64) int {
+// rank the tuple landed at. A sequence number already present is refused
+// before either treap is touched: inserting a second node under the same
+// seq would leave bySeq pointing at only one of them, so a later
+// Delete/Update would strand the other — from then on the main and group
+// treaps disagree with bySeq and every group aggregate built from them is
+// silently wrong. No caller can hit this today (Insert mints fresh seqs,
+// Update removes the seq first), so the guard is cheap insurance against a
+// future caller that replays external seqs.
+func (ix *Index) insert(t Tuple, seq uint64) (int, error) {
+	if _, dup := ix.bySeq[seq]; dup {
+		return 0, fmt.Errorf("uncertain: index already has a tuple with sequence %d", seq)
+	}
 	var rank int
 	ix.root, rank = treapInsert(ix.root, t, seq)
 	if t.Group != "" {
 		ix.groups[t.Group], _ = treapInsert(ix.groups[t.Group], t, seq)
 	}
 	ix.bySeq[seq] = t
-	return rank
+	return rank, nil
 }
 
 // Delete removes the tuple with the given sequence number, reporting whether
@@ -447,7 +460,13 @@ func (ix *Index) Update(seq uint64, t Tuple) error {
 		return fmt.Errorf("uncertain: %w", err)
 	}
 	oldRank := ix.remove(old, seq)
-	newRank := ix.insert(t, seq)
+	newRank, err := ix.insert(t, seq)
+	if err != nil {
+		// Unreachable: the seq was removed the line above. Reinstate the
+		// old tuple rather than lose it to a partial update.
+		ix.insert(old, seq)
+		return err
+	}
 	if newRank < oldRank {
 		oldRank = newRank
 	}

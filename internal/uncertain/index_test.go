@@ -488,3 +488,40 @@ func TestIndexAdoptsViewMaterialization(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestIndexInsertDuplicateSeqRefused(t *testing.T) {
+	ix := NewIndex()
+	seq, err := ix.Insert(Tuple{ID: "a", Score: 9, Prob: 0.4, Group: "g"})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if _, err := ix.insert(Tuple{ID: "b", Score: 8, Prob: 0.3, Group: "g"}, seq); err == nil {
+		t.Fatalf("insert accepted a duplicate sequence number")
+	}
+	// The refused insert must not have touched either treap: the group
+	// aggregate still sees exactly one member.
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d after refused duplicate, want 1", ix.Len())
+	}
+	if got, ok := ix.Get(seq); !ok || got.ID != "a" {
+		t.Fatalf("Get(%d) = %+v, %v; want tuple a", seq, got, ok)
+	}
+	snap, err := ix.Materialize()
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if snap.Len() != 1 {
+		t.Fatalf("materialized %d tuples, want 1", snap.Len())
+	}
+	// The index stays fully usable: the same seq can be updated and new
+	// inserts mint fresh seqs past it.
+	if err := ix.Update(seq, Tuple{ID: "a", Score: 10, Prob: 0.5, Group: "g"}); err != nil {
+		t.Fatalf("Update after refused duplicate: %v", err)
+	}
+	if _, err := ix.Insert(Tuple{ID: "c", Score: 7, Prob: 0.2}); err != nil {
+		t.Fatalf("Insert after refused duplicate: %v", err)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ix.Len())
+	}
+}

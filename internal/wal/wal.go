@@ -49,6 +49,7 @@
 package wal
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -71,6 +72,10 @@ import (
 // segMagic opens every segment file; the trailing "01" is the format
 // version. Readers reject segments with any other magic.
 const segMagic = "PTKWAL01"
+
+// SegmentDataStart is the byte offset of the first frame in any segment
+// file — the data begins right after the magic.
+const SegmentDataStart = int64(len(segMagic))
 
 // DefaultPrefix is the segment-name prefix of an unsharded log
 // (wal-%08d.seg). Sharded deployments give each shard's log its own prefix
@@ -132,6 +137,31 @@ type Record struct {
 	Name   string
 	Tuples []uncertain.Tuple
 }
+
+// Pos addresses a point in one log's record stream: the byte offset Off
+// inside segment Seg. Every acknowledged record has the position of its
+// frame's END — so a Pos doubles as "everything up to here", the unit of
+// the replication handshake (internal/repl) and of CommittedPos. Positions
+// are totally ordered by (Seg, Off); the zero Pos sorts before every real
+// position.
+type Pos struct {
+	Seg uint64
+	Off int64
+}
+
+// Less reports whether p addresses an earlier point than q.
+func (p Pos) Less(q Pos) bool {
+	return p.Seg < q.Seg || (p.Seg == q.Seg && p.Off < q.Off)
+}
+
+// IsZero reports whether p is the zero position (before any record).
+func (p Pos) IsZero() bool { return p.Seg == 0 && p.Off == 0 }
+
+// String formats p for logs.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Seg, p.Off) }
+
+// CommitTap observes acknowledged records; see Log.SetCommitTap.
+type CommitTap func(pos Pos, frame []byte)
 
 // SyncPolicy selects when the log fsyncs; see the package comment.
 type SyncPolicy int
@@ -263,8 +293,18 @@ type Log struct {
 	nextSeq  uint64   // sequence number for the next new segment
 	cur      File
 	curPath  string
+	curSeq   uint64 // sequence number of the current segment
 	curSize  int64
 	broken   bool
+	// committed is the position after the last ACKNOWLEDGED record: a frame
+	// at or below it has been written and (under a syncing policy) fsynced;
+	// bytes beyond it may be mid-write or doomed to roll back after a failed
+	// fsync, so no reader outside mu may trust them. Replication catch-up
+	// reads segment files up to exactly this bound.
+	committed Pos
+	// tap, when set, observes every acknowledged record in log order; see
+	// SetCommitTap.
+	tap CommitTap
 	// badOffset is where replaySegment found the first bad record; only
 	// meaningful between replaySegment and truncateFrom, both under mu.
 	badOffset int64
@@ -559,6 +599,10 @@ func (l *Log) truncateFrom(i int, info *ReplayInfo) error {
 func (l *Log) openForAppendLocked() error {
 	if n := len(l.segments); n > 0 {
 		path := l.segments[n-1]
+		seq, err := l.segmentSeq(path)
+		if err != nil {
+			return err
+		}
 		fi, err := os.Stat(path)
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
@@ -567,7 +611,10 @@ func (l *Log) openForAppendLocked() error {
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
-		l.cur, l.curPath, l.curSize = f, path, fi.Size()
+		l.cur, l.curPath, l.curSeq, l.curSize = f, path, seq, fi.Size()
+		// Everything replay accepted is committed: replay already truncated
+		// anything torn or corrupt away.
+		l.committed = Pos{Seg: seq, Off: l.curSize}
 		return nil
 	}
 	return l.createSegmentLocked()
@@ -603,11 +650,16 @@ func (l *Log) createSegmentLocked() error {
 		os.Remove(path)
 		return err
 	}
+	seq := l.nextSeq
 	l.nextSeq++
 	if l.cur != nil {
 		l.cur.Close()
 	}
-	l.cur, l.curPath, l.curSize = f, path, int64(len(segMagic))
+	l.cur, l.curPath, l.curSeq, l.curSize = f, path, seq, int64(len(segMagic))
+	// No records exist between the previous segment's end and this one's
+	// start, so advancing the committed position to the fresh segment's data
+	// start skips nothing.
+	l.committed = Pos{Seg: seq, Off: l.curSize}
 	l.segments = append(l.segments, path)
 	return nil
 }
@@ -699,6 +751,10 @@ func (l *Log) appendNow(frame []byte) error {
 	l.curSize += int64(len(frame))
 	l.appends++
 	l.appendBytes += uint64(len(frame))
+	l.committed = Pos{Seg: l.curSeq, Off: l.curSize}
+	if l.tap != nil {
+		l.tap(l.committed, frame)
+	}
 	return nil
 }
 
@@ -850,10 +906,18 @@ func (l *Log) commitBatch(batch []*commit) {
 		}
 		l.syncs++
 		syncs++
+		off := l.curSize
 		l.curSize += total
 		l.appends += uint64(n)
 		l.appendBytes += uint64(total)
+		l.committed = Pos{Seg: l.curSeq, Off: l.curSize}
 		for _, c := range chunk {
+			// The whole chunk is durable; surface each record to the tap at
+			// its own end position, in log order, before releasing anyone.
+			off += int64(len(c.frame))
+			if l.tap != nil {
+				l.tap(Pos{Seg: l.curSeq, Off: off}, c.frame)
+			}
 			close(c.done) // err stays nil: committed and durable
 		}
 		rest = rest[n:]
@@ -1004,6 +1068,151 @@ func (l *Log) Stats() Stats {
 		BatchSizes:    l.batchSizes,
 		DirSyncErrors: l.dirSyncErrors,
 	}
+}
+
+// SetCommitTap registers fn to observe every record this log acknowledges
+// from now on, in log order. fn runs on the committing goroutine with the
+// log's internal lock held, immediately after the write (and, under a
+// syncing policy, the fsync) that made the record's acknowledgement true —
+// so a record whose fsync failed is never surfaced, and a surfaced record
+// can never be rolled back. fn MUST NOT block (it stalls every append) and
+// MUST NOT call back into the log; it must treat the frame bytes as
+// read-only and may retain them. Replication (internal/repl) uses the tap
+// as its live feed; records committed before registration are reachable
+// through SegmentsSnapshot + ReadSegmentFrames. A nil fn unregisters.
+func (l *Log) SetCommitTap(fn CommitTap) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tap = fn
+}
+
+// CommittedPos returns the position after the last acknowledged record.
+// Bytes beyond it in the current segment file — a frame being written, or
+// one about to be truncated away after a failed fsync — are not trustworthy
+// and must never be read.
+func (l *Log) CommittedPos() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.committed
+}
+
+// SegmentRef names one retained segment file.
+type SegmentRef struct {
+	Seq  uint64
+	Path string
+}
+
+// SegmentsSnapshot returns the currently retained segments in replay order
+// together with the committed position, atomically — the committed bound is
+// guaranteed to lie within the returned segments. The files themselves may
+// be deleted by a concurrent checkpoint (DropBefore) after the snapshot is
+// taken; readers treat a vanished file as "retry", not corruption.
+func (l *Log) SegmentsSnapshot() ([]SegmentRef, Pos, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	refs := make([]SegmentRef, 0, len(l.segments))
+	for _, path := range l.segments {
+		seq, err := l.segmentSeq(path)
+		if err != nil {
+			return nil, Pos{}, err
+		}
+		refs = append(refs, SegmentRef{Seq: seq, Path: path})
+	}
+	return refs, l.committed, nil
+}
+
+// ReadSegmentFrames reads the committed frames of the segment file at path
+// (sequence seq), starting at byte offset from (SegmentDataStart, or a
+// Pos.Off previously returned for this segment), and calls fn with each
+// frame's end position and raw frame bytes (header + payload, exactly as
+// written; valid only during the call). limit is the owning log's committed
+// position: a segment below limit.Seg is read to its end, the segment AT
+// limit.Seg is read up to exactly limit.Off, and a segment beyond it is
+// skipped — so a frame that is mid-write, or written but not yet fsynced
+// (and thus still able to fail and roll back), is never surfaced. Within
+// the limit, a torn or corrupt frame is an error: committed bytes are by
+// contract a clean prefix. An error from fn aborts the read and is returned
+// unwrapped.
+func ReadSegmentFrames(path string, seq uint64, from int64, limit Pos, fn func(pos Pos, frame []byte) error) error {
+	if seq > limit.Seg {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if from < SegmentDataStart {
+		from = SegmentDataStart
+	}
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != segMagic {
+		return fmt.Errorf("wal: bad segment magic in %s", filepath.Base(path))
+	}
+	end := int64(math.MaxInt64)
+	if seq == limit.Seg {
+		end = limit.Off
+	}
+	if from > SegmentDataStart {
+		if _, err := f.Seek(from, io.SeekStart); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	r := bufio.NewReaderSize(f, 1<<16)
+	offset := from
+	header := make([]byte, frameHeaderLen)
+	for offset < end {
+		if _, err := io.ReadFull(r, header); err != nil {
+			if err == io.EOF && end == int64(math.MaxInt64) {
+				return nil // clean end of a fully committed segment
+			}
+			return fmt.Errorf("wal: committed frame torn at %s:%d: %w", filepath.Base(path), offset, err)
+		}
+		payloadLen := binary.LittleEndian.Uint32(header[0:4])
+		wantCRC := binary.LittleEndian.Uint32(header[4:8])
+		if payloadLen > maxRecordBytes {
+			return fmt.Errorf("wal: frame at %s:%d claims %d bytes", filepath.Base(path), offset, payloadLen)
+		}
+		frameEnd := offset + frameHeaderLen + int64(payloadLen)
+		if frameEnd > end {
+			return fmt.Errorf("wal: frame at %s:%d crosses the committed bound %d", filepath.Base(path), offset, end)
+		}
+		frame := make([]byte, frameHeaderLen+int(payloadLen))
+		copy(frame, header)
+		if _, err := io.ReadFull(r, frame[frameHeaderLen:]); err != nil {
+			return fmt.Errorf("wal: committed frame torn at %s:%d: %w", filepath.Base(path), offset, err)
+		}
+		if crc32.Checksum(frame[frameHeaderLen:], castagnoli) != wantCRC {
+			return fmt.Errorf("wal: CRC mismatch at %s:%d", filepath.Base(path), offset)
+		}
+		if err := fn(Pos{Seg: seq, Off: frameEnd}, frame); err != nil {
+			return err
+		}
+		offset = frameEnd
+	}
+	return nil
+}
+
+// EncodeFrame serializes r exactly as Append writes it — length, CRC32C,
+// payload. Replication uses it to synthesize catch-up records (snapshot
+// tables shipped as put frames) in the same wire shape as live ones.
+func EncodeFrame(r Record) ([]byte, error) { return encodeFrame(r) }
+
+// DecodeFrame validates a raw frame (as surfaced by a commit tap or
+// ReadSegmentFrames) and decodes its record.
+func DecodeFrame(frame []byte) (Record, error) {
+	if len(frame) < frameHeaderLen {
+		return Record{}, errors.New("wal: frame shorter than its header")
+	}
+	payloadLen := binary.LittleEndian.Uint32(frame[0:4])
+	if int64(payloadLen) != int64(len(frame)-frameHeaderLen) {
+		return Record{}, fmt.Errorf("wal: frame length %d does not match its %d-byte payload", payloadLen, len(frame)-frameHeaderLen)
+	}
+	payload := frame[frameHeaderLen:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(frame[4:8]) {
+		return Record{}, errors.New("wal: frame CRC mismatch")
+	}
+	return decodeRecord(payload)
 }
 
 // syncDirLocked fsyncs the log directory so segment creations, deletions

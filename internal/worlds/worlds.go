@@ -263,12 +263,27 @@ func UTopkOracle(p *uncertain.Prepared, k, limit int) ([]int, float64, error) {
 	if bestKey == "" {
 		return nil, 0, nil
 	}
-	parts := strings.Split(bestKey, ",")
-	vec := make([]int, len(parts))
-	for i, s := range parts {
-		vec[i], _ = strconv.Atoi(s)
+	vec, err := parseVecKey(bestKey)
+	if err != nil {
+		return nil, 0, err
 	}
 	return vec, bestProb, nil
+}
+
+// parseVecKey parses a VecKey back into prepared positions. A key that
+// does not round-trip is corrupt and must surface as an error, not as a
+// silently zeroed position in the winning vector.
+func parseVecKey(key string) ([]int, error) {
+	parts := strings.Split(key, ",")
+	vec := make([]int, len(parts))
+	for i, s := range parts {
+		pos, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("worlds: corrupt vector key %q: %v", key, err)
+		}
+		vec[i] = pos
+	}
+	return vec, nil
 }
 
 // Sample draws a random world from p's distribution using rng.

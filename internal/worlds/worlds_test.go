@@ -223,3 +223,18 @@ func TestSampleAndMonteCarlo(t *testing.T) {
 		}
 	}
 }
+
+func TestParseVecKey(t *testing.T) {
+	vec, err := parseVecKey("3,0,12")
+	if err != nil {
+		t.Fatalf("parseVecKey: %v", err)
+	}
+	if len(vec) != 3 || vec[0] != 3 || vec[1] != 0 || vec[2] != 12 {
+		t.Fatalf("parseVecKey = %v, want [3 0 12]", vec)
+	}
+	for _, bad := range []string{"", "1,x", "1,,2", "1, 2"} {
+		if _, err := parseVecKey(bad); err == nil {
+			t.Fatalf("parseVecKey(%q) accepted a corrupt key", bad)
+		}
+	}
+}
