@@ -15,9 +15,11 @@
 // snapshot-isolation guarantee), "dynamic" (mid-rank push cost of the
 // suffix-era flat slice vs the O(log n) dynamic prepared index),
 // "durability" (append latency in-memory vs WAL vs WAL+fsync — the price of
-// each durability level) and "dpkernel" (per-cell cost of the DP's fused
-// combine+coalesce kernel, in µs) measure this build's serving stack; they
-// are not part of -fig all.
+// each durability level), "dpkernel" (per-cell cost of the DP's fused
+// combine+coalesce kernel, in µs) and "overload" (well-behaved-client
+// latency percentiles with and without a flooding client behind the SFB
+// throttler, plus the recompute cost each cache admission policy pays)
+// measure this build's serving stack; they are not part of -fig all.
 //
 // Usage:
 //
@@ -53,7 +55,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figure numbers (3, 8, 9, 10, 11, 12, 13, 14, 15, 16), 'serving', 'mutation', 'dynamic', 'durability', 'dpkernel', or 'all'")
+	fig := flag.String("fig", "all", "comma-separated figure numbers (3, 8, 9, 10, 11, 12, 13, 14, 15, 16), 'serving', 'mutation', 'dynamic', 'durability', 'dpkernel', 'overload', or 'all'")
 	csv := flag.Bool("csv", false, "emit CSV rows instead of ASCII charts")
 	jsonOut := flag.Bool("json", false, "emit one JSON array of figure objects instead of ASCII charts")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json snapshots (old new) and fail on regression")
@@ -185,6 +187,8 @@ func collect(spec string) ([]*bench.Figure, error) {
 			err = one(bench.FigDurability())
 		case "dpkernel":
 			err = one(bench.FigDPKernel())
+		case "overload":
+			err = one(bench.FigOverload())
 		default:
 			err = fmt.Errorf("unknown figure %q", tok)
 		}

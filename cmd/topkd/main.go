@@ -54,6 +54,20 @@
 // jittered exponential backoff and resumes — or resyncs, when the leader
 // has checkpointed past its position — automatically.
 //
+// # Overload protection
+//
+// The daemon runs a Stochastic Fair BLUE throttler by default (-fairness,
+// disable with -fairness=false): requests carry a client identity (the
+// X-Topk-Client header, or the remote IP), cold-query computations pass a
+// bounded-concurrency gate (-fairness-concurrency, -fairness-wait), and a
+// client that repeatedly exhausts that capacity is shed with 429 +
+// Retry-After while everyone else keeps their full service — cache hits
+// never touch the gate, so warm traffic cannot be shed. Drop
+// probabilities decay when shortage stops (-fairness-decay), and the hash
+// levels re-seed periodically (-fairness-rotate) so a client that
+// collides with a flooder is separated from it. Shed counters and
+// per-level bucket occupancy are on GET /debug/stats.
+//
 // # Shutdown
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
@@ -84,6 +98,7 @@ import (
 	"probtopk/internal/persist"
 	"probtopk/internal/repl"
 	"probtopk/internal/server"
+	"probtopk/internal/server/fairness"
 )
 
 func main() {
@@ -111,6 +126,28 @@ func main() {
 		"run as a read-only follower of the leader at this replication address (excludes -data-dir, -load and -repl-addr)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second,
 		"how long SIGINT/SIGTERM waits for in-flight requests before closing their connections")
+	fairnessOn := flag.Bool("fairness", true,
+		"shed unfair load: SFB throttling by client id (X-Topk-Client header or remote IP) plus a bounded-concurrency gate on cold-query computes; sheds answer 429 with Retry-After")
+	fairLevels := flag.Int("fairness-levels", 0,
+		"SFB hash levels (0 = default)")
+	fairBuckets := flag.Int("fairness-buckets", 0,
+		"SFB buckets per level (0 = default)")
+	fairConcurrency := flag.Int("fairness-concurrency", 0,
+		"concurrent cold-query computations admitted (0 = 2 x GOMAXPROCS)")
+	fairWaiters := flag.Int("fairness-waiters", 0,
+		"callers that may queue for a compute slot (0 = 2 x -fairness-concurrency)")
+	fairWait := flag.Duration("fairness-wait", 0,
+		"how long a caller may wait for a compute slot before being shed (0 = default)")
+	fairIncrement := flag.Float64("fairness-increment", 0,
+		"drop-probability increment per genuine-shortage shed (0 = default)")
+	fairDecrement := flag.Float64("fairness-decrement", 0,
+		"drop-probability decrement per decay interval (0 = default)")
+	fairDecay := flag.Duration("fairness-decay", 0,
+		"decay interval: how often idle buckets shed drop probability (0 = default)")
+	fairRotate := flag.Duration("fairness-rotate", 0,
+		"how often one SFB level re-seeds, separating hash-collided clients (0 = default, negative = never)")
+	fairRetryAfter := flag.Duration("fairness-retry-after", 0,
+		"Retry-After advertised on 429 shed responses (0 = default)")
 	flag.Parse()
 
 	err := run(config{
@@ -123,6 +160,19 @@ func main() {
 		replAddr:        *replAddr,
 		follow:          *follow,
 		shutdownTimeout: *shutdownTimeout,
+		fairness:        *fairnessOn,
+		fairnessCfg: fairness.Config{
+			Levels:        *fairLevels,
+			Buckets:       *fairBuckets,
+			MaxConcurrent: *fairConcurrency,
+			MaxWaiters:    *fairWaiters,
+			MaxWait:       *fairWait,
+			Increment:     *fairIncrement,
+			Decrement:     *fairDecrement,
+			DecayInterval: *fairDecay,
+			RotateEvery:   *fairRotate,
+			RetryAfter:    *fairRetryAfter,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topkd:", err)
@@ -145,6 +195,8 @@ type config struct {
 	replAddr        string
 	follow          string
 	shutdownTimeout time.Duration
+	fairness        bool
+	fairnessCfg     fairness.Config
 }
 
 // validate rejects flag combinations with no coherent meaning.
@@ -162,6 +214,9 @@ func (cfg config) validate() error {
 	}
 	if cfg.replAddr != "" && cfg.dataDir == "" {
 		return errors.New("-repl-addr requires -data-dir: followers catch up from the leader's WAL segments and checkpoint")
+	}
+	if !cfg.fairness && cfg.fairnessCfg != (fairness.Config{}) {
+		return errors.New("-fairness-* tuning flags require fairness; drop them or remove -fairness=false")
 	}
 	return nil
 }
@@ -384,14 +439,19 @@ func buildServer(cfg config) (*server.Server, *persist.Manager, error) {
 		log.Printf("topkd: recovered %d tables from %s, %d WAL records replayed%s",
 			len(recovered), cfg.dataDir, info.Records, note)
 	}
-	srv := server.New(server.Config{
+	scfg := server.Config{
 		AnswerCacheSize: cfg.answerCache,
 		EngineCacheSize: cfg.engineCache,
 		Shards:          cfg.shards,
 		Durability:      durable,
 		EnablePprof:     cfg.pprof,
 		FollowerOf:      cfg.follow,
-	})
+	}
+	if cfg.fairness {
+		fc := cfg.fairnessCfg
+		scfg.Fairness = &fc
+	}
+	srv := server.New(scfg)
 	names := make([]string, 0, len(recovered))
 	for name := range recovered {
 		names = append(names, name)

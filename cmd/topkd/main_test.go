@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"probtopk/internal/server"
+	"probtopk/internal/server/fairness"
 )
 
 const fleetCSV = `id,score,prob,group
@@ -234,5 +235,37 @@ func TestRestartRecoversTables(t *testing.T) {
 	}
 	if info.Tuples != 1 {
 		t.Fatalf("replacement not durable: %+v", info)
+	}
+}
+
+// The fairness flag set: tuning flags without fairness are rejected, and
+// the built server exposes (or omits) the stats block accordingly.
+func TestFairnessFlags(t *testing.T) {
+	bad := config{fairness: false, fairnessCfg: fairness.Config{Levels: 4}}
+	if err := bad.validate(); err == nil {
+		t.Fatal("tuning flags with -fairness=false were accepted")
+	}
+
+	stats := func(cfg config) server.StatsResponse {
+		t.Helper()
+		srv, _, err := buildServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, httptest.NewRequest("GET", "/debug/stats", nil))
+		var st server.StatsResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		return st
+	}
+	on := stats(config{fairness: true, fairnessCfg: fairness.Config{MaxConcurrent: 3}})
+	if on.Fairness == nil || len(on.Fairness.Levels) != fairness.DefaultLevels {
+		t.Fatalf("fairness block missing or malformed with -fairness: %+v", on.Fairness)
+	}
+	off := stats(config{})
+	if off.Fairness != nil {
+		t.Fatal("fairness block present with -fairness=false")
 	}
 }

@@ -110,6 +110,35 @@
 // for the endpoint reference and the repository README for a curl
 // quickstart.
 //
+// # Overload protection & fairness
+//
+// topkd ships with admission control on (-fairness=false disables it),
+// built so that protection only engages under genuine shortage. Queries
+// that miss the derived-answer cache must acquire a bounded compute slot
+// before running the dynamic program; cache hits never touch the gate, so
+// warm traffic is structurally immune to shedding. When the gate is
+// saturated a request is shed with 429 + Retry-After, and the shed is
+// charged to the client that caused it: a Stochastic Fair BLUE throttler
+// (internal/server/fairness) hashes each client — the X-Topk-Client
+// header, falling back to the remote IP — into a few levels of
+// constant-memory buckets whose drop probability rises on queue-full
+// sheds and decays when the pressure stops; a client is dropped at the
+// door only when every one of its buckets is hot, so well-behaved
+// clients colliding with a flooder on some level keep a clean bucket
+// elsewhere and pass (per-level seed rotation makes even a full
+// collision transient). Concurrent identical cold queries coalesce into
+// one flight (internal/server/flight) keyed by table, snapshot identity
+// and canonical fingerprint — a stampede runs the dynamic program once,
+// and the never-reused snapshot identity in the key makes a stale fill
+// impossible however mutations race the flight. The answer cache itself
+// admits by measured recompute cost (GDSF), so one expensive answer is
+// not evicted to make room for a churn of cheap one-offs. GET
+// /debug/stats reports the shed counters, per-client attribution and
+// per-level bucket occupancy; the topk-bench "overload" figure and the
+// CI overload drill hold the guarantee in place: a flooding client is
+// shed while a well-behaved client sees zero errors and an unchanged
+// p99.
+//
 // # Durability
 //
 // With topkd -data-dir, hosted tables survive restarts: every mutation is

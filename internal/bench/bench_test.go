@@ -313,3 +313,49 @@ func TestRenderAndCSV(t *testing.T) {
 		t.Fatalf("table render should mark missing points:\n%s", sb.String())
 	}
 }
+
+// TestFigOverload asserts the overload drill's acceptance contract: the
+// well-behaved client sees zero errors in every phase with fairness on,
+// its flood-time p99 stays within 2x of the no-flood baseline (plus a
+// small absolute allowance — the baseline is ~10µs, where 2x is
+// scheduling noise), the flooder absorbs 429s carrying the shortage, and
+// the cost-aware cache both pays less recompute and saves more hit
+// latency than plain LRU on the mixed trace.
+func TestFigOverload(t *testing.T) {
+	rep, err := overloadExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WBNoFloodErrs != 0 || rep.WBFloodErrs != 0 {
+		t.Fatalf("well-behaved client errored: no-flood=%d flood=%d", rep.WBNoFloodErrs, rep.WBFloodErrs)
+	}
+	p99Base, p99Flood := pctile(rep.WBNoFloodMs, 99), pctile(rep.WBFloodMs, 99)
+	if limit := 2*p99Base + 2.0; p99Flood > limit {
+		t.Fatalf("well-behaved p99 under flood = %.3fms, want <= %.3fms (2x of %.3fms baseline + 2ms allowance)",
+			p99Flood, limit, p99Base)
+	}
+	if rep.Flood429s == 0 {
+		t.Fatalf("flooder saw no 429s across %d requests", rep.FloodRequests)
+	}
+	if rep.FloodOther != 0 {
+		t.Fatalf("flooder saw %d non-200/429 responses", rep.FloodOther)
+	}
+	f := rep.Stats.Fairness
+	if f == nil || f.QueueSheds == 0 {
+		t.Fatalf("no genuine-shortage sheds recorded: %+v", f)
+	}
+	if f.TopShedders["flooder"] == 0 {
+		t.Fatalf("sheds not attributed to the flooder: %v", f.TopShedders)
+	}
+	if n := f.TopShedders["wb"]; n > 0 {
+		t.Fatalf("well-behaved client attributed %d sheds", n)
+	}
+	for _, tr := range rep.Trace {
+		if tr.GDSFPaidMs >= tr.LRUPaidMs {
+			t.Fatalf("capacity %d: cost-aware paid %.1fms >= LRU's %.1fms", tr.Capacity, tr.GDSFPaidMs, tr.LRUPaidMs)
+		}
+		if tr.GDSFSavedNs < tr.LRUSavedNs {
+			t.Fatalf("capacity %d: cost-aware saved %dns < LRU's %dns", tr.Capacity, tr.GDSFSavedNs, tr.LRUSavedNs)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probtopk/internal/server"
+	"probtopk/internal/server/anscache"
+	"probtopk/internal/server/fairness"
+	"probtopk/internal/synth"
+)
+
+// Overload-drill shape: how many timed well-behaved requests each phase
+// takes, how many flooding goroutines run, and a hard cap on flood
+// requests so a wedged phase cannot run away.
+const (
+	overloadWBRequests   = 200
+	overloadFlooders     = 4
+	overloadFloodCap     = 4000
+	overloadWBSpacing    = 500 * time.Microsecond
+	overloadNoFairWBReqs = 100
+)
+
+// overloadReport carries the raw drill outcomes for the package tests; the
+// figure's series and notes are derived from it.
+type overloadReport struct {
+	// Well-behaved client latencies (ms, sorted ascending) and error counts
+	// per phase.
+	WBNoFloodMs []float64
+	WBFloodMs   []float64
+	WBNoFloodErrs,
+	WBFloodErrs int
+	// Flooder outcome during the fairness phase.
+	FloodRequests, Flood429s, FloodOKs, FloodOther int
+	// Stats snapshot after the fairness flood phase.
+	Stats server.StatsResponse
+	// No-fairness control phase: the same flood with the throttler off.
+	WBNoFairMs   []float64
+	WBNoFairErrs int
+	// Cache trace outcomes per capacity: recompute cost paid (lower is
+	// better) and saved latency (hits × cost) for each policy.
+	Trace []traceOutcome
+}
+
+type traceOutcome struct {
+	Capacity              int
+	LRUPaidMs, GDSFPaidMs float64
+	LRUSavedNs,
+	GDSFSavedNs uint64
+}
+
+// pctile reads the p-th percentile from an ascending-sorted sample.
+func pctile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p/100*float64(len(sorted)-1) + 0.5)
+	return sorted[i]
+}
+
+// overloadServer builds a server hosting the 200-tuple synthetic table
+// (the serving-figure workload, whose cold top-k DP costs tens of ms).
+func overloadServer(fcfg *fairness.Config) (*server.Server, error) {
+	tab, err := synth.Generate(synth.Config{Seed: 1}.WithDefaults())
+	if err != nil {
+		return nil, err
+	}
+	var tuples []server.TupleJSON
+	for _, tp := range tab.Tuples() {
+		tuples = append(tuples, server.TupleJSON{ID: tp.ID, Score: tp.Score, Prob: tp.Prob, Group: tp.Group})
+	}
+	upload, err := json.Marshal(server.TableRequest{Tuples: tuples})
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(server.Config{Fairness: fcfg})
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest("PUT", "/tables/bench", strings.NewReader(string(upload))))
+	if w.Code != 201 {
+		return nil, fmt.Errorf("overload upload: status %d", w.Code)
+	}
+	// Warm the well-behaved client's one query: its flood-time traffic is
+	// all cache hits, which never touch the compute gate.
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest("GET", "/tables/bench/topk?k=10", nil))
+	if w.Code != 200 {
+		return nil, fmt.Errorf("overload warmup: status %d", w.Code)
+	}
+	return srv, nil
+}
+
+// wbPhase runs n spaced well-behaved requests (client id "wb") and returns
+// their sorted latencies in ms plus the non-200 count.
+func wbPhase(srv *server.Server, n int) ([]float64, int) {
+	lats := make([]float64, 0, n)
+	errs := 0
+	for i := 0; i < n; i++ {
+		req := httptest.NewRequest("GET", "/tables/bench/topk?k=10", nil)
+		req.Header.Set(fairness.ClientHeader, "wb")
+		w := httptest.NewRecorder()
+		start := time.Now()
+		srv.ServeHTTP(w, req)
+		lats = append(lats, float64(time.Since(start).Microseconds())/1000)
+		if w.Code != 200 {
+			errs++
+		}
+		time.Sleep(overloadWBSpacing)
+	}
+	sort.Float64s(lats)
+	return lats, errs
+}
+
+// flood launches the flooding client: goroutines hammering always-cold
+// queries (distinct thresholds never repeat, so every request misses the
+// cache and wants the compute gate) under one client id. stop() ends the
+// flood and returns (requests, 429s, 200s, other).
+func flood(srv *server.Server) (stop func() (int, int, int, int)) {
+	var stopFlag atomic.Bool
+	var requests, got429, got200, other atomic.Int64
+	var wg sync.WaitGroup
+	var seq atomic.Int64
+	for g := 0; g < overloadFlooders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopFlag.Load() {
+				n := seq.Add(1)
+				if n > overloadFloodCap {
+					return
+				}
+				path := fmt.Sprintf("/tables/bench/topk?k=10&threshold=%.9f", 0.0001+float64(n)*1e-9)
+				req := httptest.NewRequest("GET", path, nil)
+				req.Header.Set(fairness.ClientHeader, "flooder")
+				w := httptest.NewRecorder()
+				srv.ServeHTTP(w, req)
+				requests.Add(1)
+				switch w.Code {
+				case 429:
+					got429.Add(1)
+				case 200:
+					got200.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}()
+	}
+	return func() (int, int, int, int) {
+		stopFlag.Store(true)
+		wg.Wait()
+		return int(requests.Load()), int(got429.Load()), int(got200.Load()), int(other.Load())
+	}
+}
+
+// overloadGate is the drill's fairness configuration: a deliberately small
+// compute gate (so the flood saturates it quickly and deterministically on
+// any hardware) with a fixed seed.
+func overloadGate() *fairness.Config {
+	return &fairness.Config{
+		MaxConcurrent: 2,
+		MaxWaiters:    2,
+		MaxWait:       10 * time.Millisecond,
+		Seed:          1309,
+	}
+}
+
+// cacheTrace replays the mixed cheap/expensive workload against one cache:
+// a handful of expensive answers (50ms recompute) revisited every round
+// while a churn of one-off cheap queries (50µs) streams past. It returns
+// the total recompute cost paid on misses (ms) — the figure a better
+// admission policy drives down.
+func cacheTrace(c *anscache.Cache) float64 {
+	const (
+		expensiveN    = 3
+		rounds        = 50
+		cheapPerRound = 6
+		expensiveCost = 50 * time.Millisecond
+		cheapCost     = 50 * time.Microsecond
+	)
+	expensiveVal := strings.Repeat("e", 2048)
+	cheapVal := strings.Repeat("c", 256)
+	var paid time.Duration
+	lookup := func(q string, cost time.Duration, val string) {
+		k := anscache.Key{Table: "t", Snapshot: 1, Query: q}
+		if _, ok := c.Get(k); !ok {
+			paid += cost
+			c.Put(k, []byte(val), cost)
+		}
+	}
+	cheapSeq := 0
+	for r := 0; r < rounds; r++ {
+		lookup(fmt.Sprintf("expensive%d", r%expensiveN), expensiveCost, expensiveVal)
+		for j := 0; j < cheapPerRound; j++ {
+			cheapSeq++
+			lookup(fmt.Sprintf("cheap%d", cheapSeq), cheapCost, cheapVal)
+		}
+	}
+	return float64(paid.Microseconds()) / 1000
+}
+
+// overloadExperiment runs the whole drill and returns the raw report.
+func overloadExperiment() (*overloadReport, error) {
+	rep := &overloadReport{}
+
+	// Phase 1 — fairness on, nobody flooding: the well-behaved baseline.
+	srv, err := overloadServer(overloadGate())
+	if err != nil {
+		return nil, err
+	}
+	rep.WBNoFloodMs, rep.WBNoFloodErrs = wbPhase(srv, overloadWBRequests)
+
+	// Phase 2 — fairness on, one client flooding cold queries.
+	srv, err = overloadServer(overloadGate())
+	if err != nil {
+		return nil, err
+	}
+	stop := flood(srv)
+	rep.WBFloodMs, rep.WBFloodErrs = wbPhase(srv, overloadWBRequests)
+	rep.FloodRequests, rep.Flood429s, rep.FloodOKs, rep.FloodOther = stop()
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest("GET", "/debug/stats", nil))
+	if err := json.Unmarshal(w.Body.Bytes(), &rep.Stats); err != nil {
+		return nil, fmt.Errorf("overload stats: %v", err)
+	}
+
+	// Phase 3 — control: the same flood with the throttler off.
+	srv, err = overloadServer(nil)
+	if err != nil {
+		return nil, err
+	}
+	stop = flood(srv)
+	rep.WBNoFairMs, rep.WBNoFairErrs = wbPhase(srv, overloadNoFairWBReqs)
+	stop()
+
+	// Cache admission trace, per capacity.
+	for _, capacity := range []int{4, 8, 16} {
+		lru, gdsf := anscache.NewLRU(capacity), anscache.New(capacity)
+		out := traceOutcome{
+			Capacity:   capacity,
+			LRUPaidMs:  cacheTrace(lru),
+			GDSFPaidMs: cacheTrace(gdsf),
+		}
+		out.LRUSavedNs = lru.Stats().SavedNanos
+		out.GDSFSavedNs = gdsf.Stats().SavedNanos
+		rep.Trace = append(rep.Trace, out)
+	}
+	return rep, nil
+}
+
+// FigOverload measures the overload drill: the latency a well-behaved
+// client pays at p50/p90/p99 with nobody flooding versus with one client
+// flooding cold queries behind the SFB throttler, plus the recompute cost
+// the answer cache's admission policy pays on a mixed cheap/expensive
+// trace (plain LRU vs the cost-aware default). All series are
+// lower-is-better, so the CI bench gate guards them directly; the
+// throttler-off control numbers land in the notes. Request it with
+// `topk-bench -fig overload`.
+func FigOverload() (*Figure, error) {
+	rep, err := overloadExperiment()
+	if err != nil {
+		return nil, err
+	}
+	ps := []float64{50, 90, 99}
+	base := Series{Name: "well-behaved latency, no flood (ms)"}
+	flooded := Series{Name: "well-behaved latency, flood + fairness (ms)"}
+	for _, p := range ps {
+		base.X = append(base.X, p)
+		base.Y = append(base.Y, pctile(rep.WBNoFloodMs, p))
+		flooded.X = append(flooded.X, p)
+		flooded.Y = append(flooded.Y, pctile(rep.WBFloodMs, p))
+	}
+	lruPaid := Series{Name: "cache recompute paid, LRU (ms)"}
+	gdsfPaid := Series{Name: "cache recompute paid, cost-aware (ms)"}
+	for _, tr := range rep.Trace {
+		lruPaid.X = append(lruPaid.X, float64(tr.Capacity))
+		lruPaid.Y = append(lruPaid.Y, tr.LRUPaidMs)
+		gdsfPaid.X = append(gdsfPaid.X, float64(tr.Capacity))
+		gdsfPaid.Y = append(gdsfPaid.Y, tr.GDSFPaidMs)
+	}
+	var fairNote string
+	if f := rep.Stats.Fairness; f != nil {
+		fairNote = fmt.Sprintf("throttler: %d sheds (%d queue, %d probabilistic), flooder attributed %d",
+			f.Sheds, f.QueueSheds, f.ProbSheds, f.TopShedders["flooder"])
+	}
+	return &Figure{
+		ID:     "overload",
+		Title:  "Overload drill: well-behaved client latency under a flood; cache recompute paid by policy",
+		Series: []Series{base, flooded, lruPaid, gdsfPaid},
+		Notes: []string{
+			fmt.Sprintf("well-behaved client: %d requests per phase, errors no-flood=%d flood=%d",
+				overloadWBRequests, rep.WBNoFloodErrs, rep.WBFloodErrs),
+			fmt.Sprintf("flooder: %d requests, %d shed with 429, %d admitted", rep.FloodRequests, rep.Flood429s, rep.FloodOKs),
+			fairNote,
+			fmt.Sprintf("control (throttler off, same flood): well-behaved p99 %.2fms, errors %d",
+				pctile(rep.WBNoFairMs, 99), rep.WBNoFairErrs),
+			"cache trace: 3 expensive answers (50ms) revisited among a churn of one-off cheap queries (50us)",
+		},
+	}, nil
+}

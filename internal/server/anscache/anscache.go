@@ -1,4 +1,4 @@
-// Package anscache is the server's derived-answer cache: a bounded LRU from
+// Package anscache is the server's derived-answer cache: a bounded map from
 // fully-resolved query descriptions to their encoded JSON answers.
 //
 // A derived answer (a top-k score distribution, a c-typical set, a baseline
@@ -11,14 +11,35 @@
 // regardless of how cache fills race with mutations. (Table.Version alone
 // would not do — it counts Adds, so two different uploads of n tuples
 // share version n.) InvalidateTable additionally drops a table's entries
-// eagerly on mutation or deletion, so dead answers don't occupy LRU slots
-// until they age out — it reclaims space; it is not load-bearing for
+// eagerly on mutation or deletion, so dead answers don't occupy cache
+// slots until they age out — it reclaims space; it is not load-bearing for
 // correctness.
+//
+// # Eviction policy
+//
+// Answers are wildly unequal: a warm hit costs ~12µs to serve while the
+// cold dynamic programs behind them span 12µs to >100ms. Plain LRU treats
+// a 163ms top-k distribution and a dozen trivial baseline answers as peers,
+// so a burst of cheap distinct queries evicts exactly the entries worth
+// keeping. The default policy is therefore GDSF (Greedy-Dual-Size-
+// Frequency): each entry carries priority
+//
+//	H = L + frequency × cost / size
+//
+// where cost is the measured recompute latency, size the encoded answer
+// bytes, and L a monotone "inflation" set to the priority of the last
+// evicted entry. Eviction removes the minimum-H entry; hits bump frequency
+// and re-inflate H. Cheap, large, rarely-hit answers cycle out first, and
+// the inflation term ages entries so a once-hot answer cannot squat
+// forever. NewLRU keeps the plain recency policy for comparison
+// benchmarks.
 package anscache
 
 import (
+	"container/heap"
 	"container/list"
 	"sync"
+	"time"
 )
 
 // Key identifies one derived answer.
@@ -42,33 +63,91 @@ type Stats struct {
 	// Invalidations counts entries dropped by InvalidateTable.
 	Invalidations uint64
 	Entries       int
+	// SavedNanos sums the recorded recompute cost of every hit: the total
+	// latency the cache spared its callers (the currency the cost-aware
+	// policy maximizes).
+	SavedNanos uint64
 }
 
+// entry is one cached answer with the bookkeeping both policies need.
 type entry struct {
-	key Key
-	val []byte
+	key  Key
+	val  []byte
+	cost time.Duration
+
+	// LRU policy position.
+	el *list.Element
+	// GDSF policy state: hit count, cached priority, heap index.
+	freq uint64
+	h    float64
+	idx  int
 }
 
-// Cache is a bounded LRU of encoded answers, safe for concurrent use.
+// priority computes the GDSF H for an entry under inflation l.
+func (e *entry) priority(l float64) float64 {
+	size := len(e.val)
+	if size <= 0 {
+		size = 1
+	}
+	return l + float64(e.freq)*float64(e.cost)/float64(size)
+}
+
+// gdHeap is a min-heap over entry priority H; the root is the next
+// eviction victim.
+type gdHeap []*entry
+
+func (h gdHeap) Len() int           { return len(h) }
+func (h gdHeap) Less(i, j int) bool { return h[i].h < h[j].h }
+func (h gdHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *gdHeap) Push(x any)        { e := x.(*entry); e.idx = len(*h); *h = append(*h, e) }
+func (h *gdHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	e.idx = -1
+	return e
+}
+
+// Cache is a bounded cache of encoded answers, safe for concurrent use.
+// New builds the cost-aware (GDSF) cache the server runs; NewLRU builds
+// the plain recency baseline.
 type Cache struct {
-	capacity int
+	capacity  int
+	costAware bool
 
 	mu      sync.Mutex
-	byKey   map[Key]*list.Element // of *entry
-	byTable map[string]map[Key]*list.Element
-	lru     *list.List // front = most recently used
+	byKey   map[Key]*entry
+	byTable map[string]map[Key]*entry
+	lru     *list.List // LRU policy: front = most recently used
+	heap    gdHeap     // GDSF policy: min-H
+	infl    float64    // GDSF inflation L
 
-	hits, misses, evictions, invalidations uint64
+	hits, misses, evictions, invalidations, savedNanos uint64
 }
 
-// New returns a cache holding up to capacity answers. capacity <= 0 disables
-// caching: Get always misses and Put is a no-op (misses are still counted,
-// so a disabled cache yields meaningful cold-path stats).
+// New returns a cost-aware (GDSF) cache holding up to capacity answers.
+// capacity <= 0 disables caching: Get always misses and Put is a no-op
+// (misses are still counted, so a disabled cache yields meaningful
+// cold-path stats).
 func New(capacity int) *Cache {
+	c := newCache(capacity)
+	c.costAware = true
+	return c
+}
+
+// NewLRU returns a plain least-recently-used cache; it exists as the
+// baseline the cost-aware policy is benchmarked against.
+func NewLRU(capacity int) *Cache {
+	return newCache(capacity)
+}
+
+func newCache(capacity int) *Cache {
 	return &Cache{
 		capacity: capacity,
-		byKey:    make(map[Key]*list.Element),
-		byTable:  make(map[string]map[Key]*list.Element),
+		byKey:    make(map[Key]*entry),
+		byTable:  make(map[string]map[Key]*entry),
 		lru:      list.New(),
 	}
 }
@@ -78,52 +157,89 @@ func New(capacity int) *Cache {
 func (c *Cache) Get(k Key) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.byKey[k]
+	e, ok := c.byKey[k]
 	if !ok {
 		c.misses++
 		return nil, false
 	}
-	c.lru.MoveToFront(el)
 	c.hits++
-	return el.Value.(*entry).val, true
+	c.savedNanos += uint64(e.cost)
+	if c.costAware {
+		e.freq++
+		e.h = e.priority(c.infl)
+		heap.Fix(&c.heap, e.idx)
+	} else {
+		c.lru.MoveToFront(e.el)
+	}
+	return e.val, true
 }
 
-// Put stores the answer for k, evicting the least recently used entries
-// beyond the capacity. The cache takes ownership of val.
-func (c *Cache) Put(k Key, val []byte) {
+// Put stores the answer for k along with its measured recompute cost,
+// evicting the lowest-priority entries beyond the capacity (minimum GDSF H
+// for the cost-aware cache, least recently used for the LRU baseline). The
+// cache takes ownership of val.
+func (c *Cache) Put(k Key, val []byte, cost time.Duration) {
 	if c.capacity <= 0 {
 		return
 	}
+	if cost < 0 {
+		cost = 0
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.byKey[k]; ok {
-		el.Value.(*entry).val = val
-		c.lru.MoveToFront(el)
+	if e, ok := c.byKey[k]; ok {
+		e.val = val
+		e.cost = cost
+		if c.costAware {
+			e.h = e.priority(c.infl)
+			heap.Fix(&c.heap, e.idx)
+		} else {
+			c.lru.MoveToFront(e.el)
+		}
 		return
 	}
-	el := c.lru.PushFront(&entry{key: k, val: val})
-	c.byKey[k] = el
+	e := &entry{key: k, val: val, cost: cost, freq: 1}
+	if c.costAware {
+		e.h = e.priority(c.infl)
+		heap.Push(&c.heap, e)
+	} else {
+		e.el = c.lru.PushFront(e)
+	}
+	c.byKey[k] = e
 	tk := c.byTable[k.Table]
 	if tk == nil {
-		tk = make(map[Key]*list.Element)
+		tk = make(map[Key]*entry)
 		c.byTable[k.Table] = tk
 	}
-	tk[k] = el
-	for c.lru.Len() > c.capacity {
-		c.remove(c.lru.Back())
+	tk[k] = e
+	for len(c.byKey) > c.capacity {
+		c.evictOne()
 		c.evictions++
 	}
 }
 
-// remove unlinks el from every index. Callers hold c.mu.
-func (c *Cache) remove(el *list.Element) {
-	k := el.Value.(*entry).key
-	c.lru.Remove(el)
-	delete(c.byKey, k)
-	if tk := c.byTable[k.Table]; tk != nil {
-		delete(tk, k)
+// evictOne removes the policy's victim: the heap root (minimum H, which
+// then becomes the new inflation floor) or the LRU tail. Callers hold c.mu.
+func (c *Cache) evictOne() {
+	var victim *entry
+	if c.costAware {
+		victim = heap.Pop(&c.heap).(*entry)
+		c.infl = victim.h
+	} else {
+		victim = c.lru.Back().Value.(*entry)
+		c.lru.Remove(victim.el)
+	}
+	c.unlink(victim)
+}
+
+// unlink drops e from the key and table indexes (not from the policy
+// structure). Callers hold c.mu.
+func (c *Cache) unlink(e *entry) {
+	delete(c.byKey, e.key)
+	if tk := c.byTable[e.key.Table]; tk != nil {
+		delete(tk, e.key)
 		if len(tk) == 0 {
-			delete(c.byTable, k.Table)
+			delete(c.byTable, e.key.Table)
 		}
 	}
 }
@@ -133,9 +249,13 @@ func (c *Cache) remove(el *list.Element) {
 func (c *Cache) InvalidateTable(table string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, el := range c.byTable[table] {
-		c.lru.Remove(el)
-		delete(c.byKey, el.Value.(*entry).key)
+	for _, e := range c.byTable[table] {
+		if c.costAware {
+			heap.Remove(&c.heap, e.idx)
+		} else {
+			c.lru.Remove(e.el)
+		}
+		delete(c.byKey, e.key)
 		c.invalidations++
 	}
 	delete(c.byTable, table)
@@ -150,6 +270,7 @@ func (c *Cache) Stats() Stats {
 		Misses:        c.misses,
 		Evictions:     c.evictions,
 		Invalidations: c.invalidations,
-		Entries:       c.lru.Len(),
+		Entries:       len(c.byKey),
+		SavedNanos:    c.savedNanos,
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func key(table string, snapID uint64, q string) Key {
@@ -16,7 +17,7 @@ func TestHitMissAndSnapshotSeparation(t *testing.T) {
 	if _, ok := c.Get(k1); ok {
 		t.Fatal("unexpected hit on empty cache")
 	}
-	c.Put(k1, []byte("a"))
+	c.Put(k1, []byte("a"), time.Millisecond)
 	got, ok := c.Get(k1)
 	if !ok || string(got) != "a" {
 		t.Fatalf("Get = %q, %v", got, ok)
@@ -30,14 +31,17 @@ func TestHitMissAndSnapshotSeparation(t *testing.T) {
 	if s.Hits != 1 || s.Misses != 2 || s.Entries != 1 {
 		t.Fatalf("stats = %+v", s)
 	}
+	if s.SavedNanos != uint64(time.Millisecond) {
+		t.Fatalf("saved = %d, want 1ms of spared recompute", s.SavedNanos)
+	}
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := New(2)
-	c.Put(key("t", 1, "a"), []byte("a"))
-	c.Put(key("t", 1, "b"), []byte("b"))
+	c := NewLRU(2)
+	c.Put(key("t", 1, "a"), []byte("a"), 0)
+	c.Put(key("t", 1, "b"), []byte("b"), 0)
 	c.Get(key("t", 1, "a")) // refresh a; b is now LRU
-	c.Put(key("t", 1, "c"), []byte("c"))
+	c.Put(key("t", 1, "c"), []byte("c"), 0)
 	if _, ok := c.Get(key("t", 1, "b")); ok {
 		t.Fatal("b should have been evicted")
 	}
@@ -49,46 +53,91 @@ func TestLRUEviction(t *testing.T) {
 	}
 }
 
+// The cost-aware policy keeps the expensive answer when cheap distinct
+// queries flood past capacity — the exact trace where plain LRU evicts it.
+func TestCostAwareKeepsExpensiveAnswer(t *testing.T) {
+	const capacity = 4
+	expensive := key("t", 1, "hard")
+	trace := func(c *Cache) bool {
+		c.Put(expensive, []byte("deep"), 150*time.Millisecond)
+		for i := 0; i < 3*capacity; i++ {
+			c.Put(key("t", 1, fmt.Sprintf("cheap%d", i)), []byte("shallow-but-long-answer"), 12*time.Microsecond)
+		}
+		_, ok := c.Get(expensive)
+		return ok
+	}
+	if trace(NewLRU(capacity)) {
+		t.Fatal("LRU kept the expensive answer through a cheap flood; baseline assumption broken")
+	}
+	if !trace(New(capacity)) {
+		t.Fatal("cost-aware cache evicted the expensive answer for cheap fill")
+	}
+}
+
+// Frequency matters too: among equal-cost entries, the repeatedly-hit one
+// outlives the never-hit ones.
+func TestCostAwareFrequency(t *testing.T) {
+	c := New(2)
+	hot := key("t", 1, "hot")
+	c.Put(hot, []byte("x"), time.Millisecond)
+	c.Put(key("t", 1, "cold"), []byte("x"), time.Millisecond)
+	for i := 0; i < 5; i++ {
+		c.Get(hot)
+	}
+	for i := 0; i < 4; i++ {
+		c.Put(key("t", 1, fmt.Sprintf("new%d", i)), []byte("x"), time.Millisecond)
+	}
+	if _, ok := c.Get(hot); !ok {
+		t.Fatal("frequently-hit entry evicted before never-hit peers")
+	}
+}
+
 func TestInvalidateTable(t *testing.T) {
-	c := New(8)
-	c.Put(key("x", 1, "a"), []byte("a"))
-	c.Put(key("x", 2, "a"), []byte("a2"))
-	c.Put(key("y", 1, "a"), []byte("ya"))
-	c.InvalidateTable("x")
-	if _, ok := c.Get(key("x", 1, "a")); ok {
-		t.Fatal("x@1 should be gone")
+	for name, c := range map[string]*Cache{"gdsf": New(8), "lru": NewLRU(8)} {
+		c.Put(key("x", 1, "a"), []byte("a"), 0)
+		c.Put(key("x", 2, "a"), []byte("a2"), 0)
+		c.Put(key("y", 1, "a"), []byte("ya"), 0)
+		c.InvalidateTable("x")
+		if _, ok := c.Get(key("x", 1, "a")); ok {
+			t.Fatalf("%s: x@1 should be gone", name)
+		}
+		if _, ok := c.Get(key("x", 2, "a")); ok {
+			t.Fatalf("%s: x@2 should be gone", name)
+		}
+		if _, ok := c.Get(key("y", 1, "a")); !ok {
+			t.Fatalf("%s: y should survive", name)
+		}
+		s := c.Stats()
+		if s.Invalidations != 2 || s.Entries != 1 {
+			t.Fatalf("%s: stats = %+v", name, s)
+		}
+		// Invalidating an absent table is a no-op.
+		c.InvalidateTable("zzz")
 	}
-	if _, ok := c.Get(key("x", 2, "a")); ok {
-		t.Fatal("x@2 should be gone")
-	}
-	if _, ok := c.Get(key("y", 1, "a")); !ok {
-		t.Fatal("y should survive")
-	}
-	s := c.Stats()
-	if s.Invalidations != 2 || s.Entries != 1 {
-		t.Fatalf("stats = %+v", s)
-	}
-	// Invalidating an absent table is a no-op.
-	c.InvalidateTable("zzz")
 }
 
 func TestPutReplaces(t *testing.T) {
-	c := New(2)
-	k := key("t", 1, "a")
-	c.Put(k, []byte("old"))
-	c.Put(k, []byte("new"))
-	got, ok := c.Get(k)
-	if !ok || string(got) != "new" {
-		t.Fatalf("Get = %q, %v", got, ok)
-	}
-	if s := c.Stats(); s.Entries != 1 {
-		t.Fatalf("entries = %d", s.Entries)
+	for name, c := range map[string]*Cache{"gdsf": New(2), "lru": NewLRU(2)} {
+		k := key("t", 1, "a")
+		c.Put(k, []byte("old"), time.Second)
+		c.Put(k, []byte("new"), time.Millisecond)
+		got, ok := c.Get(k)
+		if !ok || string(got) != "new" {
+			t.Fatalf("%s: Get = %q, %v", name, got, ok)
+		}
+		if s := c.Stats(); s.Entries != 1 {
+			t.Fatalf("%s: entries = %d", name, s.Entries)
+		}
+		// The replacement's cost is what a hit saves now.
+		if s := c.Stats(); s.SavedNanos != uint64(time.Millisecond) {
+			t.Fatalf("%s: saved = %d", name, s.SavedNanos)
+		}
 	}
 }
 
 func TestDisabled(t *testing.T) {
 	c := New(0)
-	c.Put(key("t", 1, "a"), []byte("a"))
+	c.Put(key("t", 1, "a"), []byte("a"), time.Second)
 	if _, ok := c.Get(key("t", 1, "a")); ok {
 		t.Fatal("disabled cache must not hit")
 	}
@@ -98,25 +147,26 @@ func TestDisabled(t *testing.T) {
 }
 
 func TestConcurrent(t *testing.T) {
-	c := New(16)
-	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < 200; i++ {
-				k := key(fmt.Sprintf("t%d", i%4), uint64(i%3), "q")
-				switch i % 3 {
-				case 0:
-					c.Put(k, []byte{byte(w)})
-				case 1:
-					c.Get(k)
-				default:
-					c.InvalidateTable(k.Table)
+	for _, c := range []*Cache{New(16), NewLRU(16)} {
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					k := key(fmt.Sprintf("t%d", i%4), uint64(i%3), "q")
+					switch i % 3 {
+					case 0:
+						c.Put(k, []byte{byte(w)}, time.Duration(i)*time.Microsecond)
+					case 1:
+						c.Get(k)
+					default:
+						c.InvalidateTable(k.Table)
+					}
 				}
-			}
-		}(w)
+			}(w)
+		}
+		wg.Wait()
+		c.Stats()
 	}
-	wg.Wait()
-	c.Stats()
 }

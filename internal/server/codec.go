@@ -425,6 +425,46 @@ type CacheStatsJSON struct {
 	Evictions     uint64 `json:"evictions"`
 	Invalidations uint64 `json:"invalidations,omitempty"`
 	Entries       int    `json:"entries"`
+	// SavedNanos sums the recorded recompute cost of every hit: the total
+	// latency the cache spared its callers (answer cache only).
+	SavedNanos uint64 `json:"savedNs,omitempty"`
+}
+
+// FairnessLevelJSON is one SFB level's occupancy on /debug/stats.
+type FairnessLevelJSON struct {
+	Level int `json:"level"`
+	// HotBuckets counts buckets holding a nonzero drop probability; MaxP is
+	// the largest probability in the level.
+	HotBuckets int     `json:"hotBuckets"`
+	MaxP       float64 `json:"maxP"`
+	// Sheds sums the level's per-bucket shed attributions.
+	Sheds uint64 `json:"sheds"`
+}
+
+// FairnessJSON mirrors the SFB throttler's counters on /debug/stats;
+// present only when the server runs with fairness enabled (topkd
+// -fairness).
+type FairnessJSON struct {
+	// Decisions counts admission decisions; Sheds the requests shed, split
+	// into ProbSheds (SFB drop at the door) and QueueSheds (cold-query
+	// compute capacity exhausted — the genuine-shortage events that raise
+	// drop probabilities).
+	Decisions  uint64 `json:"decisions"`
+	Sheds      uint64 `json:"sheds"`
+	ProbSheds  uint64 `json:"probSheds"`
+	QueueSheds uint64 `json:"queueSheds"`
+	// Rotations counts level re-seedings (collision healing).
+	Rotations uint64 `json:"rotations"`
+	// ComputeInFlight / ComputeWaiters describe the cold-query gate at
+	// snapshot time.
+	ComputeInFlight int                 `json:"computeInFlight"`
+	ComputeWaiters  int                 `json:"computeWaiters"`
+	Levels          []FairnessLevelJSON `json:"levels"`
+	// TopShedders maps client ids to their shed counts, bounded to the
+	// first distinct shedding clients; SheddersOverflow counts sheds by
+	// clients beyond the bound.
+	TopShedders      map[string]uint64 `json:"topShedders,omitempty"`
+	SheddersOverflow uint64            `json:"sheddersOverflow,omitempty"`
 }
 
 // LatencyJSON is one latency counter: completed requests and their summed
@@ -558,10 +598,13 @@ type StatsResponse struct {
 	EngineQueries LatencyJSON `json:"engineQueries"`
 	// DynamicIndex surfaces the dynamic prepared-index maintenance counters.
 	DynamicIndex DynamicIndexJSON `json:"dynamicIndex"`
-	// CachedQueries / ComputedQueries split served query requests by
-	// whether the derived-answer cache answered them.
-	CachedQueries   LatencyJSON `json:"cachedQueries"`
-	ComputedQueries LatencyJSON `json:"computedQueries"`
+	// CachedQueries / ComputedQueries / CoalescedQueries split served query
+	// requests by whether the derived-answer cache answered them, the
+	// engine computed them, or they shared another caller's in-flight
+	// computation (request coalescing).
+	CachedQueries    LatencyJSON `json:"cachedQueries"`
+	ComputedQueries  LatencyJSON `json:"computedQueries"`
+	CoalescedQueries LatencyJSON `json:"coalescedQueries"`
 	// QueryErrors counts query requests that ended in an error response.
 	QueryErrors   uint64  `json:"queryErrors"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
@@ -571,6 +614,9 @@ type StatsResponse struct {
 	// Replication carries the replication role and per-shard staleness when
 	// the process replicates; omitted otherwise.
 	Replication *ReplicationJSON `json:"replication,omitempty"`
+	// Fairness carries the SFB throttler counters when fairness is enabled;
+	// omitted otherwise.
+	Fairness *FairnessJSON `json:"fairness,omitempty"`
 }
 
 func lineJSON(l probtopk.Line) LineJSON {

@@ -1,0 +1,467 @@
+// Package fairness is the serving stack's fair-admission and load-shedding
+// layer: a Stochastic Fair BLUE (SFB) throttler usable as http.Handler
+// middleware, plus a bounded-concurrency admission gate for expensive
+// (cold-query) work.
+//
+// # Stochastic Fair BLUE
+//
+// SFB keeps constant memory per client population: L independent levels of
+// B buckets each, every level hashing client ids with its own seed. A
+// client maps to one bucket per level, and its drop probability is the
+// MINIMUM p across its L buckets — a well-behaved client that shares some
+// buckets with a flooder is throttled only if it collides on EVERY level,
+// which the independent hashes make vanishingly unlikely. Bucket p values
+// move like BLUE's: they increment only on genuine-shortage events (a
+// request that found the compute capacity exhausted — never on mere
+// traffic) and decay toward zero whenever shortage stops, so an idle or
+// recovered service throttles nobody. Periodic seed rotation re-seeds one
+// level at a time (zeroing its buckets), so a client unlucky enough to be
+// hash-collided with a heavy hitter is separated from it within a few
+// rotation periods; the heavy hitter re-penalizes its fresh buckets within
+// milliseconds, so the un-throttled window is short.
+//
+// # Genuine shortage
+//
+// The shortage signal is the compute gate: AcquireCompute bounds how many
+// expensive computations run at once (MaxConcurrent) and how many callers
+// may wait for a slot (MaxWaiters, up to MaxWait each). A caller that
+// cannot get a slot in time is shed with 429 and its client's buckets are
+// penalized. Cheap work — cache hits, table reads — never touches the
+// gate, so a client whose requests are all warm is structurally immune to
+// shedding no matter how loaded the cold path is.
+//
+// # Client identity
+//
+// Clients identify themselves with the X-Topk-Client header; requests
+// without one are keyed by remote IP. Identity is advisory — a client that
+// lies spreads its penalty across buckets of its own choosing, but every
+// identity it burns still has to flood before it is throttled.
+package fairness
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultLevels        = 3
+	DefaultBuckets       = 64
+	DefaultIncrement     = 0.05
+	DefaultDecrement     = 0.01
+	DefaultDecayInterval = 100 * time.Millisecond
+	DefaultRotateEvery   = 30 * time.Second
+	DefaultMaxWait       = 100 * time.Millisecond
+	DefaultRetryAfter    = time.Second
+)
+
+// ClientHeader is the request header naming the client for fair admission.
+const ClientHeader = "X-Topk-Client"
+
+// maxClientIDLen bounds the accepted client identity so arbitrary header
+// values cannot bloat the shedder table.
+const maxClientIDLen = 128
+
+// maxTrackedShedders bounds the per-client shed counter map (a debugging
+// aid; the bloom buckets, not this map, are the throttling state).
+const maxTrackedShedders = 32
+
+// Config tunes a Throttler. The zero value of any field selects its
+// default.
+type Config struct {
+	// Levels and Buckets shape the SFB filter: Levels independent hash
+	// levels of Buckets buckets each. Memory is Levels × Buckets × ~16
+	// bytes regardless of client count.
+	Levels  int
+	Buckets int
+	// Increment is added to each of a client's bucket p values on a
+	// genuine-shortage shed; Decrement is subtracted from every bucket
+	// once per DecayInterval, so p drains to zero when shortage stops.
+	Increment     float64
+	Decrement     float64
+	DecayInterval time.Duration
+	// RotateEvery re-seeds one level (round-robin, zeroing its buckets)
+	// per interval, separating hash-collided clients. Negative disables
+	// rotation.
+	RotateEvery time.Duration
+	// MaxConcurrent bounds concurrently running expensive computations
+	// (the AcquireCompute gate); 0 means 2 × GOMAXPROCS. MaxWaiters
+	// bounds callers queued for a slot (0 means 2 × MaxConcurrent), each
+	// waiting at most MaxWait before being shed.
+	MaxConcurrent int
+	MaxWaiters    int
+	MaxWait       time.Duration
+	// RetryAfter is the delay advertised on 429 responses.
+	RetryAfter time.Duration
+	// Seed fixes the hash and drop randomness for reproducible tests;
+	// 0 seeds from the clock.
+	Seed int64
+}
+
+// withDefaults resolves every zero field.
+func (c Config) withDefaults() Config {
+	if c.Levels <= 0 {
+		c.Levels = DefaultLevels
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = DefaultBuckets
+	}
+	if c.Increment <= 0 {
+		c.Increment = DefaultIncrement
+	}
+	if c.Decrement <= 0 {
+		c.Decrement = DefaultDecrement
+	}
+	if c.DecayInterval <= 0 {
+		c.DecayInterval = DefaultDecayInterval
+	}
+	if c.RotateEvery == 0 {
+		c.RotateEvery = DefaultRotateEvery
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxWaiters <= 0 {
+		c.MaxWaiters = 2 * c.MaxConcurrent
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = DefaultMaxWait
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	return c
+}
+
+// bucket is one SFB cell: the BLUE drop probability and a shed counter for
+// observability.
+type bucket struct {
+	p     float64
+	sheds uint64
+}
+
+// LevelStats describes one SFB level on /debug/stats.
+type LevelStats struct {
+	// HotBuckets counts buckets with p > 0; MaxP is the largest p.
+	HotBuckets int
+	MaxP       float64
+	// Sheds sums the level's per-bucket shed attributions.
+	Sheds uint64
+}
+
+// Stats is a snapshot of the throttler's counters.
+type Stats struct {
+	// Decisions counts admission decisions; Sheds the requests shed, split
+	// into ProbSheds (the SFB probabilistic drop at the door) and
+	// QueueSheds (compute capacity exhausted — the events that raise p).
+	Decisions  uint64
+	Sheds      uint64
+	ProbSheds  uint64
+	QueueSheds uint64
+	// Rotations counts level re-seedings.
+	Rotations uint64
+	// ComputeInFlight / ComputeWaiters describe the compute gate right now.
+	ComputeInFlight int
+	ComputeWaiters  int
+	Levels          []LevelStats
+	// Shedders maps client ids to their shed counts (bounded to the first
+	// maxTrackedShedders distinct shedding clients; SheddersOverflow counts
+	// sheds by clients beyond that bound).
+	Shedders         map[string]uint64
+	SheddersOverflow uint64
+}
+
+// Throttler is the SFB fair-admission filter plus the compute gate. Safe
+// for concurrent use; construct with New.
+type Throttler struct {
+	cfg Config
+
+	mu         sync.Mutex
+	levels     [][]bucket
+	seeds      []uint64
+	rng        *rand.Rand
+	lastDecay  time.Time
+	lastRotate time.Time
+	rotateNext int
+
+	decisions, sheds, probSheds, queueSheds, rotations uint64
+	shedders                                           map[string]uint64
+	sheddersOverflow                                   uint64
+
+	slots    chan struct{}
+	waiters  atomic.Int32
+	inFlight atomic.Int32
+
+	// now is the clock, swappable by tests.
+	now func() time.Time
+}
+
+// New returns a ready Throttler.
+func New(cfg Config) *Throttler {
+	cfg = cfg.withDefaults()
+	t := &Throttler{
+		cfg:      cfg,
+		levels:   make([][]bucket, cfg.Levels),
+		seeds:    make([]uint64, cfg.Levels),
+		shedders: make(map[string]uint64),
+		slots:    make(chan struct{}, cfg.MaxConcurrent),
+		now:      time.Now,
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	t.rng = rand.New(rand.NewSource(seed))
+	for l := range t.levels {
+		t.levels[l] = make([]bucket, cfg.Buckets)
+		t.seeds[l] = t.rng.Uint64()
+	}
+	start := t.now()
+	t.lastDecay, t.lastRotate = start, start
+	return t
+}
+
+// ClientID derives the fair-admission identity of a request: the
+// X-Topk-Client header when present (trimmed, length-bounded), the remote
+// IP otherwise.
+func ClientID(r *http.Request) string {
+	if id := strings.TrimSpace(r.Header.Get(ClientHeader)); id != "" {
+		if len(id) > maxClientIDLen {
+			id = id[:maxClientIDLen]
+		}
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil || host == "" {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// bucketIndex hashes client into level l's bucket (seeded FNV-1a with a
+// final avalanche, so nearby ids spread).
+func (t *Throttler) bucketIndex(l int, client string) int {
+	h := t.seeds[l] ^ 14695981039346656037
+	for i := 0; i < len(client); i++ {
+		h ^= uint64(client[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(t.cfg.Buckets))
+}
+
+// touchLocked applies lazy time-based maintenance: bucket decay (Decrement
+// per elapsed DecayInterval) and one level rotation per elapsed
+// RotateEvery. Callers hold t.mu.
+func (t *Throttler) touchLocked(now time.Time) {
+	if steps := int64(now.Sub(t.lastDecay) / t.cfg.DecayInterval); steps > 0 {
+		dec := float64(steps) * t.cfg.Decrement
+		for l := range t.levels {
+			for i := range t.levels[l] {
+				if p := t.levels[l][i].p; p > 0 {
+					t.levels[l][i].p = max(0, p-dec)
+				}
+			}
+		}
+		t.lastDecay = t.lastDecay.Add(time.Duration(steps) * t.cfg.DecayInterval)
+	}
+	if t.cfg.RotateEvery > 0 && now.Sub(t.lastRotate) >= t.cfg.RotateEvery {
+		t.rotateLocked()
+		t.lastRotate = now
+	}
+}
+
+// rotateLocked re-seeds the next level round-robin and zeroes its buckets.
+func (t *Throttler) rotateLocked() {
+	l := t.rotateNext
+	t.rotateNext = (t.rotateNext + 1) % len(t.levels)
+	t.seeds[l] = t.rng.Uint64()
+	for i := range t.levels[l] {
+		t.levels[l][i] = bucket{}
+	}
+	t.rotations++
+}
+
+// pminLocked is the client's SFB drop probability: the minimum p across its
+// per-level buckets. Callers hold t.mu.
+func (t *Throttler) pminLocked(client string) float64 {
+	p := 1.0
+	for l := range t.levels {
+		if bp := t.levels[l][t.bucketIndex(l, client)].p; bp < p {
+			p = bp
+		}
+	}
+	return p
+}
+
+// recordShedLocked attributes one shed to the client's buckets. Only
+// genuine-shortage sheds (queue = true) raise p — BLUE increments on
+// capacity events, never on traffic. Callers hold t.mu.
+func (t *Throttler) recordShedLocked(client string, queue bool) {
+	t.sheds++
+	if queue {
+		t.queueSheds++
+	} else {
+		t.probSheds++
+	}
+	for l := range t.levels {
+		b := &t.levels[l][t.bucketIndex(l, client)]
+		b.sheds++
+		if queue {
+			b.p = min(1, b.p+t.cfg.Increment)
+		}
+	}
+	if _, ok := t.shedders[client]; ok || len(t.shedders) < maxTrackedShedders {
+		t.shedders[client]++
+	} else {
+		t.sheddersOverflow++
+	}
+}
+
+// Decide makes the SFB admission decision for one request from client:
+// true means shed (respond 429). A client whose buckets are all cold
+// (pmin 0) is never shed; one whose every level is hot is shed with
+// probability pmin. A shed here does not raise p — only genuine shortage
+// (QueueShed / a failed AcquireCompute) does.
+func (t *Throttler) Decide(client string) bool {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.touchLocked(now)
+	t.decisions++
+	p := t.pminLocked(client)
+	if p <= 0 {
+		return false
+	}
+	if p < 1 && t.rng.Float64() >= p {
+		return false
+	}
+	t.recordShedLocked(client, false)
+	return true
+}
+
+// QueueShed records a genuine-shortage shed for client (capacity exhausted
+// while handling its request), raising its buckets' drop probabilities.
+func (t *Throttler) QueueShed(client string) {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.touchLocked(now)
+	t.recordShedLocked(client, true)
+}
+
+// AcquireCompute claims one expensive-computation slot for client. It
+// returns a release function the caller must invoke when the computation
+// finishes. When every slot is busy it waits — bounded by MaxWait and by
+// the MaxWaiters queue — and on failure records the genuine-shortage shed
+// against client and reports ok = false: the caller should respond 429
+// (WriteShed).
+func (t *Throttler) AcquireCompute(client string) (release func(), ok bool) {
+	rel := func() {
+		t.inFlight.Add(-1)
+		<-t.slots
+	}
+	select {
+	case t.slots <- struct{}{}:
+		t.inFlight.Add(1)
+		return rel, true
+	default:
+	}
+	if int(t.waiters.Add(1)) > t.cfg.MaxWaiters {
+		t.waiters.Add(-1)
+		t.QueueShed(client)
+		return nil, false
+	}
+	defer t.waiters.Add(-1)
+	timer := time.NewTimer(t.cfg.MaxWait)
+	defer timer.Stop()
+	select {
+	case t.slots <- struct{}{}:
+		t.inFlight.Add(1)
+		return rel, true
+	case <-timer.C:
+		t.QueueShed(client)
+		return nil, false
+	}
+}
+
+// WriteShed writes the 429 shed response: Retry-After in whole seconds
+// (rounded up, at least 1) and the server's uniform JSON error body.
+func (t *Throttler) WriteShed(w http.ResponseWriter) {
+	secs := int((t.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	fmt.Fprintln(w, `{"error":"overloaded: request shed for fairness; retry later"}`)
+}
+
+// exemptPath reports whether a path bypasses admission: liveness and
+// debugging endpoints must answer during overload — they are how overload
+// is diagnosed.
+func exemptPath(path string) bool {
+	return path == "/healthz" || strings.HasPrefix(path, "/debug/")
+}
+
+// Middleware wraps next with the SFB admission decision: shed requests are
+// answered 429 with Retry-After and never reach next. /healthz and
+// /debug/ are exempt.
+func (t *Throttler) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !exemptPath(r.URL.Path) && t.Decide(ClientID(r)) {
+			t.WriteShed(w)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Throttler) Stats() Stats {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.touchLocked(now)
+	s := Stats{
+		Decisions:        t.decisions,
+		Sheds:            t.sheds,
+		ProbSheds:        t.probSheds,
+		QueueSheds:       t.queueSheds,
+		Rotations:        t.rotations,
+		ComputeInFlight:  int(t.inFlight.Load()),
+		ComputeWaiters:   int(t.waiters.Load()),
+		Levels:           make([]LevelStats, len(t.levels)),
+		SheddersOverflow: t.sheddersOverflow,
+	}
+	if len(t.shedders) > 0 {
+		s.Shedders = make(map[string]uint64, len(t.shedders))
+		for c, n := range t.shedders {
+			s.Shedders[c] = n
+		}
+	}
+	for l := range t.levels {
+		ls := &s.Levels[l]
+		for i := range t.levels[l] {
+			b := t.levels[l][i]
+			ls.Sheds += b.sheds
+			if b.p > 0 {
+				ls.HotBuckets++
+				if b.p > ls.MaxP {
+					ls.MaxP = b.p
+				}
+			}
+		}
+	}
+	return s
+}

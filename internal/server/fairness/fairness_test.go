@@ -1,0 +1,259 @@
+package fairness
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testThrottler builds a throttler with a deterministic seed and an
+// injectable clock the test advances by hand.
+func testThrottler(t *testing.T, cfg Config) (*Throttler, *time.Time) {
+	t.Helper()
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	tr := New(cfg)
+	now := time.Unix(1_000_000, 0)
+	tr.now = func() time.Time { return now }
+	tr.mu.Lock()
+	tr.lastDecay, tr.lastRotate = now, now
+	tr.mu.Unlock()
+	return tr, &now
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Levels != DefaultLevels || cfg.Buckets != DefaultBuckets {
+		t.Fatalf("shape defaults: %+v", cfg)
+	}
+	if cfg.MaxConcurrent <= 0 || cfg.MaxWaiters != 2*cfg.MaxConcurrent {
+		t.Fatalf("gate defaults: %+v", cfg)
+	}
+	if cfg.Increment != DefaultIncrement || cfg.Decrement != DefaultDecrement {
+		t.Fatalf("p defaults: %+v", cfg)
+	}
+}
+
+// A client that never caused a genuine-shortage event keeps pmin = 0 and is
+// never shed, even while another client is penalized to saturation.
+func TestCleanClientNeverThrottled(t *testing.T) {
+	tr, _ := testThrottler(t, Config{})
+	for i := 0; i < 100; i++ {
+		tr.QueueShed("flooder")
+	}
+	tr.mu.Lock()
+	wb := tr.pminLocked("polite")
+	fl := tr.pminLocked("flooder")
+	tr.mu.Unlock()
+	if wb != 0 {
+		t.Fatalf("clean client pmin = %v, want 0", wb)
+	}
+	if fl != 1 {
+		t.Fatalf("flooder pmin = %v, want 1", fl)
+	}
+	for i := 0; i < 1000; i++ {
+		if tr.Decide("polite") {
+			t.Fatal("clean client shed")
+		}
+	}
+	if !tr.Decide("flooder") {
+		t.Fatal("saturated flooder admitted")
+	}
+}
+
+// p decays toward zero while no shortage events arrive, and never rises on
+// idle time alone.
+func TestDecayDrainsP(t *testing.T) {
+	tr, now := testThrottler(t, Config{Increment: 0.2, Decrement: 0.1, DecayInterval: time.Second})
+	for i := 0; i < 5; i++ {
+		tr.QueueShed("c")
+	}
+	pmin := func() float64 {
+		tr.mu.Lock()
+		defer tr.mu.Unlock()
+		tr.touchLocked(*now)
+		return tr.pminLocked("c")
+	}
+	if p := pmin(); p != 1 {
+		t.Fatalf("pmin after 5 increments = %v, want 1", p)
+	}
+	last := 1.0
+	for i := 0; i < 12; i++ {
+		*now = now.Add(time.Second)
+		p := pmin()
+		if p > last {
+			t.Fatalf("decay raised pmin: %v -> %v", last, p)
+		}
+		last = p
+	}
+	if last != 0 {
+		t.Fatalf("pmin after full decay = %v, want 0", last)
+	}
+	if tr.Decide("c") {
+		t.Fatal("fully decayed client shed")
+	}
+}
+
+// Rotation re-seeds one level at a time round-robin and zeroes its
+// buckets; after Levels rotations every level has been refreshed.
+func TestRotation(t *testing.T) {
+	tr, now := testThrottler(t, Config{RotateEvery: 10 * time.Second, DecayInterval: time.Hour})
+	tr.QueueShed("flooder")
+	for r := 1; r <= DefaultLevels; r++ {
+		*now = now.Add(10 * time.Second)
+		if s := tr.Stats(); s.Rotations != uint64(r) {
+			t.Fatalf("rotations = %d, want %d", s.Rotations, r)
+		}
+	}
+	tr.mu.Lock()
+	p := tr.pminLocked("flooder")
+	var hot int
+	for l := range tr.levels {
+		for i := range tr.levels[l] {
+			if tr.levels[l][i].p != 0 {
+				hot++
+			}
+		}
+	}
+	tr.mu.Unlock()
+	if p != 0 || hot != 0 {
+		t.Fatalf("after full rotation cycle: pmin=%v hot=%d, want 0/0", p, hot)
+	}
+}
+
+// The compute gate: slots bound concurrency, a timed-out waiter is shed
+// and the shed is attributed as genuine shortage (raising p).
+func TestAcquireCompute(t *testing.T) {
+	tr := New(Config{MaxConcurrent: 1, MaxWaiters: 1, MaxWait: 20 * time.Millisecond, Seed: 7})
+	rel, ok := tr.AcquireCompute("busy")
+	if !ok {
+		t.Fatal("first acquire failed")
+	}
+	if _, ok := tr.AcquireCompute("victim"); ok {
+		t.Fatal("second acquire succeeded past a full gate")
+	}
+	s := tr.Stats()
+	if s.QueueSheds != 1 || s.Sheds != 1 {
+		t.Fatalf("queue sheds = %d (sheds %d), want 1", s.QueueSheds, s.Sheds)
+	}
+	if s.Shedders["victim"] != 1 {
+		t.Fatalf("shedders = %v, want victim:1", s.Shedders)
+	}
+	tr.mu.Lock()
+	p := tr.pminLocked("victim")
+	tr.mu.Unlock()
+	if p != DefaultIncrement {
+		t.Fatalf("victim pmin = %v, want %v", p, DefaultIncrement)
+	}
+	rel()
+	rel2, ok := tr.AcquireCompute("busy")
+	if !ok {
+		t.Fatal("acquire after release failed")
+	}
+	rel2()
+}
+
+func TestClientID(t *testing.T) {
+	r := httptest.NewRequest("GET", "/t", nil)
+	r.RemoteAddr = "198.51.100.7:4242"
+	if got := ClientID(r); got != "198.51.100.7" {
+		t.Fatalf("ip fallback: %q", got)
+	}
+	r.Header.Set(ClientHeader, "  analytics-1  ")
+	if got := ClientID(r); got != "analytics-1" {
+		t.Fatalf("header id: %q", got)
+	}
+	r.Header.Set(ClientHeader, strings.Repeat("x", 500))
+	if got := ClientID(r); len(got) != maxClientIDLen {
+		t.Fatalf("unbounded id len %d", len(got))
+	}
+}
+
+// The middleware sheds saturated clients with 429 + Retry-After, passes
+// clean clients through, and always exempts health/debug endpoints.
+func TestMiddleware(t *testing.T) {
+	tr, _ := testThrottler(t, Config{RetryAfter: 3 * time.Second})
+	for i := 0; i < 100; i++ {
+		tr.QueueShed("flooder")
+	}
+	var served int
+	h := tr.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		w.WriteHeader(http.StatusOK)
+	}))
+	do := func(path, client string) *httptest.ResponseRecorder {
+		r := httptest.NewRequest("GET", path, nil)
+		if client != "" {
+			r.Header.Set(ClientHeader, client)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		return w
+	}
+	if w := do("/tables/x/topk", "flooder"); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("flooder status = %d, want 429", w.Code)
+	} else if w.Header().Get("Retry-After") != "3" {
+		t.Fatalf("Retry-After = %q, want 3", w.Header().Get("Retry-After"))
+	} else if !strings.Contains(w.Body.String(), "error") {
+		t.Fatalf("shed body %q has no error field", w.Body.String())
+	}
+	if w := do("/tables/x/topk", "polite"); w.Code != http.StatusOK {
+		t.Fatalf("polite client status = %d, want 200", w.Code)
+	}
+	if w := do("/healthz", "flooder"); w.Code != http.StatusOK {
+		t.Fatalf("healthz shed: %d", w.Code)
+	}
+	if w := do("/debug/stats", "flooder"); w.Code != http.StatusOK {
+		t.Fatalf("debug shed: %d", w.Code)
+	}
+	if served != 3 {
+		t.Fatalf("served = %d, want 3", served)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	tr, _ := testThrottler(t, Config{})
+	tr.QueueShed("a")
+	tr.Decide("a")
+	s := tr.Stats()
+	if len(s.Levels) != DefaultLevels {
+		t.Fatalf("levels = %d", len(s.Levels))
+	}
+	var hot int
+	var sheds uint64
+	for _, l := range s.Levels {
+		hot += l.HotBuckets
+		sheds += l.Sheds
+		if l.MaxP < 0 || l.MaxP > 1 {
+			t.Fatalf("MaxP out of range: %v", l.MaxP)
+		}
+	}
+	if hot != DefaultLevels {
+		t.Fatalf("hot buckets = %d, want %d (one per level)", hot, DefaultLevels)
+	}
+	if sheds < uint64(DefaultLevels) {
+		t.Fatalf("per-level sheds = %d", sheds)
+	}
+	if s.QueueSheds != 1 || s.Decisions != 1 {
+		t.Fatalf("counters: %+v", s)
+	}
+}
+
+// The shedder table is bounded: beyond maxTrackedShedders distinct clients
+// the overflow counter absorbs the rest.
+func TestShedderTableBounded(t *testing.T) {
+	tr, _ := testThrottler(t, Config{})
+	for i := 0; i < maxTrackedShedders+10; i++ {
+		tr.QueueShed(strings.Repeat("x", 1+i%64) + "c")
+	}
+	s := tr.Stats()
+	if len(s.Shedders) > maxTrackedShedders {
+		t.Fatalf("shedder table grew to %d", len(s.Shedders))
+	}
+	if s.SheddersOverflow == 0 {
+		t.Fatal("overflow counter stayed 0")
+	}
+}

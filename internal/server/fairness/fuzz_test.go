@@ -1,0 +1,135 @@
+package fairness
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzFairnessDecision drives a throttler with an arbitrary (client set,
+// event sequence) pair and checks the SFB safety properties against an
+// exact oracle:
+//
+//  1. no input panics the throttler;
+//  2. a client whose per-level buckets were not ALL penalized since their
+//     level's last rotation has pmin exactly 0 and is never shed — in
+//     particular a client with zero shed events is never throttled;
+//  3. idle time is monotone: advancing the clock without shortage events
+//     never increases any client's pmin (decay and rotation only drain p).
+//
+// The oracle tracks the set of (level, bucket) pairs that received a
+// genuine-shortage penalty, clearing a level's entries when it rotates.
+// Only property-2's direction is claimed: an unpenalized bucket must be
+// exactly 0 (decay can zero a penalized bucket early, which is fine).
+func FuzzFairnessDecision(f *testing.F) {
+	f.Add([]byte("alice\x00bob\x00carol"), []byte{0, 1, 5, 2, 9, 13, 1, 0, 6, 3})
+	f.Add([]byte("flooder"), []byte{0, 0, 0, 0, 1, 2, 1, 2, 1})
+	f.Add([]byte(""), []byte{1, 2, 3, 0})
+	f.Add([]byte("a\x00b\x00c\x00d\x00e\x00f\x00g\x00h"), bytes.Repeat([]byte{0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 3}, 8))
+	f.Fuzz(func(t *testing.T, clientBytes, events []byte) {
+		var ids []string
+		for _, part := range bytes.Split(clientBytes, []byte{0}) {
+			if len(part) > 0 && len(ids) < 8 {
+				ids = append(ids, string(part))
+			}
+		}
+		if len(ids) == 0 {
+			ids = []string{"c0"}
+		}
+		if len(events) > 4096 {
+			events = events[:4096]
+		}
+		cfg := Config{
+			Levels: 3, Buckets: 8,
+			Increment: 0.25, Decrement: 0.25,
+			DecayInterval: time.Second,
+			RotateEvery:   5 * time.Second,
+			MaxConcurrent: 1024,
+			Seed:          42,
+		}
+		tr := New(cfg)
+		now := time.Unix(1_000_000, 0)
+		tr.now = func() time.Time { return now }
+		tr.mu.Lock()
+		tr.lastDecay, tr.lastRotate = now, now
+		tr.mu.Unlock()
+
+		type cell struct{ level, bucket int }
+		penalized := map[cell]bool{}
+
+		// pmins applies pending maintenance and snapshots every client's
+		// pmin plus whether the oracle says all its buckets are hot.
+		pmins := func() ([]float64, []bool) {
+			tr.mu.Lock()
+			defer tr.mu.Unlock()
+			tr.touchLocked(now)
+			ps := make([]float64, len(ids))
+			all := make([]bool, len(ids))
+			for i, c := range ids {
+				ps[i] = tr.pminLocked(c)
+				all[i] = true
+				for l := 0; l < cfg.Levels; l++ {
+					if !penalized[cell{l, tr.bucketIndex(l, c)}] {
+						all[i] = false
+					}
+				}
+			}
+			return ps, all
+		}
+		// advance moves the clock and updates the oracle for the at-most-one
+		// lazy rotation the next touch performs.
+		advance := func(d time.Duration) {
+			now = now.Add(d)
+			tr.mu.Lock()
+			before, level := tr.rotations, tr.rotateNext
+			tr.touchLocked(now)
+			rotated := tr.rotations > before
+			tr.mu.Unlock()
+			if rotated {
+				for b := 0; b < cfg.Buckets; b++ {
+					delete(penalized, cell{level, b})
+				}
+			}
+		}
+
+		for _, ev := range events {
+			op, arg := ev%4, int(ev/4)
+			c := ids[arg%len(ids)]
+			switch op {
+			case 0: // genuine-shortage shed
+				tr.QueueShed(c)
+				tr.mu.Lock()
+				for l := 0; l < cfg.Levels; l++ {
+					penalized[cell{l, tr.bucketIndex(l, c)}] = true
+				}
+				tr.mu.Unlock()
+			case 1: // admission decision + oracle check
+				ps, all := pmins()
+				i := arg % len(ids)
+				if !all[i] && ps[i] != 0 {
+					t.Fatalf("client %q: pmin=%v with an unpenalized bucket", c, ps[i])
+				}
+				if tr.Decide(c) && !all[i] {
+					t.Fatalf("client %q shed with an unpenalized bucket", c)
+				}
+			case 2: // idle time: decay/rotation monotonicity
+				before, _ := pmins()
+				advance(time.Duration(arg+1) * 250 * time.Millisecond)
+				after, _ := pmins()
+				for i := range ids {
+					if after[i] > before[i]+1e-12 {
+						t.Fatalf("client %q: idle time raised pmin %v -> %v", ids[i], before[i], after[i])
+					}
+				}
+			case 3: // exercise stats + gate under the same sequence
+				s := tr.Stats()
+				if s.Sheds != s.ProbSheds+s.QueueSheds {
+					t.Fatalf("shed counters disagree: %+v", s)
+				}
+				if rel, ok := tr.AcquireCompute(c); ok {
+					rel()
+				}
+			}
+		}
+	})
+}

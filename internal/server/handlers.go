@@ -13,6 +13,7 @@ import (
 
 	"probtopk"
 	"probtopk/internal/server/anscache"
+	"probtopk/internal/server/fairness"
 )
 
 // --- table registry endpoints ---
@@ -460,14 +461,26 @@ func (s *Server) handleBaseline(w http.ResponseWriter, r *http.Request) {
 	s.serveQuery(w, r, kindBaseline, semantic)
 }
 
+// flightResult is the value fanned out by a coalesced cold-query flight:
+// an encoded answer on success, an HTTP status + message otherwise. The
+// zero value (status 0) marks a flight whose leader died; followers map it
+// to 500.
+type flightResult struct {
+	data   []byte
+	status int
+	errMsg string
+}
+
 // serveQuery is the shared read path: decode and resolve the query, load
-// the table's published snapshot, try the derived-answer cache, compute and
-// fill on a miss. No lock is held at any point — the snapshot is immutable,
-// so the dynamic program runs entirely outside the mutation path, a slow
-// query never delays an append, and a stalled client connection can wedge
-// nothing. The snapshot identity in the cache key pins the exact published
-// state the answer came from, so the late Put of a query racing a mutation
-// can never be served for the successor state.
+// the table's published snapshot, try the derived-answer cache, and on a
+// miss join the coalesced flight that computes and fills. No lock is held
+// at any point — the snapshot is immutable, so the dynamic program runs
+// entirely outside the mutation path, a slow query never delays an append,
+// and a stalled client connection can wedge nothing. The snapshot identity
+// in both the cache key and the flight key pins the exact published state
+// the answer came from, so the late Put of a query racing a mutation can
+// never be served for the successor state, and a flight follower can never
+// receive an answer for a snapshot other than the one it asked about.
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind queryKind, baseline string) {
 	start := time.Now()
 	q, err := decodeRequest(r)
@@ -495,23 +508,62 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kind queryKi
 		writeRaw(w, http.StatusOK, data)
 		return
 	}
-	resp, err := s.compute(st.snap, rq)
+	var client string
+	if s.throttler != nil {
+		client = fairness.ClientID(r)
+	}
+	fkey := fmt.Sprintf("%s\x00%d\x00%s", name, st.snap.ID(), rq.fingerprint())
+	res, shared := s.flight.Do(fkey, func() flightResult {
+		return s.computeAndFill(st.snap, rq, key, client)
+	})
+	if res.status != http.StatusOK {
+		s.queryErrors.Add(1)
+		switch {
+		case res.status == http.StatusTooManyRequests && s.throttler != nil:
+			// Genuine shortage: the cold-query gate was exhausted. The
+			// throttler already penalized the client; answer like the
+			// middleware would.
+			s.throttler.WriteShed(w)
+		case res.status == 0:
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+		default:
+			writeError(w, res.status, fmt.Errorf("%s", res.errMsg))
+		}
+		return
+	}
+	if shared {
+		s.coalesced.record(time.Since(start))
+	} else {
+		s.computed.record(time.Since(start))
+	}
+	writeRaw(w, http.StatusOK, res.data)
+}
+
+// computeAndFill is the flight leader's body: pass the fairness compute
+// gate, run the engine against the pinned snapshot, encode, and fill the
+// cache recording the measured recompute cost (what a future hit saves —
+// the currency of the cost-aware eviction policy).
+func (s *Server) computeAndFill(snap *probtopk.Snapshot, rq *resolvedQuery, key anscache.Key, client string) flightResult {
+	if s.throttler != nil {
+		release, ok := s.throttler.AcquireCompute(client)
+		if !ok {
+			return flightResult{status: http.StatusTooManyRequests, errMsg: "overloaded: cold-query capacity exhausted"}
+		}
+		defer release()
+	}
+	costStart := time.Now()
+	resp, err := s.compute(snap, rq)
 	if err != nil {
 		// The request was well-formed; the queried contents make it
 		// unanswerable (empty table, no k co-existing tuples, ...).
-		s.queryErrors.Add(1)
-		writeError(w, http.StatusUnprocessableEntity, err)
-		return
+		return flightResult{status: http.StatusUnprocessableEntity, errMsg: err.Error()}
 	}
 	data, err := json.Marshal(resp)
 	if err != nil {
-		s.queryErrors.Add(1)
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("encoding response: %v", err))
-		return
+		return flightResult{status: http.StatusInternalServerError, errMsg: fmt.Sprintf("encoding response: %v", err)}
 	}
-	s.cache.Put(key, data)
-	s.computed.record(time.Since(start))
-	writeRaw(w, http.StatusOK, data)
+	s.cache.Put(key, data, time.Since(costStart))
+	return flightResult{data: data, status: http.StatusOK}
 }
 
 // compute runs the resolved query against the immutable snapshot through

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"probtopk/internal/server/fairness"
+	"probtopk/internal/synth"
+)
+
+// synthTableJSON is the JSON upload body of the 200-tuple synthetic table —
+// big enough that one cold top-k DP takes tens of milliseconds, which is
+// the window the stampede and mid-flight tests rely on.
+func synthTableJSON(tb testing.TB) string {
+	tb.Helper()
+	tab, err := synth.Generate(synth.Config{Seed: 1}.WithDefaults())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tuples := []TupleJSON{}
+	for _, tp := range tab.Tuples() {
+		tuples = append(tuples, TupleJSON{ID: tp.ID, Score: tp.Score, Prob: tp.Prob, Group: tp.Group})
+	}
+	body, err := json.Marshal(TableRequest{Tuples: tuples})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return string(body)
+}
+
+// N concurrent identical cold queries run the dynamic program exactly once:
+// the first caller leads the flight, everyone else either joins it or hits
+// the cache the leader filled.
+func TestStampedeSingleDP(t *testing.T) {
+	s := New(Config{})
+	mustStatus(t, do(t, s, "PUT", "/tables/st", synthTableJSON(t)), http.StatusCreated)
+	dpBefore := s.Engine().CacheStats().Queries
+
+	const n = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	bodies := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			w := do(t, s, "GET", "/tables/st/topk?k=10", "")
+			if w.Code != http.StatusOK {
+				t.Errorf("caller %d: status %d: %s", i, w.Code, w.Body.String())
+				return
+			}
+			bodies[i] = w.Body.String()
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if dp := s.Engine().CacheStats().Queries - dpBefore; dp != 1 {
+		t.Fatalf("stampede of %d identical cold queries ran %d DPs, want 1", n, dp)
+	}
+	for i := 1; i < n; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("caller %d got a different answer than caller 0", i)
+		}
+	}
+	st := getStats(t, s)
+	total := st.CachedQueries.Count + st.ComputedQueries.Count + st.CoalescedQueries.Count
+	if total != n || st.ComputedQueries.Count != 1 {
+		t.Fatalf("cached %d + computed %d + coalesced %d, want %d total with 1 computed",
+			st.CachedQueries.Count, st.ComputedQueries.Count, st.CoalescedQueries.Count, n)
+	}
+}
+
+// A mutation between a flight's enqueue and its cache fill never publishes
+// the old snapshot's answer under the new snapshot id: the flight and
+// cache keys pin the snapshot identity, so the post-mutation query
+// recomputes against the new state.
+func TestMutationMidFlightNoStaleFill(t *testing.T) {
+	s := New(Config{})
+	mustStatus(t, do(t, s, "PUT", "/tables/mf", synthTableJSON(t)), http.StatusCreated)
+
+	type result struct {
+		code int
+		body string
+	}
+	leaderDone := make(chan result, 1)
+	go func() {
+		w := do(t, s, "GET", "/tables/mf/topk?k=10", "")
+		leaderDone <- result{w.Code, w.Body.String()}
+	}()
+	// Wait for the cold query's flight to be in progress, then mutate the
+	// table under it: an unmissable new top scorer.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.flight.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flight never started")
+		}
+	}
+	mustStatus(t, do(t, s, "POST", "/tables/mf/tuples",
+		`{"tuples":[{"id":"GIANT","score":1e9,"prob":1.0}]}`), http.StatusOK)
+
+	leader := <-leaderDone
+	if leader.code != http.StatusOK {
+		t.Fatalf("in-flight query failed: %d %s", leader.code, leader.body)
+	}
+	if strings.Contains(leader.body, "GIANT") {
+		t.Fatal("pre-mutation flight observed the mutation: snapshot isolation broken")
+	}
+
+	dpBefore := s.Engine().CacheStats().Queries
+	w := do(t, s, "GET", "/tables/mf/topk?k=10", "")
+	body := mustStatus(t, w, http.StatusOK)
+	if body == leader.body {
+		t.Fatal("post-mutation query served the old snapshot's answer")
+	}
+	if !strings.Contains(body, "GIANT") {
+		t.Fatalf("post-mutation answer misses the new top scorer: %s", body)
+	}
+	if dp := s.Engine().CacheStats().Queries - dpBefore; dp != 1 {
+		t.Fatalf("post-mutation query ran %d DPs, want 1 fresh compute (a stale fill would be 0)", dp)
+	}
+}
+
+// End-to-end fairness: a flooding client saturating the cold-query gate is
+// shed with 429 + Retry-After and lands in the shed counters; a
+// well-behaved client on warm queries never sees an error and never
+// appears in them.
+func TestFairnessFlooderShedPoliteUntouched(t *testing.T) {
+	s := New(Config{Fairness: &fairness.Config{
+		MaxConcurrent: 1,
+		MaxWaiters:    1,
+		MaxWait:       5 * time.Millisecond,
+		Seed:          42,
+	}})
+	mustStatus(t, do(t, s, "PUT", "/tables/fx", synthTableJSON(t)), http.StatusCreated)
+	// Warm the polite client's query so it never needs the compute gate.
+	mustStatus(t, do(t, s, "GET", "/tables/fx/topk?k=5", "", fairness.ClientHeader, "polite"), http.StatusOK)
+
+	var flooder429 int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				// Distinct thresholds make every flood query cold.
+				path := fmt.Sprintf("/tables/fx/topk?k=10&threshold=0.00%d%d1", g, i)
+				w := do(t, s, "GET", path, "", fairness.ClientHeader, "flooder")
+				if w.Code == http.StatusTooManyRequests {
+					if w.Header().Get("Retry-After") == "" {
+						t.Error("429 without Retry-After")
+					}
+					mu.Lock()
+					flooder429++
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	// The polite client keeps querying its warm answer during the flood.
+	for i := 0; i < 50; i++ {
+		w := do(t, s, "GET", "/tables/fx/topk?k=5", "", fairness.ClientHeader, "polite")
+		if w.Code != http.StatusOK {
+			t.Fatalf("well-behaved client got %d during flood: %s", w.Code, w.Body.String())
+		}
+	}
+	wg.Wait()
+
+	if flooder429 == 0 {
+		t.Fatal("flooder was never shed")
+	}
+	st := getStats(t, s)
+	if st.Fairness == nil {
+		t.Fatal("no fairness block in stats")
+	}
+	if st.Fairness.QueueSheds == 0 || st.Fairness.Sheds == 0 {
+		t.Fatalf("shed counters empty: %+v", st.Fairness)
+	}
+	if st.Fairness.TopShedders["flooder"] == 0 {
+		t.Fatalf("flooder missing from shed attribution: %v", st.Fairness.TopShedders)
+	}
+	if n, ok := st.Fairness.TopShedders["polite"]; ok && n > 0 {
+		t.Fatalf("well-behaved client attributed %d sheds", n)
+	}
+	var hot int
+	for _, l := range st.Fairness.Levels {
+		hot += l.HotBuckets
+	}
+	if hot == 0 {
+		t.Fatal("no hot buckets after a flood")
+	}
+}

@@ -92,6 +92,8 @@ import (
 	"probtopk"
 	"probtopk/internal/persist"
 	"probtopk/internal/server/anscache"
+	"probtopk/internal/server/fairness"
+	"probtopk/internal/server/flight"
 )
 
 // DefaultAnswerCacheSize is the default bound on cached derived answers.
@@ -141,6 +143,14 @@ type Config struct {
 	// methods, never through HTTP. Mutually exclusive with Durability (a
 	// follower's truth is the leader's WAL, not its own).
 	FollowerOf string
+	// Fairness, when non-nil, mounts the Stochastic Fair BLUE throttler in
+	// front of every endpoint (topkd -fairness): requests from clients that
+	// repeatedly exhausted the cold-query compute capacity are shed with
+	// 429 + Retry-After, cold computations are gated by a bounded
+	// concurrency semaphore, and queue-full events penalize only the
+	// responsible client's buckets. The zero Config value selects the
+	// defaults; see package fairness.
+	Fairness *fairness.Config
 }
 
 // latency is a lock-free (count, total duration) pair.
@@ -166,6 +176,15 @@ type Server struct {
 	cache  *anscache.Cache
 	mux    *http.ServeMux
 	start  time.Time
+
+	// throttler, when non-nil, is the SFB fair-admission filter; handler is
+	// the mux wrapped in its middleware (or the mux itself when fairness is
+	// off). flight coalesces concurrent identical cold queries — keyed by
+	// (table, snapshot id, fingerprint), so a mutation mid-flight changes
+	// the key and stale fan-out is impossible.
+	throttler *fairness.Throttler
+	handler   http.Handler
+	flight    flight.Group[flightResult]
 
 	// durable, when non-nil, is the WAL+snapshot backend every mutation
 	// logs to before publishing. durMu[s] orders logging against
@@ -200,6 +219,7 @@ type Server struct {
 
 	cached      latency // queries answered by the derived-answer cache
 	computed    latency // queries that ran the engine
+	coalesced   latency // queries that shared another caller's in-flight compute
 	queryErrors atomic.Uint64
 }
 
@@ -262,13 +282,18 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", httppprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", httppprof.Trace)
 	}
+	s.handler = s.mux
+	if cfg.Fairness != nil {
+		s.throttler = fairness.New(*cfg.Fairness)
+		s.handler = s.throttler.Middleware(s.mux)
+	}
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // Engine returns the server's query engine (for tests and embedding).
@@ -343,14 +368,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
+	var fair *FairnessJSON
+	if s.throttler != nil {
+		fs := s.throttler.Stats()
+		fair = &FairnessJSON{
+			Decisions: fs.Decisions, Sheds: fs.Sheds,
+			ProbSheds: fs.ProbSheds, QueueSheds: fs.QueueSheds,
+			Rotations:        fs.Rotations,
+			ComputeInFlight:  fs.ComputeInFlight,
+			ComputeWaiters:   fs.ComputeWaiters,
+			TopShedders:      fs.Shedders,
+			SheddersOverflow: fs.SheddersOverflow,
+		}
+		for i, l := range fs.Levels {
+			fair.Levels = append(fair.Levels, FairnessLevelJSON{
+				Level: i, HotBuckets: l.HotBuckets, MaxP: l.MaxP, Sheds: l.Sheds,
+			})
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Durability:  dur,
 		Replication: s.replicationJSON(),
+		Fairness:    fair,
 		Shards:      s.nshards,
 		Tables:      s.reg.len(),
 		AnswerCache: CacheStatsJSON{
 			Hits: ans.Hits, Misses: ans.Misses, Evictions: ans.Evictions,
 			Invalidations: ans.Invalidations, Entries: ans.Entries,
+			SavedNanos: ans.SavedNanos,
 		},
 		PreparedCache: CacheStatsJSON{
 			Hits: eng.Hits, Misses: eng.Misses, Evictions: eng.Evictions,
@@ -366,9 +411,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			FullRebuilds:   eng.IndexFullRebuilds,
 			ViewRebuilds:   eng.IndexViewRebuilds,
 		},
-		CachedQueries:   s.cached.json(),
-		ComputedQueries: s.computed.json(),
-		QueryErrors:     s.queryErrors.Load(),
-		UptimeSeconds:   time.Since(s.start).Seconds(),
+		CachedQueries:    s.cached.json(),
+		ComputedQueries:  s.computed.json(),
+		CoalescedQueries: s.coalesced.json(),
+		QueryErrors:      s.queryErrors.Load(),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
 	})
 }
